@@ -1,0 +1,191 @@
+package repro
+
+// Ablation benches for the design choices DESIGN.md calls out: the
+// g-COLA's pointer density and growth factor, the shuttle tree's layout
+// rebuild cadence and fanout, and the B-tree's block size. Each sweep
+// holds the workload fixed and varies one knob, reporting transfers/op
+// so the effect is deterministic.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkAblationPointerDensity sweeps the g-COLA's pointer density p:
+// p = 0 is the basic COLA (binary-search every level), the paper uses
+// p = 0.1, and p = 0.5 doubles the redundant space for narrower search
+// windows. Measures cold searches after a random load.
+func BenchmarkAblationPointerDensity(b *testing.B) {
+	for _, p := range []float64{0, 0.05, 0.1, 0.25, 0.5} {
+		b.Run(fmt.Sprintf("p=%.2f", p), func(b *testing.B) {
+			store := NewStore(benchBlockBytes, 1<<17)
+			d := NewGCOLA(COLAOptions{Growth: 2, PointerDensity: p, Space: store.Space("cola")})
+			seq := workload.NewRandomUnique(21)
+			for i := 0; i < benchPreload; i++ {
+				k := seq.Next()
+				d.Insert(k, k)
+			}
+			store.DropCache()
+			store.ResetCounters()
+			probe := workload.NewRandomUnique(21)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Search(probe.Next())
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(store.Transfers())/float64(b.N), "transfers/op")
+		})
+	}
+}
+
+// BenchmarkAblationGrowthFactor sweeps g beyond the paper's {2,4,8}:
+// larger g means fewer levels (cheaper searches) but each level is
+// merged into more often (costlier inserts).
+func BenchmarkAblationGrowthFactor(b *testing.B) {
+	for _, g := range []int{2, 3, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			store := NewStore(benchBlockBytes, benchCacheBytes)
+			d := NewGCOLA(COLAOptions{Growth: g, PointerDensity: 0.1, Space: store.Space("cola")})
+			seq := workload.NewRandomUnique(22)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := seq.Next()
+				d.Insert(k, k)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(store.Transfers())/float64(b.N), "transfers/op")
+		})
+	}
+}
+
+// BenchmarkAblationShuttleRelayout sweeps the vEB layout rebuild cadence:
+// never (-1), every 256 splits, every 4096 splits. The tradeoff is
+// rebuild cost against layout drift (drifted layouts cluster worse, so
+// searches touch more blocks).
+func BenchmarkAblationShuttleRelayout(b *testing.B) {
+	for _, every := range []int{-1, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("every=%d", every), func(b *testing.B) {
+			store := NewStore(benchBlockBytes, 1<<17)
+			d := NewShuttleTree(ShuttleOptions{Fanout: 8, Space: store.Space("shuttle"), RelayoutEvery: every})
+			seq := workload.NewRandomUnique(23)
+			for i := 0; i < benchPreload/2; i++ {
+				k := seq.Next()
+				d.Insert(k, k)
+			}
+			store.DropCache()
+			store.ResetCounters()
+			probe := workload.NewRandomUnique(23)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Search(probe.Next())
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(store.Transfers())/float64(b.N), "transfers/op")
+		})
+	}
+}
+
+// BenchmarkAblationShuttleFanout sweeps the SWBST balance parameter c.
+func BenchmarkAblationShuttleFanout(b *testing.B) {
+	for _, c := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("c=%d", c), func(b *testing.B) {
+			store := NewStore(benchBlockBytes, benchCacheBytes)
+			d := NewShuttleTree(ShuttleOptions{Fanout: c, Space: store.Space("shuttle")})
+			seq := workload.NewRandomUnique(24)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := seq.Next()
+				d.Insert(k, k)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(store.Transfers())/float64(b.N), "transfers/op")
+		})
+	}
+}
+
+// BenchmarkAblationBTreeBlock sweeps the B-tree node size; bigger blocks
+// mean shallower trees but coarser transfers.
+func BenchmarkAblationBTreeBlock(b *testing.B) {
+	for _, bb := range []int64{512, 1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("block=%d", bb), func(b *testing.B) {
+			store := NewStore(bb, benchCacheBytes)
+			d := NewBTree(BTreeOptions{BlockBytes: bb, Space: store.Space("btree")})
+			seq := workload.NewRandomUnique(25)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := seq.Next()
+				d.Insert(k, k)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(store.Transfers())/float64(b.N), "transfers/op")
+		})
+	}
+}
+
+// BenchmarkBulkLoadVsIncremental quantifies the BulkLoad extension.
+func BenchmarkBulkLoadVsIncremental(b *testing.B) {
+	const n = 1 << 15
+	mkElems := func() []Element {
+		seq := workload.NewRandomUnique(26)
+		elems := make([]Element, n)
+		for i := range elems {
+			k := seq.Next()
+			elems[i] = Element{Key: k, Value: k}
+		}
+		return elems
+	}
+	b.Run("bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			elems := mkElems()
+			d := NewCOLA(nil)
+			b.StartTimer()
+			d.BulkLoad(elems)
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			elems := mkElems()
+			d := NewCOLA(nil)
+			b.StartTimer()
+			for _, e := range elems {
+				d.Insert(e.Key, e.Value)
+			}
+		}
+	})
+}
+
+// BenchmarkDAMStore measures the simulator's own overhead: one touch.
+func BenchmarkDAMStore(b *testing.B) {
+	store := NewStore(4096, 1<<20)
+	sp := store.Space("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Read(int64(i%(1<<24)), 32)
+	}
+}
+
+// BenchmarkSynchronizedOverhead measures the mutex wrapper's cost.
+func BenchmarkSynchronizedOverhead(b *testing.B) {
+	b.Run("bare", func(b *testing.B) {
+		d := NewCOLA(nil)
+		seq := workload.NewRandomUnique(27)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := seq.Next()
+			d.Insert(k, k)
+		}
+	})
+	b.Run("synchronized", func(b *testing.B) {
+		d := Synchronized(NewCOLA(nil))
+		seq := workload.NewRandomUnique(27)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := seq.Next()
+			d.Insert(k, k)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+// Package repro is a from-scratch Go implementation of "Cache-Oblivious
+// Streaming B-trees" (Bender, Farach-Colton, Fineman, Fogel, Kuszmaul,
+// Nelson — SPAA 2007): the cache-oblivious lookahead array (COLA) family,
+// the shuttle tree, and the baselines the paper compares against, all
+// instrumented for the Disk Access Machine cost model.
+//
+// This file is the public facade: it re-exports the element format, the
+// dictionary interfaces, and constructors for every structure, so a
+// downstream user needs only this package.
+//
+//	store := repro.NewStore(4096, 64<<20)       // B = 4 KiB, M = 64 MiB
+//	d := repro.NewCOLA(store.Space("cola"))     // cache-oblivious
+//	d.Insert(42, 1)
+//	v, ok := d.Search(42)
+//	fmt.Println(v, ok, store.Transfers())
+//
+// Pass a nil space to any constructor to disable cost accounting and
+// benchmark pure wall-clock behaviour.
+package repro
+
+import (
+	"repro/internal/brt"
+	"repro/internal/btree"
+	"repro/internal/cola"
+	"repro/internal/core"
+	"repro/internal/dam"
+	"repro/internal/la"
+	"repro/internal/shuttle"
+	"repro/internal/swbst"
+)
+
+// Element is a 64-bit key/value pair (padded to 32 bytes in the cost
+// model, matching the paper's experiments).
+type Element = core.Element
+
+// ElementBytes is the padded element size charged by the DAM model.
+const ElementBytes = core.ElementBytes
+
+// Dictionary is the interface implemented by every structure here.
+type Dictionary = core.Dictionary
+
+// Deleter is implemented by the structures supporting deletion (the
+// COLA family via tombstones, the B-tree and BRT natively).
+type Deleter = core.Deleter
+
+// Stats carries per-structure operation counters.
+type Stats = core.Stats
+
+// Statser exposes Stats.
+type Statser = core.Statser
+
+// Store simulates a two-level DAM memory (block size B, cache size M)
+// and counts block transfers.
+type Store = dam.Store
+
+// Space is a disjoint region of a Store's address space; structures
+// charge their memory traffic to one.
+type Space = dam.Space
+
+// NewStore creates a DAM-model memory with the given block and cache
+// sizes in bytes.
+func NewStore(blockBytes, cacheBytes int64) *Store {
+	return dam.NewStore(blockBytes, cacheBytes)
+}
+
+// DefaultBlockBytes is the paper's 4 KiB block size.
+const DefaultBlockBytes = dam.DefaultBlockBytes
+
+// COLA is the growth-factor-parametrized lookahead array (Section 3/4 of
+// the paper); g = 2 is the cache-oblivious COLA.
+type COLA = cola.GCOLA
+
+// COLAOptions configures NewGCOLA.
+type COLAOptions = cola.Options
+
+// DefaultPointerDensity is the paper's experimental pointer density.
+const DefaultPointerDensity = cola.DefaultPointerDensity
+
+// NewCOLA returns the 2-COLA with the paper's default pointer density.
+func NewCOLA(space *Space) *COLA { return cola.NewCOLA(space) }
+
+// NewBasicCOLA returns the pointerless basic COLA (O(log^2 N) search).
+func NewBasicCOLA(space *Space) *COLA { return cola.NewBasic(space) }
+
+// NewGCOLA returns a lookahead array with explicit growth factor and
+// pointer density (the paper's g-COLA).
+func NewGCOLA(opt COLAOptions) *COLA { return cola.New(opt) }
+
+// DeamortizedCOLA is the basic deamortized COLA of Theorem 22: O(log N)
+// worst-case moves per insert.
+type DeamortizedCOLA = cola.Deamortized
+
+// NewDeamortizedCOLA returns an empty deamortized basic COLA.
+func NewDeamortizedCOLA(space *Space) *DeamortizedCOLA {
+	return cola.NewDeamortized(space)
+}
+
+// DeamortizedLookaheadCOLA is the fully deamortized COLA of Theorem 24
+// (shadow/visible arrays, lookahead pointers).
+type DeamortizedLookaheadCOLA = cola.DeamortizedLookahead
+
+// NewDeamortizedLookaheadCOLA returns an empty deamortized COLA with
+// lookahead pointers.
+func NewDeamortizedLookaheadCOLA(space *Space) *DeamortizedLookaheadCOLA {
+	return cola.NewDeamortizedLookahead(space)
+}
+
+// ShuttleTree is the paper's main theoretical structure (Section 2).
+type ShuttleTree = shuttle.Tree
+
+// ShuttleOptions configures NewShuttleTree.
+type ShuttleOptions = shuttle.Options
+
+// NewShuttleTree returns an empty shuttle tree.
+func NewShuttleTree(opt ShuttleOptions) *ShuttleTree { return shuttle.New(opt) }
+
+// BTree is the B+-tree baseline of the paper's Section 4 experiments.
+type BTree = btree.Tree
+
+// BTreeOptions configures NewBTree.
+type BTreeOptions = btree.Options
+
+// NewBTree returns an empty B+-tree (4 KiB blocks by default).
+func NewBTree(opt BTreeOptions) *BTree { return btree.New(opt) }
+
+// BRT is the buffered repository tree, the cache-aware write-optimized
+// comparator referenced throughout the paper.
+type BRT = brt.Tree
+
+// BRTOptions configures NewBRT.
+type BRTOptions = brt.Options
+
+// NewBRT returns an empty buffered repository tree.
+func NewBRT(opt BRTOptions) *BRT { return brt.New(opt) }
+
+// LookaheadArray is the cache-aware lookahead array with growth factor
+// B^epsilon, matching the Be-tree tradeoff.
+type LookaheadArray = la.Array
+
+// LookaheadArrayOptions configures NewLookaheadArray.
+type LookaheadArrayOptions = la.Options
+
+// NewLookaheadArray returns a cache-aware lookahead array positioned at
+// epsilon on the insert/search tradeoff curve.
+func NewLookaheadArray(opt LookaheadArrayOptions) *LookaheadArray { return la.New(opt) }
+
+// SWBST is the strongly weight-balanced search tree substrate (the
+// shuttle tree's skeleton), exposed for direct use.
+type SWBST = swbst.Tree
+
+// SWBSTOptions configures NewSWBST.
+type SWBSTOptions = swbst.Options
+
+// NewSWBST returns an empty strongly weight-balanced search tree.
+func NewSWBST(opt SWBSTOptions) *SWBST { return swbst.New(opt) }
+
+// NewCOBTree returns the cache-oblivious B-tree baseline (Bender,
+// Demaine, Farach-Colton): the shuttle machinery with buffering
+// disabled — a strongly weight-balanced tree in a van Emde Boas layout
+// embedded in a packed-memory array. Searches cost O(log_{B+1} N)
+// transfers like the shuttle tree's; inserts pay the full leaf-path
+// cost the shuttle tree's buffers amortize away.
+func NewCOBTree(fanout int, space *Space) *ShuttleTree {
+	return shuttle.NewCOBTree(fanout, space)
+}

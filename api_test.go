@@ -1,0 +1,223 @@
+package repro
+
+// Integration tests across the public facade: every structure behind the
+// one Dictionary interface, cross-checked on identical workloads.
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// allDictionaries builds one of everything through the public API.
+func allDictionaries(store *Store) map[string]Dictionary {
+	sp := func(name string) *Space {
+		if store == nil {
+			return nil
+		}
+		return store.Space(name)
+	}
+	return map[string]Dictionary{
+		"cola":           NewCOLA(sp("cola")),
+		"basic-cola":     NewBasicCOLA(sp("basic")),
+		"4-cola":         NewGCOLA(COLAOptions{Growth: 4, PointerDensity: 0.1, Space: sp("4cola")}),
+		"deam-cola":      NewDeamortizedCOLA(sp("deam")),
+		"deam-la-cola":   NewDeamortizedLookaheadCOLA(sp("deamla")),
+		"btree":          NewBTree(BTreeOptions{Space: sp("btree")}),
+		"brt":            NewBRT(BRTOptions{Space: sp("brt")}),
+		"shuttle":        NewShuttleTree(ShuttleOptions{Fanout: 8, Space: sp("shuttle")}),
+		"swbst":          NewSWBST(SWBSTOptions{Fanout: 8}),
+		"lookahead-eps5": NewLookaheadArray(LookaheadArrayOptions{BlockElems: 128, Epsilon: 0.5, Space: sp("la")}),
+	}
+}
+
+// TestEveryStructureAgrees drives all structures through one random
+// insert workload and verifies identical search results everywhere.
+func TestEveryStructureAgrees(t *testing.T) {
+	dicts := allDictionaries(nil)
+	const n = 1 << 12
+	seq := workload.NewRandomUnique(1234)
+	keys := workload.Take(seq, n)
+	for _, d := range dicts {
+		for _, k := range keys {
+			d.Insert(k, k^0xABCD)
+		}
+	}
+	probes := append(append([]uint64{}, keys[:256]...), workload.Take(workload.NewRandomUnique(5678), 256)...)
+	for _, p := range probes {
+		var wantV uint64
+		var wantOK, first = false, true
+		for name, d := range dicts {
+			v, ok := d.Search(p)
+			if first {
+				wantV, wantOK, first = v, ok, false
+				continue
+			}
+			if ok != wantOK || (ok && v != wantV) {
+				t.Fatalf("%s: Search(%d) = (%d,%v), others say (%d,%v)", name, p, v, ok, wantV, wantOK)
+			}
+		}
+	}
+	for name, d := range dicts {
+		if d.Len() != n {
+			t.Errorf("%s: Len = %d, want %d", name, d.Len(), n)
+		}
+	}
+}
+
+// TestEveryStructureRangeAgrees verifies Range output is identical
+// across every structure.
+func TestEveryStructureRangeAgrees(t *testing.T) {
+	dicts := allDictionaries(nil)
+	const n = 4096
+	for _, d := range dicts {
+		for i := uint64(0); i < n; i += 3 {
+			d.Insert(i, i*7)
+		}
+	}
+	collect := func(d Dictionary, lo, hi uint64) []Element {
+		var out []Element
+		d.Range(lo, hi, func(e Element) bool { out = append(out, e); return true })
+		return out
+	}
+	var want []Element
+	first := true
+	for name, d := range dicts {
+		got := collect(d, 100, 1000)
+		if first {
+			want = got
+			first = false
+			if len(want) == 0 {
+				t.Fatal("empty reference range")
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: range size %d, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: range[%d] = %v, want %v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDeletersAgree exercises the Deleter extension on the structures
+// that support it.
+func TestDeletersAgree(t *testing.T) {
+	dicts := map[string]Dictionary{
+		"cola":  NewCOLA(nil),
+		"btree": NewBTree(BTreeOptions{}),
+		"brt":   NewBRT(BRTOptions{}),
+	}
+	const n = 2048
+	for name, d := range dicts {
+		del, ok := d.(Deleter)
+		if !ok {
+			t.Fatalf("%s does not implement Deleter", name)
+		}
+		for i := uint64(0); i < n; i++ {
+			d.Insert(i, i)
+		}
+		for i := uint64(0); i < n; i += 2 {
+			if !del.Delete(i) {
+				t.Fatalf("%s: Delete(%d) failed", name, i)
+			}
+		}
+		for i := uint64(0); i < n; i++ {
+			_, found := d.Search(i)
+			if (i%2 == 0) == found {
+				t.Fatalf("%s: Search(%d) = %v after deletions", name, i, found)
+			}
+		}
+		if d.Len() != n/2 {
+			t.Fatalf("%s: Len = %d, want %d", name, d.Len(), n/2)
+		}
+	}
+}
+
+// TestSharedStoreCharges verifies structures sharing one store charge
+// disjoint spaces and the counters accumulate.
+func TestSharedStoreCharges(t *testing.T) {
+	store := NewStore(4096, 1<<16)
+	dicts := allDictionaries(store)
+	seq := workload.NewRandomUnique(9)
+	for i := 0; i < 1<<12; i++ {
+		k := seq.Next()
+		for _, d := range dicts {
+			d.Insert(k, k)
+		}
+	}
+	if store.Transfers() == 0 {
+		t.Fatal("no transfers recorded across a shared store")
+	}
+}
+
+// TestStatsersExposeCounters spot-checks the Statser implementations.
+func TestStatsersExposeCounters(t *testing.T) {
+	for name, d := range map[string]Dictionary{
+		"cola":    NewCOLA(nil),
+		"btree":   NewBTree(BTreeOptions{}),
+		"brt":     NewBRT(BRTOptions{}),
+		"shuttle": NewShuttleTree(ShuttleOptions{Fanout: 8}),
+	} {
+		s, ok := d.(Statser)
+		if !ok {
+			t.Fatalf("%s does not implement Statser", name)
+		}
+		for i := uint64(0); i < 100; i++ {
+			d.Insert(i, i)
+		}
+		d.Search(5)
+		st := s.Stats()
+		if st.Inserts != 100 {
+			t.Errorf("%s: Inserts = %d, want 100", name, st.Inserts)
+		}
+		if st.Searches == 0 {
+			t.Errorf("%s: Searches = 0", name)
+		}
+	}
+}
+
+// TestMixedWorkloadLarge is a heavier soak: interleaved inserts, updates,
+// searches, and scans on every structure against one oracle.
+func TestMixedWorkloadLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	dicts := allDictionaries(nil)
+	ref := make(map[uint64]uint64)
+	rng := workload.NewRNG(777)
+	const keyspace = 1 << 14
+	for i := 0; i < 30000; i++ {
+		k := rng.Uint64() % keyspace
+		switch rng.Uint64() % 5 {
+		case 0, 1, 2: // insert/update
+			v := rng.Uint64()
+			ref[k] = v
+			for _, d := range dicts {
+				d.Insert(k, v)
+			}
+		case 3: // point check on one random structure
+			for name, d := range dicts {
+				wv, wok := ref[k]
+				gv, gok := d.Search(k)
+				if gok != wok || (gok && gv != wv) {
+					t.Fatalf("%s at op %d: Search(%d) = (%d,%v), want (%d,%v)",
+						name, i, k, gv, gok, wv, wok)
+				}
+				break // one structure per round keeps the soak fast
+			}
+		case 4: // narrow scan on the cola
+			lo := k &^ 63
+			d := dicts["cola"]
+			d.Range(lo, lo+63, func(e Element) bool {
+				if ref[e.Key] != e.Value {
+					t.Fatalf("scan value mismatch at %d", e.Key)
+				}
+				return true
+			})
+		}
+	}
+}

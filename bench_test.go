@@ -1,0 +1,264 @@
+package repro
+
+// Benchmarks regenerating the paper's evaluation, one per figure plus
+// the asymptotic-claim experiments (DESIGN.md E1-E8). Wall-clock rates
+// come from testing.B; DAM block transfers per operation are reported as
+// the custom metric "transfers/op" so the theoretical quantity appears
+// alongside ns/op:
+//
+//	go test -bench=. -benchmem
+//	go test -bench BenchmarkFig2 -benchtime 1000000x   # fixed op count
+//
+// The full parameter sweeps (the actual figure series) live in
+// cmd/streambench; these benches measure the same workloads at one
+// operating point each.
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+const (
+	benchBlockBytes = 4096
+	benchCacheBytes = 1 << 20 // 1 MiB: structures leave cache during long benches
+	benchPreload    = 1 << 16 // searches run against this many keys
+)
+
+// damDict builds each structure under benchmark with its own store.
+func damDict(name string) (Dictionary, *Store) {
+	store := NewStore(benchBlockBytes, benchCacheBytes)
+	switch name {
+	case "2-COLA":
+		return NewGCOLA(COLAOptions{Growth: 2, PointerDensity: DefaultPointerDensity, Space: store.Space(name)}), store
+	case "4-COLA":
+		return NewGCOLA(COLAOptions{Growth: 4, PointerDensity: DefaultPointerDensity, Space: store.Space(name)}), store
+	case "8-COLA":
+		return NewGCOLA(COLAOptions{Growth: 8, PointerDensity: DefaultPointerDensity, Space: store.Space(name)}), store
+	case "basic-COLA":
+		return NewBasicCOLA(store.Space(name)), store
+	case "deamortized-COLA":
+		return NewDeamortizedCOLA(store.Space(name)), store
+	case "deamortized-lookahead-COLA":
+		return NewDeamortizedLookaheadCOLA(store.Space(name)), store
+	case "B-tree":
+		return NewBTree(BTreeOptions{BlockBytes: benchBlockBytes, Space: store.Space(name)}), store
+	case "BRT":
+		return NewBRT(BRTOptions{BlockBytes: benchBlockBytes, Space: store.Space(name)}), store
+	case "shuttle":
+		return NewShuttleTree(ShuttleOptions{Fanout: 8, Space: store.Space(name)}), store
+	}
+	panic("unknown structure " + name)
+}
+
+// benchInserts measures inserts from seq into the named structure.
+func benchInserts(b *testing.B, name string, mkSeq func() workload.Sequence) {
+	b.Helper()
+	d, store := damDict(name)
+	seq := mkSeq()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := seq.Next()
+		d.Insert(k, k)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(store.Transfers())/float64(b.N), "transfers/op")
+}
+
+// BenchmarkFig2RandomInserts is E1 (paper Figure 2): random inserts,
+// COLA growth factors vs the B-tree.
+func BenchmarkFig2RandomInserts(b *testing.B) {
+	for _, name := range []string{"2-COLA", "4-COLA", "8-COLA", "B-tree"} {
+		b.Run(name, func(b *testing.B) {
+			benchInserts(b, name, func() workload.Sequence { return workload.NewRandomUnique(1) })
+		})
+	}
+}
+
+// BenchmarkFig3SortedInserts is E2 (paper Figure 3): descending keys,
+// the B-tree's best case.
+func BenchmarkFig3SortedInserts(b *testing.B) {
+	for _, name := range []string{"2-COLA", "4-COLA", "8-COLA", "B-tree"} {
+		b.Run(name, func(b *testing.B) {
+			benchInserts(b, name, func() workload.Sequence {
+				return workload.NewDescending(uint64(b.N))
+			})
+		})
+	}
+}
+
+// BenchmarkFig4Searches is E3 (paper Figure 4): random searches after a
+// sorted load, cold cache.
+func BenchmarkFig4Searches(b *testing.B) {
+	for _, name := range []string{"2-COLA", "4-COLA", "8-COLA", "B-tree"} {
+		b.Run(name, func(b *testing.B) {
+			d, store := damDict(name)
+			seq := workload.NewDescending(benchPreload)
+			for i := 0; i < benchPreload; i++ {
+				k := seq.Next()
+				d.Insert(k, k)
+			}
+			store.DropCache()
+			store.ResetCounters()
+			probe := workload.NewRNG(7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Search(probe.Uint64() % benchPreload)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(store.Transfers())/float64(b.N), "transfers/op")
+		})
+	}
+}
+
+// BenchmarkFig5InsertOrders is E4 (paper Figure 5): the 4-COLA under
+// ascending, descending, and random key orders.
+func BenchmarkFig5InsertOrders(b *testing.B) {
+	orders := []struct {
+		name string
+		mk   func(n int) workload.Sequence
+	}{
+		{"Ascending", func(int) workload.Sequence { return workload.NewAscending() }},
+		{"Descending", func(n int) workload.Sequence { return workload.NewDescending(uint64(n)) }},
+		{"Random", func(int) workload.Sequence { return workload.NewRandomUnique(1) }},
+	}
+	for _, o := range orders {
+		b.Run(o.name, func(b *testing.B) {
+			benchInserts(b, "4-COLA", func() workload.Sequence { return o.mk(b.N) })
+		})
+	}
+}
+
+// BenchmarkTransfers is E6: transfers/op for every structure (inserts).
+func BenchmarkTransfers(b *testing.B) {
+	for _, name := range []string{
+		"2-COLA", "basic-COLA", "deamortized-COLA", "deamortized-lookahead-COLA",
+		"BRT", "B-tree", "shuttle",
+	} {
+		b.Run(name, func(b *testing.B) {
+			benchInserts(b, name, func() workload.Sequence { return workload.NewRandomUnique(3) })
+		})
+	}
+}
+
+// BenchmarkTradeoffLA is E6's cache-aware sweep: the lookahead array at
+// eps in {0, 0.5, 1} spans the Be-tree insert/search tradeoff.
+func BenchmarkTradeoffLA(b *testing.B) {
+	for _, eps := range []float64{0, 0.5, 1} {
+		name := map[float64]string{0: "eps0.0", 0.5: "eps0.5", 1: "eps1.0"}[eps]
+		b.Run(name, func(b *testing.B) {
+			store := NewStore(benchBlockBytes, benchCacheBytes)
+			a := NewLookaheadArray(LookaheadArrayOptions{
+				BlockElems: benchBlockBytes / ElementBytes,
+				Epsilon:    eps,
+				Space:      store.Space("la"),
+			})
+			seq := workload.NewRandomUnique(5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := seq.Next()
+				a.Insert(k, k)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(store.Transfers())/float64(b.N), "transfers/op")
+		})
+	}
+}
+
+// BenchmarkDeamortizedWorstCase is E7: the custom metric is the largest
+// number of element moves any single insert performed — O(log N) for the
+// deamortized variants, Omega(N) for the amortized COLA.
+func BenchmarkDeamortizedWorstCase(b *testing.B) {
+	for _, name := range []string{"2-COLA", "deamortized-COLA", "deamortized-lookahead-COLA"} {
+		b.Run(name, func(b *testing.B) {
+			d, _ := damDict(name)
+			seq := workload.NewRandomUnique(9)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := seq.Next()
+				d.Insert(k, k)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(d.(Statser).Stats().MaxMoves), "max-moves/insert")
+		})
+	}
+}
+
+// BenchmarkShuttleVsBTree is E8: the cache-oblivious shuttle tree
+// measured against the B-tree at one block size (cmd/streambench sweeps
+// several).
+func BenchmarkShuttleVsBTree(b *testing.B) {
+	for _, name := range []string{"shuttle", "B-tree"} {
+		b.Run(name+"/insert", func(b *testing.B) {
+			benchInserts(b, name, func() workload.Sequence { return workload.NewRandomUnique(11) })
+		})
+		b.Run(name+"/search", func(b *testing.B) {
+			d, store := damDict(name)
+			seq := workload.NewRandomUnique(11)
+			for i := 0; i < benchPreload; i++ {
+				k := seq.Next()
+				d.Insert(k, k)
+			}
+			store.DropCache()
+			store.ResetCounters()
+			probe := workload.NewRandomUnique(11)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Search(probe.Next())
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(store.Transfers())/float64(b.N), "transfers/op")
+		})
+	}
+}
+
+// BenchmarkRangeScans compares range-query throughput: the COLA family
+// stores levels contiguously, the motivation the paper gives for faster
+// scans than pointer-chasing trees.
+func BenchmarkRangeScans(b *testing.B) {
+	for _, name := range []string{"2-COLA", "B-tree"} {
+		b.Run(name, func(b *testing.B) {
+			d, store := damDict(name)
+			for i := uint64(0); i < benchPreload; i++ {
+				d.Insert(i, i)
+			}
+			store.DropCache()
+			store.ResetCounters()
+			b.ResetTimer()
+			count := 0
+			for i := 0; i < b.N; i++ {
+				lo := uint64(i%(benchPreload-1024)) &^ 1023
+				d.Range(lo, lo+1023, func(Element) bool { count++; return true })
+			}
+			b.StopTimer()
+			if count == 0 {
+				b.Fatal("range scans returned nothing")
+			}
+			b.ReportMetric(float64(store.Transfers())/float64(b.N), "transfers/op")
+		})
+	}
+}
+
+// BenchmarkPureInsertNoAccounting measures raw wall-clock insert rates
+// with DAM accounting disabled (nil space), the closest analogue of the
+// paper's in-core regime.
+func BenchmarkPureInsertNoAccounting(b *testing.B) {
+	mk := map[string]func() Dictionary{
+		"2-COLA":  func() Dictionary { return NewCOLA(nil) },
+		"4-COLA":  func() Dictionary { return NewGCOLA(COLAOptions{Growth: 4, PointerDensity: 0.1}) },
+		"B-tree":  func() Dictionary { return NewBTree(BTreeOptions{}) },
+		"BRT":     func() Dictionary { return NewBRT(BRTOptions{}) },
+		"shuttle": func() Dictionary { return NewShuttleTree(ShuttleOptions{Fanout: 8}) },
+	}
+	for name, f := range mk {
+		b.Run(name, func(b *testing.B) {
+			d := f()
+			seq := workload.NewRandomUnique(13)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := seq.Next()
+				d.Insert(k, k)
+			}
+		})
+	}
+}

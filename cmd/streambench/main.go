@@ -1,0 +1,80 @@
+// Command streambench regenerates the evaluation of "Cache-Oblivious
+// Streaming B-trees" (SPAA 2007): Figures 2-5, the headline ratios, and
+// the asymptotic-claim experiments indexed in DESIGN.md.
+//
+// Usage:
+//
+//	streambench -fig all                  # everything (DESIGN.md E1-E8)
+//	streambench -fig 2 -logn 20           # Figure 2 at N = 2^20
+//	streambench -fig transfers -csv       # E6 as CSV
+//
+// Flags scale the experiments; the defaults finish in a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		fig        = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, ratios, transfers, deamortized, scans, shuttle, all")
+		logn       = flag.Int("logn", 18, "log2 of the largest workload size")
+		lognStart  = flag.Int("logn-start", 10, "log2 of the first measured checkpoint")
+		blockBytes = flag.Int64("block", 4096, "DAM block size B in bytes")
+		cacheBytes = flag.Int64("cache", 1<<20, "DAM cache size M in bytes")
+		seed       = flag.Uint64("seed", 42, "workload seed")
+		searches   = flag.Int("searches", 1<<13, "number of searches for Figure 4")
+		csv        = flag.Bool("csv", false, "emit CSV instead of tables")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		LogN:       *logn,
+		LogNStart:  *lognStart,
+		BlockBytes: *blockBytes,
+		CacheBytes: *cacheBytes,
+		Seed:       *seed,
+		Searches:   *searches,
+	}
+
+	var results []harness.Result
+	switch strings.ToLower(*fig) {
+	case "2":
+		results = cfg.Figure2()
+	case "3":
+		results = cfg.Figure3()
+	case "4":
+		results = cfg.Figure4()
+	case "5":
+		results = cfg.Figure5()
+	case "ratios":
+		results = []harness.Result{cfg.Ratios()}
+	case "transfers":
+		results = []harness.Result{cfg.Transfers()}
+	case "deamortized":
+		results = []harness.Result{cfg.Deamortized()}
+	case "scans":
+		results = []harness.Result{cfg.RangeScans()}
+	case "shuttle":
+		results = []harness.Result{cfg.Shuttle()}
+	case "all":
+		results = cfg.All()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, r := range results {
+		if *csv {
+			harness.CSV(os.Stdout, r)
+		} else {
+			harness.Print(os.Stdout, r)
+		}
+	}
+}

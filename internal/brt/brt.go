@@ -1,0 +1,474 @@
+// Package brt implements the buffered repository tree of Buchsbaum et
+// al., the cache-aware write-optimized dictionary the paper positions the
+// COLA against: searches cost O(log N) block transfers and inserts cost
+// amortized O((log N)/B).
+//
+// The tree is a (2,4)-tree whose internal nodes each carry a buffer of
+// one block (B elements). Inserts append to the root's buffer; a full
+// buffer is flushed by distributing its items to the children, and items
+// reaching a leaf are merged into the leaf's sorted array. Every node
+// charges exactly one block of the DAM space, so path walks cost one
+// transfer per node, matching the structure's stated bounds.
+//
+// Update semantics and tombstone deletes mirror the COLA family: newer
+// entries win, tombstones annihilate at the leaves.
+package brt
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dam"
+)
+
+// maxFanout is the (2,4)-tree's upper bound on children per node.
+const maxFanout = 4
+
+// Options configures a Tree.
+type Options struct {
+	// BlockBytes sizes node buffers and leaves: each holds
+	// BlockBytes / core.ElementBytes items. Defaults to 4 KiB.
+	BlockBytes int64
+	// Space receives DAM charges; nil disables accounting.
+	Space *dam.Space
+}
+
+// item is a buffered operation or leaf element. seq orders operations on
+// the same key (larger = newer); tomb marks a pending deletion.
+type item struct {
+	key, val, seq uint64
+	tomb          bool
+}
+
+type node struct {
+	leaf     bool
+	parent   int32    // -1 for the root
+	pivots   []uint64 // internal: len = len(children)-1; child i holds keys <= pivots[i]
+	children []int32
+	buffer   []item // internal: pending operations in arrival order
+	elems    []item // leaf: sorted by key, distinct, no tombstones
+}
+
+// Tree is a buffered repository tree.
+type Tree struct {
+	opt    Options
+	bufCap int
+	nodes  []node
+	root   int32
+	height int
+	n      int
+	seq    uint64
+	stats  core.Stats
+}
+
+var (
+	_ core.Dictionary = (*Tree)(nil)
+	_ core.Deleter    = (*Tree)(nil)
+	_ core.Statser    = (*Tree)(nil)
+)
+
+// New returns an empty buffered repository tree.
+func New(opt Options) *Tree {
+	if opt.BlockBytes == 0 {
+		opt.BlockBytes = dam.DefaultBlockBytes
+	}
+	bufCap := int(opt.BlockBytes / core.ElementBytes)
+	if bufCap < 4 {
+		panic("brt: block too small")
+	}
+	return &Tree{opt: opt, bufCap: bufCap, root: -1}
+}
+
+// Len implements core.Dictionary. As in the COLA family, the count is
+// exact for distinct-key workloads and after FlushAll; a key re-inserted
+// while an older copy is still buffered is counted once per copy until
+// the copies meet at a leaf and reconcile.
+func (t *Tree) Len() int { return t.n }
+
+// FlushAll pushes every buffered operation down to the leaves, after
+// which Len is exact for any preceding workload.
+func (t *Tree) FlushAll() {
+	if t.root < 0 {
+		return
+	}
+	// Flushing can split nodes; iterate until no buffers remain.
+	for {
+		flushed := false
+		var walk func(id int32)
+		walk = func(id int32) {
+			nd := &t.nodes[id]
+			if nd.leaf {
+				return
+			}
+			if len(nd.buffer) > 0 {
+				t.flush(id)
+				flushed = true
+			}
+			children := append([]int32(nil), t.nodes[id].children...)
+			for _, c := range children {
+				// A child may have been re-parented by splits; it still
+				// needs its buffer drained wherever it now lives.
+				walk(c)
+			}
+		}
+		walk(t.root)
+		if !flushed {
+			return
+		}
+	}
+}
+
+// Height reports the number of tree levels.
+func (t *Tree) Height() int { return t.height }
+
+// Stats implements core.Statser.
+func (t *Tree) Stats() core.Stats { return t.stats }
+
+func (t *Tree) alloc(leaf bool) int32 {
+	t.nodes = append(t.nodes, node{leaf: leaf, parent: -1})
+	return int32(len(t.nodes) - 1)
+}
+
+// touch charges a read of node id's block; dirty a write.
+func (t *Tree) touch(id int32) { t.opt.Space.Read(int64(id)*t.opt.BlockBytes, t.opt.BlockBytes) }
+func (t *Tree) dirty(id int32) { t.opt.Space.Write(int64(id)*t.opt.BlockBytes, t.opt.BlockBytes) }
+
+// Insert implements core.Dictionary.
+func (t *Tree) Insert(key, value uint64) {
+	t.stats.Inserts++
+	t.seq++
+	t.insertItem(item{key: key, val: value, seq: t.seq})
+	t.n++
+}
+
+// Delete implements core.Deleter via a presence check plus a tombstone.
+func (t *Tree) Delete(key uint64) bool {
+	t.stats.Deletes++
+	if _, ok := t.Search(key); !ok {
+		return false
+	}
+	t.seq++
+	t.insertItem(item{key: key, seq: t.seq, tomb: true})
+	t.n--
+	return true
+}
+
+func (t *Tree) insertItem(it item) {
+	if t.root < 0 {
+		t.root = t.alloc(true)
+		t.height = 1
+	}
+	if t.nodes[t.root].leaf {
+		t.mergeIntoLeaf(t.root, []item{it})
+		t.splitLeafWhileOver(t.root)
+		return
+	}
+	root := &t.nodes[t.root]
+	root.buffer = append(root.buffer, it)
+	t.dirty(t.root)
+	if len(root.buffer) >= t.bufCap {
+		t.flush(t.root)
+	}
+}
+
+// flush distributes node id's buffer to its children by key range,
+// recursively flushing overflowing children and splitting overflowing
+// leaves. Deliveries are captured as child IDs before any restructuring,
+// so splits of id mid-flush cannot misroute items (a split changes a
+// child's parent, never its key range).
+func (t *Tree) flush(id int32) {
+	nd := &t.nodes[id]
+	if nd.leaf || len(nd.buffer) == 0 {
+		return
+	}
+	t.touch(id)
+	buf := nd.buffer
+	nd.buffer = nil
+	// Stable sort by key keeps arrival order (= seq order) within keys.
+	sort.SliceStable(buf, func(i, j int) bool { return buf[i].key < buf[j].key })
+	t.stats.Moves += uint64(len(buf))
+
+	type delivery struct {
+		child int32
+		items []item
+	}
+	parts := make([]delivery, 0, len(nd.children))
+	start := 0
+	for c := 0; c < len(nd.children); c++ {
+		end := len(buf)
+		if c < len(nd.pivots) {
+			p := nd.pivots[c]
+			end = start + sort.Search(len(buf)-start, func(i int) bool { return buf[start+i].key > p })
+		}
+		if end > start {
+			parts = append(parts, delivery{child: nd.children[c], items: buf[start:end]})
+		}
+		start = end
+	}
+
+	for _, p := range parts {
+		child := &t.nodes[p.child]
+		if child.leaf {
+			t.mergeIntoLeaf(p.child, p.items)
+			t.splitLeafWhileOver(p.child)
+		} else {
+			child.buffer = append(child.buffer, p.items...)
+			t.dirty(p.child)
+			if len(child.buffer) >= t.bufCap {
+				t.flush(p.child)
+			}
+		}
+	}
+}
+
+// mergeIntoLeaf applies items (sorted by key, seq-ascending within key)
+// to leaf id with newest-wins and tombstone annihilation; the leaf is the
+// bottom, so no tombstone survives.
+func (t *Tree) mergeIntoLeaf(id int32, items []item) {
+	nd := &t.nodes[id]
+	t.touch(id)
+	out := make([]item, 0, len(nd.elems)+len(items))
+	i, j := 0, 0
+	for i < len(nd.elems) || j < len(items) {
+		switch {
+		case i >= len(nd.elems):
+			out = t.appendOp(out, items[j])
+			j++
+		case j >= len(items):
+			out = append(out, nd.elems[i])
+			i++
+		case nd.elems[i].key < items[j].key:
+			out = append(out, nd.elems[i])
+			i++
+		case nd.elems[i].key > items[j].key:
+			out = t.appendOp(out, items[j])
+			j++
+		default:
+			// Operation on an existing key: the incoming op is newer.
+			ex := nd.elems[i]
+			i++
+			op := items[j]
+			j++
+			if op.tomb {
+				_ = ex // annihilation; Delete already adjusted the count
+			} else {
+				out = append(out, op)
+				t.n-- // duplicate insert reconciled
+			}
+		}
+	}
+	nd.elems = out
+	t.dirty(id)
+	t.stats.Moves += uint64(len(out))
+}
+
+// appendOp lands a buffered operation whose key has no existing leaf
+// element, resolving against earlier operations from the same batch.
+func (t *Tree) appendOp(out []item, op item) []item {
+	if len(out) > 0 && out[len(out)-1].key == op.key {
+		prev := out[len(out)-1]
+		out = out[:len(out)-1]
+		if op.tomb {
+			return out // real-then-tombstone within the batch: both vanish
+		}
+		if !prev.tomb {
+			t.n--
+		}
+		return append(out, op)
+	}
+	if op.tomb {
+		return out // tombstone for an absent key
+	}
+	return append(out, op)
+}
+
+// splitLeafWhileOver splits leaf id until it fits a block; right halves
+// are recursively checked too.
+func (t *Tree) splitLeafWhileOver(id int32) {
+	for len(t.nodes[id].elems) > t.bufCap {
+		rid := t.alloc(true)
+		left := &t.nodes[id]
+		right := &t.nodes[rid]
+		mid := len(left.elems) / 2
+		right.elems = append(right.elems, left.elems[mid:]...)
+		left.elems = left.elems[:mid]
+		sep := left.elems[len(left.elems)-1].key
+		t.dirty(id)
+		t.dirty(rid)
+		t.stats.Moves += uint64(len(right.elems))
+		t.attachSibling(id, rid, sep)
+		t.splitLeafWhileOver(rid)
+	}
+}
+
+// attachSibling inserts rid as the right sibling of id with separator
+// sep (max key of id's subtree), growing a new root when id is the root.
+func (t *Tree) attachSibling(id, rid int32, sep uint64) {
+	p := t.nodes[id].parent
+	if p < 0 {
+		nr := t.alloc(false)
+		root := &t.nodes[nr]
+		root.pivots = append(root.pivots, sep)
+		root.children = append(root.children, id, rid)
+		t.nodes[id].parent = nr
+		t.nodes[rid].parent = nr
+		t.root = nr
+		t.height++
+		t.dirty(nr)
+		return
+	}
+	pn := &t.nodes[p]
+	ci := -1
+	for i, c := range pn.children {
+		if c == id {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		panic("brt: attachSibling: child not under its parent")
+	}
+	pn.pivots = append(pn.pivots, 0)
+	copy(pn.pivots[ci+1:], pn.pivots[ci:])
+	pn.pivots[ci] = sep
+	pn.children = append(pn.children, 0)
+	copy(pn.children[ci+2:], pn.children[ci+1:])
+	pn.children[ci+1] = rid
+	t.nodes[rid].parent = p
+	t.dirty(p)
+	t.splitInternalWhileOver(p)
+}
+
+// splitInternalWhileOver splits node id until its fanout fits,
+// partitioning pivots, children (re-parenting the moved ones), and the
+// buffer; the split propagates upward via attachSibling.
+func (t *Tree) splitInternalWhileOver(id int32) {
+	for len(t.nodes[id].children) > maxFanout {
+		rid := t.alloc(false)
+		left := &t.nodes[id]
+		right := &t.nodes[rid]
+		midIdx := len(left.children) / 2
+		sep := left.pivots[midIdx-1]
+		right.pivots = append(right.pivots, left.pivots[midIdx:]...)
+		right.children = append(right.children, left.children[midIdx:]...)
+		left.pivots = left.pivots[:midIdx-1]
+		left.children = left.children[:midIdx]
+		for _, c := range right.children {
+			t.nodes[c].parent = rid
+		}
+		var lb, rb []item
+		for _, it := range left.buffer {
+			if it.key <= sep {
+				lb = append(lb, it)
+			} else {
+				rb = append(rb, it)
+			}
+		}
+		left.buffer = lb
+		right.buffer = rb
+		t.dirty(id)
+		t.dirty(rid)
+		t.stats.Moves += uint64(len(right.children) + len(rb))
+		t.attachSibling(id, rid, sep)
+	}
+}
+
+// Search implements core.Dictionary: walk the root-to-leaf path, checking
+// each buffer (shallower entries are newer; within a buffer the largest
+// seq wins), then the leaf. O(height) block transfers.
+func (t *Tree) Search(key uint64) (uint64, bool) {
+	t.stats.Searches++
+	if t.root < 0 {
+		return 0, false
+	}
+	id := t.root
+	for {
+		nd := &t.nodes[id]
+		t.touch(id)
+		if nd.leaf {
+			i := sort.Search(len(nd.elems), func(i int) bool { return nd.elems[i].key >= key })
+			if i < len(nd.elems) && nd.elems[i].key == key {
+				return nd.elems[i].val, true
+			}
+			return 0, false
+		}
+		bestSeq := uint64(0)
+		var best *item
+		for i := range nd.buffer {
+			it := &nd.buffer[i]
+			if it.key == key && it.seq >= bestSeq {
+				bestSeq = it.seq
+				best = it
+			}
+		}
+		if best != nil {
+			if best.tomb {
+				return 0, false
+			}
+			return best.val, true
+		}
+		id = nd.children[sort.Search(len(nd.pivots), func(i int) bool { return nd.pivots[i] >= key })]
+	}
+}
+
+// Range implements core.Dictionary by resolving the subtrees overlapping
+// [lo, hi]: buffered operations collected along the way win over deeper
+// entries by sequence number.
+func (t *Tree) Range(lo, hi uint64, fn func(core.Element) bool) {
+	if t.root < 0 {
+		return
+	}
+	resolved := make(map[uint64]item)
+	t.collect(t.root, lo, hi, resolved)
+	keys := make([]uint64, 0, len(resolved))
+	for k, it := range resolved {
+		if !it.tomb {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if !fn(core.Element{Key: k, Value: resolved[k].val}) {
+			return
+		}
+	}
+}
+
+func (t *Tree) collect(id int32, lo, hi uint64, resolved map[uint64]item) {
+	nd := &t.nodes[id]
+	t.touch(id)
+	if nd.leaf {
+		i := sort.Search(len(nd.elems), func(i int) bool { return nd.elems[i].key >= lo })
+		for ; i < len(nd.elems) && nd.elems[i].key <= hi; i++ {
+			it := nd.elems[i]
+			if prev, ok := resolved[it.key]; !ok || it.seq > prev.seq {
+				resolved[it.key] = it
+			}
+		}
+		return
+	}
+	for _, it := range nd.buffer {
+		if it.key < lo || it.key > hi {
+			continue
+		}
+		if prev, ok := resolved[it.key]; !ok || it.seq > prev.seq {
+			resolved[it.key] = it
+		}
+	}
+	childLo := uint64(0)
+	for c := 0; c < len(nd.children); c++ {
+		childHi := ^uint64(0)
+		if c < len(nd.pivots) {
+			childHi = nd.pivots[c]
+		}
+		if childLo <= hi && childHi >= lo {
+			t.collect(nd.children[c], lo, hi, resolved)
+		}
+		if c < len(nd.pivots) {
+			if nd.pivots[c] == ^uint64(0) {
+				break
+			}
+			childLo = nd.pivots[c] + 1
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package brt
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dam"
+	"repro/internal/workload"
+)
+
+// newSmall uses 256-byte blocks (8 items per buffer/leaf) to exercise
+// flushes and splits quickly.
+func newSmall() *Tree { return New(Options{BlockBytes: 256}) }
+
+func TestNewDefaults(t *testing.T) {
+	tr := New(Options{})
+	if tr.bufCap != 128 {
+		t.Fatalf("bufCap = %d, want 128", tr.bufCap)
+	}
+}
+
+func TestNewPanicsTinyBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(Options{BlockBytes: 64})
+}
+
+func TestInsertSearch(t *testing.T) {
+	tr := newSmall()
+	const n = 3000
+	seq := workload.NewRandomUnique(1)
+	keys := workload.Take(seq, n)
+	for i, k := range keys {
+		tr.Insert(k, k^3)
+		if tr.Len() != i+1 {
+			t.Fatalf("Len = %d, want %d", tr.Len(), i+1)
+		}
+	}
+	for _, k := range keys {
+		if v, ok := tr.Search(k); !ok || v != k^3 {
+			t.Fatalf("Search(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	if _, ok := tr.Search(uint64(1) << 63); ok {
+		t.Fatal("found a missing key")
+	}
+	checkBRTInvariants(t, tr)
+}
+
+func TestInsertOrders(t *testing.T) {
+	const n = 2000
+	for name, seq := range map[string]workload.Sequence{
+		"ascending":  workload.NewAscending(),
+		"descending": workload.NewDescending(n),
+	} {
+		tr := newSmall()
+		for i := 0; i < n; i++ {
+			k := seq.Next()
+			tr.Insert(k, k+1)
+		}
+		for k := uint64(0); k < n; k++ {
+			if v, ok := tr.Search(k); !ok || v != k+1 {
+				t.Fatalf("%s: Search(%d) = (%d,%v)", name, k, v, ok)
+			}
+		}
+		checkBRTInvariants(t, tr)
+	}
+}
+
+func TestUpdateNewestWins(t *testing.T) {
+	tr := newSmall()
+	tr.Insert(5, 1)
+	tr.Insert(5, 2) // both may sit in the root buffer
+	if v, _ := tr.Search(5); v != 2 {
+		t.Fatalf("buffered update: Search(5) = %d, want 2", v)
+	}
+	// Push them through flushes.
+	for i := uint64(100); i < 1100; i++ {
+		tr.Insert(i, i)
+	}
+	if v, ok := tr.Search(5); !ok || v != 2 {
+		t.Fatalf("after flushes: Search(5) = (%d,%v), want (2,true)", v, ok)
+	}
+	tr.FlushAll()
+	if tr.Len() != 1001 {
+		t.Fatalf("Len = %d, want 1001", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newSmall()
+	for i := uint64(0); i < 500; i++ {
+		tr.Insert(i, i)
+	}
+	if !tr.Delete(100) {
+		t.Fatal("Delete(100) failed")
+	}
+	if tr.Delete(100) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := tr.Search(100); ok {
+		t.Fatal("deleted key found")
+	}
+	if tr.Len() != 499 {
+		t.Fatalf("Len = %d, want 499", tr.Len())
+	}
+	// Re-insert and churn.
+	tr.Insert(100, 42)
+	for i := uint64(1000); i < 2000; i++ {
+		tr.Insert(i, i)
+	}
+	if v, ok := tr.Search(100); !ok || v != 42 {
+		t.Fatalf("Search(100) = (%d,%v), want (42,true)", v, ok)
+	}
+	tr.FlushAll()
+	if tr.Len() != 1500 {
+		t.Fatalf("Len = %d, want 1500", tr.Len())
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := newSmall()
+	for i := uint64(0); i < 1000; i += 3 {
+		tr.Insert(i, i*2)
+	}
+	var got []uint64
+	tr.Range(10, 40, func(e core.Element) bool {
+		got = append(got, e.Key)
+		if e.Value != e.Key*2 {
+			t.Fatalf("value mismatch at %d", e.Key)
+		}
+		return true
+	})
+	want := []uint64{12, 15, 18, 21, 24, 27, 30, 33, 36, 39}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Range(0, 999, func(core.Element) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestRangeSeesBufferedUpdates(t *testing.T) {
+	tr := newSmall()
+	for i := uint64(0); i < 300; i++ {
+		tr.Insert(i, 1)
+	}
+	tr.Insert(150, 99) // likely still buffered
+	tr.Delete(151)
+	var got []core.Element
+	tr.Range(149, 152, func(e core.Element) bool { got = append(got, e); return true })
+	if len(got) != 3 {
+		t.Fatalf("Range = %v, want 3 elements", got)
+	}
+	if got[0].Key != 149 || got[1].Key != 150 || got[2].Key != 152 {
+		t.Fatalf("Range keys = %v", got)
+	}
+	if got[1].Value != 99 {
+		t.Fatalf("buffered update invisible to Range: %v", got[1])
+	}
+}
+
+// TestSearchTransfersHeightBound: a cold BRT search reads one block per
+// path node — O(log N) transfers, the BRT's defining search cost.
+func TestSearchTransfersHeightBound(t *testing.T) {
+	store := dam.NewStore(4096, 4096*4)
+	tr := New(Options{BlockBytes: 4096, Space: store.Space("brt")})
+	const n = 1 << 15
+	seq := workload.NewRandomUnique(7)
+	for i := 0; i < n; i++ {
+		k := seq.Next()
+		tr.Insert(k, k)
+	}
+	store.DropCache()
+	store.ResetCounters()
+	const searches = 256
+	probe := workload.NewRandomUnique(7)
+	for i := 0; i < searches; i++ {
+		tr.Search(probe.Next())
+	}
+	perSearch := float64(store.Transfers()) / searches
+	if perSearch > float64(tr.Height())+1 {
+		t.Fatalf("cold search transfers = %v, want <= height+1 = %d", perSearch, tr.Height()+1)
+	}
+}
+
+// TestInsertAmortizedTransfers: inserts amortize to O((log N)/B) because
+// each flush moves a full block of items one level down.
+func TestInsertAmortizedTransfers(t *testing.T) {
+	store := dam.NewStore(4096, 1<<17)
+	tr := New(Options{BlockBytes: 4096, Space: store.Space("brt")})
+	const n = 1 << 15
+	seq := workload.NewRandomUnique(8)
+	for i := 0; i < n; i++ {
+		k := seq.Next()
+		tr.Insert(k, k)
+	}
+	perInsert := float64(store.Transfers()) / float64(n)
+	// height * (1/B-ish) with slack; must be far below 1 transfer/insert.
+	if perInsert > 1.0 {
+		t.Fatalf("amortized transfers/insert = %v, want < 1", perInsert)
+	}
+}
+
+func TestDifferential(t *testing.T) {
+	tr := newSmall()
+	ref := make(map[uint64]uint64)
+	rng := workload.NewRNG(31)
+	for i := 0; i < 15000; i++ {
+		k := rng.Uint64() % 700
+		switch rng.Uint64() % 4 {
+		case 0, 1:
+			v := rng.Uint64()
+			tr.Insert(k, v)
+			ref[k] = v
+		case 2:
+			_, want := ref[k]
+			if got := tr.Delete(k); got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, want)
+			}
+			delete(ref, k)
+		case 3:
+			wv, wok := ref[k]
+			gv, gok := tr.Search(k)
+			if gok != wok || (gok && gv != wv) {
+				t.Fatalf("op %d: Search(%d) = (%d,%v), want (%d,%v)", i, k, gv, gok, wv, wok)
+			}
+		}
+	}
+	tr.FlushAll()
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+	// Final range scan agrees with the oracle.
+	var wantKeys []uint64
+	for k := range ref {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+	var gotKeys []uint64
+	tr.Range(0, ^uint64(0), func(e core.Element) bool {
+		gotKeys = append(gotKeys, e.Key)
+		if ref[e.Key] != e.Value {
+			t.Fatalf("Range value for %d = %d, want %d", e.Key, e.Value, ref[e.Key])
+		}
+		return true
+	})
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("Range yielded %d keys, want %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("Range[%d] = %d, want %d", i, gotKeys[i], wantKeys[i])
+		}
+	}
+	checkBRTInvariants(t, tr)
+}
+
+func TestQuickInsertAllFindable(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := newSmall()
+		seen := make(map[uint64]uint64)
+		for i, k16 := range raw {
+			k := uint64(k16)
+			seen[k] = uint64(i)
+			tr.Insert(k, uint64(i))
+		}
+		tr.FlushAll()
+		if tr.Len() != len(seen) {
+			return false
+		}
+		for k, v := range seen {
+			if gv, ok := tr.Search(k); !ok || gv != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkBRTInvariants validates the (2,4)-tree structure, pivot ranges,
+// buffer placement, and leaf ordering.
+func checkBRTInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	if tr.root < 0 {
+		return
+	}
+	var walk func(id int32, lo, hi uint64, depth int)
+	leafDepth := -1
+	walk = func(id int32, lo, hi uint64, depth int) {
+		nd := &tr.nodes[id]
+		if nd.leaf {
+			if len(nd.buffer) != 0 {
+				t.Fatalf("leaf %d has a buffer", id)
+			}
+			if leafDepth < 0 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				t.Fatalf("leaf depth %d != %d", depth, leafDepth)
+			}
+			for i, e := range nd.elems {
+				if e.key < lo || e.key > hi {
+					t.Fatalf("leaf %d key %d outside [%d,%d]", id, e.key, lo, hi)
+				}
+				if i > 0 && nd.elems[i-1].key >= e.key {
+					t.Fatalf("leaf %d keys out of order", id)
+				}
+				if e.tomb {
+					t.Fatalf("leaf %d holds a tombstone", id)
+				}
+			}
+			return
+		}
+		if len(nd.children) < 2 || len(nd.children) > maxFanout {
+			t.Fatalf("node %d fanout %d", id, len(nd.children))
+		}
+		if len(nd.pivots) != len(nd.children)-1 {
+			t.Fatalf("node %d: %d pivots for %d children", id, len(nd.pivots), len(nd.children))
+		}
+		for _, it := range nd.buffer {
+			if it.key < lo || it.key > hi {
+				t.Fatalf("node %d buffered key %d outside [%d,%d]", id, it.key, lo, hi)
+			}
+		}
+		childLo := lo
+		for c, cid := range nd.children {
+			if tr.nodes[cid].parent != id {
+				t.Fatalf("child %d of %d has parent %d", cid, id, tr.nodes[cid].parent)
+			}
+			childHi := hi
+			if c < len(nd.pivots) {
+				childHi = nd.pivots[c]
+			}
+			walk(cid, childLo, childHi, depth+1)
+			if c < len(nd.pivots) {
+				childLo = nd.pivots[c] + 1
+			}
+		}
+	}
+	walk(tr.root, 0, ^uint64(0), 1)
+}

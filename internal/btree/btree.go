@@ -1,0 +1,463 @@
+// Package btree implements the baseline of the paper's Section 4: a
+// B+-tree with 4 KiB blocks, 64-bit keys and values, full keys stored in
+// the leaves, and leaves chained for range scans. Every node occupies one
+// block of the DAM space, so visiting a node charges exactly one block
+// access — the cost model under which the B-tree's O(log_{B+1} N) search
+// bound is stated.
+//
+// Deletion (borrow/merge rebalancing) is implemented as a documented
+// extension; the paper's experiments use inserts and searches only.
+package btree
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dam"
+)
+
+// Options configures a Tree.
+type Options struct {
+	// BlockBytes is the node size charged to the DAM space per node
+	// visit. Defaults to dam.DefaultBlockBytes (4 KiB, the paper's
+	// value).
+	BlockBytes int64
+	// LeafCapacity is the number of elements per leaf. Zero derives it
+	// from BlockBytes / core.ElementBytes (128 for 4 KiB blocks and the
+	// paper's padded 32-byte elements).
+	LeafCapacity int
+	// Fanout is the maximum number of children of an internal node. Zero
+	// derives it from BlockBytes / 16 (8-byte separator + 8-byte child
+	// pointer), capped at 256 for 4 KiB blocks.
+	Fanout int
+	// Space receives DAM charges; nil disables accounting.
+	Space *dam.Space
+}
+
+// Tree is a B+-tree over uint64 keys and values.
+type Tree struct {
+	opt    Options
+	nodes  []node
+	free   []int32 // recycled node ids
+	root   int32
+	height int // number of levels; 1 = root is a leaf
+	n      int
+	stats  core.Stats
+}
+
+type node struct {
+	leaf bool
+	// Internal nodes: keys[i] separates children[i] (keys <= keys[i])
+	// from children[i+1]; len(keys) == len(children)-1.
+	// Leaves: keys[i] pairs with vals[i].
+	keys     []uint64
+	children []int32
+	vals     []uint64
+	next     int32 // leaf chain; -1 at the tail
+}
+
+var (
+	_ core.Dictionary = (*Tree)(nil)
+	_ core.Deleter    = (*Tree)(nil)
+	_ core.Statser    = (*Tree)(nil)
+)
+
+// New returns an empty B+-tree.
+func New(opt Options) *Tree {
+	if opt.BlockBytes == 0 {
+		opt.BlockBytes = dam.DefaultBlockBytes
+	}
+	if opt.LeafCapacity == 0 {
+		opt.LeafCapacity = int(opt.BlockBytes / core.ElementBytes)
+	}
+	if opt.Fanout == 0 {
+		opt.Fanout = int(opt.BlockBytes / 16)
+	}
+	if opt.LeafCapacity < 2 || opt.Fanout < 3 {
+		panic("btree: capacity too small")
+	}
+	t := &Tree{opt: opt, root: -1}
+	return t
+}
+
+// Len implements core.Dictionary.
+func (t *Tree) Len() int { return t.n }
+
+// Height reports the number of levels (0 when empty, 1 when the root is
+// a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Stats implements core.Statser.
+func (t *Tree) Stats() core.Stats { return t.stats }
+
+func (t *Tree) alloc(leaf bool) int32 {
+	if len(t.free) > 0 {
+		id := t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+		t.nodes[id] = node{leaf: leaf, next: -1}
+		return id
+	}
+	t.nodes = append(t.nodes, node{leaf: leaf, next: -1})
+	return int32(len(t.nodes) - 1)
+}
+
+func (t *Tree) release(id int32) {
+	t.nodes[id] = node{next: -1}
+	t.free = append(t.free, id)
+}
+
+// touch charges a read of node id's block.
+func (t *Tree) touch(id int32) {
+	t.opt.Space.Read(int64(id)*t.opt.BlockBytes, t.opt.BlockBytes)
+}
+
+// dirty charges a write of node id's block.
+func (t *Tree) dirty(id int32) {
+	t.opt.Space.Write(int64(id)*t.opt.BlockBytes, t.opt.BlockBytes)
+}
+
+// Search implements core.Dictionary in O(height) block accesses.
+func (t *Tree) Search(key uint64) (uint64, bool) {
+	t.stats.Searches++
+	if t.root < 0 {
+		return 0, false
+	}
+	id := t.root
+	for {
+		t.touch(id)
+		nd := &t.nodes[id]
+		if nd.leaf {
+			i := sort.Search(len(nd.keys), func(i int) bool { return nd.keys[i] >= key })
+			if i < len(nd.keys) && nd.keys[i] == key {
+				return nd.vals[i], true
+			}
+			return 0, false
+		}
+		id = nd.children[childIndex(nd.keys, key)]
+	}
+}
+
+// childIndex picks the child subtree for key: the first separator >= key.
+func childIndex(seps []uint64, key uint64) int {
+	return sort.Search(len(seps), func(i int) bool { return seps[i] >= key })
+}
+
+// Insert implements core.Dictionary with update semantics.
+func (t *Tree) Insert(key, value uint64) {
+	t.stats.Inserts++
+	if t.root < 0 {
+		id := t.alloc(true)
+		nd := &t.nodes[id]
+		nd.keys = append(nd.keys, key)
+		nd.vals = append(nd.vals, value)
+		t.root = id
+		t.height = 1
+		t.n = 1
+		t.dirty(id)
+		return
+	}
+	midKey, newChild, grew := t.insertAt(t.root, key, value)
+	if grew {
+		// Root split: a new root with two children.
+		newRoot := t.alloc(false)
+		nr := &t.nodes[newRoot]
+		nr.keys = append(nr.keys, midKey)
+		nr.children = append(nr.children, t.root, newChild)
+		t.root = newRoot
+		t.height++
+		t.dirty(newRoot)
+	}
+}
+
+// insertAt inserts into the subtree rooted at id. If the node split, it
+// returns the separator key and the new right sibling's id with
+// grew=true.
+func (t *Tree) insertAt(id int32, key, value uint64) (uint64, int32, bool) {
+	t.touch(id)
+	nd := &t.nodes[id]
+	if nd.leaf {
+		i := sort.Search(len(nd.keys), func(i int) bool { return nd.keys[i] >= key })
+		if i < len(nd.keys) && nd.keys[i] == key {
+			nd.vals[i] = value
+			t.dirty(id)
+			return 0, 0, false
+		}
+		nd.keys = append(nd.keys, 0)
+		copy(nd.keys[i+1:], nd.keys[i:])
+		nd.keys[i] = key
+		nd.vals = append(nd.vals, 0)
+		copy(nd.vals[i+1:], nd.vals[i:])
+		nd.vals[i] = value
+		t.n++
+		t.dirty(id)
+		if len(nd.keys) <= t.opt.LeafCapacity {
+			return 0, 0, false
+		}
+		return t.splitLeaf(id)
+	}
+
+	ci := childIndex(nd.keys, key)
+	child := nd.children[ci]
+	midKey, newChild, grew := t.insertAt(child, key, value)
+	if !grew {
+		return 0, 0, false
+	}
+	nd = &t.nodes[id] // re-take: t.nodes may have been reallocated
+	nd.keys = append(nd.keys, 0)
+	copy(nd.keys[ci+1:], nd.keys[ci:])
+	nd.keys[ci] = midKey
+	nd.children = append(nd.children, 0)
+	copy(nd.children[ci+2:], nd.children[ci+1:])
+	nd.children[ci+1] = newChild
+	t.dirty(id)
+	if len(nd.children) <= t.opt.Fanout {
+		return 0, 0, false
+	}
+	return t.splitInternal(id)
+}
+
+// splitLeaf splits leaf id in half, returning the separator (largest key
+// of the left half) and the new right leaf.
+func (t *Tree) splitLeaf(id int32) (uint64, int32, bool) {
+	rid := t.alloc(true)
+	left := &t.nodes[id]
+	right := &t.nodes[rid]
+	mid := len(left.keys) / 2
+	right.keys = append(right.keys, left.keys[mid:]...)
+	right.vals = append(right.vals, left.vals[mid:]...)
+	left.keys = left.keys[:mid]
+	left.vals = left.vals[:mid]
+	right.next = left.next
+	left.next = rid
+	t.dirty(id)
+	t.dirty(rid)
+	t.stats.Moves += uint64(len(right.keys))
+	return left.keys[mid-1], rid, true
+}
+
+// splitInternal splits internal node id, promoting the middle separator.
+func (t *Tree) splitInternal(id int32) (uint64, int32, bool) {
+	rid := t.alloc(false)
+	left := &t.nodes[id]
+	right := &t.nodes[rid]
+	midIdx := len(left.keys) / 2
+	midKey := left.keys[midIdx]
+	right.keys = append(right.keys, left.keys[midIdx+1:]...)
+	right.children = append(right.children, left.children[midIdx+1:]...)
+	left.keys = left.keys[:midIdx]
+	left.children = left.children[:midIdx+1]
+	t.dirty(id)
+	t.dirty(rid)
+	t.stats.Moves += uint64(len(right.keys) + 1)
+	return midKey, rid, true
+}
+
+// Range implements core.Dictionary: root-to-leaf descent for lo, then a
+// walk along the leaf chain — O(log_{B+1} N + L/B) block accesses.
+func (t *Tree) Range(lo, hi uint64, fn func(core.Element) bool) {
+	if t.root < 0 {
+		return
+	}
+	id := t.root
+	for {
+		t.touch(id)
+		nd := &t.nodes[id]
+		if nd.leaf {
+			break
+		}
+		id = nd.children[childIndex(nd.keys, lo)]
+	}
+	for id >= 0 {
+		nd := &t.nodes[id]
+		t.touch(id)
+		i := sort.Search(len(nd.keys), func(i int) bool { return nd.keys[i] >= lo })
+		for ; i < len(nd.keys); i++ {
+			if nd.keys[i] > hi {
+				return
+			}
+			if !fn(core.Element{Key: nd.keys[i], Value: nd.vals[i]}) {
+				return
+			}
+		}
+		id = nd.next
+	}
+}
+
+// Delete implements core.Deleter with full borrow/merge rebalancing.
+func (t *Tree) Delete(key uint64) bool {
+	t.stats.Deletes++
+	if t.root < 0 {
+		return false
+	}
+	deleted := t.deleteAt(t.root, key)
+	if !deleted {
+		return false
+	}
+	t.n--
+	root := &t.nodes[t.root]
+	if !root.leaf && len(root.children) == 1 {
+		// Collapse a root with a single child.
+		old := t.root
+		t.root = root.children[0]
+		t.release(old)
+		t.height--
+	} else if root.leaf && len(root.keys) == 0 {
+		t.release(t.root)
+		t.root = -1
+		t.height = 0
+	}
+	return true
+}
+
+// minLeaf / minInternal are the underflow thresholds.
+func (t *Tree) minLeaf() int     { return t.opt.LeafCapacity / 2 }
+func (t *Tree) minInternal() int { return t.opt.Fanout / 2 }
+
+// deleteAt removes key from the subtree rooted at id, rebalancing
+// children on underflow. The caller handles root shrinkage.
+func (t *Tree) deleteAt(id int32, key uint64) bool {
+	t.touch(id)
+	nd := &t.nodes[id]
+	if nd.leaf {
+		i := sort.Search(len(nd.keys), func(i int) bool { return nd.keys[i] >= key })
+		if i >= len(nd.keys) || nd.keys[i] != key {
+			return false
+		}
+		nd.keys = append(nd.keys[:i], nd.keys[i+1:]...)
+		nd.vals = append(nd.vals[:i], nd.vals[i+1:]...)
+		t.dirty(id)
+		return true
+	}
+	ci := childIndex(nd.keys, key)
+	child := nd.children[ci]
+	if !t.deleteAt(child, key) {
+		return false
+	}
+	t.rebalanceChild(id, ci)
+	return true
+}
+
+// rebalanceChild restores the occupancy invariant of children[ci] of
+// parent id after a deletion, borrowing from or merging with a sibling.
+func (t *Tree) rebalanceChild(id int32, ci int) {
+	parent := &t.nodes[id]
+	childID := parent.children[ci]
+	child := &t.nodes[childID]
+
+	var minOcc, occ int
+	if child.leaf {
+		minOcc, occ = t.minLeaf(), len(child.keys)
+	} else {
+		minOcc, occ = t.minInternal(), len(child.children)
+	}
+	if occ >= minOcc {
+		return
+	}
+
+	// Prefer borrowing from the left sibling, then the right; merge when
+	// neither can spare.
+	if ci > 0 && t.canSpare(parent.children[ci-1]) {
+		t.borrowFromLeft(id, ci)
+		return
+	}
+	if ci+1 < len(parent.children) && t.canSpare(parent.children[ci+1]) {
+		t.borrowFromRight(id, ci)
+		return
+	}
+	if ci > 0 {
+		t.mergeChildren(id, ci-1)
+	} else {
+		t.mergeChildren(id, ci)
+	}
+}
+
+func (t *Tree) canSpare(id int32) bool {
+	nd := &t.nodes[id]
+	if nd.leaf {
+		return len(nd.keys) > t.minLeaf()
+	}
+	return len(nd.children) > t.minInternal()
+}
+
+func (t *Tree) borrowFromLeft(pid int32, ci int) {
+	parent := &t.nodes[pid]
+	leftID, rightID := parent.children[ci-1], parent.children[ci]
+	left, right := &t.nodes[leftID], &t.nodes[rightID]
+	t.touch(leftID)
+	if right.leaf {
+		k := left.keys[len(left.keys)-1]
+		v := left.vals[len(left.vals)-1]
+		left.keys = left.keys[:len(left.keys)-1]
+		left.vals = left.vals[:len(left.vals)-1]
+		right.keys = append([]uint64{k}, right.keys...)
+		right.vals = append([]uint64{v}, right.vals...)
+		parent.keys[ci-1] = left.keys[len(left.keys)-1]
+	} else {
+		sep := parent.keys[ci-1]
+		k := left.keys[len(left.keys)-1]
+		c := left.children[len(left.children)-1]
+		left.keys = left.keys[:len(left.keys)-1]
+		left.children = left.children[:len(left.children)-1]
+		right.keys = append([]uint64{sep}, right.keys...)
+		right.children = append([]int32{c}, right.children...)
+		parent.keys[ci-1] = k
+	}
+	t.stats.Moves++
+	t.dirty(leftID)
+	t.dirty(rightID)
+	t.dirty(pid)
+}
+
+func (t *Tree) borrowFromRight(pid int32, ci int) {
+	parent := &t.nodes[pid]
+	leftID, rightID := parent.children[ci], parent.children[ci+1]
+	left, right := &t.nodes[leftID], &t.nodes[rightID]
+	t.touch(rightID)
+	if left.leaf {
+		k := right.keys[0]
+		v := right.vals[0]
+		right.keys = right.keys[1:]
+		right.vals = right.vals[1:]
+		left.keys = append(left.keys, k)
+		left.vals = append(left.vals, v)
+		parent.keys[ci] = k
+	} else {
+		sep := parent.keys[ci]
+		k := right.keys[0]
+		c := right.children[0]
+		right.keys = right.keys[1:]
+		right.children = right.children[1:]
+		left.keys = append(left.keys, sep)
+		left.children = append(left.children, c)
+		parent.keys[ci] = k
+	}
+	t.stats.Moves++
+	t.dirty(leftID)
+	t.dirty(rightID)
+	t.dirty(pid)
+}
+
+// mergeChildren merges children ci and ci+1 of parent pid into ci.
+func (t *Tree) mergeChildren(pid int32, ci int) {
+	parent := &t.nodes[pid]
+	leftID, rightID := parent.children[ci], parent.children[ci+1]
+	left, right := &t.nodes[leftID], &t.nodes[rightID]
+	t.touch(leftID)
+	t.touch(rightID)
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+		t.stats.Moves += uint64(len(right.keys))
+	} else {
+		left.keys = append(left.keys, parent.keys[ci])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+		t.stats.Moves += uint64(len(right.children))
+	}
+	parent.keys = append(parent.keys[:ci], parent.keys[ci+1:]...)
+	parent.children = append(parent.children[:ci+1], parent.children[ci+2:]...)
+	t.release(rightID)
+	t.dirty(leftID)
+	t.dirty(pid)
+}

@@ -1,0 +1,377 @@
+package btree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dam"
+	"repro/internal/workload"
+)
+
+func newSmall() *Tree {
+	// Tiny nodes exercise splits, borrows, and merges quickly.
+	return New(Options{BlockBytes: 256, LeafCapacity: 4, Fanout: 4})
+}
+
+func TestNewDefaults(t *testing.T) {
+	tr := New(Options{})
+	if tr.opt.BlockBytes != 4096 {
+		t.Fatalf("BlockBytes = %d, want 4096", tr.opt.BlockBytes)
+	}
+	if tr.opt.LeafCapacity != 128 {
+		t.Fatalf("LeafCapacity = %d, want 128", tr.opt.LeafCapacity)
+	}
+	if tr.opt.Fanout != 256 {
+		t.Fatalf("Fanout = %d, want 256", tr.opt.Fanout)
+	}
+}
+
+func TestNewPanicsOnTinyCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(Options{BlockBytes: 16})
+}
+
+func TestInsertSearchSequential(t *testing.T) {
+	tr := newSmall()
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		tr.Insert(i, i*2)
+		if tr.Len() != int(i)+1 {
+			t.Fatalf("Len = %d, want %d", tr.Len(), i+1)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tr.Search(i); !ok || v != i*2 {
+			t.Fatalf("Search(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := tr.Search(n + 5); ok {
+		t.Fatal("found a missing key")
+	}
+}
+
+func TestInsertDescendingAndRandom(t *testing.T) {
+	for name, seq := range map[string]workload.Sequence{
+		"descending": workload.NewDescending(1 << 11),
+		"random":     workload.NewRandomUnique(5),
+	} {
+		tr := newSmall()
+		keys := workload.Take(seq, 1<<11)
+		for _, k := range keys {
+			tr.Insert(k, k^7)
+		}
+		for _, k := range keys {
+			if v, ok := tr.Search(k); !ok || v != k^7 {
+				t.Fatalf("%s: Search(%d) = (%d,%v)", name, k, v, ok)
+			}
+		}
+		checkTreeInvariants(t, tr)
+	}
+}
+
+func TestUpdateSemantics(t *testing.T) {
+	tr := newSmall()
+	tr.Insert(9, 1)
+	tr.Insert(9, 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if v, _ := tr.Search(9); v != 2 {
+		t.Fatalf("Search(9) = %d, want 2", v)
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := newSmall()
+	for i := uint64(0); i < 500; i += 5 {
+		tr.Insert(i, i+1)
+	}
+	var got []uint64
+	tr.Range(17, 53, func(e core.Element) bool {
+		got = append(got, e.Key)
+		if e.Value != e.Key+1 {
+			t.Fatalf("value mismatch at %d", e.Key)
+		}
+		return true
+	})
+	want := []uint64{20, 25, 30, 35, 40, 45, 50}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+	count := 0
+	tr.Range(0, 499, func(core.Element) bool { count++; return count < 4 })
+	if count != 4 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestRangeFullScanSorted(t *testing.T) {
+	tr := newSmall()
+	seq := workload.NewRandomUnique(9)
+	keys := workload.Take(seq, 2000)
+	for _, k := range keys {
+		tr.Insert(k, k)
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := 0
+	tr.Range(0, ^uint64(0), func(e core.Element) bool {
+		if e.Key != sorted[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, e.Key, sorted[i])
+		}
+		i++
+		return true
+	})
+	if i != len(sorted) {
+		t.Fatalf("scan yielded %d, want %d", i, len(sorted))
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newSmall()
+	const n = 1 << 11
+	seq := workload.NewRandomUnique(13)
+	keys := workload.Take(seq, n)
+	for _, k := range keys {
+		tr.Insert(k, k)
+	}
+	// Delete every other key.
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(keys[i]) {
+			t.Fatalf("Delete(%d) = false", keys[i])
+		}
+		if tr.Delete(keys[i]) {
+			t.Fatalf("second Delete(%d) = true", keys[i])
+		}
+	}
+	checkTreeInvariants(t, tr)
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	for i, k := range keys {
+		_, ok := tr.Search(k)
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted key %d still present", k)
+		}
+		if i%2 == 1 && !ok {
+			t.Fatalf("kept key %d missing", k)
+		}
+	}
+	// Delete the rest, down to empty.
+	for i := 1; i < n; i += 2 {
+		if !tr.Delete(keys[i]) {
+			t.Fatalf("Delete(%d) = false", keys[i])
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatalf("Len=%d Height=%d after deleting all", tr.Len(), tr.Height())
+	}
+	// Structure remains usable.
+	tr.Insert(1, 1)
+	if v, ok := tr.Search(1); !ok || v != 1 {
+		t.Fatalf("insert after emptying: Search = (%d,%v)", v, ok)
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := newSmall()
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty = true")
+	}
+	tr.Insert(5, 5)
+	if tr.Delete(6) {
+		t.Fatal("Delete of missing = true")
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	tr := New(Options{BlockBytes: 4096}) // fanout 256, leaf 128
+	const n = 1 << 16
+	seq := workload.NewRandomUnique(17)
+	for i := 0; i < n; i++ {
+		k := seq.Next()
+		tr.Insert(k, k)
+	}
+	// 2^16 elements, >=64 per leaf after splits, fanout >=128 effective:
+	// height must be tiny.
+	if tr.Height() > 4 {
+		t.Fatalf("height = %d for N=%d; want <= 4", tr.Height(), n)
+	}
+}
+
+// TestSearchTransfersLogB verifies the defining B-tree bound: a cold
+// search costs about height block transfers.
+func TestSearchTransfersLogB(t *testing.T) {
+	store := dam.NewStore(4096, 4096*4) // nearly no cache
+	tr := New(Options{Space: store.Space("btree")})
+	const n = 1 << 15
+	seq := workload.NewRandomUnique(19)
+	for i := 0; i < n; i++ {
+		k := seq.Next()
+		tr.Insert(k, k)
+	}
+	store.DropCache()
+	store.ResetCounters()
+	const searches = 256
+	probe := workload.NewRandomUnique(19)
+	for i := 0; i < searches; i++ {
+		tr.Search(probe.Next())
+	}
+	perSearch := float64(store.Transfers()) / searches
+	if perSearch > float64(tr.Height())+1 {
+		t.Fatalf("cold search transfers = %v, want <= height+1 = %d", perSearch, tr.Height()+1)
+	}
+}
+
+// TestDifferential drives the tree against a map oracle with mixed ops.
+func TestDifferential(t *testing.T) {
+	tr := newSmall()
+	ref := make(map[uint64]uint64)
+	rng := workload.NewRNG(23)
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64() % 1024
+		switch rng.Uint64() % 4 {
+		case 0, 1:
+			v := rng.Uint64()
+			tr.Insert(k, v)
+			ref[k] = v
+		case 2:
+			_, want := ref[k]
+			if got := tr.Delete(k); got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, want)
+			}
+			delete(ref, k)
+		case 3:
+			wv, wok := ref[k]
+			gv, gok := tr.Search(k)
+			if gok != wok || (gok && gv != wv) {
+				t.Fatalf("op %d: Search(%d) = (%d,%v), want (%d,%v)", i, k, gv, gok, wv, wok)
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", i, tr.Len(), len(ref))
+		}
+	}
+	checkTreeInvariants(t, tr)
+}
+
+// TestQuickInsertDelete is a property test: any sequence of inserts
+// followed by deletes of a subset leaves exactly the complement.
+func TestQuickInsertDelete(t *testing.T) {
+	f := func(raw []uint16, delMask []bool) bool {
+		tr := newSmall()
+		keys := make(map[uint64]bool)
+		for _, k16 := range raw {
+			k := uint64(k16)
+			keys[k] = true
+			tr.Insert(k, k)
+		}
+		i := 0
+		deleted := make(map[uint64]bool)
+		for k := range keys {
+			if i < len(delMask) && delMask[i] {
+				tr.Delete(k)
+				deleted[k] = true
+			}
+			i++
+		}
+		for k := range keys {
+			_, ok := tr.Search(k)
+			if deleted[k] && ok {
+				return false
+			}
+			if !deleted[k] && !ok {
+				return false
+			}
+		}
+		return tr.Len() == len(keys)-len(deleted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkTreeInvariants validates B+-tree structural invariants: key order
+// within and across nodes, separator correctness, uniform leaf depth, and
+// leaf-chain completeness.
+func checkTreeInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	if tr.root < 0 {
+		return
+	}
+	var walk func(id int32, lo, hi uint64, depth int) int
+	leafDepth := -1
+	walk = func(id int32, lo, hi uint64, depth int) int {
+		nd := &tr.nodes[id]
+		for i := 1; i < len(nd.keys); i++ {
+			if nd.keys[i-1] >= nd.keys[i] {
+				t.Fatalf("node %d keys out of order", id)
+			}
+		}
+		for _, k := range nd.keys {
+			if k < lo || k > hi {
+				t.Fatalf("node %d key %d outside separator range [%d,%d]", id, k, lo, hi)
+			}
+		}
+		if nd.leaf {
+			if leafDepth < 0 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				t.Fatalf("leaf depth %d != %d", depth, leafDepth)
+			}
+			return len(nd.keys)
+		}
+		if len(nd.children) != len(nd.keys)+1 {
+			t.Fatalf("node %d: %d children, %d keys", id, len(nd.children), len(nd.keys))
+		}
+		total := 0
+		childLo := lo
+		for i, c := range nd.children {
+			childHi := hi
+			if i < len(nd.keys) {
+				childHi = nd.keys[i]
+			}
+			total += walk(c, childLo, childHi, depth+1)
+			if i < len(nd.keys) {
+				childLo = nd.keys[i] + 1
+			}
+		}
+		return total
+	}
+	total := walk(tr.root, 0, ^uint64(0), 1)
+	if total != tr.Len() {
+		t.Fatalf("tree holds %d keys, Len() = %d", total, tr.Len())
+	}
+	// Leaf chain covers every element in order.
+	id := tr.root
+	for !tr.nodes[id].leaf {
+		id = tr.nodes[id].children[0]
+	}
+	count := 0
+	last := uint64(0)
+	first := true
+	for id >= 0 {
+		for _, k := range tr.nodes[id].keys {
+			if !first && k <= last {
+				t.Fatalf("leaf chain out of order: %d after %d", k, last)
+			}
+			last, first = k, false
+			count++
+		}
+		id = tr.nodes[id].next
+	}
+	if count != tr.Len() {
+		t.Fatalf("leaf chain has %d keys, Len() = %d", count, tr.Len())
+	}
+}

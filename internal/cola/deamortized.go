@@ -1,0 +1,377 @@
+package cola
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dam"
+)
+
+// Deamortized is the partially deamortized basic COLA of Theorem 22:
+// level k holds two arrays of capacity 2^k; a level with both arrays
+// occupied is "unsafe" and its arrays are merged incrementally into an
+// empty array of level k+1, moving at most m = 2k+2 items per insert
+// (k = number of levels), which bounds the worst case by O(log N) moves
+// while the amortized cost stays O((log N)/B) transfers.
+//
+// Search correctness during merges follows the conservative discipline
+// also used by the lookahead deamortization: a merge's destination stays
+// invisible until the merge completes, at which point the destination
+// becomes visible and both sources empty atomically. Queries therefore
+// never observe a half-merged array.
+//
+// Update semantics: arrays at one level hold disjoint, adjacent dyadic
+// blocks of the insert sequence, so the array completed later is
+// elementwise newer; duplicate keys resolve to the newer array's value
+// and the older copy is dropped during merges.
+type Deamortized struct {
+	levels []dlevel
+	n      int
+	epoch  uint64 // completion-order stamp generator
+	stats  core.Stats
+	space  *dam.Space
+
+	// offsets[k] is the byte offset of level k's region (two arrays of
+	// capacity 2^k each) in the DAM space.
+	offsets []int64
+}
+
+// dlevel holds two array slots plus this level's incremental merge state.
+type dlevel struct {
+	arr   [2]darray
+	merge *dmerge // non-nil while this level's arrays are being merged down
+}
+
+type darray struct {
+	data  []core.Element // sorted; len = occupancy, cap = 2^k
+	epoch uint64         // completion stamp; higher = newer
+}
+
+func (a *darray) occupied() bool { return len(a.data) > 0 }
+
+// dmerge tracks an in-progress merge of level k's two arrays into a
+// destination slot at level k+1. newer/older identify the source slots by
+// epoch so duplicate keys resolve correctly.
+type dmerge struct {
+	newer, older int // source slot indices within this level
+	i, j         int // read positions into newer/older
+	dstSlot      int // destination slot index at level k+1
+	out          []core.Element
+}
+
+var (
+	_ core.Dictionary = (*Deamortized)(nil)
+	_ core.Statser    = (*Deamortized)(nil)
+)
+
+// NewDeamortized returns an empty deamortized basic COLA charging its
+// traffic to space (nil disables accounting).
+func NewDeamortized(space *dam.Space) *Deamortized {
+	return &Deamortized{space: space}
+}
+
+// Len implements core.Dictionary. The live count is exact for distinct
+// keys; duplicate inserts reconcile as merges drop shadowed copies.
+func (d *Deamortized) Len() int { return d.n }
+
+// Stats implements core.Statser.
+func (d *Deamortized) Stats() core.Stats { return d.stats }
+
+// Levels reports the number of allocated levels.
+func (d *Deamortized) Levels() int { return len(d.levels) }
+
+func (d *Deamortized) ensureLevel(k int) {
+	for len(d.levels) <= k {
+		idx := len(d.levels)
+		var off int64
+		if idx > 0 {
+			off = d.offsets[idx-1] + 2*int64(1<<(idx-1))*core.ElementBytes
+		}
+		d.levels = append(d.levels, dlevel{})
+		d.offsets = append(d.offsets, off)
+	}
+}
+
+// slotOffset is the byte offset of cell i of slot s at level k.
+func (d *Deamortized) slotOffset(k, s, i int) int64 {
+	return d.offsets[k] + int64(s)*int64(1<<k)*core.ElementBytes + int64(i)*core.ElementBytes
+}
+
+func (d *Deamortized) chargeRead(k, s, i, n int) {
+	if n > 0 {
+		d.space.Read(d.slotOffset(k, s, i), int64(n)*core.ElementBytes)
+	}
+}
+
+func (d *Deamortized) chargeWrite(k, s, i, n int) {
+	if n > 0 {
+		d.space.Write(d.slotOffset(k, s, i), int64(n)*core.ElementBytes)
+	}
+}
+
+// Insert implements core.Dictionary: place the item in level 0, then
+// drain unsafe levels left to right under the 2k+2 move budget.
+func (d *Deamortized) Insert(key, value uint64) {
+	d.stats.Inserts++
+	d.ensureLevel(0)
+	lv0 := &d.levels[0]
+	slot := -1
+	for s := 0; s < 2; s++ {
+		if !lv0.arr[s].occupied() {
+			slot = s
+			break
+		}
+	}
+	if slot < 0 {
+		// Lemma 21 guarantees level 0 drains every insert; reaching here
+		// means the budget arithmetic is broken.
+		panic("cola: deamortized level 0 overflow")
+	}
+	if cap(lv0.arr[slot].data) < 1 {
+		lv0.arr[slot].data = make([]core.Element, 0, 1)
+	}
+	d.epoch++
+	lv0.arr[slot].data = append(lv0.arr[slot].data[:0], core.Element{Key: key, Value: value})
+	lv0.arr[slot].epoch = d.epoch
+	d.chargeWrite(0, slot, 0, 1)
+	d.n++
+
+	budget := 2*len(d.levels) + 2
+	moved := d.drain(budget)
+	if uint64(moved) > d.stats.MaxMoves {
+		d.stats.MaxMoves = uint64(moved)
+	}
+}
+
+// drain scans levels left to right, starting or continuing merges from
+// unsafe levels, moving at most budget items in total. It returns the
+// number of items moved.
+func (d *Deamortized) drain(budget int) int {
+	moved := 0
+	for k := 0; k < len(d.levels) && moved < budget; k++ {
+		lv := &d.levels[k]
+		if lv.merge == nil {
+			if !(lv.arr[0].occupied() && lv.arr[1].occupied()) {
+				continue // safe
+			}
+			d.startMerge(k)
+		}
+		moved += d.stepMerge(k, budget-moved)
+	}
+	d.stats.Moves += uint64(moved)
+	return moved
+}
+
+// startMerge begins merging level k's two arrays into an empty slot of
+// level k+1.
+func (d *Deamortized) startMerge(k int) {
+	d.ensureLevel(k + 1)
+	lv := &d.levels[k]
+	next := &d.levels[k+1]
+
+	dst := -1
+	for s := 0; s < 2; s++ {
+		if !next.arr[s].occupied() && !d.isMergeDestination(k+1, s) {
+			dst = s
+			break
+		}
+	}
+	if dst < 0 {
+		// Violates "two adjacent levels are never simultaneously unsafe"
+		// (Lemma 21); the budget must be set too low.
+		panic("cola: no free destination array for deamortized merge")
+	}
+	newer, older := 0, 1
+	if lv.arr[older].epoch > lv.arr[newer].epoch {
+		newer, older = older, newer
+	}
+	capNext := 1 << (k + 1)
+	lv.merge = &dmerge{
+		newer:   newer,
+		older:   older,
+		dstSlot: dst,
+		out:     make([]core.Element, 0, capNext),
+	}
+}
+
+// isMergeDestination reports whether slot s of level k is the destination
+// of the merge in progress at level k-1.
+func (d *Deamortized) isMergeDestination(k, s int) bool {
+	if k == 0 {
+		return false
+	}
+	m := d.levels[k-1].merge
+	return m != nil && m.dstSlot == s
+}
+
+// stepMerge advances level k's merge by at most budget item moves and
+// returns the number moved. On completion the destination becomes
+// visible and the sources empty.
+func (d *Deamortized) stepMerge(k, budget int) int {
+	lv := &d.levels[k]
+	m := lv.merge
+	a := lv.arr[m.newer].data
+	b := lv.arr[m.older].data
+	moved := 0
+	for moved < budget && (m.i < len(a) || m.j < len(b)) {
+		switch {
+		case m.i >= len(a):
+			m.out = append(m.out, b[m.j])
+			d.chargeRead(k, m.older, m.j, 1)
+			m.j++
+		case m.j >= len(b):
+			m.out = append(m.out, a[m.i])
+			d.chargeRead(k, m.newer, m.i, 1)
+			m.i++
+		case a[m.i].Key < b[m.j].Key:
+			m.out = append(m.out, a[m.i])
+			d.chargeRead(k, m.newer, m.i, 1)
+			m.i++
+		case a[m.i].Key > b[m.j].Key:
+			m.out = append(m.out, b[m.j])
+			d.chargeRead(k, m.older, m.j, 1)
+			m.j++
+		default: // duplicate key: newer wins, older dropped
+			m.out = append(m.out, a[m.i])
+			d.chargeRead(k, m.newer, m.i, 1)
+			d.chargeRead(k, m.older, m.j, 1)
+			m.i++
+			m.j++
+			d.n--
+		}
+		d.chargeWrite(k+1, m.dstSlot, len(m.out)-1, 1)
+		moved++
+	}
+	if m.i >= len(a) && m.j >= len(b) {
+		// Complete: flip visibility atomically.
+		d.epoch++
+		next := &d.levels[k+1]
+		next.arr[m.dstSlot] = darray{data: m.out, epoch: d.epoch}
+		lv.arr[0].data = lv.arr[0].data[:0]
+		lv.arr[1].data = lv.arr[1].data[:0]
+		lv.merge = nil
+	}
+	return moved
+}
+
+// Search implements core.Dictionary: binary search every visible array,
+// newest first within each level (levels themselves run newest to
+// oldest). This is the basic COLA's O(log^2 N) probe profile.
+func (d *Deamortized) Search(key uint64) (uint64, bool) {
+	d.stats.Searches++
+	for k := range d.levels {
+		lv := &d.levels[k]
+		first, second := 0, 1
+		if lv.arr[second].epoch > lv.arr[first].epoch {
+			first, second = second, first
+		}
+		for _, s := range [2]int{first, second} {
+			if v, ok := d.searchArray(k, s, key); ok {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (d *Deamortized) searchArray(k, s int, key uint64) (uint64, bool) {
+	data := d.levels[k].arr[s].data
+	if len(data) == 0 {
+		return 0, false
+	}
+	probes := 0
+	i := sort.Search(len(data), func(i int) bool {
+		probes++
+		return data[i].Key >= key
+	})
+	d.chargeBinary(k, s, len(data), probes)
+	if i < len(data) && data[i].Key == key {
+		return data[i].Value, true
+	}
+	return 0, false
+}
+
+// chargeBinary charges the midpoint probe footprint of a binary search
+// over an array of length n in slot s of level k.
+func (d *Deamortized) chargeBinary(k, s, n, probes int) {
+	if d.space == nil || n == 0 {
+		return
+	}
+	i, j := 0, n
+	for p := 0; p < probes && i < j; p++ {
+		mid := int(uint(i+j) >> 1)
+		d.chargeRead(k, s, mid, 1)
+		j = mid
+	}
+}
+
+// Range implements core.Dictionary by k-way merging all visible arrays.
+func (d *Deamortized) Range(lo, hi uint64, fn func(core.Element) bool) {
+	type cursor struct {
+		data  []core.Element
+		pos   int
+		epoch uint64
+	}
+	var cursors []cursor
+	for k := range d.levels {
+		for s := 0; s < 2; s++ {
+			a := &d.levels[k].arr[s]
+			if !a.occupied() {
+				continue
+			}
+			probes := 0
+			p := sort.Search(len(a.data), func(i int) bool {
+				probes++
+				return a.data[i].Key >= lo
+			})
+			d.chargeBinary(k, s, len(a.data), probes)
+			if p < len(a.data) {
+				cursors = append(cursors, cursor{data: a.data, pos: p, epoch: a.epoch})
+			}
+		}
+	}
+	for {
+		best := -1
+		var bestKey uint64
+		for i := range cursors {
+			cur := &cursors[i]
+			if cur.pos >= len(cur.data) {
+				continue
+			}
+			k := cur.data[cur.pos].Key
+			if k > hi {
+				continue
+			}
+			if best < 0 || k < bestKey ||
+				(k == bestKey && cur.epoch > cursors[best].epoch) {
+				best = i
+				bestKey = k
+			}
+		}
+		if best < 0 {
+			return
+		}
+		e := cursors[best].data[cursors[best].pos]
+		for i := range cursors {
+			cur := &cursors[i]
+			for cur.pos < len(cur.data) && cur.data[cur.pos].Key == bestKey {
+				cur.pos++
+			}
+		}
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// unsafeLevels reports which levels are currently unsafe (both arrays
+// occupied or mid-merge); tests use it to verify Lemma 21's invariant
+// that no two adjacent levels are simultaneously unsafe.
+func (d *Deamortized) unsafeLevels() []bool {
+	out := make([]bool, len(d.levels))
+	for k := range d.levels {
+		lv := &d.levels[k]
+		out[k] = lv.merge != nil || (lv.arr[0].occupied() && lv.arr[1].occupied())
+	}
+	return out
+}

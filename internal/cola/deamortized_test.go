@@ -1,0 +1,293 @@
+package cola
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dam"
+	"repro/internal/workload"
+)
+
+// deamortizedDicts builds one of each deamortized variant for table tests.
+func deamortizedDicts(space func(string) *dam.Space) map[string]core.Dictionary {
+	sp := func(name string) *dam.Space {
+		if space == nil {
+			return nil
+		}
+		return space(name)
+	}
+	return map[string]core.Dictionary{
+		"basic":     NewDeamortized(sp("deam-basic")),
+		"lookahead": NewDeamortizedLookahead(sp("deam-la")),
+	}
+}
+
+func TestDeamortizedInsertSearch(t *testing.T) {
+	for name, d := range deamortizedDicts(nil) {
+		t.Run(name, func(t *testing.T) {
+			const n = 1 << 12
+			seq := workload.NewRandomUnique(21)
+			keys := workload.Take(seq, n)
+			for i, k := range keys {
+				d.Insert(k, k^42)
+				if d.Len() != i+1 {
+					t.Fatalf("Len after %d inserts = %d", i+1, d.Len())
+				}
+			}
+			for _, k := range keys {
+				if v, ok := d.Search(k); !ok || v != k^42 {
+					t.Fatalf("Search(%d) = (%d,%v), want (%d,true)", k, v, ok, k^42)
+				}
+			}
+			if _, ok := d.Search(uint64(1) << 62); ok {
+				t.Fatal("found a key that was never inserted")
+			}
+		})
+	}
+}
+
+func TestDeamortizedSortedOrders(t *testing.T) {
+	const n = 1 << 11
+	for name, mk := range map[string]func() core.Dictionary{
+		"basic":     func() core.Dictionary { return NewDeamortized(nil) },
+		"lookahead": func() core.Dictionary { return NewDeamortizedLookahead(nil) },
+	} {
+		for _, dir := range []string{"asc", "desc"} {
+			d := mk()
+			for i := 0; i < n; i++ {
+				k := uint64(i)
+				if dir == "desc" {
+					k = uint64(n - 1 - i)
+				}
+				d.Insert(k, k)
+			}
+			for k := uint64(0); k < n; k++ {
+				if _, ok := d.Search(k); !ok {
+					t.Fatalf("%s/%s: lost key %d", name, dir, k)
+				}
+			}
+		}
+	}
+}
+
+func TestDeamortizedUpdateSemantics(t *testing.T) {
+	for name, d := range deamortizedDicts(nil) {
+		t.Run(name, func(t *testing.T) {
+			d.Insert(7, 1)
+			for i := uint64(0); i < 500; i++ {
+				d.Insert(1000+i, i)
+			}
+			d.Insert(7, 2)
+			if v, ok := d.Search(7); !ok || v != 2 {
+				t.Fatalf("Search(7) = (%d,%v), want (2,true)", v, ok)
+			}
+			for i := uint64(0); i < 500; i++ {
+				d.Insert(5000+i, i)
+			}
+			if v, ok := d.Search(7); !ok || v != 2 {
+				t.Fatalf("after merges Search(7) = (%d,%v), want (2,true)", v, ok)
+			}
+		})
+	}
+}
+
+// TestDeamortizedWorstCaseMoves verifies Theorem 22/24's headline: the
+// worst-case number of item moves per insert is O(log N), in contrast
+// with the amortized COLA whose worst single insert moves Omega(N) items.
+func TestDeamortizedWorstCaseMoves(t *testing.T) {
+	const n = 1 << 14 // 16384 inserts => log2 N = 14
+	check := func(t *testing.T, maxMoves uint64, levels int) {
+		t.Helper()
+		// Budget per insert is linear in the level count; allow the
+		// constant from the implementation (4k+8) plus slack.
+		bound := uint64(6*levels + 16)
+		if maxMoves == 0 {
+			t.Fatal("MaxMoves = 0; instrumentation broken")
+		}
+		if maxMoves > bound {
+			t.Fatalf("worst-case moves per insert = %d, want <= %d (levels=%d)", maxMoves, bound, levels)
+		}
+	}
+	t.Run("basic", func(t *testing.T) {
+		d := NewDeamortized(nil)
+		seq := workload.NewRandomUnique(31)
+		for i := 0; i < n; i++ {
+			k := seq.Next()
+			d.Insert(k, k)
+		}
+		check(t, d.Stats().MaxMoves, d.Levels())
+	})
+	t.Run("lookahead", func(t *testing.T) {
+		d := NewDeamortizedLookahead(nil)
+		seq := workload.NewRandomUnique(32)
+		for i := 0; i < n; i++ {
+			k := seq.Next()
+			d.Insert(k, k)
+		}
+		check(t, d.Stats().MaxMoves, d.Levels())
+	})
+	// Contrast: the amortized COLA's worst insert moves Omega(N) items.
+	t.Run("amortized-contrast", func(t *testing.T) {
+		c := NewCOLA(nil)
+		seq := workload.NewRandomUnique(33)
+		for i := 0; i < n; i++ {
+			k := seq.Next()
+			c.Insert(k, k)
+		}
+		if c.Stats().MaxMoves < n/4 {
+			t.Fatalf("amortized COLA MaxMoves = %d; expected a near-full rebuild (>= %d)",
+				c.Stats().MaxMoves, n/4)
+		}
+	})
+}
+
+// TestLemma21NoAdjacentUnsafeLevels drives the basic deamortized COLA and
+// checks after every insert that no two adjacent levels are unsafe.
+func TestLemma21NoAdjacentUnsafeLevels(t *testing.T) {
+	d := NewDeamortized(nil)
+	seq := workload.NewRandomUnique(41)
+	for i := 0; i < 1<<13; i++ {
+		k := seq.Next()
+		d.Insert(k, k)
+		flags := d.unsafeLevels()
+		for l := 0; l+1 < len(flags); l++ {
+			if flags[l] && flags[l+1] {
+				t.Fatalf("insert %d: levels %d and %d simultaneously unsafe", i, l, l+1)
+			}
+		}
+	}
+}
+
+func TestDeamortizedLookaheadChainInvariant(t *testing.T) {
+	// The shadow/visible protocol must never leave a level with three
+	// visible arrays, and spent arrays must always come in pairs.
+	d := NewDeamortizedLookahead(nil)
+	seq := workload.NewRandomUnique(51)
+	for i := 0; i < 1<<13; i++ {
+		k := seq.Next()
+		d.Insert(k, k)
+		for lvIdx := range d.levels {
+			lv := &d.levels[lvIdx]
+			visible, spent := 0, 0
+			for s := range lv.slots {
+				if lv.slots[s].visible {
+					visible++
+				}
+				if lv.slots[s].spent {
+					spent++
+				}
+			}
+			if visible > 3 {
+				t.Fatalf("insert %d level %d: %d visible arrays", i, lvIdx, visible)
+			}
+			if spent != 0 && spent != 2 {
+				t.Fatalf("insert %d level %d: %d spent arrays (must pair)", i, lvIdx, spent)
+			}
+		}
+	}
+}
+
+func TestDeamortizedRange(t *testing.T) {
+	for name, d := range deamortizedDicts(nil) {
+		t.Run(name, func(t *testing.T) {
+			const n = 2000
+			for i := uint64(0); i < n; i += 2 {
+				d.Insert(i, i*3)
+			}
+			var keys []uint64
+			d.Range(100, 120, func(e core.Element) bool {
+				keys = append(keys, e.Key)
+				if e.Value != e.Key*3 {
+					t.Fatalf("value for %d = %d", e.Key, e.Value)
+				}
+				return true
+			})
+			want := []uint64{100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120}
+			if len(keys) != len(want) {
+				t.Fatalf("keys = %v, want %v", keys, want)
+			}
+			for i := range want {
+				if keys[i] != want[i] {
+					t.Fatalf("keys = %v, want %v", keys, want)
+				}
+			}
+			// Early stop.
+			count := 0
+			d.Range(0, n, func(core.Element) bool { count++; return count < 3 })
+			if count != 3 {
+				t.Fatalf("early stop visited %d", count)
+			}
+		})
+	}
+}
+
+// TestDeamortizedDifferential cross-checks both deamortized variants
+// against the map oracle under a random insert/search stream (the
+// deamortized structures support inserts and searches, the paper's
+// scope).
+func TestDeamortizedDifferential(t *testing.T) {
+	for name, d := range deamortizedDicts(nil) {
+		t.Run(name, func(t *testing.T) {
+			ref := newRef()
+			rng := workload.NewRNG(61)
+			for i := 0; i < 6000; i++ {
+				k := rng.Uint64() % 512
+				if rng.Uint64()%3 != 0 {
+					v := rng.Uint64()
+					d.Insert(k, v)
+					ref.Insert(k, v)
+				} else {
+					gv, gok := d.Search(k)
+					wv, wok := ref.Search(k)
+					if gok != wok || (gok && gv != wv) {
+						t.Fatalf("op %d: Search(%d) = (%d,%v), want (%d,%v)", i, k, gv, gok, wv, wok)
+					}
+				}
+			}
+			for k := uint64(0); k < 512; k++ {
+				gv, gok := d.Search(k)
+				wv, wok := ref.Search(k)
+				if gok != wok || (gok && gv != wv) {
+					t.Fatalf("final Search(%d) = (%d,%v), want (%d,%v)", k, gv, gok, wv, wok)
+				}
+			}
+		})
+	}
+}
+
+// TestDeamortizedAmortizedTransfersStillLogOverB checks Theorem 22's
+// second half: deamortization does not degrade the amortized transfer
+// bound.
+func TestDeamortizedAmortizedTransfersStillLogOverB(t *testing.T) {
+	store := dam.NewStore(4096, 1<<17)
+	d := NewDeamortized(store.Space("deam"))
+	const n = 1 << 15
+	seq := workload.NewRandomUnique(71)
+	for i := 0; i < n; i++ {
+		k := seq.Next()
+		d.Insert(k, k)
+	}
+	perInsert := float64(store.Transfers()) / float64(n)
+	elemsPerBlock := 4096.0 / 32.0
+	bound := 15.0 / elemsPerBlock * 12 // log2 N / B with generous slack
+	if perInsert > bound {
+		t.Fatalf("amortized transfers/insert = %v, want <= %v", perInsert, bound)
+	}
+}
+
+func TestDeamortizedEmpty(t *testing.T) {
+	for name, d := range deamortizedDicts(nil) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := d.Search(1); ok {
+				t.Fatal("empty search found a key")
+			}
+			if d.Len() != 0 {
+				t.Fatal("empty Len != 0")
+			}
+			d.Range(0, ^uint64(0), func(core.Element) bool {
+				t.Fatal("empty range yielded")
+				return false
+			})
+		})
+	}
+}

@@ -1,0 +1,235 @@
+package cola
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Edge-case batch: extreme keys, adversarial orders, boundary windows.
+
+func TestExtremeKeys(t *testing.T) {
+	for name, mk := range map[string]func() core.Dictionary{
+		"cola":      func() core.Dictionary { return NewCOLA(nil) },
+		"basic":     func() core.Dictionary { return NewBasic(nil) },
+		"deam":      func() core.Dictionary { return NewDeamortized(nil) },
+		"deam-la":   func() core.Dictionary { return NewDeamortizedLookahead(nil) },
+		"g8-dense":  func() core.Dictionary { return New(Options{Growth: 8, PointerDensity: 0.5}) },
+		"g3-sparse": func() core.Dictionary { return New(Options{Growth: 3, PointerDensity: 0.05}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			d := mk()
+			keys := []uint64{0, 1, ^uint64(0), ^uint64(0) - 1, 1 << 63, (1 << 63) - 1}
+			for i, k := range keys {
+				d.Insert(k, uint64(i))
+			}
+			// Bury them under churn.
+			seq := workload.NewRandomUnique(91)
+			for i := 0; i < 2000; i++ {
+				k := seq.Next()
+				// Avoid colliding with the extreme keys.
+				k = k>>2 | 1<<10
+				d.Insert(k, k)
+			}
+			for i, k := range keys {
+				if v, ok := d.Search(k); !ok || v != uint64(i) {
+					t.Fatalf("Search(%d) = (%d,%v), want (%d,true)", k, v, ok, i)
+				}
+			}
+			// Range spanning the whole key space terminates and is sorted.
+			var prev uint64
+			count := 0
+			d.Range(0, ^uint64(0), func(e core.Element) bool {
+				if count > 0 && e.Key <= prev {
+					t.Fatalf("full-range out of order: %d after %d", e.Key, prev)
+				}
+				prev = e.Key
+				count++
+				return true
+			})
+			if count < len(keys) {
+				t.Fatalf("full-range yielded %d < %d", count, len(keys))
+			}
+		})
+	}
+}
+
+func TestSawtoothInsertDelete(t *testing.T) {
+	// Repeated fill/drain cycles: merges must keep annihilating
+	// tombstones instead of accumulating them.
+	c := NewCOLA(nil)
+	for round := 0; round < 6; round++ {
+		base := uint64(round * 1000)
+		for i := base; i < base+500; i++ {
+			c.Insert(i, i)
+		}
+		for i := base; i < base+500; i++ {
+			if !c.Delete(i) {
+				t.Fatalf("round %d: Delete(%d) failed", round, i)
+			}
+		}
+		if c.Len() != 0 {
+			t.Fatalf("round %d: Len = %d", round, c.Len())
+		}
+		c.checkInvariants()
+	}
+	c.Compact()
+	total := 0
+	for l := range c.levels {
+		total += c.levels[l].real
+	}
+	if total != 0 {
+		t.Fatalf("%d real entries linger after compacting an empty structure", total)
+	}
+}
+
+func TestAlternatingMinMax(t *testing.T) {
+	// Adversarial order alternating between the extremes of the key
+	// space stresses merge boundaries.
+	c := NewCOLA(nil)
+	lo, hi := uint64(0), ^uint64(0)
+	for i := 0; i < 2000; i++ {
+		if i%2 == 0 {
+			c.Insert(lo, uint64(i))
+			lo++
+		} else {
+			c.Insert(hi, uint64(i))
+			hi--
+		}
+		if i%97 == 0 {
+			c.checkInvariants()
+		}
+	}
+	if c.Len() != 2000 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, ok := c.Search(0); !ok {
+		t.Fatal("lost key 0")
+	}
+	if _, ok := c.Search(^uint64(0)); !ok {
+		t.Fatal("lost key max")
+	}
+}
+
+func TestManyUpdatesOneKey(t *testing.T) {
+	// One hot key updated thousands of times between cold inserts: the
+	// live count must reconcile to the true value after Compact.
+	c := NewCOLA(nil)
+	seq := workload.NewRandomUnique(93)
+	for i := 0; i < 5000; i++ {
+		c.Insert(77, uint64(i))
+		k := seq.Next() | 1 // avoid 77? (77 is odd; fine — values differ but updates are the point)
+		if k != 77 {
+			c.Insert(k, k)
+		}
+	}
+	if v, ok := c.Search(77); !ok || v != 4999 {
+		t.Fatalf("hot key = (%d,%v), want (4999,true)", v, ok)
+	}
+	c.Compact()
+	if v, ok := c.Search(77); !ok || v != 4999 {
+		t.Fatalf("after compact hot key = (%d,%v)", v, ok)
+	}
+}
+
+func TestRangeBoundariesExact(t *testing.T) {
+	c := NewCOLA(nil)
+	for i := uint64(10); i <= 20; i++ {
+		c.Insert(i, i)
+	}
+	cases := []struct {
+		lo, hi uint64
+		want   int
+	}{
+		{10, 20, 11}, // inclusive both ends
+		{10, 10, 1},  // single key
+		{0, 9, 0},    // just below
+		{21, 100, 0}, // just above
+		{15, 14, 0},  // inverted window
+		{20, 20, 1},  // last key alone
+	}
+	for _, cse := range cases {
+		count := 0
+		c.Range(cse.lo, cse.hi, func(core.Element) bool { count++; return true })
+		if count != cse.want {
+			t.Fatalf("Range(%d,%d) = %d, want %d", cse.lo, cse.hi, count, cse.want)
+		}
+	}
+}
+
+func TestContainsHelper(t *testing.T) {
+	c := NewCOLA(nil)
+	c.Insert(5, 5)
+	if !c.Contains(5) || c.Contains(6) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestInterleavedCompact(t *testing.T) {
+	// Compacting mid-workload must never lose or resurrect keys.
+	c := NewCOLA(nil)
+	ref := newRef()
+	rng := workload.NewRNG(95)
+	for i := 0; i < 4000; i++ {
+		k := rng.Uint64() % 300
+		switch rng.Uint64() % 5 {
+		case 0, 1, 2:
+			v := rng.Uint64()
+			c.Insert(k, v)
+			ref.Insert(k, v)
+		case 3:
+			got := c.Delete(k)
+			want := ref.Delete(k)
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, want)
+			}
+		case 4:
+			if i%7 == 0 {
+				c.Compact()
+				c.checkInvariants()
+				if c.Len() != ref.Len() {
+					t.Fatalf("op %d: post-compact Len = %d, want %d", i, c.Len(), ref.Len())
+				}
+			}
+		}
+	}
+	for k := uint64(0); k < 300; k++ {
+		gv, gok := c.Search(k)
+		wv, wok := ref.Search(k)
+		if gok != wok || (gok && gv != wv) {
+			t.Fatalf("final Search(%d) = (%d,%v), want (%d,%v)", k, gv, gok, wv, wok)
+		}
+	}
+}
+
+func TestDeamortizedLookaheadLargeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	// A deeper soak than the differential test: 2^15 distinct keys keeps
+	// many levels and all three array slots busy.
+	d := NewDeamortizedLookahead(nil)
+	seq := workload.NewRandomUnique(97)
+	const n = 1 << 15
+	keys := workload.Take(seq, n)
+	for i, k := range keys {
+		d.Insert(k, k^3)
+		if i%4096 == 0 {
+			// Spot-check a prefix.
+			for _, kk := range keys[:min(i, 64)] {
+				if v, ok := d.Search(kk); !ok || v != kk^3 {
+					t.Fatalf("at %d: lost %d", i, kk)
+				}
+			}
+		}
+	}
+	for _, k := range keys {
+		if v, ok := d.Search(k); !ok || v != k^3 {
+			t.Fatalf("final: Search(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+}

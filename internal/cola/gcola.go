@@ -1,0 +1,470 @@
+// Package cola implements the lookahead-array family of Section 3 of
+// "Cache-Oblivious Streaming B-trees" (Bender et al., SPAA 2007):
+//
+//   - GCOLA: the growth-factor-g lookahead array with pointer density p,
+//     the implementation studied in the paper's Section 4. With g = 2 it
+//     is the cache-oblivious lookahead array (COLA); with p = 0 it
+//     degrades to the "basic COLA" whose searches binary-search every
+//     level.
+//   - Deamortized: the basic-COLA deamortization of Theorem 22
+//     (safe/unsafe levels, O(log N) worst-case moves per insert).
+//   - DeamortizedLookahead: the Theorem 24 deamortization with three
+//     arrays per level and shadow/visible array states.
+//
+// All variants charge their memory traffic to a dam.Space so experiments
+// can count block transfers in the DAM model; a nil space disables
+// accounting.
+package cola
+
+import (
+	"repro/internal/core"
+	"repro/internal/dam"
+)
+
+// Entry kinds. A level's array interleaves real elements and redundant
+// lookahead entries in key order; tombstones are real entries marking a
+// deletion (a documented extension — the paper analyzes only inserts,
+// searches, and range queries).
+const (
+	kindReal uint8 = iota
+	kindLookahead
+	kindTombstone
+)
+
+// entry is one 32-byte array cell. The paper pads 16-byte elements to 32
+// bytes and uses 64 of the padding bits for a copy of the closest real
+// lookahead pointer to the left (field left) or, for redundant elements,
+// for the lookahead pointer itself (field ptr).
+type entry struct {
+	key  uint64
+	val  uint64
+	ptr  int32 // kindLookahead: absolute index of the sampled cell in the next level
+	left int32 // absolute index into next level of nearest lookahead at or before this cell; -1 if none
+	kind uint8
+}
+
+// level is one array of the lookahead structure. Occupied cells live
+// right-justified in data[start:], matching the paper ("we maintain the
+// elements right justified in their array").
+type level struct {
+	data  []entry
+	start int // first occupied cell; len(data) when empty
+	real  int // occupied real+tombstone cells (excludes lookahead entries)
+	la    int // occupied lookahead cells
+}
+
+func (lv *level) used() int   { return len(lv.data) - lv.start }
+func (lv *level) empty() bool { return lv.start == len(lv.data) }
+
+// Options configures a GCOLA.
+type Options struct {
+	// Growth factor g >= 2. Level 0 holds one element; level l >= 1 holds
+	// 2(g-1)g^(l-1) real elements. g = 2 gives the COLA.
+	Growth int
+	// PointerDensity p in [0, 0.5]: level l additionally holds
+	// floor(p * realCapacity(l)) redundant lookahead entries. p = 0
+	// disables fractional cascading (the "basic COLA"). The paper uses
+	// p = 0.1.
+	PointerDensity float64
+	// Space receives DAM-model charge records; nil disables accounting.
+	Space *dam.Space
+}
+
+// DefaultPointerDensity is the pointer density used throughout the
+// paper's experiments.
+const DefaultPointerDensity = 0.1
+
+// GCOLA is a lookahead array with growth factor g and pointer density p.
+//
+// Len is exact for workloads whose Insert calls use distinct keys and for
+// any workload after Compact; between merges, a key re-inserted while an
+// older copy is still buffered is counted once per un-reconciled copy
+// (merges reconcile the count as duplicates annihilate).
+type GCOLA struct {
+	opt    Options
+	levels []level
+	n      int // live-key count, reconciled during merges
+
+	stats core.Stats
+
+	// offsets[l] is the byte offset of level l in the DAM space, from the
+	// deterministic capacity formula; filled alongside levels.
+	offsets []int64
+}
+
+var (
+	_ core.Dictionary = (*GCOLA)(nil)
+	_ core.Deleter    = (*GCOLA)(nil)
+	_ core.Statser    = (*GCOLA)(nil)
+)
+
+// New returns an empty g-COLA. It panics if opt.Growth < 2 or the pointer
+// density is outside [0, 0.5].
+func New(opt Options) *GCOLA {
+	if opt.Growth < 2 {
+		panic("cola: growth factor must be at least 2")
+	}
+	if opt.PointerDensity < 0 || opt.PointerDensity > 0.5 {
+		panic("cola: pointer density must be in [0, 0.5]")
+	}
+	return &GCOLA{opt: opt}
+}
+
+// NewCOLA returns the cache-oblivious lookahead array: growth factor 2
+// with the paper's default pointer density.
+func NewCOLA(space *dam.Space) *GCOLA {
+	return New(Options{Growth: 2, PointerDensity: DefaultPointerDensity, Space: space})
+}
+
+// NewBasic returns the "basic COLA": growth factor 2 and no lookahead
+// pointers, so searches binary-search every level (O(log^2 N) probes).
+func NewBasic(space *dam.Space) *GCOLA {
+	return New(Options{Growth: 2, Space: space})
+}
+
+// Growth reports the growth factor g.
+func (c *GCOLA) Growth() int { return c.opt.Growth }
+
+// Levels reports how many levels have been allocated.
+func (c *GCOLA) Levels() int { return len(c.levels) }
+
+// Stats implements core.Statser.
+func (c *GCOLA) Stats() core.Stats { return c.stats }
+
+// realCapacity returns the number of real elements level l can hold:
+// 1 for level 0, 2(g-1)g^(l-1) for l >= 1 (the paper's level sizes).
+func (c *GCOLA) realCapacity(l int) int {
+	if l == 0 {
+		return 1
+	}
+	capacity := 2 * (c.opt.Growth - 1)
+	for i := 1; i < l; i++ {
+		capacity *= c.opt.Growth
+	}
+	return capacity
+}
+
+// lookaheadCapacity returns the redundant-entry budget of level l.
+func (c *GCOLA) lookaheadCapacity(l int) int {
+	if l == 0 {
+		return 0
+	}
+	return int(c.opt.PointerDensity * float64(c.realCapacity(l)))
+}
+
+// totalCapacity is the allocated array size of level l.
+func (c *GCOLA) totalCapacity(l int) int {
+	return c.realCapacity(l) + c.lookaheadCapacity(l)
+}
+
+// ensureLevel allocates levels up through index l.
+func (c *GCOLA) ensureLevel(l int) {
+	for len(c.levels) <= l {
+		idx := len(c.levels)
+		capTotal := c.totalCapacity(idx)
+		var off int64
+		if idx > 0 {
+			off = c.offsets[idx-1] + int64(c.totalCapacity(idx-1))*core.ElementBytes
+		}
+		c.levels = append(c.levels, level{
+			data:  make([]entry, capTotal),
+			start: capTotal,
+		})
+		c.offsets = append(c.offsets, off)
+	}
+}
+
+// cellOffset is the byte offset of cell i of level l in the DAM space.
+func (c *GCOLA) cellOffset(l, i int) int64 {
+	return c.offsets[l] + int64(i)*core.ElementBytes
+}
+
+// chargeRead charges reading cells [i, i+n) of level l.
+func (c *GCOLA) chargeRead(l, i, n int) {
+	if n > 0 {
+		c.opt.Space.Read(c.cellOffset(l, i), int64(n)*core.ElementBytes)
+	}
+}
+
+// chargeWrite charges writing cells [i, i+n) of level l.
+func (c *GCOLA) chargeWrite(l, i, n int) {
+	if n > 0 {
+		c.opt.Space.Write(c.cellOffset(l, i), int64(n)*core.ElementBytes)
+	}
+}
+
+// Len implements core.Dictionary; see the type comment for exactness.
+func (c *GCOLA) Len() int { return c.n }
+
+// Insert implements core.Dictionary.
+func (c *GCOLA) Insert(key, value uint64) {
+	c.stats.Inserts++
+	c.insertEntry(entry{key: key, val: value, kind: kindReal, left: -1})
+	c.n++
+}
+
+// Delete implements core.Deleter: it searches for the key (so the result
+// and the live count are exact) and, if present, inserts a tombstone that
+// annihilates the key during future merges.
+func (c *GCOLA) Delete(key uint64) bool {
+	c.stats.Deletes++
+	if _, ok := c.Search(key); !ok {
+		return false
+	}
+	c.insertEntry(entry{key: key, kind: kindTombstone, left: -1})
+	c.n--
+	return true
+}
+
+// insertEntry routes a real or tombstone entry into level 0, cascading a
+// merge when level 0 is occupied.
+func (c *GCOLA) insertEntry(e entry) {
+	movesBefore := c.stats.Moves
+	c.ensureLevel(0)
+	lv0 := &c.levels[0]
+	if lv0.empty() {
+		lv0.start = len(lv0.data) - 1
+		lv0.data[lv0.start] = e
+		lv0.real = 1
+		c.chargeWrite(0, lv0.start, 1)
+	} else {
+		c.mergeDown(e)
+	}
+	if moved := c.stats.Moves - movesBefore; moved > c.stats.MaxMoves {
+		c.stats.MaxMoves = moved
+	}
+}
+
+// mergeTarget picks the smallest level t >= 1 that can absorb one new
+// entry plus the real contents of every level below it. For g = 2 with
+// distinct keys this reproduces the binary-counter carry of Lemma 19.
+func (c *GCOLA) mergeTarget() int {
+	incoming := 1 // the new entry
+	for l := 0; ; l++ {
+		c.ensureLevel(l)
+		if l > 0 && c.levels[l].real+incoming <= c.realCapacity(l) {
+			return l
+		}
+		incoming += c.levels[l].real
+	}
+}
+
+// mergeDown merges the new entry and levels 0..t-1 into level t, then
+// redistributes lookahead pointers down from t. Levels 0..t-1 end empty.
+func (c *GCOLA) mergeDown(newEntry entry) {
+	t := c.mergeTarget()
+	target := &c.levels[t]
+
+	// Gather source runs, newest first: the incoming entry, then levels
+	// 0..t-1 (smaller level = newer), then level t's existing content.
+	// Lookahead entries in levels 0..t-1 are dropped by the merge (their
+	// target levels are being restructured); level t's own lookahead
+	// entries (pointing into level t+1, which is untouched) survive.
+	runs := make([][]entry, 0, t+2)
+	runs = append(runs, []entry{newEntry})
+	for l := 0; l < t; l++ {
+		lv := &c.levels[l]
+		if !lv.empty() {
+			runs = append(runs, stripLookahead(lv.data[lv.start:]))
+			c.chargeRead(l, lv.start, lv.used())
+		}
+	}
+	if !target.empty() {
+		runs = append(runs, target.data[target.start:])
+		c.chargeRead(t, target.start, target.used())
+	}
+
+	// If level t is the bottom of the structure, tombstones are dropped
+	// once they have annihilated every older copy of their key.
+	atBottom := true
+	for l := t + 1; l < len(c.levels); l++ {
+		if !c.levels[l].empty() {
+			atBottom = false
+			break
+		}
+	}
+
+	out := c.mergeRuns(runs, atBottom)
+
+	// Install right-justified into level t.
+	c.installLevel(t, out)
+	c.chargeWrite(t, target.start, len(out))
+	c.stats.Moves += uint64(len(out))
+
+	// Empty the consumed levels.
+	for l := 0; l < t; l++ {
+		lv := &c.levels[l]
+		lv.start = len(lv.data)
+		lv.real = 0
+		lv.la = 0
+	}
+
+	c.distributePointers(t)
+}
+
+// stripLookahead filters a run down to its real and tombstone entries.
+// It allocates only when the run actually contains lookahead entries.
+func stripLookahead(run []entry) []entry {
+	hasLA := false
+	for _, e := range run {
+		if e.kind == kindLookahead {
+			hasLA = true
+			break
+		}
+	}
+	if !hasLA {
+		return run
+	}
+	out := make([]entry, 0, len(run))
+	for _, e := range run {
+		if e.kind != kindLookahead {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// installLevel writes out right-justified into level l, recomputes the
+// real-entry count and the left copies (each cell's copy of the closest
+// lookahead pointer at or to its left).
+func (c *GCOLA) installLevel(l int, out []entry) {
+	lv := &c.levels[l]
+	if len(out) > len(lv.data) {
+		panic("cola: merge output exceeds level capacity")
+	}
+	start := len(lv.data) - len(out)
+	copy(lv.data[start:], out)
+	lv.start = start
+	lv.real = 0
+	lv.la = 0
+	last := int32(-1)
+	for i := start; i < len(lv.data); i++ {
+		e := &lv.data[i]
+		if e.kind == kindLookahead {
+			last = e.ptr
+			e.left = e.ptr
+			lv.la++
+		} else {
+			lv.real++
+			e.left = last
+		}
+	}
+}
+
+// mergeRuns performs a k-way merge of runs (ordered newest first) with
+// newest-wins semantics for duplicate keys, as the paper's iterative
+// two-smallest-at-a-time pattern: because run sizes grow geometrically,
+// the ladder costs O(k) element moves for k items in total.
+func (c *GCOLA) mergeRuns(runs [][]entry, atBottom bool) []entry {
+	if len(runs) == 0 {
+		return nil
+	}
+	acc := runs[0]
+	for _, older := range runs[1:] {
+		acc = c.mergeTwo(acc, older)
+	}
+	if atBottom {
+		w := 0
+		for _, e := range acc {
+			if e.kind == kindTombstone {
+				continue
+			}
+			acc[w] = e
+			w++
+		}
+		acc = acc[:w]
+	}
+	return acc
+}
+
+// mergeTwo merges newer over older. Resolution for equal real keys:
+//
+//   - newer real over older real: update; the older copy is dropped and
+//     the live count shrinks by one (Insert counted both copies).
+//   - newer tombstone over older real: annihilation; the tombstone is
+//     retained for still-older levels (Delete already adjusted the
+//     count).
+//   - real over tombstone (re-insert after delete) and tombstone over
+//     tombstone: the older entry is simply dropped.
+//
+// Lookahead entries pass through untouched; only one input run ever
+// carries them (the preserved target run).
+func (c *GCOLA) mergeTwo(newer, older []entry) []entry {
+	out := make([]entry, 0, len(newer)+len(older))
+	i, j := 0, 0
+	for i < len(newer) && j < len(older) {
+		a, b := newer[i], older[j]
+		switch {
+		case a.key < b.key:
+			out = append(out, a)
+			i++
+		case a.key > b.key:
+			out = append(out, b)
+			j++
+		default: // equal keys
+			if a.kind == kindLookahead {
+				out = append(out, a)
+				i++
+				continue
+			}
+			if b.kind == kindLookahead {
+				out = append(out, b)
+				j++
+				continue
+			}
+			// Both real/tombstone: newer wins, older dropped.
+			out = append(out, a)
+			i++
+			j++
+			if a.kind != kindTombstone && b.kind != kindTombstone {
+				c.n-- // duplicate insert reconciled
+			}
+		}
+	}
+	out = append(out, newer[i:]...)
+	out = append(out, older[j:]...)
+	return out
+}
+
+// Compact merges every level into a single level, dropping tombstones and
+// duplicates, after which Len is exact for any preceding workload.
+func (c *GCOLA) Compact() {
+	totalReal := 0
+	bottom := -1
+	for l := range c.levels {
+		lv := &c.levels[l]
+		totalReal += lv.real
+		if !lv.empty() {
+			bottom = l
+		}
+	}
+	if bottom < 0 {
+		return
+	}
+	t := bottom
+	for c.realCapacity(t) < totalReal {
+		t++
+	}
+	c.ensureLevel(t)
+
+	runs := make([][]entry, 0, bottom+1)
+	for l := 0; l <= bottom; l++ {
+		lv := &c.levels[l]
+		if !lv.empty() {
+			runs = append(runs, stripLookahead(lv.data[lv.start:]))
+			c.chargeRead(l, lv.start, lv.used())
+		}
+	}
+	out := c.mergeRuns(runs, true)
+	for l := 0; l <= bottom; l++ {
+		lv := &c.levels[l]
+		lv.start = len(lv.data)
+		lv.real = 0
+		lv.la = 0
+	}
+	c.installLevel(t, out)
+	c.chargeWrite(t, c.levels[t].start, len(out))
+	c.stats.Moves += uint64(len(out))
+	c.n = len(out)
+	c.distributePointers(t)
+}

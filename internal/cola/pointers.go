@@ -1,0 +1,120 @@
+package cola
+
+// distributePointers rebuilds the lookahead entries of every level below
+// t after a merge into t, proceeding level by level exactly as Section 4
+// describes: "The target level is scanned to copy pointers down one
+// level, the next largest level is scanned to copy pointers down to the
+// next level, and so on." Level l samples level l+1 at an even stride so
+// that the sample fits level l's redundant budget; each sampled cell
+// becomes a lookahead entry carrying its absolute index in level l+1.
+//
+// The scans are geometrically decreasing, so the total cost is dominated
+// by the scan of level t, which the amortized analysis of Lemma 19
+// already pays for.
+func (c *GCOLA) distributePointers(t int) {
+	if c.opt.PointerDensity == 0 {
+		return
+	}
+	for l := t - 1; l >= 1; l-- {
+		src := &c.levels[l+1]
+		dst := &c.levels[l]
+		if !dst.empty() {
+			// Only rebuilt immediately after a merge emptied the level;
+			// anything else indicates a bookkeeping bug.
+			panic("cola: pointer distribution into non-empty level")
+		}
+		budget := c.lookaheadCapacity(l)
+		if budget == 0 || src.empty() {
+			continue
+		}
+		used := src.used()
+		stride := (used + budget - 1) / budget
+		if stride < 1 {
+			stride = 1
+		}
+		// Scan the source level (charged as one range read) and emit a
+		// sample every stride cells, preferring real cells so pointers
+		// land on searchable keys; a lookahead cell is still a valid
+		// anchor, so no cell type is skipped when the stride lands on it.
+		c.chargeRead(l+1, src.start, used)
+		out := make([]entry, 0, budget)
+		for i := src.start + stride - 1; i < len(src.data); i += stride {
+			e := src.data[i]
+			out = append(out, entry{
+				key:  e.key,
+				ptr:  int32(i),
+				left: int32(i),
+				kind: kindLookahead,
+			})
+			if len(out) == budget {
+				break
+			}
+		}
+		c.installLevel(l, out)
+		c.chargeWrite(l, dst.start, len(out))
+		c.stats.Moves += uint64(len(out))
+	}
+}
+
+// checkInvariants validates the structural invariants of every level and
+// panics with a description on violation. Tests call this; production
+// paths do not.
+func (c *GCOLA) checkInvariants() {
+	liveSeen := 0
+	for l := range c.levels {
+		lv := &c.levels[l]
+		if lv.start < 0 || lv.start > len(lv.data) {
+			panic("cola: level start out of range")
+		}
+		if len(lv.data) != c.totalCapacity(l) {
+			panic("cola: level allocated with wrong capacity")
+		}
+		real := 0
+		lastLA := int32(-1)
+		var prevKey uint64
+		first := true
+		for i := lv.start; i < len(lv.data); i++ {
+			e := lv.data[i]
+			if !first && e.key < prevKey {
+				panic("cola: level not sorted")
+			}
+			prevKey = e.key
+			first = false
+			switch e.kind {
+			case kindLookahead:
+				if l+1 >= len(c.levels) {
+					panic("cola: lookahead entry with no next level")
+				}
+				next := &c.levels[l+1]
+				if int(e.ptr) < next.start || int(e.ptr) >= len(next.data) {
+					panic("cola: lookahead pointer out of next level's occupied range")
+				}
+				if next.data[e.ptr].key != e.key {
+					panic("cola: lookahead key does not match target cell")
+				}
+				if e.ptr < lastLA {
+					panic("cola: lookahead pointers not monotone")
+				}
+				if e.left != e.ptr {
+					panic("cola: lookahead left copy must be its own pointer")
+				}
+				lastLA = e.ptr
+			case kindReal, kindTombstone:
+				real++
+				if e.left != lastLA {
+					panic("cola: stale left copy")
+				}
+			default:
+				panic("cola: unknown entry kind")
+			}
+		}
+		if real != lv.real {
+			panic("cola: real-count bookkeeping mismatch")
+		}
+		if real > c.realCapacity(l) {
+			panic("cola: level real occupancy exceeds capacity")
+		}
+		liveSeen += real
+	}
+	_ = liveSeen
+}

@@ -1,0 +1,239 @@
+package cola
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// refDict is a trivially correct dictionary used as the oracle in
+// differential tests.
+type refDict struct {
+	m map[uint64]uint64
+}
+
+func newRef() *refDict { return &refDict{m: make(map[uint64]uint64)} }
+
+func (r *refDict) Insert(k, v uint64)             { r.m[k] = v }
+func (r *refDict) Delete(k uint64) bool           { _, ok := r.m[k]; delete(r.m, k); return ok }
+func (r *refDict) Search(k uint64) (uint64, bool) { v, ok := r.m[k]; return v, ok }
+func (r *refDict) Len() int                       { return len(r.m) }
+
+func (r *refDict) sortedRange(lo, hi uint64) []core.Element {
+	var out []core.Element
+	for k, v := range r.m {
+		if k >= lo && k <= hi {
+			out = append(out, core.Element{Key: k, Value: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// applyOps drives both the GCOLA and the oracle through a randomized op
+// stream and cross-checks after every operation.
+func applyOps(t *testing.T, c *GCOLA, ops []uint8, seed uint64) {
+	t.Helper()
+	ref := newRef()
+	rng := workload.NewRNG(seed)
+	keyspace := uint64(256) // small keyspace to force collisions, updates, deletes
+	for i, op := range ops {
+		k := rng.Uint64() % keyspace
+		switch op % 4 {
+		case 0, 1: // insert biased 2x
+			v := rng.Uint64()
+			c.Insert(k, v)
+			ref.Insert(k, v)
+		case 2:
+			got := c.Delete(k)
+			want := ref.Delete(k)
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, want)
+			}
+		case 3:
+			gv, gok := c.Search(k)
+			wv, wok := ref.Search(k)
+			if gok != wok || (gok && gv != wv) {
+				t.Fatalf("op %d: Search(%d) = (%d,%v), want (%d,%v)", i, k, gv, gok, wv, wok)
+			}
+		}
+		c.checkInvariants()
+	}
+	// Full verification pass.
+	for k := uint64(0); k < keyspace; k++ {
+		gv, gok := c.Search(k)
+		wv, wok := ref.Search(k)
+		if gok != wok || (gok && gv != wv) {
+			t.Fatalf("final: Search(%d) = (%d,%v), want (%d,%v)", k, gv, gok, wv, wok)
+		}
+	}
+	// Range must agree with the oracle.
+	want := ref.sortedRange(0, keyspace)
+	var got []core.Element
+	c.Range(0, keyspace, func(e core.Element) bool { got = append(got, e); return true })
+	if len(got) != len(want) {
+		t.Fatalf("Range sizes: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Compact reconciles Len exactly.
+	c.Compact()
+	c.checkInvariants()
+	if c.Len() != ref.Len() {
+		t.Fatalf("Len after Compact = %d, want %d", c.Len(), ref.Len())
+	}
+}
+
+func TestDifferentialCOLA(t *testing.T) {
+	ops := make([]uint8, 2000)
+	rng := workload.NewRNG(1)
+	for i := range ops {
+		ops[i] = uint8(rng.Uint64())
+	}
+	applyOps(t, NewCOLA(nil), ops, 42)
+}
+
+func TestDifferentialBasic(t *testing.T) {
+	ops := make([]uint8, 2000)
+	rng := workload.NewRNG(2)
+	for i := range ops {
+		ops[i] = uint8(rng.Uint64())
+	}
+	applyOps(t, NewBasic(nil), ops, 43)
+}
+
+func TestDifferentialGrowth4(t *testing.T) {
+	ops := make([]uint8, 2000)
+	rng := workload.NewRNG(3)
+	for i := range ops {
+		ops[i] = uint8(rng.Uint64())
+	}
+	applyOps(t, New(Options{Growth: 4, PointerDensity: 0.1}), ops, 44)
+}
+
+func TestDifferentialGrowth8HighDensity(t *testing.T) {
+	ops := make([]uint8, 1500)
+	rng := workload.NewRNG(4)
+	for i := range ops {
+		ops[i] = uint8(rng.Uint64())
+	}
+	applyOps(t, New(Options{Growth: 8, PointerDensity: 0.5}), ops, 45)
+}
+
+// QuickCheck: any random op stream preserves oracle equivalence.
+func TestQuickDifferential(t *testing.T) {
+	f := func(ops []uint8, seed uint64) bool {
+		if len(ops) > 600 {
+			ops = ops[:600]
+		}
+		c := New(Options{Growth: 2 + int(seed%3), PointerDensity: float64(seed%6) / 10})
+		sub := &testing.T{}
+		applyOps(sub, c, ops, seed)
+		return !sub.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// QuickCheck: inserting any set of distinct keys makes them all findable
+// and keeps Len exact, for every growth factor.
+func TestQuickDistinctKeysAllFindable(t *testing.T) {
+	f := func(raw []uint64, gSeed uint8) bool {
+		g := 2 + int(gSeed%7)
+		c := New(Options{Growth: g, PointerDensity: 0.1})
+		seen := make(map[uint64]bool)
+		for _, k := range raw {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			c.Insert(k, k^0xDEAD)
+		}
+		c.checkInvariants()
+		if c.Len() != len(seen) {
+			return false
+		}
+		for k := range seen {
+			if v, ok := c.Search(k); !ok || v != k^0xDEAD {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// QuickCheck: a range query over any window equals the sorted distinct
+// keys in the window.
+func TestQuickRangeWindow(t *testing.T) {
+	f := func(raw []uint16, lo16, hi16 uint16) bool {
+		lo, hi := uint64(lo16), uint64(hi16)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		c := NewCOLA(nil)
+		seen := make(map[uint64]bool)
+		for _, k16 := range raw {
+			k := uint64(k16)
+			seen[k] = true
+			c.Insert(k, k)
+		}
+		var want []uint64
+		for k := range seen {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []uint64
+		c.Range(lo, hi, func(e core.Element) bool { got = append(got, e.Key); return true })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// QuickCheck: the lookahead-pointer structure never misdirects a search —
+// with pointers enabled, every search over a random load agrees with the
+// pointerless basic COLA.
+func TestQuickPointersVsBasic(t *testing.T) {
+	f := func(raw []uint16, probes []uint16) bool {
+		withP := NewCOLA(nil)
+		noP := NewBasic(nil)
+		for _, k16 := range raw {
+			k := uint64(k16)
+			withP.Insert(k, k*3)
+			noP.Insert(k, k*3)
+		}
+		for _, p16 := range probes {
+			p := uint64(p16)
+			v1, ok1 := withP.Search(p)
+			v2, ok2 := noP.Search(p)
+			if ok1 != ok2 || (ok1 && v1 != v2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

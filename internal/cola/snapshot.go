@@ -1,0 +1,192 @@
+package cola
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Snapshot format: a little-endian binary stream
+//
+//	magic "COLA" | version u32 | growth u32 | density f64-bits u64 |
+//	n i64 | levelCount u32 |
+//	per level: start u32 | used u32 | used cells (key u64 | val u64 |
+//	            ptr i32 | left i32 | kind u8)
+//
+// Lookahead entries are persisted verbatim, so a restored structure has
+// identical layout, occupancy, and search behaviour — including
+// transfer-count behaviour under the same DAM store parameters.
+const (
+	snapshotMagic   = "COLA"
+	snapshotVersion = 1
+)
+
+// WriteTo serializes the structure. It implements io.WriterTo.
+func (c *GCOLA) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(snapshotMagic))
+	if err := write(uint32(snapshotVersion)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(c.opt.Growth)); err != nil {
+		return n, err
+	}
+	if err := write(uint64(floatBits(c.opt.PointerDensity))); err != nil {
+		return n, err
+	}
+	if err := write(int64(c.n)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(c.levels))); err != nil {
+		return n, err
+	}
+	for l := range c.levels {
+		lv := &c.levels[l]
+		if err := write(uint32(lv.start)); err != nil {
+			return n, err
+		}
+		if err := write(uint32(lv.used())); err != nil {
+			return n, err
+		}
+		for i := lv.start; i < len(lv.data); i++ {
+			e := lv.data[i]
+			if err := write(e.key); err != nil {
+				return n, err
+			}
+			if err := write(e.val); err != nil {
+				return n, err
+			}
+			if err := write(e.ptr); err != nil {
+				return n, err
+			}
+			if err := write(e.left); err != nil {
+				return n, err
+			}
+			if err := write(e.kind); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom restores a snapshot into an empty structure created with the
+// same Options (growth and pointer density are verified against the
+// stream). It implements io.ReaderFrom.
+func (c *GCOLA) ReadFrom(r io.Reader) (int64, error) {
+	for l := range c.levels {
+		if !c.levels[l].empty() {
+			return 0, errors.New("cola: ReadFrom into a non-empty structure")
+		}
+	}
+	br := bufio.NewReader(r)
+	var n int64
+	read := func(v any) error {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return n, err
+	}
+	n += int64(len(magic))
+	if string(magic) != snapshotMagic {
+		return n, errors.New("cola: bad snapshot magic")
+	}
+	var version, growth uint32
+	var densityBits uint64
+	var live int64
+	var levelCount uint32
+	if err := read(&version); err != nil {
+		return n, err
+	}
+	if version != snapshotVersion {
+		return n, fmt.Errorf("cola: unsupported snapshot version %d", version)
+	}
+	if err := read(&growth); err != nil {
+		return n, err
+	}
+	if int(growth) != c.opt.Growth {
+		return n, fmt.Errorf("cola: snapshot growth %d, structure configured with %d", growth, c.opt.Growth)
+	}
+	if err := read(&densityBits); err != nil {
+		return n, err
+	}
+	if bitsFloat(densityBits) != c.opt.PointerDensity {
+		return n, fmt.Errorf("cola: snapshot pointer density %v, structure configured with %v",
+			bitsFloat(densityBits), c.opt.PointerDensity)
+	}
+	if err := read(&live); err != nil {
+		return n, err
+	}
+	if err := read(&levelCount); err != nil {
+		return n, err
+	}
+	c.ensureLevel(int(levelCount) - 1)
+	for l := 0; l < int(levelCount); l++ {
+		var start, used uint32
+		if err := read(&start); err != nil {
+			return n, err
+		}
+		if err := read(&used); err != nil {
+			return n, err
+		}
+		lv := &c.levels[l]
+		if int(start)+int(used) != len(lv.data) {
+			return n, fmt.Errorf("cola: level %d occupancy %d+%d does not fit capacity %d",
+				l, start, used, len(lv.data))
+		}
+		lv.start = int(start)
+		lv.real = 0
+		lv.la = 0
+		for i := lv.start; i < len(lv.data); i++ {
+			e := &lv.data[i]
+			if err := read(&e.key); err != nil {
+				return n, err
+			}
+			if err := read(&e.val); err != nil {
+				return n, err
+			}
+			if err := read(&e.ptr); err != nil {
+				return n, err
+			}
+			if err := read(&e.left); err != nil {
+				return n, err
+			}
+			if err := read(&e.kind); err != nil {
+				return n, err
+			}
+			switch e.kind {
+			case kindLookahead:
+				lv.la++
+			case kindReal, kindTombstone:
+				lv.real++
+			default:
+				return n, fmt.Errorf("cola: corrupt snapshot: entry kind %d", e.kind)
+			}
+		}
+	}
+	c.n = int(live)
+	return n, nil
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,214 @@
+package cola
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dam"
+	"repro/internal/workload"
+)
+
+func TestBulkLoadBasics(t *testing.T) {
+	c := NewCOLA(nil)
+	elems := []core.Element{{Key: 5, Value: 50}, {Key: 1, Value: 10}, {Key: 3, Value: 30}}
+	c.BulkLoad(elems)
+	c.checkInvariants()
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for _, e := range elems {
+		if v, ok := c.Search(e.Key); !ok || v != e.Value {
+			t.Fatalf("Search(%d) = (%d,%v)", e.Key, v, ok)
+		}
+	}
+}
+
+func TestBulkLoadDeduplicatesNewestWins(t *testing.T) {
+	c := NewCOLA(nil)
+	c.BulkLoad([]core.Element{{Key: 7, Value: 1}, {Key: 7, Value: 2}, {Key: 7, Value: 3}})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if v, _ := c.Search(7); v != 3 {
+		t.Fatalf("Search(7) = %d, want 3 (last wins)", v)
+	}
+}
+
+func TestBulkLoadThenInsertInteroperate(t *testing.T) {
+	c := NewCOLA(nil)
+	var elems []core.Element
+	seq := workload.NewRandomUnique(61)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		k := seq.Next()
+		elems = append(elems, core.Element{Key: k, Value: k ^ 9})
+	}
+	c.BulkLoad(elems)
+	c.checkInvariants()
+	// Continue with ordinary inserts.
+	more := workload.NewRandomUnique(62)
+	for i := 0; i < 1000; i++ {
+		k := more.Next() | 1<<63
+		c.Insert(k, k)
+	}
+	c.checkInvariants()
+	if c.Len() != n+1000 {
+		t.Fatalf("Len = %d, want %d", c.Len(), n+1000)
+	}
+	for _, e := range elems[:200] {
+		if v, ok := c.Search(e.Key); !ok || v != e.Value {
+			t.Fatalf("bulk key lost: Search(%d) = (%d,%v)", e.Key, v, ok)
+		}
+	}
+}
+
+func TestBulkLoadEmptyAndPanics(t *testing.T) {
+	c := NewCOLA(nil)
+	c.BulkLoad(nil) // no-op
+	if c.Len() != 0 {
+		t.Fatal("empty bulk load changed Len")
+	}
+	c.Insert(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for BulkLoad into non-empty structure")
+		}
+	}()
+	c.BulkLoad([]core.Element{{Key: 2}})
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := NewCOLA(nil)
+	seq := workload.NewRandomUnique(71)
+	const n = 4000
+	keys := workload.Take(seq, n)
+	for _, k := range keys {
+		c.Insert(k, k^0xBEEF)
+	}
+	c.Delete(keys[0])
+	c.Insert(keys[1], 999)
+
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+
+	restored := NewCOLA(nil)
+	if _, err := restored.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	restored.checkInvariants()
+	if restored.Len() != c.Len() {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(), c.Len())
+	}
+	for _, k := range keys {
+		v1, ok1 := c.Search(k)
+		v2, ok2 := restored.Search(k)
+		if ok1 != ok2 || v1 != v2 {
+			t.Fatalf("restored Search(%d) = (%d,%v), original (%d,%v)", k, v2, ok2, v1, ok1)
+		}
+	}
+	// The restored structure keeps working.
+	restored.Insert(1<<62, 42)
+	if v, ok := restored.Search(1 << 62); !ok || v != 42 {
+		t.Fatal("restored structure rejects inserts")
+	}
+}
+
+func TestSnapshotRejectsMismatchedConfig(t *testing.T) {
+	c := New(Options{Growth: 4, PointerDensity: 0.1})
+	for i := uint64(0); i < 100; i++ {
+		c.Insert(i, i)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wrongGrowth := New(Options{Growth: 2, PointerDensity: 0.1})
+	if _, err := wrongGrowth.ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadFrom accepted a snapshot with mismatched growth")
+	}
+	wrongDensity := New(Options{Growth: 4, PointerDensity: 0.2})
+	if _, err := wrongDensity.ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadFrom accepted a snapshot with mismatched density")
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	c := NewCOLA(nil)
+	if _, err := c.ReadFrom(strings.NewReader("NOTACOLA snapshot")); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	c2 := NewCOLA(nil)
+	if _, err := c2.ReadFrom(strings.NewReader("CO")); err == nil {
+		t.Fatal("accepted truncated magic")
+	}
+}
+
+func TestSnapshotRejectsTruncation(t *testing.T) {
+	c := NewCOLA(nil)
+	for i := uint64(0); i < 500; i++ {
+		c.Insert(i, i)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{5, len(data) / 2, len(data) - 3} {
+		r := NewCOLA(nil)
+		if _, err := r.ReadFrom(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("accepted snapshot truncated at %d/%d bytes", cut, len(data))
+		}
+	}
+}
+
+func TestSnapshotIntoNonEmptyFails(t *testing.T) {
+	c := NewCOLA(nil)
+	c.Insert(1, 1)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewCOLA(nil)
+	dst.Insert(2, 2)
+	if _, err := dst.ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadFrom into non-empty structure succeeded")
+	}
+}
+
+func TestSnapshotInterfaces(t *testing.T) {
+	var _ io.WriterTo = (*GCOLA)(nil)
+	var _ io.ReaderFrom = (*GCOLA)(nil)
+}
+
+func TestBulkLoadTransferCost(t *testing.T) {
+	// Bulk loading must be about one sequential write: far cheaper than
+	// inserting one by one.
+	mk := func() ([]core.Element, *GCOLA, func() uint64) {
+		store := newBenchStore()
+		c := NewCOLA(store.Space("cola"))
+		seq := workload.NewRandomUnique(81)
+		elems := make([]core.Element, 1<<14)
+		for i := range elems {
+			k := seq.Next()
+			elems[i] = core.Element{Key: k, Value: k}
+		}
+		return elems, c, store.Transfers
+	}
+	elems, bulk, bulkTr := mk()
+	bulk.BulkLoad(elems)
+	elems2, incr, incrTr := mk()
+	for _, e := range elems2 {
+		incr.Insert(e.Key, e.Value)
+	}
+	if bulkTr()*2 >= incrTr() {
+		t.Fatalf("bulk load transfers (%d) not clearly below incremental (%d)", bulkTr(), incrTr())
+	}
+}
+
+// newBenchStore builds the small store used by cost comparisons here.
+func newBenchStore() *dam.Store { return dam.NewStore(4096, 1<<17) }

@@ -1,0 +1,78 @@
+// Package core defines the element format and the dictionary interfaces
+// shared by every streaming-B-tree variant in this repository.
+//
+// The paper ("Cache-Oblivious Streaming B-trees", Bender et al., SPAA 2007)
+// evaluates dictionaries over 64-bit keys and 64-bit values padded to
+// 32 bytes; Element mirrors that format and ElementBytes is the padded
+// size used by the DAM-model cost accounting.
+package core
+
+import "fmt"
+
+// Element is a key/value pair. Keys and values are 64 bits each, matching
+// the element format of the paper's Section 4 implementation study.
+type Element struct {
+	Key   uint64
+	Value uint64
+}
+
+// ElementBytes is the on-"disk" size charged per element by the DAM cost
+// model. The paper pads each 16-byte element to 32 bytes; we charge the
+// same so block-transfer counts are comparable.
+const ElementBytes = 32
+
+// String implements fmt.Stringer.
+func (e Element) String() string { return fmt.Sprintf("{%d:%d}", e.Key, e.Value) }
+
+// Dictionary is the common interface implemented by every structure in
+// this repository: the COLA family, the shuttle tree, the B-tree, the
+// buffered repository tree, and the cache-aware lookahead array.
+type Dictionary interface {
+	// Insert adds key with the given value. Inserting a key that is
+	// already present replaces its value (update semantics).
+	Insert(key, value uint64)
+
+	// Search returns the value bound to key and whether it is present.
+	Search(key uint64) (uint64, bool)
+
+	// Range calls fn for each element with lo <= key <= hi in ascending
+	// key order. Iteration stops early if fn returns false.
+	Range(lo, hi uint64, fn func(Element) bool)
+
+	// Len reports the number of live keys.
+	Len() int
+}
+
+// Deleter is implemented by dictionaries that support deletion. The paper
+// itself only analyzes inserts, searches, and range queries; deletion is
+// a documented extension (tombstones in the lookahead-array family,
+// ordinary rebalancing deletes in the B-tree).
+type Deleter interface {
+	// Delete removes key, reporting whether it was present.
+	Delete(key uint64) bool
+}
+
+// Stats exposes per-structure operation counters useful in experiments.
+type Stats struct {
+	Inserts  uint64 // calls to Insert
+	Searches uint64 // calls to Search
+	Deletes  uint64 // calls to Delete
+	Moves    uint64 // element moves performed by restructuring (merges, splits, rebalances)
+	MaxMoves uint64 // maximum element moves performed by any single update
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Inserts += other.Inserts
+	s.Searches += other.Searches
+	s.Deletes += other.Deletes
+	s.Moves += other.Moves
+	if other.MaxMoves > s.MaxMoves {
+		s.MaxMoves = other.MaxMoves
+	}
+}
+
+// Statser is implemented by dictionaries that track operation statistics.
+type Statser interface {
+	Stats() Stats
+}

@@ -1,0 +1,33 @@
+package core
+
+import "testing"
+
+func TestElementString(t *testing.T) {
+	e := Element{Key: 3, Value: 7}
+	if got := e.String(); got != "{3:7}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestElementBytesMatchesPaper(t *testing.T) {
+	// Section 4: 64-bit keys and values padded to 32 bytes.
+	if ElementBytes != 32 {
+		t.Fatalf("ElementBytes = %d, want 32", ElementBytes)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Inserts: 1, Searches: 2, Deletes: 3, Moves: 4, MaxMoves: 10}
+	b := Stats{Inserts: 10, Searches: 20, Deletes: 30, Moves: 40, MaxMoves: 5}
+	a.Add(b)
+	want := Stats{Inserts: 11, Searches: 22, Deletes: 33, Moves: 44, MaxMoves: 10}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+	// MaxMoves takes the larger side.
+	c := Stats{MaxMoves: 1}
+	c.Add(Stats{MaxMoves: 9})
+	if c.MaxMoves != 9 {
+		t.Fatalf("MaxMoves = %d, want 9", c.MaxMoves)
+	}
+}

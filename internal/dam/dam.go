@@ -1,0 +1,237 @@
+// Package dam simulates the Disk Access Machine (DAM) model of Aggarwal
+// and Vitter: a two-level memory with an internal memory (cache) of M
+// bytes organized into blocks of B bytes and an arbitrarily large external
+// memory. The cost of an algorithm in the model is the number of block
+// transfers between the two levels.
+//
+// The paper's experiments ran on real disks; this package is the
+// substitution documented in DESIGN.md: structures are instrumented to
+// report the (offset, length) ranges they touch, and the store maintains
+// an LRU-resident set of blocks, counting misses as transfers. Because
+// the cache-oblivious structures only hold opaque Space handles and never
+// observe B or M, the simulation preserves cache obliviousness: B and M
+// are properties of the memory, not of the algorithm.
+package dam
+
+// Store models the two-level memory. It is not safe for concurrent use;
+// experiments are single-threaded, matching the paper.
+type Store struct {
+	blockBytes int64
+	capacity   int // resident blocks (M/B)
+
+	// LRU over resident block IDs, most recent at head.
+	table map[uint64]*lruNode
+	head  *lruNode
+	tail  *lruNode
+	free  *lruNode // recycled nodes
+
+	transfers  uint64 // block fetches from external memory (misses)
+	writebacks uint64 // dirty evictions
+	reads      uint64 // Read calls
+	writes     uint64 // Write calls
+
+	nextBase uint64 // next Space base address
+}
+
+type lruNode struct {
+	id         uint64
+	dirty      bool
+	prev, next *lruNode
+}
+
+// DefaultBlockBytes matches the paper's B-tree block size of 4 KiB.
+const DefaultBlockBytes = 4096
+
+// NewStore creates a simulated memory with the given block size and total
+// cache size, both in bytes. cacheBytes is rounded down to a whole number
+// of blocks, with a minimum of one resident block.
+func NewStore(blockBytes, cacheBytes int64) *Store {
+	if blockBytes <= 0 {
+		panic("dam: block size must be positive")
+	}
+	capacity := int(cacheBytes / blockBytes)
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store{
+		blockBytes: blockBytes,
+		capacity:   capacity,
+		table:      make(map[uint64]*lruNode, capacity+1),
+	}
+}
+
+// BlockBytes reports the block size B in bytes.
+func (s *Store) BlockBytes() int64 { return s.blockBytes }
+
+// CacheBlocks reports the number of resident blocks (M/B).
+func (s *Store) CacheBlocks() int { return s.capacity }
+
+// Transfers reports the number of block transfers (cache misses) so far.
+func (s *Store) Transfers() uint64 { return s.transfers }
+
+// Writebacks reports the number of dirty blocks evicted so far.
+func (s *Store) Writebacks() uint64 { return s.writebacks }
+
+// Accesses reports the number of Read and Write range accesses so far.
+func (s *Store) Accesses() (reads, writes uint64) { return s.reads, s.writes }
+
+// ResetCounters zeroes the transfer and access counters without
+// disturbing cache residency. Use between experiment phases (e.g. between
+// the load phase and the query phase of Figure 4).
+func (s *Store) ResetCounters() {
+	s.transfers = 0
+	s.writebacks = 0
+	s.reads = 0
+	s.writes = 0
+}
+
+// DropCache evicts every resident block, simulating the paper's
+// "remounted the RAID array's file system before every insertion test to
+// clear the file cache".
+func (s *Store) DropCache() {
+	clear(s.table)
+	s.head = nil
+	s.tail = nil
+	s.free = nil
+}
+
+// Space carves out a fresh address space of the given name (name is for
+// debugging only). Spaces are unbounded; they exist so that independent
+// structures sharing one Store never alias blocks.
+func (s *Store) Space(name string) *Space {
+	// 2^44 bytes (16 TiB) per space keeps spaces disjoint while leaving
+	// room for 2^20 spaces in the 64-bit block-ID namespace.
+	const spaceBytes = 1 << 44
+	base := s.nextBase
+	s.nextBase += spaceBytes
+	return &Space{store: s, base: base, name: name}
+}
+
+// touch makes the block with the given ID resident, counting a transfer
+// on miss, and marks it dirty if write is set.
+func (s *Store) touch(id uint64, write bool) {
+	if n, ok := s.table[id]; ok {
+		if write {
+			n.dirty = true
+		}
+		s.moveToFront(n)
+		return
+	}
+	s.transfers++
+	var n *lruNode
+	if len(s.table) >= s.capacity {
+		// Evict the least recently used block and recycle its node.
+		n = s.tail
+		s.unlink(n)
+		delete(s.table, n.id)
+		if n.dirty {
+			s.writebacks++
+		}
+	} else if s.free != nil {
+		n = s.free
+		s.free = n.next
+	} else {
+		n = &lruNode{}
+	}
+	n.id = id
+	n.dirty = write
+	n.prev = nil
+	n.next = nil
+	s.table[id] = n
+	s.pushFront(n)
+}
+
+func (s *Store) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *Store) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev = nil
+	n.next = nil
+}
+
+func (s *Store) moveToFront(n *lruNode) {
+	if s.head == n {
+		return
+	}
+	s.unlink(n)
+	s.pushFront(n)
+}
+
+// access charges a byte range in external memory.
+func (s *Store) access(base uint64, off, n int64, write bool) {
+	if n <= 0 {
+		return
+	}
+	if write {
+		s.writes++
+	} else {
+		s.reads++
+	}
+	addr := base + uint64(off)
+	first := addr / uint64(s.blockBytes)
+	last := (addr + uint64(n) - 1) / uint64(s.blockBytes)
+	for id := first; id <= last; id++ {
+		s.touch(id, write)
+	}
+}
+
+// Space is a named, disjoint region of the simulated external memory.
+// A nil *Space is valid and charges nothing, so structures can run with
+// cost accounting disabled (pure wall-clock benchmarks) at zero overhead
+// beyond a nil check.
+type Space struct {
+	store *Store
+	base  uint64
+	name  string
+}
+
+// Read charges a read of n bytes at byte offset off within the space.
+func (sp *Space) Read(off, n int64) {
+	if sp == nil {
+		return
+	}
+	sp.store.access(sp.base, off, n, false)
+}
+
+// Write charges a write of n bytes at byte offset off within the space.
+func (sp *Space) Write(off, n int64) {
+	if sp == nil {
+		return
+	}
+	sp.store.access(sp.base, off, n, true)
+}
+
+// Name reports the space's debug name.
+func (sp *Space) Name() string {
+	if sp == nil {
+		return "<nil>"
+	}
+	return sp.name
+}
+
+// Store returns the owning store, or nil for a nil space.
+func (sp *Space) Store() *Store {
+	if sp == nil {
+		return nil
+	}
+	return sp.store
+}

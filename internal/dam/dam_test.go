@@ -1,0 +1,259 @@
+package dam
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewStoreRoundsCache(t *testing.T) {
+	s := NewStore(4096, 4096*10+100)
+	if got := s.CacheBlocks(); got != 10 {
+		t.Fatalf("CacheBlocks = %d, want 10", got)
+	}
+	if got := s.BlockBytes(); got != 4096 {
+		t.Fatalf("BlockBytes = %d, want 4096", got)
+	}
+}
+
+func TestNewStoreMinimumOneBlock(t *testing.T) {
+	s := NewStore(4096, 0)
+	if got := s.CacheBlocks(); got != 1 {
+		t.Fatalf("CacheBlocks = %d, want 1", got)
+	}
+}
+
+func TestNewStorePanicsOnBadBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive block size")
+		}
+	}()
+	NewStore(0, 1024)
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	s := NewStore(64, 64*4)
+	sp := s.Space("t")
+	sp.Read(0, 1)
+	if s.Transfers() != 1 {
+		t.Fatalf("transfers after cold read = %d, want 1", s.Transfers())
+	}
+	sp.Read(0, 64) // same block, resident
+	if s.Transfers() != 1 {
+		t.Fatalf("transfers after warm read = %d, want 1", s.Transfers())
+	}
+	sp.Read(63, 2) // spans blocks 0 (hit) and 1 (miss)
+	if s.Transfers() != 2 {
+		t.Fatalf("transfers after spanning read = %d, want 2", s.Transfers())
+	}
+}
+
+func TestRangeTouchesEveryBlock(t *testing.T) {
+	s := NewStore(64, 64*100)
+	sp := s.Space("t")
+	sp.Read(0, 64*7) // exactly blocks 0..6
+	if s.Transfers() != 7 {
+		t.Fatalf("transfers = %d, want 7", s.Transfers())
+	}
+	sp.Read(1, 64*7) // blocks 0..7; 0..6 resident, 7 misses
+	if s.Transfers() != 8 {
+		t.Fatalf("transfers = %d, want 8", s.Transfers())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := NewStore(64, 64*2) // two resident blocks
+	sp := s.Space("t")
+	sp.Read(0, 1)    // block 0; miss
+	sp.Read(64, 1)   // block 1; miss
+	sp.Read(0, 1)    // hit, 0 becomes MRU
+	sp.Read(2*64, 1) // block 2; miss, evicts block 1 (LRU)
+	sp.Read(0, 1)    // still resident
+	if s.Transfers() != 3 {
+		t.Fatalf("transfers = %d, want 3", s.Transfers())
+	}
+	sp.Read(64, 1) // block 1 was evicted; miss
+	if s.Transfers() != 4 {
+		t.Fatalf("transfers = %d, want 4", s.Transfers())
+	}
+}
+
+func TestWritebackCounting(t *testing.T) {
+	s := NewStore(64, 64) // single resident block
+	sp := s.Space("t")
+	sp.Write(0, 1) // miss, dirty
+	sp.Read(64, 1) // evicts dirty block 0
+	if s.Writebacks() != 1 {
+		t.Fatalf("writebacks = %d, want 1", s.Writebacks())
+	}
+	sp.Read(0, 1) // evicts clean block 1
+	if s.Writebacks() != 1 {
+		t.Fatalf("writebacks = %d, want 1 (clean eviction)", s.Writebacks())
+	}
+}
+
+func TestWriteThenReadIsHit(t *testing.T) {
+	s := NewStore(64, 64*4)
+	sp := s.Space("t")
+	sp.Write(0, 64)
+	sp.Read(0, 64)
+	if s.Transfers() != 1 {
+		t.Fatalf("transfers = %d, want 1", s.Transfers())
+	}
+}
+
+func TestReadThenWriteMarksDirty(t *testing.T) {
+	s := NewStore(64, 64)
+	sp := s.Space("t")
+	sp.Read(0, 1)  // clean
+	sp.Write(0, 1) // same block now dirty
+	sp.Read(64, 1) // evict
+	if s.Writebacks() != 1 {
+		t.Fatalf("writebacks = %d, want 1", s.Writebacks())
+	}
+}
+
+func TestSpacesAreDisjoint(t *testing.T) {
+	s := NewStore(64, 64*100)
+	a := s.Space("a")
+	b := s.Space("b")
+	a.Read(0, 1)
+	b.Read(0, 1)
+	if s.Transfers() != 2 {
+		t.Fatalf("transfers = %d, want 2 (spaces must not alias)", s.Transfers())
+	}
+}
+
+func TestResetCountersKeepsResidency(t *testing.T) {
+	s := NewStore(64, 64*4)
+	sp := s.Space("t")
+	sp.Read(0, 1)
+	s.ResetCounters()
+	if s.Transfers() != 0 {
+		t.Fatalf("transfers after reset = %d, want 0", s.Transfers())
+	}
+	sp.Read(0, 1) // still resident
+	if s.Transfers() != 0 {
+		t.Fatalf("transfers = %d, want 0 (block should remain resident)", s.Transfers())
+	}
+}
+
+func TestDropCacheEvictsAll(t *testing.T) {
+	s := NewStore(64, 64*4)
+	sp := s.Space("t")
+	sp.Read(0, 1)
+	s.DropCache()
+	sp.Read(0, 1)
+	if s.Transfers() != 2 {
+		t.Fatalf("transfers = %d, want 2 after DropCache", s.Transfers())
+	}
+}
+
+func TestNilSpaceIsNoop(t *testing.T) {
+	var sp *Space
+	sp.Read(0, 100)  // must not panic
+	sp.Write(0, 100) // must not panic
+	if sp.Name() != "<nil>" {
+		t.Fatalf("Name = %q", sp.Name())
+	}
+	if sp.Store() != nil {
+		t.Fatal("Store() on nil space should be nil")
+	}
+}
+
+func TestZeroLengthAccessFree(t *testing.T) {
+	s := NewStore(64, 64*4)
+	sp := s.Space("t")
+	sp.Read(0, 0)
+	sp.Write(10, -5)
+	if s.Transfers() != 0 {
+		t.Fatalf("transfers = %d, want 0", s.Transfers())
+	}
+	r, w := s.Accesses()
+	if r != 0 || w != 0 {
+		t.Fatalf("accesses = (%d,%d), want (0,0)", r, w)
+	}
+}
+
+func TestAccessCounters(t *testing.T) {
+	s := NewStore(64, 64*4)
+	sp := s.Space("t")
+	sp.Read(0, 1)
+	sp.Read(0, 1)
+	sp.Write(0, 1)
+	r, w := s.Accesses()
+	if r != 2 || w != 1 {
+		t.Fatalf("accesses = (%d,%d), want (2,1)", r, w)
+	}
+}
+
+// TestScanCostLinear verifies the fundamental DAM property used throughout
+// the paper: scanning L contiguous bytes costs Theta(L/B) transfers.
+func TestScanCostLinear(t *testing.T) {
+	const blockBytes = 256
+	s := NewStore(blockBytes, blockBytes*8)
+	sp := s.Space("t")
+	const total = blockBytes * 1000
+	// Scan in small pieces; cost must still be total/blockBytes.
+	for off := int64(0); off < total; off += 32 {
+		sp.Read(off, 32)
+	}
+	if got, want := s.Transfers(), uint64(total/blockBytes); got != want {
+		t.Fatalf("scan transfers = %d, want %d", got, want)
+	}
+}
+
+// TestRepeatedScanThrashes verifies that a working set larger than the
+// cache always misses on re-scan (LRU worst case), the effect behind the
+// paper's "structures no longer fit in main memory" crossover.
+func TestRepeatedScanThrashes(t *testing.T) {
+	const blockBytes = 64
+	s := NewStore(blockBytes, blockBytes*4) // 4 resident blocks
+	sp := s.Space("t")
+	const blocks = 16
+	for round := 0; round < 3; round++ {
+		for i := int64(0); i < blocks; i++ {
+			sp.Read(i*blockBytes, 1)
+		}
+	}
+	if got, want := s.Transfers(), uint64(3*blocks); got != want {
+		t.Fatalf("transfers = %d, want %d (every access must miss)", got, want)
+	}
+}
+
+// TestLRUMatchesReferenceModel cross-checks the intrusive-list LRU against
+// a simple slice-based reference implementation on random traces.
+func TestLRUMatchesReferenceModel(t *testing.T) {
+	f := func(trace []uint8, capSeed uint8) bool {
+		capacity := int(capSeed%7) + 1
+		s := NewStore(1, int64(capacity))
+		sp := s.Space("t")
+
+		var ref []uint64 // MRU at front
+		var refMisses uint64
+		for _, b := range trace {
+			id := uint64(b % 32)
+			sp.Read(int64(id), 1)
+			idx := -1
+			for i, v := range ref {
+				if v == id {
+					idx = i
+					break
+				}
+			}
+			if idx >= 0 {
+				ref = append(ref[:idx], ref[idx+1:]...)
+			} else {
+				refMisses++
+				if len(ref) >= capacity {
+					ref = ref[:len(ref)-1]
+				}
+			}
+			ref = append([]uint64{id}, ref...)
+		}
+		return s.Transfers() == refMisses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,693 @@
+// Package harness regenerates the paper's evaluation: every figure of
+// Section 4 plus the asymptotic-claim experiments indexed in DESIGN.md.
+// Each experiment produces Series (x = workload size, y = measured rate
+// or transfer count) that can be printed as aligned tables or CSV.
+//
+// Two measurements are reported side by side wherever it makes sense:
+// wall-clock operations/second (the paper's y-axis) and DAM-model block
+// transfers/operation (the quantity the theory bounds, free of Go
+// runtime noise — see DESIGN.md's substitution table).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/brt"
+	"repro/internal/btree"
+	"repro/internal/cola"
+	"repro/internal/core"
+	"repro/internal/dam"
+	"repro/internal/la"
+	"repro/internal/shuttle"
+	"repro/internal/workload"
+)
+
+// Config scales the experiments. The paper ran N = 2^30 on a RAID array
+// for 87 hours; the defaults here finish on a laptop in minutes while
+// entering the out-of-core regime of the simulated cache.
+type Config struct {
+	// LogN is the largest workload size as a power of two (default 18).
+	LogN int
+	// LogNStart is the first measured checkpoint (default 10).
+	LogNStart int
+	// BlockBytes is the DAM block size B (default 4096, the paper's).
+	BlockBytes int64
+	// CacheBytes is the DAM cache size M (default 1 MiB so structures
+	// leave cache partway through the sweep, reproducing the paper's
+	// "no longer fit in main memory" crossover).
+	CacheBytes int64
+	// Seed feeds every workload generator.
+	Seed uint64
+	// Searches is the number of random searches for Figure 4 (default
+	// 2^13).
+	Searches int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.LogN == 0 {
+		c.LogN = 18
+	}
+	if c.LogNStart == 0 {
+		c.LogNStart = 10
+	}
+	if c.LogNStart > c.LogN {
+		c.LogNStart = c.LogN
+	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = dam.DefaultBlockBytes
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 1 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Searches == 0 {
+		c.Searches = 1 << 13
+	}
+	return c
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Result is one regenerated figure.
+type Result struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// dict couples a dictionary with the store charging it.
+type dict struct {
+	name  string
+	d     core.Dictionary
+	store *dam.Store
+}
+
+// builders constructs the standard structure set for the B-tree-vs-COLA
+// figures, each with its own store.
+func (c Config) builders(names []string) []dict {
+	var out []dict
+	for _, name := range names {
+		store := dam.NewStore(c.BlockBytes, c.CacheBytes)
+		var d core.Dictionary
+		switch name {
+		case "2-COLA":
+			d = cola.New(cola.Options{Growth: 2, PointerDensity: cola.DefaultPointerDensity, Space: store.Space(name)})
+		case "4-COLA":
+			d = cola.New(cola.Options{Growth: 4, PointerDensity: cola.DefaultPointerDensity, Space: store.Space(name)})
+		case "8-COLA":
+			d = cola.New(cola.Options{Growth: 8, PointerDensity: cola.DefaultPointerDensity, Space: store.Space(name)})
+		case "basic-COLA":
+			d = cola.NewBasic(store.Space(name))
+		case "B-tree":
+			d = btree.New(btree.Options{BlockBytes: c.BlockBytes, Space: store.Space(name)})
+		case "BRT":
+			d = brt.New(brt.Options{BlockBytes: c.BlockBytes, Space: store.Space(name)})
+		case "deamortized-COLA":
+			d = cola.NewDeamortized(store.Space(name))
+		case "deamortized-lookahead-COLA":
+			d = cola.NewDeamortizedLookahead(store.Space(name))
+		case "shuttle":
+			d = shuttle.New(shuttle.Options{Fanout: 8, Space: store.Space(name)})
+		default:
+			panic("harness: unknown structure " + name)
+		}
+		out = append(out, dict{name: name, d: d, store: store})
+	}
+	return out
+}
+
+// insertSweep drives seq into each structure, recording, at every
+// power-of-two checkpoint, the insert rate and transfers/insert over the
+// window since the previous checkpoint.
+func (c Config) insertSweep(names []string, mkSeq func() workload.Sequence) (rates, transfers []Series) {
+	for _, b := range c.builders(names) {
+		seq := mkSeq()
+		var xs, ys, ts []float64
+		done := 0
+		lastTransfers := uint64(0)
+		lastTime := time.Now()
+		for lg := c.LogNStart; lg <= c.LogN; lg++ {
+			target := 1 << lg
+			for done < target {
+				k := seq.Next()
+				b.d.Insert(k, k)
+				done++
+			}
+			now := time.Now()
+			window := float64(target - (1 << lg / 2))
+			if lg == c.LogNStart {
+				window = float64(target)
+			}
+			el := now.Sub(lastTime).Seconds()
+			if el <= 0 {
+				el = 1e-9
+			}
+			xs = append(xs, float64(lg))
+			ys = append(ys, window/el)
+			tr := b.store.Transfers()
+			ts = append(ts, float64(tr-lastTransfers)/window)
+			lastTransfers = tr
+			lastTime = now
+		}
+		rates = append(rates, Series{Name: b.name, X: xs, Y: ys})
+		transfers = append(transfers, Series{Name: b.name, X: xs, Y: ts})
+	}
+	return rates, transfers
+}
+
+// Figure2 regenerates "COLA vs B-tree (Random Inserts)".
+func (c Config) Figure2() []Result {
+	c = c.withDefaults()
+	rates, transfers := c.insertSweep(
+		[]string{"2-COLA", "4-COLA", "8-COLA", "B-tree"},
+		func() workload.Sequence { return workload.NewRandomUnique(c.Seed) },
+	)
+	return []Result{
+		{
+			Title:  "Figure 2 — COLA vs B-tree, random inserts (wall clock)",
+			XLabel: "log2 N", YLabel: "avg inserts/second (window)",
+			Series: rates,
+			Notes: []string{
+				"Paper: 2-COLA 790x faster than the B-tree out of core (N = 256M).",
+				"Shape check: COLA curves stay roughly flat; the B-tree collapses once it leaves the cache.",
+			},
+		},
+		{
+			Title:  "Figure 2t — COLA vs B-tree, random inserts (DAM transfers)",
+			XLabel: "log2 N", YLabel: "block transfers / insert (window)",
+			Series: transfers,
+			Notes: []string{
+				"The theoretical quantity: COLA amortizes to O((log N)/B) << 1; the B-tree pays Omega(1) per insert out of core.",
+			},
+		},
+	}
+}
+
+// Figure3 regenerates "COLA vs B-tree (Sorted Inserts)" — keys inserted
+// in descending order, the B-tree's best case.
+func (c Config) Figure3() []Result {
+	c = c.withDefaults()
+	n := uint64(1) << c.LogN
+	rates, transfers := c.insertSweep(
+		[]string{"2-COLA", "4-COLA", "8-COLA", "B-tree"},
+		func() workload.Sequence { return workload.NewDescending(n) },
+	)
+	return []Result{
+		{
+			Title:  "Figure 3 — COLA vs B-tree, sorted (descending) inserts (wall clock)",
+			XLabel: "log2 N", YLabel: "avg inserts/second (window)",
+			Series: rates,
+			Notes: []string{
+				"Paper: the 4-COLA is 3.1x slower than the B-tree at N = 2^30 (B-tree keeps its insertion path cached).",
+			},
+		},
+		{
+			Title:  "Figure 3t — sorted inserts (DAM transfers)",
+			XLabel: "log2 N", YLabel: "block transfers / insert (window)",
+			Series: transfers,
+		},
+	}
+}
+
+// Figure4 regenerates "COLA vs B-tree (Random Searches)": load with
+// descending keys (as the paper's Figure 3 data), drop the cache, then
+// measure searches.
+func (c Config) Figure4() []Result {
+	c = c.withDefaults()
+	n := uint64(1) << c.LogN
+	var rate, transfers []Series
+	for _, b := range c.builders([]string{"2-COLA", "4-COLA", "8-COLA", "B-tree"}) {
+		seq := workload.NewDescending(n)
+		for i := uint64(0); i < n; i++ {
+			k := seq.Next()
+			b.d.Insert(k, k)
+		}
+		b.store.DropCache()
+		b.store.ResetCounters()
+		probe := workload.NewRNG(c.Seed + 1)
+		var xs, ys, ts []float64
+		doneSearches := 0
+		lastTransfers := uint64(0)
+		lastTime := time.Now()
+		for lg := 0; (1 << lg) <= c.Searches; lg++ {
+			target := 1 << lg
+			for doneSearches < target {
+				b.d.Search(probe.Uint64() % n)
+				doneSearches++
+			}
+			window := float64(target)
+			if lg > 0 {
+				window = float64(target - target/2)
+			}
+			now := time.Now()
+			el := now.Sub(lastTime).Seconds()
+			if el <= 0 {
+				el = 1e-9
+			}
+			xs = append(xs, float64(lg))
+			ys = append(ys, window/el)
+			tr := b.store.Transfers()
+			ts = append(ts, float64(tr-lastTransfers)/window)
+			lastTransfers = tr
+			lastTime = now
+		}
+		rate = append(rate, Series{Name: b.name, X: xs, Y: ys})
+		transfers = append(transfers, Series{Name: b.name, X: xs, Y: ts})
+	}
+	return []Result{
+		{
+			Title:  "Figure 4 — random searches after sorted load (wall clock)",
+			XLabel: "log2 searches", YLabel: "avg searches/second (window)",
+			Series: rate,
+			Notes: []string{
+				"Paper: 4-COLA performs 2^15 searches 3.5x slower than the B-tree; early searches are slow on a cold cache.",
+			},
+		},
+		{
+			Title:  "Figure 4t — random searches (DAM transfers)",
+			XLabel: "log2 searches", YLabel: "block transfers / search (window)",
+			Series: transfers,
+			Notes: []string{
+				"Theory: B-tree O(log_B N) vs COLA O(log N) transfers per search.",
+			},
+		},
+	}
+}
+
+// Figure5 regenerates "Ascending vs Descending vs Random Inserts" on the
+// 4-COLA.
+func (c Config) Figure5() []Result {
+	c = c.withDefaults()
+	n := uint64(1) << c.LogN
+	orders := []struct {
+		name string
+		mk   func() workload.Sequence
+	}{
+		{"4-COLA (Ascending)", func() workload.Sequence { return workload.NewAscending() }},
+		{"4-COLA (Descending)", func() workload.Sequence { return workload.NewDescending(n) }},
+		{"4-COLA (Random)", func() workload.Sequence { return workload.NewRandomUnique(c.Seed) }},
+	}
+	var rates, transfers []Series
+	for _, o := range orders {
+		r, t := c.insertSweep([]string{"4-COLA"}, o.mk)
+		r[0].Name = o.name
+		t[0].Name = o.name
+		rates = append(rates, r[0])
+		transfers = append(transfers, t[0])
+	}
+	return []Result{
+		{
+			Title:  "Figure 5 — 4-COLA: ascending vs descending vs random inserts (wall clock)",
+			XLabel: "log2 N", YLabel: "avg inserts/second (window)",
+			Series: rates,
+			Notes: []string{
+				"Paper: descending 1.1x faster than ascending and than random (final merges move fewer target-level items).",
+			},
+		},
+		{
+			Title:  "Figure 5t — insertion orders (DAM transfers)",
+			XLabel: "log2 N", YLabel: "block transfers / insert (window)",
+			Series: transfers,
+		},
+	}
+}
+
+// Ratios condenses the paper's headline numbers: total-workload ratios
+// between structures at the largest N.
+func (c Config) Ratios() Result {
+	c = c.withDefaults()
+	n := uint64(1) << c.LogN
+
+	run := func(name string, seq workload.Sequence) (opsPerSec float64, transfersPerOp float64) {
+		b := c.builders([]string{name})[0]
+		start := time.Now()
+		for i := uint64(0); i < n; i++ {
+			k := seq.Next()
+			b.d.Insert(k, k)
+		}
+		el := time.Since(start).Seconds()
+		return float64(n) / el, float64(b.store.Transfers()) / float64(n)
+	}
+	searchRun := func(name string) (opsPerSec float64, transfersPerOp float64) {
+		b := c.builders([]string{name})[0]
+		seq := workload.NewDescending(n)
+		for i := uint64(0); i < n; i++ {
+			k := seq.Next()
+			b.d.Insert(k, k)
+		}
+		b.store.DropCache()
+		b.store.ResetCounters()
+		probe := workload.NewRNG(c.Seed + 1)
+		start := time.Now()
+		for i := 0; i < c.Searches; i++ {
+			b.d.Search(probe.Uint64() % n)
+		}
+		el := time.Since(start).Seconds()
+		return float64(c.Searches) / el, float64(b.store.Transfers()) / float64(c.Searches)
+	}
+
+	colaRandW, colaRandT := run("2-COLA", workload.NewRandomUnique(c.Seed))
+	btRandW, btRandT := run("B-tree", workload.NewRandomUnique(c.Seed))
+	cola4SortW, cola4SortT := run("4-COLA", workload.NewDescending(n))
+	btSortW, btSortT := run("B-tree", workload.NewDescending(n))
+	colaSearchW, colaSearchT := searchRun("4-COLA")
+	btSearchW, btSearchT := searchRun("B-tree")
+	ascW, _ := run("4-COLA", workload.NewAscending())
+	descW, _ := run("4-COLA", workload.NewDescending(n))
+
+	mk := func(name string, paper, wall, trans float64) Series {
+		return Series{Name: name, X: []float64{paper}, Y: []float64{wall, trans}}
+	}
+	return Result{
+		Title:  "Headline ratios (paper vs measured; X = paper, Y = [wall-clock ratio, transfer ratio])",
+		XLabel: "paper ratio",
+		YLabel: "measured",
+		Series: []Series{
+			mk("random inserts: COLA faster than B-tree by", 790, colaRandW/btRandW, btRandT/colaRandT),
+			mk("sorted inserts: 4-COLA slower than B-tree by", 3.1, btSortW/cola4SortW, cola4SortT/btSortT),
+			mk("searches: 4-COLA slower than B-tree by", 3.5, btSearchW/colaSearchW, colaSearchT/btSearchT),
+			mk("4-COLA: descending faster than ascending by", 1.1, descW/ascW, 1),
+		},
+		Notes: []string{
+			"Wall-clock ratios depend on the host; transfer ratios are deterministic for a given (B, M, N).",
+			"The paper's 790x requires true out-of-core scale (N = 2^28 on disk); shrink M or raise LogN to widen the gap.",
+		},
+	}
+}
+
+// Transfers is experiment E6: transfers/op for every structure on one
+// random workload, checking each claimed bound's order of magnitude.
+func (c Config) Transfers() Result {
+	c = c.withDefaults()
+	n := 1 << c.LogN
+	names := []string{"2-COLA", "basic-COLA", "deamortized-COLA", "deamortized-lookahead-COLA", "BRT", "B-tree", "shuttle"}
+	var series []Series
+	for _, b := range c.builders(names) {
+		seq := workload.NewRandomUnique(c.Seed)
+		for i := 0; i < n; i++ {
+			k := seq.Next()
+			b.d.Insert(k, k)
+		}
+		insertT := float64(b.store.Transfers()) / float64(n)
+		b.store.DropCache()
+		b.store.ResetCounters()
+		probe := workload.NewRNG(c.Seed + 1)
+		for i := 0; i < c.Searches; i++ {
+			b.d.Search(probe.Uint64())
+		}
+		searchT := float64(b.store.Transfers()) / float64(c.Searches)
+		series = append(series, Series{Name: b.name, X: []float64{float64(n)}, Y: []float64{insertT, searchT}})
+	}
+	// Cache-aware lookahead array across epsilon.
+	for _, eps := range []float64{0, 0.5, 1} {
+		store := dam.NewStore(c.BlockBytes, c.CacheBytes)
+		a := la.New(la.Options{
+			BlockElems: int(c.BlockBytes / core.ElementBytes),
+			Epsilon:    eps,
+			Space:      store.Space("la"),
+		})
+		seq := workload.NewRandomUnique(c.Seed)
+		for i := 0; i < n; i++ {
+			k := seq.Next()
+			a.Insert(k, k)
+		}
+		insertT := float64(store.Transfers()) / float64(n)
+		store.DropCache()
+		store.ResetCounters()
+		probe := workload.NewRNG(c.Seed + 1)
+		for i := 0; i < c.Searches; i++ {
+			a.Search(probe.Uint64())
+		}
+		searchT := float64(store.Transfers()) / float64(c.Searches)
+		series = append(series, Series{
+			Name: fmt.Sprintf("LA(eps=%.1f, g=%d)", eps, a.GrowthFactor()),
+			X:    []float64{float64(n)},
+			Y:    []float64{insertT, searchT},
+		})
+	}
+	return Result{
+		Title:  "E6 — DAM transfers per operation (Y = [insert, search])",
+		XLabel: "N",
+		YLabel: "transfers/op",
+		Series: series,
+		Notes: []string{
+			"Expected order: inserts COLA ~ BRT << B-tree; searches B-tree < COLA family;",
+			"LA sweeps from the COLA point (eps=0) to the B-tree point (eps=1).",
+		},
+	}
+}
+
+// Deamortized is experiment E7: worst-case insert cost, amortized vs
+// deamortized.
+func (c Config) Deamortized() Result {
+	c = c.withDefaults()
+	n := 1 << c.LogN
+	names := []string{"2-COLA", "deamortized-COLA", "deamortized-lookahead-COLA"}
+	var series []Series
+	for _, b := range c.builders(names) {
+		seq := workload.NewRandomUnique(c.Seed)
+		for i := 0; i < n; i++ {
+			k := seq.Next()
+			b.d.Insert(k, k)
+		}
+		st := b.d.(core.Statser).Stats()
+		series = append(series, Series{
+			Name: b.name,
+			X:    []float64{float64(n)},
+			Y:    []float64{float64(st.MaxMoves), float64(st.Moves) / float64(n)},
+		})
+	}
+	return Result{
+		Title:  "E7 — worst-case insert moves (Y = [max moves in one insert, amortized moves/insert])",
+		XLabel: "N",
+		YLabel: "element moves",
+		Series: series,
+		Notes: []string{
+			"Theorems 22/24: deamortized variants bound the worst case by O(log N) while the",
+			"amortized COLA's worst single insert rebuilds nearly the whole structure (Omega(N)).",
+		},
+	}
+}
+
+// Shuttle is experiment E8: shuttle tree vs B-tree vs CO-B-tree-proxy
+// transfers across block sizes.
+func (c Config) Shuttle() Result {
+	c = c.withDefaults()
+	n := 1 << c.LogN
+	var series []Series
+	for _, blockBytes := range []int64{512, 4096, 32768} {
+		for _, kind := range []string{"shuttle", "CO-B-tree", "B-tree"} {
+			store := dam.NewStore(blockBytes, c.CacheBytes)
+			var d core.Dictionary
+			switch kind {
+			case "shuttle":
+				d = shuttle.New(shuttle.Options{Fanout: 8, Space: store.Space(kind)})
+			case "CO-B-tree":
+				d = shuttle.NewCOBTree(8, store.Space(kind))
+			default:
+				d = btree.New(btree.Options{BlockBytes: blockBytes, Space: store.Space(kind)})
+			}
+			seq := workload.NewRandomUnique(c.Seed)
+			for i := 0; i < n; i++ {
+				k := seq.Next()
+				d.Insert(k, k)
+			}
+			insertT := float64(store.Transfers()) / float64(n)
+			store.DropCache()
+			store.ResetCounters()
+			probe := workload.NewRNG(c.Seed + 1)
+			searches := c.Searches / 4
+			for i := 0; i < searches; i++ {
+				d.Search(probe.Uint64())
+			}
+			searchT := float64(store.Transfers()) / float64(searches)
+			series = append(series, Series{
+				Name: fmt.Sprintf("%s B=%d", kind, blockBytes),
+				X:    []float64{float64(blockBytes)},
+				Y:    []float64{insertT, searchT},
+			})
+		}
+	}
+	return Result{
+		Title:  "E8 — shuttle tree vs B-tree across block sizes (Y = [insert, search] transfers/op)",
+		XLabel: "block bytes",
+		YLabel: "transfers/op",
+		Series: series,
+		Notes: []string{
+			"The shuttle tree is cache-oblivious: the same structure is measured at every B.",
+			"Expected shape: shuttle insert transfers beat the B-tree's as B grows (buffers amortize",
+			"block crossings); searches stay within a constant factor of the B-tree.",
+		},
+	}
+}
+
+// Print renders a Result as an aligned text table.
+func Print(w io.Writer, r Result) {
+	fmt.Fprintf(w, "\n== %s ==\n", r.Title)
+	if len(r.Series) == 0 {
+		return
+	}
+	// Figure-style (multi-X) or summary-style (single X per series)?
+	if len(r.Series[0].X) > 1 {
+		fmt.Fprintf(w, "%-14s", r.XLabel)
+		for _, s := range r.Series {
+			fmt.Fprintf(w, "%22s", s.Name)
+		}
+		fmt.Fprintln(w)
+		for i := range r.Series[0].X {
+			fmt.Fprintf(w, "%-14.0f", r.Series[0].X[i])
+			for _, s := range r.Series {
+				if i < len(s.Y) {
+					fmt.Fprintf(w, "%22s", formatF(s.Y[i]))
+				} else {
+					fmt.Fprintf(w, "%22s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	} else {
+		nameW := 0
+		for _, s := range r.Series {
+			if len(s.Name) > nameW {
+				nameW = len(s.Name)
+			}
+		}
+		for _, s := range r.Series {
+			fmt.Fprintf(w, "%-*s  x=%s  y=[", nameW, s.Name, formatF(s.X[0]))
+			parts := make([]string, len(s.Y))
+			for i, y := range s.Y {
+				parts[i] = formatF(y)
+			}
+			fmt.Fprintf(w, "%s]\n", strings.Join(parts, ", "))
+		}
+	}
+	for _, note := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", note)
+	}
+}
+
+// CSV renders a Result as comma-separated values.
+func CSV(w io.Writer, r Result) {
+	fmt.Fprintf(w, "# %s\n", r.Title)
+	fmt.Fprintf(w, "series,x,y_index,y\n")
+	for _, s := range r.Series {
+		for i := range s.X {
+			for yi, y := range s.Y {
+				if len(s.X) > 1 && yi != i {
+					continue
+				}
+				xi := i
+				if len(s.X) == 1 {
+					xi = 0
+				}
+				fmt.Fprintf(w, "%s,%g,%d,%g\n", s.Name, s.X[xi], yi, y)
+			}
+		}
+	}
+}
+
+func formatF(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// All runs every experiment in order.
+func (c Config) All() []Result {
+	var out []Result
+	out = append(out, c.Figure2()...)
+	out = append(out, c.Figure3()...)
+	out = append(out, c.Figure4()...)
+	out = append(out, c.Figure5()...)
+	out = append(out, c.Ratios())
+	out = append(out, c.Transfers())
+	out = append(out, c.Deamortized())
+	out = append(out, c.RangeScans())
+	out = append(out, c.Shuttle())
+	return out
+}
+
+// SortSeriesByName orders a result's series deterministically.
+func SortSeriesByName(r *Result) {
+	sort.Slice(r.Series, func(i, j int) bool { return r.Series[i].Name < r.Series[j].Name })
+}
+
+// RangeScans is experiment E9, the contiguity claim of Section 1: "For
+// disk-based storage systems, range queries are likely to be faster for
+// a lookahead array than for a BRT because the data is stored
+// contiguously in arrays ... rather than stored scattered on blocks
+// across disk." Measures transfers per returned element for window scans
+// after a random load, cold cache.
+func (c Config) RangeScans() Result {
+	c = c.withDefaults()
+	n := 1 << c.LogN
+	const window = 1 << 10
+	var series []Series
+	for _, b := range c.builders([]string{"2-COLA", "BRT", "B-tree"}) {
+		// Dense keys 0..n-1 in random arrival order so every window is
+		// full and scans are comparable.
+		perm := workload.NewRNG(c.Seed)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(i)
+		}
+		for i := n - 1; i > 0; i-- {
+			j := int(perm.Uint64() % uint64(i+1))
+			keys[i], keys[j] = keys[j], keys[i]
+		}
+		for _, k := range keys {
+			b.d.Insert(k, k)
+		}
+		b.store.DropCache()
+		b.store.ResetCounters()
+		rng := workload.NewRNG(c.Seed + 9)
+		scans := 64
+		returned := 0
+		for s := 0; s < scans; s++ {
+			lo := rng.Uint64() % uint64(n-window)
+			b.d.Range(lo, lo+window-1, func(core.Element) bool {
+				returned++
+				return true
+			})
+		}
+		series = append(series, Series{
+			Name: b.name,
+			X:    []float64{float64(n)},
+			Y:    []float64{float64(b.store.Transfers()) / float64(returned)},
+		})
+	}
+	return Result{
+		Title:  "E9 — range scans, transfers per returned element (cold cache)",
+		XLabel: "N",
+		YLabel: "transfers/element",
+		Series: series,
+		Notes: []string{
+			"Section 1's contiguity claim: the lookahead array's levels are contiguous arrays,",
+			"so scans approach the 1/B sequential bound. Caveat recorded in EXPERIMENTS.md:",
+			"this repo's BRT allocates nodes in key-clustered creation order under dense loads,",
+			"so the paper's 'scattered on blocks across disk' premise does not manifest at",
+			"simulator scale; the claim reduces to the COLA tracking the sequential bound.",
+		},
+	}
+}

@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"bytes"
+	"repro/internal/core"
+	"strings"
+	"testing"
+)
+
+// small returns a config tiny enough for unit tests.
+func small() Config {
+	return Config{LogN: 11, LogNStart: 9, CacheBytes: 1 << 15, Searches: 1 << 7}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.LogN != 18 || c.BlockBytes != 4096 || c.Seed == 0 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	// Start may not exceed end.
+	c2 := Config{LogN: 8, LogNStart: 12}.withDefaults()
+	if c2.LogNStart > c2.LogN {
+		t.Fatalf("LogNStart %d > LogN %d", c2.LogNStart, c2.LogN)
+	}
+}
+
+func TestFigure2ShapeHolds(t *testing.T) {
+	res := small().Figure2()
+	if len(res) != 2 {
+		t.Fatalf("Figure2 returned %d results", len(res))
+	}
+	// The transfer result must show the COLA beating the B-tree on
+	// random inserts at the largest N (the paper's headline).
+	tr := res[1]
+	perName := map[string]float64{}
+	for _, s := range tr.Series {
+		perName[s.Name] = s.Y[len(s.Y)-1]
+	}
+	if perName["2-COLA"] >= perName["B-tree"] {
+		t.Fatalf("2-COLA transfers/insert (%v) not below B-tree (%v)",
+			perName["2-COLA"], perName["B-tree"])
+	}
+}
+
+func TestFigure3BTreeWinsSorted(t *testing.T) {
+	res := small().Figure3()
+	tr := res[1]
+	perName := map[string]float64{}
+	for _, s := range tr.Series {
+		perName[s.Name] = s.Y[len(s.Y)-1]
+	}
+	// Sorted inserts are the B-tree's best case: it must be within a
+	// small factor of (typically below) the COLAs on transfers.
+	if perName["B-tree"] > 4*perName["4-COLA"]+0.5 {
+		t.Fatalf("B-tree sorted-insert transfers (%v) unexpectedly dominate 4-COLA (%v)",
+			perName["B-tree"], perName["4-COLA"])
+	}
+}
+
+func TestFigure4BTreeSearchWins(t *testing.T) {
+	res := small().Figure4()
+	tr := res[1]
+	perName := map[string]float64{}
+	for _, s := range tr.Series {
+		perName[s.Name] = s.Y[len(s.Y)-1]
+	}
+	if perName["B-tree"] > perName["4-COLA"] {
+		t.Fatalf("B-tree search transfers (%v) exceed 4-COLA (%v); search tradeoff inverted",
+			perName["B-tree"], perName["4-COLA"])
+	}
+}
+
+func TestFigure5ThreeOrders(t *testing.T) {
+	res := small().Figure5()
+	if len(res[0].Series) != 3 {
+		t.Fatalf("Figure5 has %d series, want 3", len(res[0].Series))
+	}
+	names := map[string]bool{}
+	for _, s := range res[0].Series {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"4-COLA (Ascending)", "4-COLA (Descending)", "4-COLA (Random)"} {
+		if !names[want] {
+			t.Fatalf("missing series %q", want)
+		}
+	}
+}
+
+func TestRatiosDirections(t *testing.T) {
+	r := small().Ratios()
+	vals := map[string][]float64{}
+	for _, s := range r.Series {
+		vals[s.Name] = s.Y
+	}
+	insertRatio := vals["random inserts: COLA faster than B-tree by"]
+	if insertRatio[1] <= 1 {
+		t.Fatalf("COLA/B-tree random-insert transfer ratio = %v, want > 1", insertRatio[1])
+	}
+	searchRatio := vals["searches: 4-COLA slower than B-tree by"]
+	if searchRatio[1] < 1 {
+		t.Fatalf("COLA/B-tree search transfer ratio = %v, want >= 1", searchRatio[1])
+	}
+}
+
+func TestTransfersCoversStructures(t *testing.T) {
+	r := small().Transfers()
+	if len(r.Series) != 10 {
+		t.Fatalf("Transfers has %d series, want 10", len(r.Series))
+	}
+	perName := map[string][]float64{}
+	for _, s := range r.Series {
+		perName[s.Name] = s.Y
+	}
+	// Write-optimized structures must beat the B-tree on inserts.
+	if perName["2-COLA"][0] >= perName["B-tree"][0] {
+		t.Fatalf("COLA insert transfers (%v) not below B-tree (%v)",
+			perName["2-COLA"][0], perName["B-tree"][0])
+	}
+	if perName["BRT"][0] >= perName["B-tree"][0] {
+		t.Fatalf("BRT insert transfers (%v) not below B-tree (%v)",
+			perName["BRT"][0], perName["B-tree"][0])
+	}
+}
+
+func TestDeamortizedBoundsWorstCase(t *testing.T) {
+	r := small().Deamortized()
+	perName := map[string][]float64{}
+	for _, s := range r.Series {
+		perName[s.Name] = s.Y
+	}
+	amortizedMax := perName["2-COLA"][0]
+	deamMax := perName["deamortized-COLA"][0]
+	if deamMax >= amortizedMax {
+		t.Fatalf("deamortized max moves (%v) not below amortized COLA's (%v)", deamMax, amortizedMax)
+	}
+}
+
+func TestShuttleRuns(t *testing.T) {
+	c := small()
+	c.LogN = 10
+	r := c.Shuttle()
+	if len(r.Series) != 9 {
+		t.Fatalf("Shuttle has %d series, want 9", len(r.Series))
+	}
+}
+
+func TestPrintAndCSV(t *testing.T) {
+	res := small().Figure5()
+	var buf bytes.Buffer
+	Print(&buf, res[0])
+	out := buf.String()
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "4-COLA (Random)") {
+		t.Fatalf("Print output missing content:\n%s", out)
+	}
+	buf.Reset()
+	CSV(&buf, res[0])
+	if !strings.Contains(buf.String(), "series,x,y_index,y") {
+		t.Fatalf("CSV header missing:\n%s", buf.String())
+	}
+	// Summary-style result printing.
+	buf.Reset()
+	Print(&buf, small().Deamortized())
+	if !strings.Contains(buf.String(), "deamortized-COLA") {
+		t.Fatalf("summary Print missing series:\n%s", buf.String())
+	}
+}
+
+func TestRangeScansNearSequentialBound(t *testing.T) {
+	c := small()
+	r := c.RangeScans()
+	perName := map[string]float64{}
+	for _, s := range r.Series {
+		perName[s.Name] = s.Y[0]
+	}
+	// Section 1's contiguity claim, in the form measurable on our
+	// substrate: the COLA's scans run close to the sequential 1/B bound
+	// (levels are contiguous arrays). Our BRT allocates nodes in
+	// key-clustered creation order under a dense load, so the paper's
+	// "scattered on blocks across disk" premise does not manifest here;
+	// see the experiment's notes.
+	seqBound := float64(core.ElementBytes) / float64(c.withDefaults().BlockBytes)
+	if perName["2-COLA"] > 8*seqBound {
+		t.Fatalf("COLA scan transfers/element (%v) far above sequential bound (%v)",
+			perName["2-COLA"], seqBound)
+	}
+	t.Logf("scan transfers/element: %v (sequential bound %v)", perName, seqBound)
+}

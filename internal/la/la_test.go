@@ -1,0 +1,112 @@
+package la
+
+import (
+	"testing"
+
+	"repro/internal/dam"
+	"repro/internal/workload"
+)
+
+func TestGrowthDerivation(t *testing.T) {
+	cases := []struct {
+		b    int
+		eps  float64
+		want int
+	}{
+		{128, 0, 2},    // eps=0: COLA point (clamped to 2)
+		{128, 1, 128},  // eps=1: B-tree point
+		{128, 0.5, 11}, // sqrt(128) ~ 11.3
+		{256, 0.5, 16},
+		{4, 1, 4},
+	}
+	for _, c := range cases {
+		a := New(Options{BlockElems: c.b, Epsilon: c.eps})
+		if got := a.GrowthFactor(); got != c.want {
+			t.Errorf("B=%d eps=%v: growth = %d, want %d", c.b, c.eps, got, c.want)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"tiny B":  func() { New(Options{BlockElems: 1, Epsilon: 0.5}) },
+		"eps < 0": func() { New(Options{BlockElems: 16, Epsilon: -0.1}) },
+		"eps > 1": func() { New(Options{BlockElems: 16, Epsilon: 1.1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDictionaryBehaviour(t *testing.T) {
+	for _, eps := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		a := New(Options{BlockElems: 64, Epsilon: eps})
+		const n = 1 << 12
+		seq := workload.NewRandomUnique(uint64(eps*100) + 1)
+		keys := workload.Take(seq, n)
+		for _, k := range keys {
+			a.Insert(k, k+1)
+		}
+		for _, k := range keys {
+			if v, ok := a.Search(k); !ok || v != k+1 {
+				t.Fatalf("eps=%v: Search(%d) = (%d,%v)", eps, k, v, ok)
+			}
+		}
+		if a.Len() != n {
+			t.Fatalf("eps=%v: Len = %d, want %d", eps, a.Len(), n)
+		}
+	}
+}
+
+// TestTradeoffMonotone verifies the Be-tree tradeoff shape on the DAM
+// simulator: as epsilon rises, insert transfers rise and search
+// transfers fall (weakly), matching Section 3's cache-aware analysis.
+func TestTradeoffMonotone(t *testing.T) {
+	const (
+		blockBytes = 4096
+		elemBytes  = 32
+		blockElems = blockBytes / elemBytes
+		n          = 1 << 15
+		searches   = 1 << 10
+	)
+	type point struct {
+		eps                float64
+		insertTr, searchTr float64
+	}
+	var pts []point
+	for _, eps := range []float64{0, 0.5, 1} {
+		store := dam.NewStore(blockBytes, 1<<17)
+		a := New(Options{BlockElems: blockElems, Epsilon: eps, Space: store.Space("la")})
+		seq := workload.NewRandomUnique(77)
+		for i := 0; i < n; i++ {
+			k := seq.Next()
+			a.Insert(k, k)
+		}
+		insertTr := float64(store.Transfers()) / n
+		store.DropCache()
+		store.ResetCounters()
+		probe := workload.NewRandomUnique(77)
+		for i := 0; i < searches; i++ {
+			a.Search(probe.Next())
+		}
+		searchTr := float64(store.Transfers()) / searches
+		pts = append(pts, point{eps, insertTr, searchTr})
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].insertTr < pts[i-1].insertTr*0.9 {
+			t.Errorf("insert transfers fell from %v (eps=%v) to %v (eps=%v); expected non-decreasing",
+				pts[i-1].insertTr, pts[i-1].eps, pts[i].insertTr, pts[i].eps)
+		}
+		if pts[i].searchTr > pts[i-1].searchTr*1.1 {
+			t.Errorf("search transfers rose from %v (eps=%v) to %v (eps=%v); expected non-increasing",
+				pts[i-1].searchTr, pts[i-1].eps, pts[i].searchTr, pts[i].eps)
+		}
+	}
+	t.Logf("tradeoff points: %+v", pts)
+}

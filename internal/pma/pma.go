@@ -1,0 +1,441 @@
+// Package pma implements the packed-memory array of Bender, Demaine, and
+// Farach-Colton: an array that maintains a dynamic sequence of items in
+// order, with gaps, so that an insertion or deletion costs amortized
+// O(log^2 N) element moves (O((log^2 N)/B) block transfers) and any n
+// consecutive items occupy Theta(n) contiguous slots.
+//
+// The PMA is the layout substrate of the shuttle tree: shuttle-tree nodes
+// and preallocated buffer chunks live in a PMA in van Emde Boas order,
+// and rebalances shift them while a callback lets the owner repair its
+// bidirectional pointers (Section 2's "when a node moves, it must tell
+// its children to update their parent pointers").
+//
+// Densities follow the classic calibrator-tree scheme: an implicit
+// binary tree over segments of Theta(log N) slots, with upper density
+// thresholds interpolating from tauLeaf at the leaves to tauRoot at the
+// root, and lower thresholds from rhoLeaf to rhoRoot. An insert that
+// overflows its segment walks up until a window within threshold is
+// found and spreads that window evenly; an overflowing root doubles the
+// capacity.
+package pma
+
+import (
+	"math/bits"
+
+	"repro/internal/dam"
+)
+
+// Density thresholds (classic values from the CO B-tree literature).
+const (
+	tauLeaf = 1.00 // segments may fill completely
+	tauRoot = 0.50 // the whole array stays at most half full
+	rhoLeaf = 0.10 // segments may drain to 10%
+	rhoRoot = 0.25 // the whole array stays at least quarter full
+)
+
+// minCapacity keeps the smallest PMA trivially in-threshold.
+const minCapacity = 8
+
+// Options configures a PMA.
+type Options[T any] struct {
+	// SlotBytes is the size charged to the DAM space per slot touched.
+	SlotBytes int64
+	// Space receives DAM charges; nil disables accounting.
+	Space *dam.Space
+	// OnMove is called whenever a rebalance moves a live item to a new
+	// slot, so the owner can repair references. May be nil.
+	OnMove func(v T, newIndex int)
+}
+
+// PMA is a packed-memory array holding items of type T in a caller-
+// defined total order.
+type PMA[T any] struct {
+	opt   Options[T]
+	slots []slot[T]
+	n     int
+
+	// moves counts item moves performed by rebalances (for amortized-
+	// cost tests).
+	moves uint64
+}
+
+type slot[T any] struct {
+	v    T
+	used bool
+}
+
+// New returns an empty PMA.
+func New[T any](opt Options[T]) *PMA[T] {
+	if opt.SlotBytes <= 0 {
+		opt.SlotBytes = 32
+	}
+	return &PMA[T]{opt: opt, slots: make([]slot[T], minCapacity)}
+}
+
+// Len reports the number of live items.
+func (p *PMA[T]) Len() int { return p.n }
+
+// Capacity reports the current slot count.
+func (p *PMA[T]) Capacity() int { return len(p.slots) }
+
+// Moves reports the cumulative item moves performed by rebalances.
+func (p *PMA[T]) Moves() uint64 { return p.moves }
+
+// Get returns the item at slot i and whether the slot is occupied.
+func (p *PMA[T]) Get(i int) (T, bool) {
+	var zero T
+	if i < 0 || i >= len(p.slots) || !p.slots[i].used {
+		return zero, false
+	}
+	p.chargeRead(i, 1)
+	return p.slots[i].v, true
+}
+
+// Set overwrites the item at occupied slot i in place.
+func (p *PMA[T]) Set(i int, v T) {
+	if i < 0 || i >= len(p.slots) || !p.slots[i].used {
+		panic("pma: Set on empty slot")
+	}
+	p.slots[i].v = v
+	p.chargeWrite(i, 1)
+}
+
+// segSize returns the calibrator-tree leaf segment size: the smallest
+// power of two at least log2(capacity).
+func (p *PMA[T]) segSize() int {
+	lg := bits.Len(uint(len(p.slots))) - 1
+	s := 1
+	for s < lg {
+		s <<= 1
+	}
+	if s > len(p.slots) {
+		s = len(p.slots)
+	}
+	return s
+}
+
+// height is the calibrator tree height (root depth 0).
+func (p *PMA[T]) height() int {
+	return bits.Len(uint(len(p.slots)/p.segSize())) - 1
+}
+
+// tau returns the upper density threshold for a window at depth d.
+func (p *PMA[T]) tau(d int) float64 {
+	h := p.height()
+	if h == 0 {
+		return tauLeaf
+	}
+	return tauRoot + (tauLeaf-tauRoot)*float64(d)/float64(h)
+}
+
+// rho returns the lower density threshold for a window at depth d.
+func (p *PMA[T]) rho(d int) float64 {
+	h := p.height()
+	if h == 0 {
+		return rhoLeaf
+	}
+	return rhoRoot - (rhoRoot-rhoLeaf)*float64(d)/float64(h)
+}
+
+func (p *PMA[T]) chargeRead(i, n int) {
+	if n > 0 {
+		p.opt.Space.Read(int64(i)*p.opt.SlotBytes, int64(n)*p.opt.SlotBytes)
+	}
+}
+
+func (p *PMA[T]) chargeWrite(i, n int) {
+	if n > 0 {
+		p.opt.Space.Write(int64(i)*p.opt.SlotBytes, int64(n)*p.opt.SlotBytes)
+	}
+}
+
+// count returns the occupied slots in window [lo, hi).
+func (p *PMA[T]) count(lo, hi int) int {
+	c := 0
+	for i := lo; i < hi; i++ {
+		if p.slots[i].used {
+			c++
+		}
+	}
+	return c
+}
+
+// InsertAfter inserts v immediately after the item at slot after in the
+// order; after = -1 inserts at the front. It returns the slot where v
+// landed. The caller must pass an occupied slot (or -1).
+func (p *PMA[T]) InsertAfter(after int, v T) int {
+	if after != -1 {
+		if after < 0 || after >= len(p.slots) || !p.slots[after].used {
+			panic("pma: InsertAfter on empty slot")
+		}
+	}
+	// Fast path: a free slot directly after.
+	pos := after + 1
+	if pos < len(p.slots) && !p.slots[pos].used {
+		p.slots[pos] = slot[T]{v: v, used: true}
+		p.n++
+		p.chargeWrite(pos, 1)
+		return pos
+	}
+	// Slow path: find an in-threshold window around the insertion point
+	// and rebalance it with v included.
+	return p.rebalanceInsert(after, v)
+}
+
+// rebalanceInsert grows a window around the insertion point until its
+// density (counting the new item) is within the depth's threshold, then
+// spreads the window evenly. An over-dense root doubles the array.
+func (p *PMA[T]) rebalanceInsert(after int, v T) int {
+	seg := p.segSize()
+	anchor := after
+	if anchor < 0 {
+		anchor = 0
+	}
+	lo := (anchor / seg) * seg
+	hi := lo + seg
+	d := p.height()
+	for {
+		occ := p.count(lo, hi) + 1
+		if float64(occ)/float64(hi-lo) <= p.tau(d) {
+			return p.spread(lo, hi, after, v)
+		}
+		if lo == 0 && hi == len(p.slots) {
+			break
+		}
+		// Grow to the parent window.
+		width := hi - lo
+		lo = (lo / (2 * width)) * (2 * width)
+		hi = lo + 2*width
+		if hi > len(p.slots) {
+			hi = len(p.slots)
+		}
+		d--
+		if d < 0 {
+			d = 0
+		}
+	}
+	// Root over-dense: double and spread everything.
+	after = p.grow(len(p.slots)*2, after)
+	return p.spread(0, len(p.slots), after, v)
+}
+
+// grow reallocates to newCap, leaving items packed at the front (spread
+// follows immediately). It returns the anchor's remapped slot.
+func (p *PMA[T]) grow(newCap int, after int) int {
+	old := p.slots
+	p.slots = make([]slot[T], newCap)
+	w := 0
+	newAfter := -1
+	for i := range old {
+		if old[i].used {
+			p.slots[w] = old[i]
+			if i == after {
+				newAfter = w
+			}
+			w++
+		}
+	}
+	// OnMove is deferred: spread immediately re-announces final slots.
+	p.chargeRead(0, len(old))
+	p.chargeWrite(0, w)
+	return newAfter
+}
+
+// spread redistributes the items of window [lo, hi) evenly, inserting v
+// right after the item that was at slot after (v goes first when
+// after == -1 or after lies left of the window). It returns v's slot and
+// invokes OnMove for every live item that changed slots.
+func (p *PMA[T]) spread(lo, hi int, after int, v T) int {
+	width := hi - lo
+	items := make([]T, 0, p.count(lo, hi)+1)
+	vPos := -1
+	if after < lo {
+		items = append(items, v)
+		vPos = 0
+	}
+	for i := lo; i < hi; i++ {
+		if !p.slots[i].used {
+			continue
+		}
+		items = append(items, p.slots[i].v)
+		p.slots[i].used = false
+		if i == after {
+			items = append(items, v)
+			vPos = len(items) - 1
+		}
+	}
+	if vPos < 0 {
+		// after was right of the window: impossible by construction.
+		panic("pma: insertion anchor outside rebalance window")
+	}
+	p.chargeRead(lo, width)
+	p.chargeWrite(lo, width)
+	var vSlot int
+	for idx, it := range items {
+		target := lo + idx*width/len(items)
+		// Evenly spaced targets are strictly increasing because
+		// len(items) <= width.
+		p.slots[target] = slot[T]{v: it, used: true}
+		if idx == vPos {
+			vSlot = target
+		} else if p.opt.OnMove != nil {
+			p.opt.OnMove(it, target)
+		}
+		p.moves++
+	}
+	p.n++
+	return vSlot
+}
+
+// Delete removes the item at slot i, rebalancing or shrinking when a
+// window becomes too sparse.
+func (p *PMA[T]) Delete(i int) {
+	if i < 0 || i >= len(p.slots) || !p.slots[i].used {
+		panic("pma: Delete on empty slot")
+	}
+	var zero T
+	p.slots[i] = slot[T]{v: zero}
+	p.n--
+	p.chargeWrite(i, 1)
+
+	if len(p.slots) <= minCapacity {
+		return
+	}
+	// Walk up from the leaf segment until a window within its lower
+	// threshold is found; rebalance the first under-dense window's
+	// parent... classic scheme: find the smallest window NOT under its
+	// threshold and spread it; halve if the root is under-dense.
+	seg := p.segSize()
+	lo := (i / seg) * seg
+	hi := lo + seg
+	d := p.height()
+	for {
+		occ := p.count(lo, hi)
+		if float64(occ)/float64(hi-lo) >= p.rho(d) {
+			return // in threshold; nothing to do
+		}
+		if lo == 0 && hi == len(p.slots) {
+			break
+		}
+		width := hi - lo
+		lo = (lo / (2 * width)) * (2 * width)
+		hi = lo + 2*width
+		if hi > len(p.slots) {
+			hi = len(p.slots)
+		}
+		d--
+		if d < 0 {
+			d = 0
+		}
+		// Spread the grown window if it is within threshold; this
+		// restores the child windows' densities.
+		occ = p.count(lo, hi)
+		if float64(occ)/float64(hi-lo) >= p.rho(d) {
+			p.spreadExisting(lo, hi)
+			return
+		}
+	}
+	// Root under-dense: halve (not below the minimum).
+	newCap := len(p.slots) / 2
+	if newCap < minCapacity {
+		newCap = minCapacity
+	}
+	if p.n > 0 && float64(p.n)/float64(newCap) > tauRoot {
+		return // halving would over-densify; leave as is
+	}
+	old := p.slots
+	p.slots = make([]slot[T], newCap)
+	w := 0
+	for j := range old {
+		if old[j].used {
+			p.slots[w] = old[j]
+			w++
+		}
+	}
+	p.chargeRead(0, len(old))
+	p.chargeWrite(0, w)
+	p.spreadExisting(0, len(p.slots))
+}
+
+// spreadExisting redistributes window [lo, hi) evenly without inserting.
+func (p *PMA[T]) spreadExisting(lo, hi int) {
+	width := hi - lo
+	items := make([]T, 0, width)
+	for i := lo; i < hi; i++ {
+		if p.slots[i].used {
+			items = append(items, p.slots[i].v)
+			p.slots[i].used = false
+		}
+	}
+	p.chargeRead(lo, width)
+	p.chargeWrite(lo, width)
+	for idx, it := range items {
+		target := lo + idx*width/max(len(items), 1)
+		p.slots[target] = slot[T]{v: it, used: true}
+		if p.opt.OnMove != nil {
+			p.opt.OnMove(it, target)
+		}
+		p.moves++
+	}
+}
+
+// Scan visits occupied slots in [from, to) in order, stopping early if
+// fn returns false. It charges a sequential read of the window.
+func (p *PMA[T]) Scan(from, to int, fn func(i int, v T) bool) {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(p.slots) {
+		to = len(p.slots)
+	}
+	if to > from {
+		p.chargeRead(from, to-from)
+	}
+	for i := from; i < to; i++ {
+		if p.slots[i].used {
+			if !fn(i, p.slots[i].v) {
+				return
+			}
+		}
+	}
+}
+
+// Next returns the first occupied slot at or after i, or -1.
+func (p *PMA[T]) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for ; i < len(p.slots); i++ {
+		if p.slots[i].used {
+			return i
+		}
+	}
+	return -1
+}
+
+// Prev returns the last occupied slot at or before i, or -1.
+func (p *PMA[T]) Prev(i int) int {
+	if i >= len(p.slots) {
+		i = len(p.slots) - 1
+	}
+	for ; i >= 0; i-- {
+		if p.slots[i].used {
+			return i
+		}
+	}
+	return -1
+}
+
+// CheckInvariants panics when bookkeeping is inconsistent; tests call it.
+func (p *PMA[T]) CheckInvariants() {
+	occ := p.count(0, len(p.slots))
+	if occ != p.n {
+		panic("pma: occupancy bookkeeping mismatch")
+	}
+	if len(p.slots) > minCapacity {
+		density := float64(p.n) / float64(len(p.slots))
+		if density > tauLeaf {
+			panic("pma: array over-full")
+		}
+	}
+}

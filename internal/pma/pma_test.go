@@ -1,0 +1,314 @@
+package pma
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dam"
+	"repro/internal/workload"
+)
+
+// buildSequential inserts n items in order, each after the previous.
+func buildSequential(p *PMA[int], n int) []int {
+	positions := make(map[int]int) // value -> slot
+	p.opt.OnMove = func(v, idx int) { positions[v] = idx }
+	after := -1
+	for v := 0; v < n; v++ {
+		idx := p.InsertAfter(after, v)
+		positions[v] = idx
+		after = idx
+	}
+	out := make([]int, n)
+	for v, idx := range positions {
+		out[v] = idx
+	}
+	return out
+}
+
+func TestInsertFrontAndAfter(t *testing.T) {
+	p := New[int](Options[int]{})
+	i0 := p.InsertAfter(-1, 100)
+	i1 := p.InsertAfter(i0, 200)
+	if i1 <= i0 {
+		t.Fatalf("order violated: %d then %d", i0, i1)
+	}
+	if v, ok := p.Get(i0); !ok || v != 100 {
+		t.Fatalf("Get(%d) = (%d,%v)", i0, v, ok)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestInsertAfterPanicsOnEmptySlot(t *testing.T) {
+	p := New[int](Options[int]{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	p.InsertAfter(3, 1)
+}
+
+func TestOrderPreservedSequential(t *testing.T) {
+	p := New[int](Options[int]{})
+	const n = 5000
+	buildSequential(p, n)
+	p.CheckInvariants()
+	// In-order scan must yield 0..n-1.
+	want := 0
+	p.Scan(0, p.Capacity(), func(_, v int) bool {
+		if v != want {
+			t.Fatalf("scan order: got %d, want %d", v, want)
+		}
+		want++
+		return true
+	})
+	if want != n {
+		t.Fatalf("scan yielded %d items, want %d", want, n)
+	}
+}
+
+func TestOrderPreservedRandomAnchors(t *testing.T) {
+	// Insert items at random anchors and verify the resulting order
+	// against a reference slice maintained with the same operations.
+	p := New[uint64](Options[uint64]{})
+	positions := make(map[uint64]int)
+	p.opt.OnMove = func(v uint64, idx int) { positions[v] = idx }
+	var ref []uint64
+	rng := workload.NewRNG(5)
+	for v := uint64(0); v < 3000; v++ {
+		if len(ref) == 0 {
+			idx := p.InsertAfter(-1, v)
+			positions[v] = idx
+			ref = append(ref, v)
+			continue
+		}
+		anchorOrd := rng.Intn(len(ref) + 1) // 0 = front
+		var idx int
+		if anchorOrd == 0 {
+			idx = p.InsertAfter(-1, v)
+			ref = append([]uint64{v}, ref...)
+		} else {
+			anchorVal := ref[anchorOrd-1]
+			idx = p.InsertAfter(positions[anchorVal], v)
+			ref = append(ref[:anchorOrd], append([]uint64{v}, ref[anchorOrd:]...)...)
+		}
+		positions[v] = idx
+	}
+	p.CheckInvariants()
+	i := 0
+	p.Scan(0, p.Capacity(), func(_ int, v uint64) bool {
+		if v != ref[i] {
+			t.Fatalf("position %d: got %d, want %d", i, v, ref[i])
+		}
+		i++
+		return true
+	})
+	if i != len(ref) {
+		t.Fatalf("scan yielded %d, want %d", i, len(ref))
+	}
+}
+
+func TestOnMoveKeepsPositionsCurrent(t *testing.T) {
+	p := New[int](Options[int]{})
+	positions := make(map[int]int)
+	p.opt.OnMove = func(v, idx int) { positions[v] = idx }
+	after := -1
+	for v := 0; v < 2000; v++ {
+		idx := p.InsertAfter(after, v)
+		positions[v] = idx
+		after = idx
+	}
+	for v, idx := range positions {
+		got, ok := p.Get(idx)
+		if !ok || got != v {
+			t.Fatalf("positions stale: slot %d holds (%d,%v), want %d", idx, got, ok, v)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	p := New[int](Options[int]{})
+	positions := make(map[int]int)
+	p.opt.OnMove = func(v, idx int) { positions[v] = idx }
+	after := -1
+	const n = 1000
+	for v := 0; v < n; v++ {
+		idx := p.InsertAfter(after, v)
+		positions[v] = idx
+		after = idx
+	}
+	// Delete the odd values.
+	for v := 1; v < n; v += 2 {
+		p.Delete(positions[v])
+		delete(positions, v)
+	}
+	p.CheckInvariants()
+	if p.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", p.Len(), n/2)
+	}
+	want := 0
+	p.Scan(0, p.Capacity(), func(_, v int) bool {
+		if v != want {
+			t.Fatalf("scan got %d, want %d", v, want)
+		}
+		want += 2
+		return true
+	})
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	p := New[int](Options[int]{})
+	positions := make(map[int]int)
+	p.opt.OnMove = func(v, idx int) { positions[v] = idx }
+	after := -1
+	for v := 0; v < 500; v++ {
+		idx := p.InsertAfter(after, v)
+		positions[v] = idx
+		after = idx
+	}
+	for v := 0; v < 500; v++ {
+		p.Delete(positions[v])
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", p.Len())
+	}
+	// Capacity must have shrunk substantially.
+	if p.Capacity() > 64 {
+		t.Fatalf("capacity %d did not shrink", p.Capacity())
+	}
+	idx := p.InsertAfter(-1, 42)
+	if v, ok := p.Get(idx); !ok || v != 42 {
+		t.Fatal("reuse after emptying failed")
+	}
+}
+
+func TestDeletePanicsOnEmpty(t *testing.T) {
+	p := New[int](Options[int]{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	p.Delete(0)
+}
+
+func TestGapsBounded(t *testing.T) {
+	// PMA guarantee: density stays within global thresholds, so capacity
+	// is Theta(n).
+	p := New[int](Options[int]{})
+	buildSequential(p, 10000)
+	density := float64(p.Len()) / float64(p.Capacity())
+	if density < 0.2 || density > 1.0 {
+		t.Fatalf("global density %v outside [0.2, 1.0]", density)
+	}
+}
+
+// TestAmortizedMovesPolylog verifies the PMA's defining bound: amortized
+// moves per insert are O(log^2 N).
+func TestAmortizedMovesPolylog(t *testing.T) {
+	p := New[int](Options[int]{})
+	const n = 1 << 14
+	buildSequential(p, n)
+	perInsert := float64(p.Moves()) / float64(n)
+	lg := math.Log2(float64(n))
+	bound := lg * lg // the constant is close to 1 for sequential inserts
+	if perInsert > bound {
+		t.Fatalf("amortized moves/insert = %v, want <= log^2 N = %v", perInsert, bound)
+	}
+}
+
+func TestNextPrev(t *testing.T) {
+	p := New[int](Options[int]{})
+	i0 := p.InsertAfter(-1, 1)
+	i1 := p.InsertAfter(i0, 2)
+	if got := p.Next(0); got != p.Next(i0) && got < 0 {
+		t.Fatalf("Next(0) = %d", got)
+	}
+	if got := p.Prev(p.Capacity()); got != i1 {
+		t.Fatalf("Prev(end) = %d, want %d", got, i1)
+	}
+	if got := p.Next(i1 + 1); got != -1 {
+		t.Fatalf("Next past end = %d, want -1", got)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	p := New[int](Options[int]{})
+	buildSequential(p, 100)
+	count := 0
+	p.Scan(0, p.Capacity(), func(_, _ int) bool { count++; return count < 7 })
+	if count != 7 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestDAMCharging(t *testing.T) {
+	store := dam.NewStore(4096, 1<<15)
+	p := New[int](Options[int]{SlotBytes: 32, Space: store.Space("pma")})
+	after := -1
+	for v := 0; v < 10000; v++ {
+		after = p.InsertAfter(after, v)
+	}
+	if store.Transfers() == 0 {
+		t.Fatal("no transfers recorded")
+	}
+}
+
+// TestQuickRandomOps: random interleavings of anchored inserts and
+// deletes preserve order against a reference slice.
+func TestQuickRandomOps(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		if len(ops) > 400 {
+			ops = ops[:400]
+		}
+		p := New[uint64](Options[uint64]{})
+		positions := make(map[uint64]int)
+		p.opt.OnMove = func(v uint64, idx int) { positions[v] = idx }
+		var ref []uint64
+		next := uint64(1)
+		rng := workload.NewRNG(seed)
+		for _, op := range ops {
+			if op%3 != 0 || len(ref) == 0 { // insert (2/3 bias)
+				v := next
+				next++
+				ord := rng.Intn(len(ref) + 1)
+				var idx int
+				if ord == 0 {
+					idx = p.InsertAfter(-1, v)
+					ref = append([]uint64{v}, ref...)
+				} else {
+					idx = p.InsertAfter(positions[ref[ord-1]], v)
+					ref = append(ref[:ord], append([]uint64{v}, ref[ord:]...)...)
+				}
+				positions[v] = idx
+			} else { // delete
+				ord := rng.Intn(len(ref))
+				v := ref[ord]
+				p.Delete(positions[v])
+				delete(positions, v)
+				ref = append(ref[:ord], ref[ord+1:]...)
+			}
+		}
+		p.CheckInvariants()
+		if p.Len() != len(ref) {
+			return false
+		}
+		i := 0
+		ok := true
+		p.Scan(0, p.Capacity(), func(_ int, v uint64) bool {
+			if i >= len(ref) || v != ref[i] {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok && i == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package shuttle implements the shuttle tree of Section 2: a strongly
+// weight-balanced search tree whose child pointers carry linked lists of
+// buffers with doubly-exponentially increasing sizes, laid out in memory
+// by a Fibonacci-split van Emde Boas recursion and embedded in a
+// packed-memory array.
+//
+// Scale adaptation (documented in DESIGN.md): with the paper's
+// buffer-height-index function H(j) = j - ceil(2 log_phi j), buffers
+// first appear at Fibonacci factors F_12 = 144, i.e. on trees far beyond
+// laptop scale. The implementation therefore defaults to a scaled index
+// H(j) = max(1, j-2), which preserves the mechanism (geometrically
+// growing buffer lists tied to Fibonacci factors, layout recursion
+// alignment) at experiment sizes; the paper-exact function is available
+// as PaperH and used by the asymptotic unit tests.
+package shuttle
+
+import "math"
+
+// fibs holds Fibonacci numbers F_0 = 0, F_1 = 1, F_2 = 1, F_3 = 2, ...
+// out to beyond any height reachable in practice.
+var fibs = func() []int {
+	f := make([]int, 64)
+	f[0], f[1] = 0, 1
+	for i := 2; i < len(f); i++ {
+		f[i] = f[i-1] + f[i-2]
+	}
+	return f
+}()
+
+// Fib returns the kth Fibonacci number F_k.
+func Fib(k int) int {
+	if k < 0 || k >= len(fibs) {
+		panic("shuttle: Fibonacci index out of range")
+	}
+	return fibs[k]
+}
+
+// fibIndexAtMost returns the largest k with F_k <= h (h >= 1), preferring
+// the larger index for the duplicated value 1 (F_2).
+func fibIndexAtMost(h int) int {
+	k := 2
+	for k+1 < len(fibs) && fibs[k+1] <= h {
+		k++
+	}
+	return k
+}
+
+// LargestFibBelow returns the largest Fibonacci number strictly smaller
+// than h, used by the layout recursion's split rule. h must exceed 1.
+func LargestFibBelow(h int) int {
+	if h <= 1 {
+		panic("shuttle: no Fibonacci number below h")
+	}
+	k := fibIndexAtMost(h - 1)
+	return fibs[k]
+}
+
+// FibFactor computes the Fibonacci factor x(h) of Section 2: if h is a
+// Fibonacci number then x(h) = h; otherwise x(h) = x(h - f) for f the
+// largest Fibonacci number less than h.
+func FibFactor(h int) int {
+	if h < 1 {
+		panic("shuttle: Fibonacci factor of non-positive height")
+	}
+	for {
+		k := fibIndexAtMost(h)
+		if fibs[k] == h {
+			return h
+		}
+		h -= fibs[k]
+	}
+}
+
+// fibIndexOf returns k such that F_k = v for a Fibonacci value v >= 1
+// (returning the larger index 2 for v = 1, matching x(h)'s use).
+func fibIndexOf(v int) int {
+	for k := 2; k < len(fibs); k++ {
+		if fibs[k] == v {
+			return k
+		}
+	}
+	panic("shuttle: not a Fibonacci value")
+}
+
+// PaperH is the paper's buffer-height-index function
+// H(j) = j - ceil(2 log_phi j); buffer heights are F_{H(j)}.
+func PaperH(j int) int {
+	if j < 1 {
+		panic("shuttle: H of non-positive index")
+	}
+	phi := (1 + math.Sqrt(5)) / 2
+	return j - int(math.Ceil(2*math.Log(float64(j))/math.Log(phi)))
+}
+
+// ScaledH is the laptop-scale substitute: H(j) = max(1, j-2), keeping
+// buffer heights strictly below the Fibonacci factor's index while
+// letting buffers appear on trees of realistic height.
+func ScaledH(j int) int {
+	if j-2 < 1 {
+		return 1
+	}
+	return j - 2
+}
+
+// BufferHeights lists the buffer heights of a node whose CHILD has
+// height h (the node itself sits at height h+1): for k with
+// F_k = x(h), heights F_{H(j)} for j = j0..k, deduplicated and
+// ascending. hFunc selects the buffer-height-index function.
+func BufferHeights(h int, hFunc func(int) int) []int {
+	if h < 1 {
+		return nil
+	}
+	k := fibIndexOf(FibFactor(h))
+	var out []int
+	seen := make(map[int]bool)
+	for j := 3; j <= k; j++ {
+		hj := hFunc(j)
+		if hj < 1 || hj >= len(fibs) {
+			continue
+		}
+		bh := fibs[hj]
+		if bh < 1 || seen[bh] {
+			continue
+		}
+		seen[bh] = true
+		out = append(out, bh)
+	}
+	// Heights from increasing j are nondecreasing for both H functions;
+	// dedup above leaves them ascending.
+	return out
+}

@@ -1,0 +1,183 @@
+package shuttle
+
+import (
+	"testing"
+
+	"repro/internal/dam"
+	"repro/internal/workload"
+)
+
+// TestPaperHTreeDegeneratesGracefully: with the paper-exact H function,
+// no buffer appears below Fibonacci factor F_12 = 144, so at laptop
+// scale the shuttle tree must behave exactly like its SWBST skeleton —
+// and still be fully correct.
+func TestPaperHTreeDegeneratesGracefully(t *testing.T) {
+	tr := New(Options{Fanout: 4, HFunc: PaperH})
+	const n = 1 << 12
+	seq := workload.NewRandomUnique(101)
+	keys := workload.Take(seq, n)
+	for _, k := range keys {
+		tr.Insert(k, k+1)
+	}
+	if tr.BufferedCount() != 0 {
+		t.Fatalf("paper-H tree buffered %d elements at height %d; F_12 = 144 is unreachable",
+			tr.BufferedCount(), tr.Height())
+	}
+	for _, k := range keys {
+		if v, ok := tr.Search(k); !ok || v != k+1 {
+			t.Fatalf("Search(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	tr.CheckInvariants()
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+// TestScaledVsPaperAgree: the two H functions must give identical query
+// results; they differ only in buffering (and hence I/O profile).
+func TestScaledVsPaperAgree(t *testing.T) {
+	a := New(Options{Fanout: 4, HFunc: ScaledH})
+	b := New(Options{Fanout: 4, HFunc: PaperH})
+	seq := workload.NewRandomUnique(103)
+	const n = 1 << 12
+	for i := 0; i < n; i++ {
+		k := seq.Next()
+		a.Insert(k, k^7)
+		b.Insert(k, k^7)
+	}
+	probe := workload.NewRandomUnique(104)
+	for i := 0; i < 2000; i++ {
+		p := probe.Next()
+		v1, ok1 := a.Search(p)
+		v2, ok2 := b.Search(p)
+		if ok1 != ok2 || v1 != v2 {
+			t.Fatalf("H functions disagree on Search(%d): (%d,%v) vs (%d,%v)", p, v1, ok1, v2, ok2)
+		}
+	}
+}
+
+// TestFibFactorAlwaysFibonacci: x(h) bottoms out at a Fibonacci value
+// for every h, the property Lemma 3's bookkeeping rests on.
+func TestFibFactorAlwaysFibonacci(t *testing.T) {
+	isFib := make(map[int]bool)
+	for k := 1; k < 25; k++ {
+		isFib[Fib(k)] = true
+	}
+	for h := 1; h < 2000; h++ {
+		if !isFib[FibFactor(h)] {
+			t.Fatalf("FibFactor(%d) = %d is not a Fibonacci number", h, FibFactor(h))
+		}
+	}
+}
+
+// TestFibFactorRecurrence: x(h) = x(h - F) for the largest Fibonacci
+// F < h, verified directly against the definition.
+func TestFibFactorRecurrence(t *testing.T) {
+	for h := 2; h < 1000; h++ {
+		isFibH := false
+		for k := 1; k < 30; k++ {
+			if Fib(k) == h {
+				isFibH = true
+				break
+			}
+		}
+		if isFibH {
+			if FibFactor(h) != h {
+				t.Fatalf("FibFactor(%d) = %d, want %d (Fibonacci fixed point)", h, FibFactor(h), h)
+			}
+			continue
+		}
+		f := LargestFibBelow(h)
+		if FibFactor(h) != FibFactor(h-f) {
+			t.Fatalf("FibFactor(%d) = %d != FibFactor(%d) = %d", h, FibFactor(h), h-f, FibFactor(h-f))
+		}
+	}
+}
+
+// TestVEBOrderStaticShape: on a perfect small tree, the vEB order must
+// start at the root and place each leaf's smallest buffers adjacent to
+// regions containing the leaf.
+func TestVEBOrderStaticShape(t *testing.T) {
+	tr := New(Options{Fanout: 4})
+	seq := workload.NewRandomUnique(105)
+	for i := 0; i < 1<<10; i++ {
+		k := seq.Next()
+		tr.Insert(k, k)
+	}
+	order := tr.lay.vebOrder()
+	if len(order) == 0 {
+		t.Fatal("empty vEB order")
+	}
+	if order[0].nd == nil {
+		t.Fatal("vEB order must start with a node (the recursion's top)")
+	}
+	// Node items must appear root-before-descendants within each
+	// root-chain: specifically the skeleton root must precede all of its
+	// children.
+	rootPos := -1
+	childPos := make(map[*swbstNode]int)
+	for i, it := range order {
+		if it.nd == tr.Skeleton().Root() {
+			rootPos = i
+		}
+		if it.nd != nil {
+			childPos[it.nd] = i
+		}
+	}
+	if rootPos < 0 {
+		t.Fatal("root missing from order")
+	}
+	for _, ch := range tr.Skeleton().Root().Children {
+		if p, ok := childPos[ch]; !ok || p < rootPos {
+			t.Fatalf("child at order %d precedes root at %d", p, rootPos)
+		}
+	}
+}
+
+// TestCOBTreeBaseline: buffering disabled means no element is ever
+// buffered, queries still work, and — the §2 claim — at large B the
+// buffered shuttle tree inserts with fewer transfers than the CO B-tree
+// while searching within a constant factor.
+func TestCOBTreeBaseline(t *testing.T) {
+	const n = 1 << 13
+	cob := NewCOBTree(8, nil)
+	seq := workload.NewRandomUnique(111)
+	keys := workload.Take(seq, n)
+	for _, k := range keys {
+		cob.Insert(k, k^1)
+	}
+	if cob.BufferedCount() != 0 {
+		t.Fatalf("CO B-tree buffered %d elements", cob.BufferedCount())
+	}
+	for _, k := range keys[:512] {
+		if v, ok := cob.Search(k); !ok || v != k^1 {
+			t.Fatalf("Search(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+
+	// Transfer comparison at a large block size (32 KiB) in the
+	// out-of-core regime (1 MiB cache, 2^15 elements): buffers must cut
+	// insert transfers below the unbuffered baseline.
+	const big = 1 << 15
+	run := func(buffered bool) float64 {
+		store := dam.NewStore(1<<15, 1<<20)
+		var tr *Tree
+		if buffered {
+			tr = New(Options{Fanout: 8, Space: store.Space("s")})
+		} else {
+			tr = NewCOBTree(8, store.Space("s"))
+		}
+		s := workload.NewRandomUnique(112)
+		for i := 0; i < big; i++ {
+			k := s.Next()
+			tr.Insert(k, k)
+		}
+		return float64(store.Transfers()) / float64(big)
+	}
+	shuttleT := run(true)
+	cobT := run(false)
+	if shuttleT >= cobT {
+		t.Fatalf("at B=64KiB shuttle insert transfers (%v) not below CO B-tree (%v)", shuttleT, cobT)
+	}
+}

@@ -1,0 +1,543 @@
+package shuttle
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dam"
+	"repro/internal/swbst"
+)
+
+// Options configures a shuttle tree.
+type Options struct {
+	// Fanout is the SWBST balance parameter c (node degrees Theta(c)).
+	// Must be at least 4.
+	Fanout int
+	// HFunc is the buffer-height-index function; nil selects ScaledH
+	// (see the package comment). Use PaperH for the paper's exact
+	// function.
+	HFunc func(int) int
+	// Space receives DAM charges through the van Emde Boas layout; nil
+	// disables accounting.
+	Space *dam.Space
+	// RelayoutEvery rebuilds the exact vEB layout after this many node
+	// splits (amortizing the incremental placement drift). Zero selects
+	// a default of 1024; negative disables rebuilds.
+	RelayoutEvery int
+}
+
+// Tree is a shuttle tree: an SWBST skeleton whose child pointers carry
+// lists of geometrically growing buffers, all laid out in vEB order.
+//
+// The dictionary supports Insert, Search, and Range (the paper's scope;
+// no deletes). Len is exact for distinct-key workloads and after
+// FlushAll.
+type Tree struct {
+	opt      Options
+	skel     *swbst.Tree
+	buffered int // elements currently in buffers
+	stats    core.Stats
+	lay      *layout
+}
+
+// aux is the shuttle-tree state hung off each internal skeleton node.
+type aux struct {
+	// bufs[i] is the buffer list of child i, smallest (newest) first.
+	bufs [][]*buffer
+	// slot is the node's position in the layout PMA.
+	slot int
+}
+
+// buffer is one buffer in a child pointer's linked list: a sorted slab
+// standing in for a height-bounded recursive shuttle tree (at laptop
+// scale such trees have no buffers of their own, so a sorted slab is the
+// same structure). Capacity is c^height, preallocated as a single layout
+// chunk per Section 2's "a buffer is allocated as a single chunk C in
+// the PMA".
+type buffer struct {
+	items  []core.Element // sorted by key, distinct
+	cap    int
+	height int // the F_H(j) that sized this buffer
+	slot   int // layout PMA slot of the chunk
+}
+
+var _ core.Dictionary = (*Tree)(nil)
+
+// NoBuffers is an HFunc yielding no buffers at any height: the resulting
+// structure is a strongly weight-balanced tree in a vEB layout embedded
+// in a PMA — precisely the cache-oblivious B-tree of Bender, Demaine,
+// and Farach-Colton that Section 1 positions the shuttle tree against
+// ("retains the asymptotic search cost of the CO B-tree while improving
+// the insert cost"). Use NewCOBTree for the packaged constructor.
+func NoBuffers(int) int { return 0 }
+
+// NewCOBTree returns the CO-B-tree baseline: the shuttle machinery with
+// buffering disabled, so every insert goes straight to its leaf
+// (amortized O(log_{B+1} N + (log^2 N)/B) transfers) and searches cost
+// O(log_{B+1} N) like the shuttle tree's.
+func NewCOBTree(fanout int, space *dam.Space) *Tree {
+	return New(Options{Fanout: fanout, HFunc: NoBuffers, Space: space})
+}
+
+// New returns an empty shuttle tree.
+func New(opt Options) *Tree {
+	if opt.Fanout < 4 {
+		panic("shuttle: fanout must be at least 4")
+	}
+	if opt.HFunc == nil {
+		opt.HFunc = ScaledH
+	}
+	if opt.RelayoutEvery == 0 {
+		opt.RelayoutEvery = 1024
+	}
+	t := &Tree{opt: opt, skel: swbst.New(swbst.Options{Fanout: opt.Fanout})}
+	t.lay = newLayout(t)
+	return t
+}
+
+// Fanout reports the balance parameter c.
+func (t *Tree) Fanout() int { return t.opt.Fanout }
+
+// Height reports the skeleton height.
+func (t *Tree) Height() int { return t.skel.Height() }
+
+// Len implements core.Dictionary.
+func (t *Tree) Len() int { return t.skel.Len() + t.buffered }
+
+// Stats implements core.Statser.
+func (t *Tree) Stats() core.Stats { return t.stats }
+
+// auxOf returns (creating on demand) the shuttle state of internal node
+// nd, whose children sit at height h-1 for node height h.
+func (t *Tree) auxOf(nd *swbst.Node) *aux {
+	if nd.Aux == nil {
+		nd.Aux = &aux{slot: -1}
+	}
+	return nd.Aux.(*aux)
+}
+
+// bufferListFor builds the buffer list shape for a child at height h:
+// one buffer per height in BufferHeights(h), capacity c^height each.
+func (t *Tree) bufferListFor(h int) []*buffer {
+	heights := BufferHeights(h, t.opt.HFunc)
+	out := make([]*buffer, 0, len(heights))
+	for _, bh := range heights {
+		capacity := 1
+		for i := 0; i < bh; i++ {
+			capacity *= t.opt.Fanout
+		}
+		out = append(out, &buffer{cap: capacity, height: bh, slot: -1})
+	}
+	return out
+}
+
+// ensureBufs makes sure internal node nd (at height h) has a buffer list
+// per child.
+func (t *Tree) ensureBufs(nd *swbst.Node, h int) *aux {
+	a := t.auxOf(nd)
+	for len(a.bufs) < len(nd.Children) {
+		bl := t.bufferListFor(h - 1)
+		a.bufs = append(a.bufs, bl)
+		t.lay.placeBuffers(nd, bl)
+	}
+	return a
+}
+
+// Insert implements core.Dictionary: the element starts at the root and
+// pauses in buffers on the way down, getting shuttled when they overflow.
+func (t *Tree) Insert(key, value uint64) {
+	t.stats.Inserts++
+	root := t.skel.Root()
+	if root == nil || root.Leaf {
+		t.leafInsert(core.Element{Key: key, Value: value})
+		return
+	}
+	t.insertAt(root, t.skel.Height(), core.Element{Key: key, Value: value})
+	t.maybeRelayout()
+}
+
+// insertAt inserts e below internal node nd (at height h): into the
+// smallest buffer of the appropriate child pointer, or directly into the
+// child when the list is empty.
+func (t *Tree) insertAt(nd *swbst.Node, h int, e core.Element) {
+	ci := childIdx(nd.Pivots, e.Key)
+	a := t.ensureBufs(nd, h)
+	t.lay.chargeNode(nd)
+	if len(a.bufs[ci]) == 0 {
+		t.descend(nd, h, e)
+		return
+	}
+	t.bufferInsert(nd, h, ci, 0, e)
+}
+
+// descend bypasses buffers: route e into the child (recomputed fresh, so
+// splits during a drain cannot misroute).
+func (t *Tree) descend(nd *swbst.Node, h int, e core.Element) {
+	ci := childIdx(nd.Pivots, e.Key)
+	child := nd.Children[ci]
+	if child.Leaf {
+		t.leafInsert(e)
+		return
+	}
+	t.insertAt(child, h-1, e)
+}
+
+// bufferInsert puts e into buffer bi of child ci's list, cascading
+// overflow into the next buffer and finally into the child node.
+func (t *Tree) bufferInsert(nd *swbst.Node, h, ci, bi int, e core.Element) {
+	a := t.auxOf(nd)
+	b := a.bufs[ci][bi]
+	// Sorted insert with replace-on-duplicate (the slab stands for a
+	// small shuttle tree with update semantics).
+	i := sort.Search(len(b.items), func(i int) bool { return b.items[i].Key >= e.Key })
+	t.lay.chargeBufferProbe(b, i)
+	if i < len(b.items) && b.items[i].Key == e.Key {
+		b.items[i] = e
+		t.lay.chargeBufferWrite(b, i, 1)
+		return
+	}
+	b.items = append(b.items, core.Element{})
+	copy(b.items[i+1:], b.items[i:])
+	b.items[i] = e
+	t.buffered++
+	t.lay.chargeBufferWrite(b, i, len(b.items)-i)
+
+	if len(b.items) <= b.cap {
+		return
+	}
+	// Overflow: shuttle every item onward. The list may have been
+	// rebuilt by splits triggered mid-drain, so re-fetch it per item via
+	// the routing helpers.
+	items := b.items
+	b.items = nil
+	t.buffered -= len(items)
+	t.stats.Moves += uint64(len(items))
+	t.lay.chargeBufferScan(b)
+	for _, it := range items {
+		t.shuttleOnward(nd, h, bi, it)
+	}
+}
+
+// shuttleOnward moves an overflowed item to the next buffer of its
+// (re-resolved) child list, or into the child node after the last.
+func (t *Tree) shuttleOnward(nd *swbst.Node, h, fromBi int, e core.Element) {
+	ci := childIdx(nd.Pivots, e.Key)
+	a := t.ensureBufs(nd, h)
+	if fromBi+1 < len(a.bufs[ci]) {
+		t.bufferInsert(nd, h, ci, fromBi+1, e)
+		return
+	}
+	t.descend(nd, h, e)
+}
+
+// leafInsert sends e to its skeleton leaf, letting SWBST splits trickle
+// up; the split hook maintains buffer lists and the layout.
+func (t *Tree) leafInsert(e core.Element) {
+	t.skel.InsertWithHooks(e.Key, e.Value, t.splitHook)
+}
+
+// splitHook maintains shuttle state when skeleton node old splits into
+// (old, sib) at the given height.
+func (t *Tree) splitHook(old, sib *swbst.Node, height int) {
+	t.stats.Moves++ // count restructuring events
+	if !old.Leaf {
+		// The children that moved to sib carry their buffer lists.
+		oa := t.auxOf(old)
+		sa := t.auxOf(sib)
+		keep := len(old.Children)
+		if keep > len(oa.bufs) {
+			keep = len(oa.bufs)
+		}
+		sa.bufs = append(sa.bufs, oa.bufs[keep:]...)
+		oa.bufs = oa.bufs[:keep]
+	}
+	// The parent gains a child entry: give sib its own (preallocated)
+	// buffer list and partition old's buffered items by the separator.
+	parent := old.Parent
+	if parent == nil {
+		return
+	}
+	pa := t.auxOf(parent)
+	ci := -1
+	for i, ch := range parent.Children {
+		if ch == old {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 || ci+1 >= len(parent.Children) || parent.Children[ci+1] != sib {
+		panic("shuttle: split hook cannot locate the new sibling")
+	}
+	// Fill any missing lists up to (but not including) the new sibling's
+	// position; a freshly created root starts with none, and sib's list
+	// is inserted explicitly below.
+	for len(pa.bufs) < ci+1 {
+		bl := t.bufferListFor(height)
+		pa.bufs = append(pa.bufs, bl)
+		t.lay.placeBuffers(parent, bl)
+	}
+	sep := parent.Pivots[ci]
+	newList := t.bufferListFor(height)
+	t.lay.placeSibling(old, sib, newList)
+	// Partition each of old's buffers: items > sep move to sib's list.
+	oldList := pa.bufs[ci]
+	for bi, b := range oldList {
+		if len(b.items) == 0 || bi >= len(newList) {
+			continue
+		}
+		cut := sort.Search(len(b.items), func(i int) bool { return b.items[i].Key > sep })
+		if cut < len(b.items) {
+			newList[bi].items = append(newList[bi].items, b.items[cut:]...)
+			b.items = b.items[:cut]
+			t.lay.chargeBufferScan(b)
+			t.lay.chargeBufferScan(newList[bi])
+		}
+	}
+	pa.bufs = append(pa.bufs, nil)
+	copy(pa.bufs[ci+2:], pa.bufs[ci+1:])
+	pa.bufs[ci+1] = newList
+}
+
+// maybeRelayout rebuilds the exact vEB layout after enough splits.
+func (t *Tree) maybeRelayout() {
+	if t.opt.RelayoutEvery <= 0 {
+		return
+	}
+	if t.skel.Splits()-t.lay.lastRebuildSplits >= uint64(t.opt.RelayoutEvery) {
+		t.lay.rebuild()
+	}
+}
+
+// Search implements core.Dictionary: descend the root-to-leaf path,
+// checking each child pointer's buffers smallest (newest) to largest.
+func (t *Tree) Search(key uint64) (uint64, bool) {
+	t.stats.Searches++
+	nd := t.skel.Root()
+	if nd == nil {
+		return 0, false
+	}
+	for !nd.Leaf {
+		t.lay.chargeNode(nd)
+		ci := childIdx(nd.Pivots, key)
+		if a, ok := nd.Aux.(*aux); ok && ci < len(a.bufs) {
+			for _, b := range a.bufs[ci] {
+				if len(b.items) == 0 {
+					continue
+				}
+				i := sort.Search(len(b.items), func(i int) bool { return b.items[i].Key >= key })
+				t.lay.chargeBufferProbe(b, i)
+				if i < len(b.items) && b.items[i].Key == key {
+					return b.items[i].Value, true
+				}
+			}
+		}
+		nd = nd.Children[ci]
+	}
+	t.lay.chargeNode(nd)
+	i := sort.Search(len(nd.Elems), func(i int) bool { return nd.Elems[i].Key >= key })
+	if i < len(nd.Elems) && nd.Elems[i].Key == key {
+		return nd.Elems[i].Value, true
+	}
+	return 0, false
+}
+
+func childIdx(pivots []uint64, key uint64) int {
+	return sort.Search(len(pivots), func(i int) bool { return pivots[i] >= key })
+}
+
+// Range implements core.Dictionary: collect the overlapping leaves and
+// every buffer on paths into the range, resolving duplicates newest-wins
+// (a shallower buffer is newer; within one path, the smaller buffer
+// index is newer).
+func (t *Tree) Range(lo, hi uint64, fn func(core.Element) bool) {
+	root := t.skel.Root()
+	if root == nil {
+		return
+	}
+	type prio struct {
+		e    core.Element
+		rank int // smaller = newer
+	}
+	resolved := make(map[uint64]prio)
+	var walk func(nd *swbst.Node, depth int)
+	walk = func(nd *swbst.Node, depth int) {
+		t.lay.chargeNode(nd)
+		if nd.Leaf {
+			i := sort.Search(len(nd.Elems), func(i int) bool { return nd.Elems[i].Key >= lo })
+			for ; i < len(nd.Elems) && nd.Elems[i].Key <= hi; i++ {
+				e := nd.Elems[i]
+				if prev, ok := resolved[e.Key]; !ok || 1<<30 < prev.rank {
+					// Leaves are the oldest layer (rank max).
+					if !ok {
+						resolved[e.Key] = prio{e: e, rank: 1 << 30}
+					}
+				}
+			}
+			return
+		}
+		a, hasAux := nd.Aux.(*aux)
+		childLo := uint64(0)
+		for c, ch := range nd.Children {
+			childHi := ^uint64(0)
+			if c < len(nd.Pivots) {
+				childHi = nd.Pivots[c]
+			}
+			if childLo <= hi && childHi >= lo {
+				if hasAux && c < len(a.bufs) {
+					for bi, b := range a.bufs[c] {
+						t.lay.chargeBufferScan(b)
+						rank := depth*16 + bi
+						i := sort.Search(len(b.items), func(i int) bool { return b.items[i].Key >= lo })
+						for ; i < len(b.items) && b.items[i].Key <= hi; i++ {
+							e := b.items[i]
+							if prev, ok := resolved[e.Key]; !ok || rank < prev.rank {
+								resolved[e.Key] = prio{e: e, rank: rank}
+							}
+						}
+					}
+				}
+				walk(ch, depth+1)
+			}
+			if c < len(nd.Pivots) {
+				if nd.Pivots[c] == ^uint64(0) {
+					break
+				}
+				childLo = nd.Pivots[c] + 1
+			}
+		}
+	}
+	walk(root, 0)
+
+	keys := make([]uint64, 0, len(resolved))
+	for k := range resolved {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if !fn(resolved[k].e) {
+			return
+		}
+	}
+}
+
+// FlushAll drains every buffer to the leaves, making Len exact.
+func (t *Tree) FlushAll() {
+	root := t.skel.Root()
+	if root == nil || root.Leaf {
+		return
+	}
+	// Draining can trigger leaf inserts, splits, and buffer-list
+	// restructuring; drain one buffer at a time and restart the walk so
+	// iteration never races the mutation. Drain deepest-first (children
+	// before the node, larger buffer indices before smaller) so older
+	// copies reach the leaves before the newer copies that must
+	// overwrite them — descendFlush bypasses intermediate buffers, so
+	// shallow-first draining would let stale values land last.
+	for {
+		var walk func(nd *swbst.Node) bool
+		walk = func(nd *swbst.Node) bool {
+			if nd.Leaf {
+				return false
+			}
+			for _, ch := range nd.Children {
+				if walk(ch) {
+					return true
+				}
+			}
+			if a, ok := nd.Aux.(*aux); ok {
+				for ci := range a.bufs {
+					for bi := len(a.bufs[ci]) - 1; bi >= 0; bi-- {
+						b := a.bufs[ci][bi]
+						if len(b.items) == 0 {
+							continue
+						}
+						items := b.items
+						b.items = nil
+						t.buffered -= len(items)
+						for _, it := range items {
+							t.descendFlush(nd, it)
+						}
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if !walk(t.skel.Root()) {
+			return
+		}
+	}
+}
+
+// descendFlush routes an item to its leaf directly (used by FlushAll).
+func (t *Tree) descendFlush(nd *swbst.Node, e core.Element) {
+	ci := childIdx(nd.Pivots, e.Key)
+	child := nd.Children[ci]
+	if child.Leaf {
+		t.leafInsert(e)
+		return
+	}
+	t.descendFlush(child, e)
+}
+
+// Skeleton exposes the underlying SWBST for tests.
+func (t *Tree) Skeleton() *swbst.Tree { return t.skel }
+
+// BufferedCount reports how many elements currently sit in buffers.
+func (t *Tree) BufferedCount() int { return t.buffered }
+
+// CheckInvariants validates shuttle-specific invariants on top of the
+// skeleton's: buffer list shapes match child heights, buffered items lie
+// within their child pointer's key range, and slabs are sorted.
+func (t *Tree) CheckInvariants() {
+	t.skel.CheckInvariants(true)
+	root := t.skel.Root()
+	if root == nil {
+		return
+	}
+	h := t.skel.Height()
+	var walk func(nd *swbst.Node, height int, lo, hi uint64)
+	walk = func(nd *swbst.Node, height int, lo, hi uint64) {
+		if nd.Leaf {
+			return
+		}
+		a, ok := nd.Aux.(*aux)
+		if ok && len(a.bufs) > len(nd.Children) {
+			panic("shuttle: more buffer lists than children")
+		}
+		childLo := lo
+		for c, ch := range nd.Children {
+			childHi := hi
+			if c < len(nd.Pivots) {
+				childHi = nd.Pivots[c]
+			}
+			if ok && c < len(a.bufs) {
+				want := BufferHeights(height-1, t.opt.HFunc)
+				if len(a.bufs[c]) != len(want) {
+					panic("shuttle: buffer list shape mismatch")
+				}
+				for bi, b := range a.bufs[c] {
+					if b.height != want[bi] {
+						panic("shuttle: buffer height mismatch")
+					}
+					if len(b.items) > b.cap {
+						panic("shuttle: buffer over capacity")
+					}
+					for i, e := range b.items {
+						if e.Key < childLo || e.Key > childHi {
+							panic("shuttle: buffered item outside child range")
+						}
+						if i > 0 && b.items[i-1].Key >= e.Key {
+							panic("shuttle: buffer slab out of order")
+						}
+					}
+				}
+			}
+			walk(ch, height-1, childLo, childHi)
+			if c < len(nd.Pivots) {
+				childLo = nd.Pivots[c] + 1
+			}
+		}
+	}
+	walk(root, h, 0, ^uint64(0))
+}

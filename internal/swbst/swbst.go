@@ -1,0 +1,395 @@
+// Package swbst implements a strongly weight-balanced search tree
+// (Arge–Vitter style), the skeleton of the shuttle tree: a multiway tree
+// with all leaves at the same depth maintaining, for fanout parameter
+// c > 1 and every node v, weight w(v) = Theta(c^h(v)).
+//
+// The balancing routine is exactly Section 2's: insert at a leaf; when a
+// node's weight exceeds its threshold, split it into two nodes dividing
+// the children as evenly as possible, trickling up to the root. Lemma 1's
+// consequences (degree Theta(c), descendant counts, amortized split
+// costs) hold by construction and are verified by the package tests.
+package swbst
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Options configures a Tree.
+type Options struct {
+	// Fanout is the balance parameter c; node degrees vary between
+	// Theta(c) bounds. Must be at least 4.
+	Fanout int
+}
+
+// Tree is a strongly weight-balanced search tree. Elements live in the
+// leaves; internal nodes route by pivot keys.
+type Tree struct {
+	c      int
+	root   *Node
+	height int
+	n      int
+	splits uint64
+}
+
+// Node is exported so the shuttle tree can reuse the skeleton while
+// attaching buffers to child pointers.
+type Node struct {
+	Leaf     bool
+	Parent   *Node
+	Pivots   []uint64 // len = len(Children)-1; child i holds keys <= Pivots[i]
+	Children []*Node
+	Weight   int            // leaves: len(Elems); internal: sum of child weights + 1
+	Elems    []core.Element // leaf payload, sorted by key
+
+	// Aux lets embedding structures (the shuttle tree) hang per-node
+	// state (buffer lists, layout slots) off skeleton nodes.
+	Aux any
+}
+
+var _ core.Dictionary = (*Tree)(nil)
+
+// New returns an empty tree.
+func New(opt Options) *Tree {
+	if opt.Fanout < 4 {
+		panic("swbst: fanout must be at least 4")
+	}
+	return &Tree{c: opt.Fanout}
+}
+
+// Fanout reports the balance parameter c.
+func (t *Tree) Fanout() int { return t.c }
+
+// Len implements core.Dictionary.
+func (t *Tree) Len() int { return t.n }
+
+// Height reports the tree height (leaves at height 1; 0 when empty).
+func (t *Tree) Height() int { return t.height }
+
+// Root exposes the root node for embedders and tests.
+func (t *Tree) Root() *Node { return t.root }
+
+// Splits reports the number of node splits performed.
+func (t *Tree) Splits() uint64 { return t.splits }
+
+// maxWeight is the split threshold for a node at height h: 2c^h.
+func (t *Tree) maxWeight(h int) int {
+	w := 2
+	for i := 0; i < h; i++ {
+		w *= t.c
+	}
+	return w
+}
+
+// Search implements core.Dictionary.
+func (t *Tree) Search(key uint64) (uint64, bool) {
+	nd := t.root
+	if nd == nil {
+		return 0, false
+	}
+	for !nd.Leaf {
+		nd = nd.Children[childIndex(nd.Pivots, key)]
+	}
+	i := sort.Search(len(nd.Elems), func(i int) bool { return nd.Elems[i].Key >= key })
+	if i < len(nd.Elems) && nd.Elems[i].Key == key {
+		return nd.Elems[i].Value, true
+	}
+	return 0, false
+}
+
+func childIndex(pivots []uint64, key uint64) int {
+	return sort.Search(len(pivots), func(i int) bool { return pivots[i] >= key })
+}
+
+// Insert implements core.Dictionary with update semantics. It returns
+// after rebalancing; embedders needing split notifications use
+// InsertWithHooks.
+func (t *Tree) Insert(key, value uint64) {
+	t.InsertWithHooks(key, value, nil)
+}
+
+// SplitHook observes skeleton restructuring: it runs after old split
+// into (old, sibling), where sibling is the newly created right node at
+// the same height.
+type SplitHook func(old, sibling *Node, height int)
+
+// InsertWithHooks inserts and invokes hook for every split performed.
+func (t *Tree) InsertWithHooks(key, value uint64, hook SplitHook) {
+	if t.root == nil {
+		t.root = &Node{Leaf: true}
+		t.height = 1
+	}
+	// Descend to the leaf, stacking the path.
+	path := make([]*Node, 0, t.height)
+	nd := t.root
+	for {
+		path = append(path, nd)
+		if nd.Leaf {
+			break
+		}
+		nd = nd.Children[childIndex(nd.Pivots, key)]
+	}
+	leaf := nd
+	i := sort.Search(len(leaf.Elems), func(i int) bool { return leaf.Elems[i].Key >= key })
+	if i < len(leaf.Elems) && leaf.Elems[i].Key == key {
+		leaf.Elems[i].Value = value
+		return
+	}
+	leaf.Elems = append(leaf.Elems, core.Element{})
+	copy(leaf.Elems[i+1:], leaf.Elems[i:])
+	leaf.Elems[i] = core.Element{Key: key, Value: value}
+	t.n++
+	for _, v := range path {
+		v.Weight++
+	}
+
+	// Split overweight nodes bottom-up along the path.
+	for h := len(path); h >= 1; h-- {
+		v := path[h-1]
+		height := len(path) - h + 1
+		if v.Weight <= t.maxWeight(height) {
+			continue
+		}
+		t.splitNode(v, height, hook)
+	}
+}
+
+// splitNode splits v (at the given height) into v and a new right
+// sibling, dividing leaves' elements or children as evenly as possible
+// by weight, then adjusts the parent (growing a new root if needed).
+func (t *Tree) splitNode(v *Node, height int, hook SplitHook) {
+	t.splits++
+	sib := &Node{Leaf: v.Leaf}
+	var sep uint64
+	addsNode := !v.Leaf // an internal split creates a node that counts +1 in every ancestor
+	if v.Leaf {
+		mid := len(v.Elems) / 2
+		sib.Elems = append(sib.Elems, v.Elems[mid:]...)
+		v.Elems = v.Elems[:mid]
+		v.Weight = len(v.Elems)
+		sib.Weight = len(sib.Elems)
+		sep = v.Elems[len(v.Elems)-1].Key
+	} else {
+		// Move children right-to-left until the halves' weights are as
+		// even as possible.
+		total := v.Weight - 1
+		acc := 0
+		cut := len(v.Children)
+		for cut > 1 {
+			w := v.Children[cut-1].Weight
+			if acc+w > total/2 && cut < len(v.Children) {
+				break
+			}
+			acc += w
+			cut--
+		}
+		if cut == len(v.Children) {
+			cut--
+			acc = v.Children[cut].Weight
+		}
+		sib.Children = append(sib.Children, v.Children[cut:]...)
+		sib.Pivots = append(sib.Pivots, v.Pivots[cut:]...)
+		sep = v.Pivots[cut-1]
+		v.Children = v.Children[:cut]
+		v.Pivots = v.Pivots[:cut-1]
+		for _, ch := range sib.Children {
+			ch.Parent = sib
+		}
+		sib.Weight = acc + 1
+		v.Weight = total - acc + 1
+	}
+
+	parent := v.Parent
+	if parent == nil {
+		nr := &Node{
+			Pivots:   []uint64{sep},
+			Children: []*Node{v, sib},
+			Weight:   v.Weight + sib.Weight + 1,
+		}
+		v.Parent = nr
+		sib.Parent = nr
+		t.root = nr
+		t.height++
+	} else {
+		ci := -1
+		for i, ch := range parent.Children {
+			if ch == v {
+				ci = i
+				break
+			}
+		}
+		if ci < 0 {
+			panic("swbst: split child not under parent")
+		}
+		parent.Pivots = append(parent.Pivots, 0)
+		copy(parent.Pivots[ci+1:], parent.Pivots[ci:])
+		parent.Pivots[ci] = sep
+		parent.Children = append(parent.Children, nil)
+		copy(parent.Children[ci+2:], parent.Children[ci+1:])
+		parent.Children[ci+1] = sib
+		sib.Parent = parent
+		if addsNode {
+			for p := parent; p != nil; p = p.Parent {
+				p.Weight++
+			}
+		}
+	}
+	if hook != nil {
+		hook(v, sib, height)
+	}
+}
+
+// Delete removes key if present (simple unbalanced removal: weights
+// shrink but nodes are not merged; the weight invariant's lower bound is
+// therefore maintained only under insert-dominated workloads, matching
+// the paper's scope).
+func (t *Tree) Delete(key uint64) bool {
+	if t.root == nil {
+		return false
+	}
+	path := make([]*Node, 0, t.height)
+	nd := t.root
+	for {
+		path = append(path, nd)
+		if nd.Leaf {
+			break
+		}
+		nd = nd.Children[childIndex(nd.Pivots, key)]
+	}
+	leaf := nd
+	i := sort.Search(len(leaf.Elems), func(i int) bool { return leaf.Elems[i].Key >= key })
+	if i >= len(leaf.Elems) || leaf.Elems[i].Key != key {
+		return false
+	}
+	leaf.Elems = append(leaf.Elems[:i], leaf.Elems[i+1:]...)
+	t.n--
+	for _, v := range path {
+		v.Weight--
+	}
+	return true
+}
+
+// Range implements core.Dictionary via an in-order walk of the
+// overlapping subtrees.
+func (t *Tree) Range(lo, hi uint64, fn func(core.Element) bool) {
+	if t.root == nil {
+		return
+	}
+	t.rangeNode(t.root, lo, hi, fn)
+}
+
+func (t *Tree) rangeNode(nd *Node, lo, hi uint64, fn func(core.Element) bool) bool {
+	if nd.Leaf {
+		i := sort.Search(len(nd.Elems), func(i int) bool { return nd.Elems[i].Key >= lo })
+		for ; i < len(nd.Elems) && nd.Elems[i].Key <= hi; i++ {
+			if !fn(nd.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	childLo := uint64(0)
+	for c, ch := range nd.Children {
+		childHi := ^uint64(0)
+		if c < len(nd.Pivots) {
+			childHi = nd.Pivots[c]
+		}
+		if childLo <= hi && childHi >= lo {
+			if !t.rangeNode(ch, lo, hi, fn) {
+				return false
+			}
+		}
+		if c < len(nd.Pivots) {
+			if nd.Pivots[c] == ^uint64(0) {
+				break
+			}
+			childLo = nd.Pivots[c] + 1
+		}
+	}
+	return true
+}
+
+// CheckInvariants panics if the weight-balance or search-tree invariants
+// are violated. upperOnly skips the lower weight bound (valid after
+// deletions, which do not rebalance).
+func (t *Tree) CheckInvariants(upperOnly bool) {
+	if t.root == nil {
+		return
+	}
+	var walk func(nd *Node, lo, hi uint64, depth int) int
+	leafDepth := -1
+	walk = func(nd *Node, lo, hi uint64, depth int) int {
+		height := t.height - depth + 1
+		if nd.Leaf {
+			if height != 1 {
+				panic("swbst: leaf not at height 1")
+			}
+			if leafDepth < 0 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				panic("swbst: leaves at differing depths")
+			}
+			for i, e := range nd.Elems {
+				if e.Key < lo || e.Key > hi {
+					panic("swbst: leaf key outside pivot range")
+				}
+				if i > 0 && nd.Elems[i-1].Key >= e.Key {
+					panic("swbst: leaf keys out of order")
+				}
+			}
+			if nd.Weight != len(nd.Elems) {
+				panic("swbst: leaf weight mismatch")
+			}
+			if nd.Weight > t.maxWeight(1) {
+				panic("swbst: leaf overweight")
+			}
+			return nd.Weight
+		}
+		if len(nd.Children) != len(nd.Pivots)+1 {
+			panic("swbst: pivot/child count mismatch")
+		}
+		sum := 1
+		childLo := lo
+		for c, ch := range nd.Children {
+			if ch.Parent != nd {
+				panic("swbst: broken parent pointer")
+			}
+			childHi := hi
+			if c < len(nd.Pivots) {
+				childHi = nd.Pivots[c]
+			}
+			sum += walk(ch, childLo, childHi, depth+1)
+			if c < len(nd.Pivots) {
+				childLo = nd.Pivots[c] + 1
+			}
+		}
+		if sum != nd.Weight {
+			panic("swbst: internal weight mismatch")
+		}
+		if nd.Weight > t.maxWeight(height) {
+			panic("swbst: node overweight")
+		}
+		if !upperOnly && nd != t.root && nd.Weight*2*t.c < t.maxWeight(height) {
+			// Lower bound: w(v) = Omega(c^h); threshold 2c^h/(2c) = c^(h-1).
+			panic("swbst: node underweight")
+		}
+		return sum
+	}
+	total := walk(t.root, 0, ^uint64(0), 1)
+	if total-countInternal(t.root) != t.n {
+		// total counts +1 per internal node; subtract to compare.
+		panic("swbst: element count mismatch")
+	}
+}
+
+func countInternal(nd *Node) int {
+	if nd.Leaf {
+		return 0
+	}
+	c := 1
+	for _, ch := range nd.Children {
+		c += countInternal(ch)
+	}
+	return c
+}

@@ -1,0 +1,247 @@
+package swbst
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for fanout < 4")
+		}
+	}()
+	New(Options{Fanout: 2})
+}
+
+func TestInsertSearch(t *testing.T) {
+	tr := New(Options{Fanout: 4})
+	const n = 4000
+	seq := workload.NewRandomUnique(3)
+	keys := workload.Take(seq, n)
+	for i, k := range keys {
+		tr.Insert(k, k^1)
+		if tr.Len() != i+1 {
+			t.Fatalf("Len = %d, want %d", tr.Len(), i+1)
+		}
+	}
+	tr.CheckInvariants(false)
+	for _, k := range keys {
+		if v, ok := tr.Search(k); !ok || v != k^1 {
+			t.Fatalf("Search(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	if _, ok := tr.Search(1 << 62); ok {
+		t.Fatal("found a missing key")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tr := New(Options{Fanout: 4})
+	tr.Insert(1, 1)
+	tr.Insert(1, 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, _ := tr.Search(1); v != 2 {
+		t.Fatalf("Search = %d, want 2", v)
+	}
+}
+
+func TestSortedOrders(t *testing.T) {
+	const n = 3000
+	for name, seq := range map[string]workload.Sequence{
+		"asc":  workload.NewAscending(),
+		"desc": workload.NewDescending(n),
+	} {
+		tr := New(Options{Fanout: 6})
+		for i := 0; i < n; i++ {
+			k := seq.Next()
+			tr.Insert(k, k)
+		}
+		tr.CheckInvariants(false)
+		for k := uint64(0); k < n; k++ {
+			if _, ok := tr.Search(k); !ok {
+				t.Fatalf("%s: lost %d", name, k)
+			}
+		}
+	}
+}
+
+func TestHeightLogC(t *testing.T) {
+	for _, c := range []int{4, 8, 16} {
+		tr := New(Options{Fanout: c})
+		const n = 1 << 14
+		seq := workload.NewRandomUnique(uint64(c))
+		for i := 0; i < n; i++ {
+			k := seq.Next()
+			tr.Insert(k, k)
+		}
+		// Height must be O(log_c N) within constant slack.
+		bound := int(math.Ceil(math.Log(float64(n))/math.Log(float64(c)))) + 3
+		if tr.Height() > bound {
+			t.Fatalf("c=%d: height %d > bound %d", c, tr.Height(), bound)
+		}
+	}
+}
+
+// TestWeightInvariantContinuously checks the SWBST invariant after every
+// insert on a moderate workload.
+func TestWeightInvariantContinuously(t *testing.T) {
+	tr := New(Options{Fanout: 4})
+	seq := workload.NewRandomUnique(9)
+	for i := 0; i < 2000; i++ {
+		k := seq.Next()
+		tr.Insert(k, k)
+		tr.CheckInvariants(false)
+	}
+}
+
+// TestLemma1DegreeBounds: node degrees stay Theta(c).
+func TestLemma1DegreeBounds(t *testing.T) {
+	c := 8
+	tr := New(Options{Fanout: c})
+	seq := workload.NewRandomUnique(11)
+	for i := 0; i < 1<<14; i++ {
+		k := seq.Next()
+		tr.Insert(k, k)
+	}
+	var walk func(nd *Node)
+	walk = func(nd *Node) {
+		if nd.Leaf {
+			return
+		}
+		deg := len(nd.Children)
+		if deg > 4*c {
+			t.Fatalf("degree %d > 4c = %d", deg, 4*c)
+		}
+		if nd != tr.Root() && deg < 2 {
+			t.Fatalf("degree %d < 2", deg)
+		}
+		for _, ch := range nd.Children {
+			walk(ch)
+		}
+	}
+	walk(tr.Root())
+}
+
+// TestLemma1AmortizedSplits: the number of splits is O(N/c) overall —
+// each split is amortized against Omega(c^h) inserts below the node.
+func TestLemma1AmortizedSplits(t *testing.T) {
+	c := 8
+	tr := New(Options{Fanout: c})
+	const n = 1 << 14
+	seq := workload.NewRandomUnique(13)
+	for i := 0; i < n; i++ {
+		k := seq.Next()
+		tr.Insert(k, k)
+	}
+	// Leaf splits alone are ~N/c; higher splits decay geometrically.
+	bound := uint64(3 * n / c)
+	if tr.Splits() > bound {
+		t.Fatalf("splits = %d, want <= %d", tr.Splits(), bound)
+	}
+}
+
+func TestSplitHookFires(t *testing.T) {
+	tr := New(Options{Fanout: 4})
+	hooks := 0
+	seq := workload.NewRandomUnique(15)
+	for i := 0; i < 1000; i++ {
+		k := seq.Next()
+		tr.InsertWithHooks(k, k, func(old, sib *Node, height int) {
+			hooks++
+			if old.Leaf != sib.Leaf {
+				t.Fatal("split halves disagree on leafness")
+			}
+			if height < 1 {
+				t.Fatalf("split at height %d", height)
+			}
+		})
+	}
+	if hooks == 0 {
+		t.Fatal("no split hooks fired")
+	}
+	if uint64(hooks) != tr.Splits() {
+		t.Fatalf("hooks = %d, splits = %d", hooks, tr.Splits())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(Options{Fanout: 4})
+	for i := uint64(0); i < 1000; i++ {
+		tr.Insert(i, i)
+	}
+	for i := uint64(0); i < 1000; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Delete(0) {
+		t.Fatal("double delete succeeded")
+	}
+	tr.CheckInvariants(true)
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		_, ok := tr.Search(i)
+		if (i%2 == 0) == ok {
+			t.Fatalf("Search(%d) = %v", i, ok)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := New(Options{Fanout: 4})
+	for i := uint64(0); i < 2000; i += 4 {
+		tr.Insert(i, i/4)
+	}
+	var got []uint64
+	tr.Range(100, 140, func(e core.Element) bool {
+		got = append(got, e.Key)
+		return true
+	})
+	want := []uint64{100, 104, 108, 112, 116, 120, 124, 128, 132, 136, 140}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+	count := 0
+	tr.Range(0, 2000, func(core.Element) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestQuickDifferential(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := New(Options{Fanout: 4})
+		ref := make(map[uint64]uint64)
+		for i, k16 := range raw {
+			k := uint64(k16)
+			tr.Insert(k, uint64(i))
+			ref[k] = uint64(i)
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if gv, ok := tr.Search(k); !ok || gv != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package workload generates the key sequences driving the experiments:
+// ascending, descending, uniformly random, random-unique (a bijective
+// scramble of 0..N-1), and zipfian. All generators are deterministic
+// given a seed so experiments reproduce bit-for-bit.
+package workload
+
+import "math"
+
+// Sequence yields a deterministic stream of keys.
+type Sequence interface {
+	// Next returns the next key in the stream.
+	Next() uint64
+	// Reset rewinds the stream to its beginning.
+	Reset()
+	// Name identifies the workload in experiment output.
+	Name() string
+}
+
+// RNG is an xorshift64* pseudo-random generator: tiny, fast, and entirely
+// deterministic, keeping experiments independent of math/rand's evolution
+// across Go releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (zero is remapped, since an
+// all-zero xorshift state is a fixed point).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Ascending yields 0, 1, 2, ... — the paper's best case for the B-tree
+// and Figure 5's "ascending" series.
+type Ascending struct{ i uint64 }
+
+// NewAscending returns an ascending key stream starting at 0.
+func NewAscending() *Ascending { return &Ascending{} }
+
+// Next implements Sequence.
+func (a *Ascending) Next() uint64 { v := a.i; a.i++; return v }
+
+// Reset implements Sequence.
+func (a *Ascending) Reset() { a.i = 0 }
+
+// Name implements Sequence.
+func (a *Ascending) Name() string { return "ascending" }
+
+// Descending yields N-1, N-2, ..., 0 — the order the paper uses for its
+// "sorted inserts" experiment (Figure 3 inserts keys [N-1, ..., 0]).
+type Descending struct {
+	n uint64
+	i uint64
+}
+
+// NewDescending returns a descending key stream over [0, n).
+func NewDescending(n uint64) *Descending { return &Descending{n: n} }
+
+// Next implements Sequence.
+func (d *Descending) Next() uint64 { v := d.n - 1 - d.i; d.i++; return v }
+
+// Reset implements Sequence.
+func (d *Descending) Reset() { d.i = 0 }
+
+// Name implements Sequence.
+func (d *Descending) Name() string { return "descending" }
+
+// Random yields uniformly random 64-bit keys (duplicates possible but
+// vanishingly rare for experiment sizes), matching the paper's "N random
+// elements".
+type Random struct {
+	seed uint64
+	rng  *RNG
+}
+
+// NewRandom returns a uniformly random key stream.
+func NewRandom(seed uint64) *Random {
+	return &Random{seed: seed, rng: NewRNG(seed)}
+}
+
+// Next implements Sequence.
+func (r *Random) Next() uint64 { return r.rng.Uint64() }
+
+// Reset implements Sequence.
+func (r *Random) Reset() { r.rng = NewRNG(r.seed) }
+
+// Name implements Sequence.
+func (r *Random) Name() string { return "random" }
+
+// RandomUnique yields a pseudo-random permutation-like stream of distinct
+// keys: position i maps to a bijective mixing of i, so all keys are
+// distinct while arriving in random-looking order, with O(1) memory.
+type RandomUnique struct {
+	seed uint64
+	i    uint64
+}
+
+// NewRandomUnique returns a distinct-key random-order stream.
+func NewRandomUnique(seed uint64) *RandomUnique {
+	return &RandomUnique{seed: seed}
+}
+
+// mix64 is a bijective finalizer (splitmix64's finalization function);
+// being bijective on uint64, distinct inputs give distinct keys.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Next implements Sequence.
+func (r *RandomUnique) Next() uint64 {
+	v := mix64(r.i + r.seed*0x9E3779B97F4A7C15)
+	r.i++
+	return v
+}
+
+// Reset implements Sequence.
+func (r *RandomUnique) Reset() { r.i = 0 }
+
+// Name implements Sequence.
+func (r *RandomUnique) Name() string { return "random-unique" }
+
+// Zipf yields keys drawn from a zipfian distribution over [0, n) with
+// exponent s > 1, via rejection-inversion. Useful for skewed-update
+// workloads beyond the paper's uniform experiments.
+type Zipf struct {
+	seed uint64
+	rng  *RNG
+	n    uint64
+	s    float64
+	// precomputed constants for rejection-inversion (Hörmann)
+	hx0, hxm, dif float64
+}
+
+// NewZipf returns a zipfian stream over [0, n) with exponent s (> 1).
+func NewZipf(seed uint64, n uint64, s float64) *Zipf {
+	if n == 0 {
+		panic("workload: Zipf with n == 0")
+	}
+	if s <= 1 {
+		panic("workload: Zipf exponent must exceed 1")
+	}
+	z := &Zipf{seed: seed, rng: NewRNG(seed), n: n, s: s}
+	z.hx0 = z.h(0.5) - 1
+	z.hxm = z.h(float64(n) + 0.5)
+	z.dif = z.hx0 - z.hxm
+	return z
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Pow(x, 1-z.s) / (1 - z.s)
+}
+
+func (z *Zipf) hInv(x float64) float64 {
+	return math.Pow((1-z.s)*x, 1/(1-z.s))
+}
+
+// Next implements Sequence.
+func (z *Zipf) Next() uint64 {
+	for {
+		u := z.hx0 - z.rng.Float64()*z.dif
+		x := z.hInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		if k-x <= 0.5 || u >= z.h(k+0.5)-math.Pow(k, -z.s) {
+			return uint64(k) - 1
+		}
+	}
+}
+
+// Reset implements Sequence.
+func (z *Zipf) Reset() { z.rng = NewRNG(z.seed) }
+
+// Name implements Sequence.
+func (z *Zipf) Name() string { return "zipf" }
+
+// Take materializes the next n keys of seq into a slice.
+func Take(seq Sequence, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = seq.Next()
+	}
+	return out
+}

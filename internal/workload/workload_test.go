@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed must not produce the all-zero fixed point")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestAscending(t *testing.T) {
+	a := NewAscending()
+	for i := uint64(0); i < 10; i++ {
+		if got := a.Next(); got != i {
+			t.Fatalf("Next = %d, want %d", got, i)
+		}
+	}
+	a.Reset()
+	if got := a.Next(); got != 0 {
+		t.Fatalf("after Reset Next = %d, want 0", got)
+	}
+}
+
+func TestDescending(t *testing.T) {
+	d := NewDescending(5)
+	want := []uint64{4, 3, 2, 1, 0}
+	for i, w := range want {
+		if got := d.Next(); got != w {
+			t.Fatalf("step %d: got %d, want %d", i, got, w)
+		}
+	}
+	d.Reset()
+	if got := d.Next(); got != 4 {
+		t.Fatalf("after Reset Next = %d, want 4", got)
+	}
+}
+
+func TestRandomDeterministicAcrossReset(t *testing.T) {
+	r := NewRandom(123)
+	first := Take(r, 50)
+	r.Reset()
+	second := Take(r, 50)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("reset stream diverged at %d", i)
+		}
+	}
+}
+
+func TestRandomUniqueDistinct(t *testing.T) {
+	r := NewRandomUnique(99)
+	const n = 1 << 14
+	seen := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		k := r.Next()
+		if seen[k] {
+			t.Fatalf("duplicate key %d at position %d", k, i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestRandomUniqueLooksRandom(t *testing.T) {
+	// The stream must not be monotone: count ascents vs descents.
+	r := NewRandomUnique(3)
+	keys := Take(r, 1<<12)
+	ascents := 0
+	for i := 1; i < len(keys); i++ {
+		if keys[i] > keys[i-1] {
+			ascents++
+		}
+	}
+	frac := float64(ascents) / float64(len(keys)-1)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("ascent fraction %v; stream looks non-random", frac)
+	}
+}
+
+func TestRandomUniqueSeedsDiffer(t *testing.T) {
+	a := Take(NewRandomUnique(1), 10)
+	b := Take(NewRandomUnique(2), 10)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must give different streams")
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	z := NewZipf(5, 1000, 1.2)
+	counts := make(map[uint64]int)
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		k := z.Next()
+		if k >= 1000 {
+			t.Fatalf("zipf key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Key 0 must be the clear mode of a zipfian distribution.
+	mode, best := uint64(0), -1
+	for k, c := range counts {
+		if c > best {
+			mode, best = k, c
+		}
+	}
+	if mode != 0 {
+		t.Fatalf("zipf mode = %d, want 0 (counts[0]=%d, max=%d)", mode, counts[0], best)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n==0": func() { NewZipf(1, 0, 1.5) },
+		"s<=1": func() { NewZipf(1, 10, 1.0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZipfReset(t *testing.T) {
+	z := NewZipf(11, 100, 1.5)
+	a := Take(z, 20)
+	z.Reset()
+	b := Take(z, 20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("zipf reset diverged at %d", i)
+		}
+	}
+}
+
+func TestTakeLength(t *testing.T) {
+	got := Take(NewAscending(), 7)
+	if len(got) != 7 {
+		t.Fatalf("len = %d, want 7", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("ascending take must be sorted")
+	}
+}
+
+func TestSequenceNames(t *testing.T) {
+	cases := map[string]Sequence{
+		"ascending":     NewAscending(),
+		"descending":    NewDescending(10),
+		"random":        NewRandom(1),
+		"random-unique": NewRandomUnique(1),
+		"zipf":          NewZipf(1, 10, 1.5),
+	}
+	for want, seq := range cases {
+		if seq.Name() != want {
+			t.Errorf("Name() = %q, want %q", seq.Name(), want)
+		}
+	}
+}
