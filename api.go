@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dam"
 	"repro/internal/la"
+	"repro/internal/shard"
 	"repro/internal/shuttle"
 	"repro/internal/swbst"
 )
@@ -162,4 +163,49 @@ func NewSWBST(opt SWBSTOptions) *SWBST { return swbst.New(opt) }
 // cost the shuttle tree's buffers amortize away.
 func NewCOBTree(fanout int, space *Space) *ShuttleTree {
 	return shuttle.NewCOBTree(fanout, space)
+}
+
+// ShardedMap is the hash-partitioned concurrent dictionary: N
+// single-threaded structures behind per-shard locks, so operations on
+// different shards run in parallel and a merge in one shard never
+// blocks the others. It implements Dictionary, Deleter, and Statser.
+type ShardedMap = shard.Map
+
+// ShardOption configures NewShardedMap (functional options).
+type ShardOption = shard.Option
+
+// ShardFactory builds the dictionary for one shard; the space is the
+// shard's private DAM space (nil when accounting is disabled).
+type ShardFactory = shard.Factory
+
+// ShardLoader is the channel-fed asynchronous ingestion path of a
+// ShardedMap; see ShardedMap.NewLoader.
+type ShardLoader = shard.Loader
+
+// NewShardedMap builds a sharded concurrent dictionary. With no options
+// it partitions a 2-COLA per shard across the next power of two >=
+// GOMAXPROCS shards, with DAM accounting disabled:
+//
+//	m := repro.NewShardedMap(
+//		repro.WithShards(8),
+//		repro.WithDictionary(func(i int, sp *repro.Space) repro.Dictionary {
+//			return repro.NewBTree(repro.BTreeOptions{Space: sp})
+//		}),
+//		repro.WithBatchSize(512),
+//	)
+func NewShardedMap(opts ...ShardOption) *ShardedMap { return shard.New(opts...) }
+
+// WithShards sets the shard count (rounded up to a power of two).
+func WithShards(n int) ShardOption { return shard.WithShards(n) }
+
+// WithDictionary sets the per-shard dictionary constructor.
+func WithDictionary(f ShardFactory) ShardOption { return shard.WithDictionary(f) }
+
+// WithBatchSize sets the Loader's per-flush batch size.
+func WithBatchSize(k int) ShardOption { return shard.WithBatchSize(k) }
+
+// WithShardDAM gives every shard its own DAM store with the given block
+// and cache sizes; ShardedMap.Transfers then reports the aggregate.
+func WithShardDAM(blockBytes, cacheBytes int64) ShardOption {
+	return shard.WithDAM(blockBytes, cacheBytes)
 }

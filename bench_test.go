@@ -1,7 +1,7 @@
 package repro
 
 // Benchmarks regenerating the paper's evaluation, one per figure plus
-// the asymptotic-claim experiments (DESIGN.md E1-E8). Wall-clock rates
+// the asymptotic-claim experiments (DESIGN.md E1-E10). Wall-clock rates
 // come from testing.B; DAM block transfers per operation are reported as
 // the custom metric "transfers/op" so the theoretical quantity appears
 // alongside ns/op:

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	streambench -fig all                  # everything (DESIGN.md E1-E8)
+//	streambench -fig all                  # everything (DESIGN.md E1-E10)
 //	streambench -fig 2 -logn 20           # Figure 2 at N = 2^20
 //	streambench -fig transfers -csv       # E6 as CSV
 //
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, ratios, transfers, deamortized, scans, shuttle, all")
+		fig        = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, ratios, transfers, deamortized, scans, shuttle, concurrent, all")
 		logn       = flag.Int("logn", 18, "log2 of the largest workload size")
 		lognStart  = flag.Int("logn-start", 10, "log2 of the first measured checkpoint")
 		blockBytes = flag.Int64("block", 4096, "DAM block size B in bytes")
@@ -62,6 +62,8 @@ func main() {
 		results = []harness.Result{cfg.RangeScans()}
 	case "shuttle":
 		results = []harness.Result{cfg.Shuttle()}
+	case "concurrent":
+		results = []harness.Result{cfg.Concurrent()}
 	case "all":
 		results = cfg.All()
 	default:

@@ -1,0 +1,160 @@
+// Concurrent-throughput scenario: the paper's structures are
+// single-threaded, so the repo offers two ways to serve concurrent
+// traffic — a global mutex around one structure, or the sharded map of
+// internal/shard. This experiment (E10 in DESIGN.md) measures both on
+// the same workload and reports aggregate throughput as goroutines and
+// shards grow together, making the scaling claim quantitative and
+// falsifiable: the sharded map should approach linear speedup while
+// the global lock stays flat.
+
+package harness
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cola"
+	"repro/internal/core"
+	"repro/internal/dam"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// lockedDict is the global-mutex baseline, mirroring the repo's
+// SynchronizedDictionary (which lives in the facade package and cannot
+// be imported from here without a cycle). The lock is exclusive for
+// every operation because searches mutate structure counters.
+type lockedDict struct {
+	mu sync.Mutex
+	d  core.Dictionary
+}
+
+func (l *lockedDict) Insert(key, value uint64) {
+	l.mu.Lock()
+	l.d.Insert(key, value)
+	l.mu.Unlock()
+}
+
+func (l *lockedDict) Search(key uint64) (uint64, bool) {
+	l.mu.Lock()
+	v, ok := l.d.Search(key)
+	l.mu.Unlock()
+	return v, ok
+}
+
+// concurrentDict is what the scenario drives: both contenders satisfy
+// it.
+type concurrentDict interface {
+	Insert(key, value uint64)
+	Search(key uint64) (uint64, bool)
+}
+
+// driveInserts runs workers goroutines, each inserting per-worker
+// distinct keys, and returns aggregate inserts/second.
+func driveInserts(d concurrentDict, workers, perWorker int, seed uint64) float64 {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seq := workload.NewRandomUnique(seed + uint64(w))
+			for i := 0; i < perWorker; i++ {
+				k := seq.Next()
+				d.Insert(k, k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		el = 1e-9
+	}
+	return float64(workers*perWorker) / el
+}
+
+// driveSearches runs workers goroutines probing the preloaded keyspace
+// and returns aggregate searches/second.
+func driveSearches(d concurrentDict, workers, perWorker int, seed uint64) float64 {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			probe := workload.NewRandomUnique(seed + uint64(w))
+			for i := 0; i < perWorker; i++ {
+				d.Search(probe.Next())
+			}
+		}(w)
+	}
+	wg.Wait()
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		el = 1e-9
+	}
+	return float64(workers*perWorker) / el
+}
+
+// Concurrent is experiment E10: aggregate insert and search throughput
+// of the sharded map vs the global-mutex wrapper at 1/2/4/8 shards ×
+// goroutines (shards grow with goroutines; the mutex baseline only
+// gains contention). DAM accounting is disabled — the DAM model has no
+// notion of parallelism, so this scenario measures wall-clock scaling,
+// the quantity the single-threaded figures cannot show.
+func (c Config) Concurrent() Result {
+	c = c.withDefaults()
+	n := 1 << c.LogN
+	scales := []int{1, 2, 4, 8}
+
+	mkSharded := func(shards int) *shard.Map {
+		return shard.New(
+			shard.WithShards(shards),
+			shard.WithDictionary(func(_ int, sp *dam.Space) core.Dictionary {
+				return cola.NewCOLA(sp)
+			}),
+		)
+	}
+
+	var shIns, muIns, shSrch, muSrch Series
+	for _, g := range scales {
+		perWorker := n / g
+
+		sharded := mkSharded(g)
+		shIns.X = append(shIns.X, float64(g))
+		shIns.Y = append(shIns.Y, driveInserts(sharded, g, perWorker, c.Seed))
+		shSrch.X = append(shSrch.X, float64(g))
+		shSrch.Y = append(shSrch.Y, driveSearches(sharded, g, perWorker, c.Seed))
+
+		locked := &lockedDict{d: cola.NewCOLA(nil)}
+		muIns.X = append(muIns.X, float64(g))
+		muIns.Y = append(muIns.Y, driveInserts(locked, g, perWorker, c.Seed))
+		muSrch.X = append(muSrch.X, float64(g))
+		muSrch.Y = append(muSrch.Y, driveSearches(locked, g, perWorker, c.Seed))
+	}
+	shIns.Name = "sharded ins/s"
+	muIns.Name = "locked ins/s"
+	shSrch.Name = "sharded srch/s"
+	muSrch.Name = "locked srch/s"
+
+	last := len(scales) - 1
+	return Result{
+		Title:  "E10 — concurrent throughput: sharded map vs global mutex (2-COLA per shard)",
+		XLabel: "shards = goroutines",
+		YLabel: "aggregate ops/second",
+		Series: []Series{shIns, muIns, shSrch, muSrch},
+		Notes: []string{
+			"Prediction: sharded throughput rises with shard count (toward linear on idle cores);",
+			"the global-lock baseline is flat or falls as goroutines contend.",
+			seriesRatioNote("measured 8-way insert speedup over global lock", shIns.Y[last], muIns.Y[last]),
+			seriesRatioNote("measured 8-way search speedup over global lock", shSrch.Y[last], muSrch.Y[last]),
+		},
+	}
+}
+
+func seriesRatioNote(label string, num, den float64) string {
+	if den <= 0 {
+		return label + ": n/a"
+	}
+	return label + ": " + formatF(num/den) + "x"
+}

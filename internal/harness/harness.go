@@ -625,6 +625,7 @@ func (c Config) All() []Result {
 	out = append(out, c.Deamortized())
 	out = append(out, c.RangeScans())
 	out = append(out, c.Shuttle())
+	out = append(out, c.Concurrent())
 	return out
 }
 
@@ -684,7 +685,7 @@ func (c Config) RangeScans() Result {
 		Series: series,
 		Notes: []string{
 			"Section 1's contiguity claim: the lookahead array's levels are contiguous arrays,",
-			"so scans approach the 1/B sequential bound. Caveat recorded in EXPERIMENTS.md:",
+			"so scans approach the 1/B sequential bound. Caveat recorded in DESIGN.md:",
 			"this repo's BRT allocates nodes in key-clustered creation order under dense loads,",
 			"so the paper's 'scattered on blocks across disk' premise does not manifest at",
 			"simulator scale; the claim reduces to the COLA tracking the sequential bound.",

@@ -165,6 +165,33 @@ func TestPrintAndCSV(t *testing.T) {
 	}
 }
 
+// TestConcurrentScenario runs E10 at a small scale and checks the
+// result's shape; the ≥2x speedup claim is asserted by the benchmarks
+// (BenchmarkSharded*), not here, since test hosts may be single-core.
+func TestConcurrentScenario(t *testing.T) {
+	c := small()
+	c.LogN = 12
+	r := c.Concurrent()
+	if len(r.Series) != 4 {
+		t.Fatalf("Concurrent has %d series, want 4", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if len(s.X) != 4 || len(s.Y) != 4 {
+			t.Fatalf("series %q has %d points, want 4", s.Name, len(s.X))
+		}
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("series %q point %d is non-positive: %v", s.Name, i, y)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	Print(&buf, r)
+	if !strings.Contains(buf.String(), "sharded ins/s") {
+		t.Fatalf("Print output missing series:\n%s", buf.String())
+	}
+}
+
 func TestRangeScansNearSequentialBound(t *testing.T) {
 	c := small()
 	r := c.RangeScans()

@@ -68,6 +68,11 @@ func TestDictionaryBehaviour(t *testing.T) {
 // simulator: as epsilon rises, insert transfers rise and search
 // transfers fall (weakly), matching Section 3's cache-aware analysis.
 func TestTradeoffMonotone(t *testing.T) {
+	// The monotone shape only emerges once the array leaves the
+	// simulated cache, so the workload cannot be shrunk for short mode.
+	if testing.Short() {
+		t.Skip("skipping out-of-core tradeoff sweep in short mode")
+	}
 	const (
 		blockBytes = 4096
 		elemBytes  = 32

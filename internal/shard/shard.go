@@ -1,0 +1,401 @@
+// Package shard provides a hash-partitioned concurrent dictionary: N
+// independent single-threaded dictionaries (any structure from this
+// repository — COLA, deamortized COLA, shuttle tree, B-tree, BRT) each
+// guarded by its own sync.RWMutex, with fibonacci-hash key→shard
+// routing. Inserts and searches on different shards proceed in
+// parallel, and a level merge inside one shard never blocks the others
+// — the multi-core scaling story the single global lock of
+// repro.SynchronizedDictionary cannot offer.
+//
+// Per-shard operations that touch the dictionary take the shard's
+// exclusive lock even for Search: on a DAM-charged structure a search
+// moves blocks in the store's LRU, and every structure here keeps
+// internal operation counters, so shared readers would race. The
+// RWMutex's read side serves the aggregation paths (Len, Stats,
+// Transfers), which only read structure state. Parallelism therefore
+// comes from the partitioning, not from reader sharing — with S shards,
+// up to S operations run concurrently.
+//
+// Construction uses functional options:
+//
+//	m := shard.New(
+//		shard.WithShards(8),
+//		shard.WithDictionary(func(i int, sp *dam.Space) core.Dictionary {
+//			return cola.NewCOLA(sp)
+//		}),
+//		shard.WithBatchSize(512),
+//	)
+//
+// By default accounting is disabled (every shard gets a nil Space, pure
+// wall-clock behaviour); WithDAM gives each shard its own private Store
+// so cost accounting stays race-free, and Transfers reports the sum.
+package shard
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/cola"
+	"repro/internal/core"
+	"repro/internal/dam"
+)
+
+// Factory builds the dictionary for one shard. The space is the shard's
+// private DAM space (nil when accounting is disabled).
+type Factory func(shard int, space *dam.Space) core.Dictionary
+
+// config collects the options; zero fields are filled by defaults.
+type config struct {
+	shards     int
+	batchSize  int
+	factory    Factory
+	blockBytes int64
+	cacheBytes int64
+	useDAM     bool
+}
+
+// Option configures New, in the functional-options style.
+type Option func(*config)
+
+// WithShards sets the number of partitions. Values are rounded up to
+// the next power of two so shard routing stays a single multiply-shift;
+// n <= 0 panics. The default is the next power of two >= GOMAXPROCS.
+func WithShards(n int) Option {
+	if n <= 0 {
+		panic("shard: WithShards requires n > 0")
+	}
+	return func(c *config) { c.shards = ceilPow2(n) }
+}
+
+// WithDictionary sets the per-shard dictionary constructor. The default
+// builds the 2-COLA.
+func WithDictionary(f Factory) Option {
+	if f == nil {
+		panic("shard: WithDictionary requires a non-nil factory")
+	}
+	return func(c *config) { c.factory = f }
+}
+
+// WithBatchSize sets how many pending elements a Loader accumulates
+// before flushing them, grouped per shard, under one lock acquisition
+// per touched shard; k <= 0 panics. The default is 256.
+func WithBatchSize(k int) Option {
+	if k <= 0 {
+		panic("shard: WithBatchSize requires k > 0")
+	}
+	return func(c *config) { c.batchSize = k }
+}
+
+// WithDAM enables DAM cost accounting: each shard gets its own Store
+// with the given block and cache sizes (so the simulated cache is
+// per-shard and accounting never races across shards) and passes a
+// Space of it to the factory. Transfers then reports the aggregate.
+func WithDAM(blockBytes, cacheBytes int64) Option {
+	return func(c *config) {
+		c.useDAM = true
+		c.blockBytes = blockBytes
+		c.cacheBytes = cacheBytes
+	}
+}
+
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// fibMult is 2^64 / phi, the multiplier of fibonacci hashing; odd, so
+// multiplication is a bijection on uint64 and the high bits mix every
+// input bit. The same constant drives the repo's workload generators.
+const fibMult = 0x9E3779B97F4A7C15
+
+// state is one partition: a dictionary and its lock, padded apart from
+// its neighbours so per-shard locks do not false-share a cache line.
+type state struct {
+	mu    sync.RWMutex
+	d     core.Dictionary
+	store *dam.Store // nil unless WithDAM
+	_     [24]byte   // pad to separate adjacent shards' hot words
+}
+
+// Map is the sharded concurrent dictionary. It implements
+// core.Dictionary, core.Deleter, and core.Statser; every method is safe
+// for concurrent use.
+type Map struct {
+	shards    []*state
+	shift     uint // 64 - log2(len(shards))
+	batchSize int
+}
+
+var (
+	_ core.Dictionary = (*Map)(nil)
+	_ core.Deleter    = (*Map)(nil)
+	_ core.Statser    = (*Map)(nil)
+)
+
+// New builds a sharded map from the given options.
+func New(opts ...Option) *Map {
+	cfg := config{
+		shards:    ceilPow2(runtime.GOMAXPROCS(0)),
+		batchSize: 256,
+		factory:   func(_ int, sp *dam.Space) core.Dictionary { return cola.NewCOLA(sp) },
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	m := &Map{
+		shards:    make([]*state, cfg.shards),
+		shift:     uint(64 - bits.TrailingZeros(uint(cfg.shards))),
+		batchSize: cfg.batchSize,
+	}
+	for i := range m.shards {
+		st := &state{}
+		var sp *dam.Space
+		if cfg.useDAM {
+			st.store = dam.NewStore(cfg.blockBytes, cfg.cacheBytes)
+			sp = st.store.Space("shard")
+		}
+		st.d = cfg.factory(i, sp)
+		if st.d == nil {
+			panic("shard: factory returned a nil dictionary")
+		}
+		m.shards[i] = st
+	}
+	return m
+}
+
+// shardIdxOf routes a key to its partition by fibonacci hashing: the
+// top log2(S) bits of key*fibMult. With one shard the shift is 64 and
+// Go defines x >> 64 == 0, so every key lands in shard 0.
+func (m *Map) shardIdxOf(key uint64) int {
+	return int((key * fibMult) >> m.shift)
+}
+
+func (m *Map) shardOf(key uint64) *state {
+	return m.shards[m.shardIdxOf(key)]
+}
+
+// NumShards reports the number of partitions.
+func (m *Map) NumShards() int { return len(m.shards) }
+
+// Insert implements core.Dictionary.
+func (m *Map) Insert(key, value uint64) {
+	s := m.shardOf(key)
+	s.mu.Lock()
+	s.d.Insert(key, value)
+	s.mu.Unlock()
+}
+
+// Search implements core.Dictionary. See the package comment for why
+// the shard lock is exclusive rather than shared.
+func (m *Map) Search(key uint64) (uint64, bool) {
+	s := m.shardOf(key)
+	s.mu.Lock()
+	v, ok := s.d.Search(key)
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Delete implements core.Deleter, forwarding to the shard's structure
+// if it supports deletion and reporting false otherwise.
+func (m *Map) Delete(key uint64) bool {
+	s := m.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if del, ok := s.d.(core.Deleter); ok {
+		return del.Delete(key)
+	}
+	return false
+}
+
+// Len implements core.Dictionary: the sum of live keys over all shards.
+// Shards are read-locked one at a time, so the total is a consistent
+// snapshot only when no writer is concurrent.
+func (m *Map) Len() int {
+	n := 0
+	for _, s := range m.shards {
+		s.mu.RLock()
+		n += s.d.Len()
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats implements core.Statser, accumulating the counters of every
+// shard whose structure exposes them.
+func (m *Map) Stats() core.Stats {
+	var total core.Stats
+	for _, s := range m.shards {
+		s.mu.RLock()
+		if st, ok := s.d.(core.Statser); ok {
+			total.Add(st.Stats())
+		}
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// Transfers reports the aggregate DAM block transfers across all
+// per-shard stores (zero unless built WithDAM).
+func (m *Map) Transfers() uint64 {
+	var total uint64
+	for _, s := range m.shards {
+		if s.store == nil {
+			continue
+		}
+		s.mu.RLock()
+		total += s.store.Transfers()
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// Range implements core.Dictionary: fn sees every element with
+// lo <= key <= hi in ascending key order, stopping early when fn
+// returns false. Keys are hash-partitioned, so a contiguous key range
+// spans every shard; Range snapshots each shard's slice of the window
+// under that shard's lock and then k-way-merges the (already sorted)
+// snapshots. The merge sees each shard at a slightly different instant
+// — elements inserted while the snapshot walk is in flight may or may
+// not appear, the usual weakly-consistent iteration contract.
+//
+// Cost: every shard's full slice of [lo, hi] is materialized before
+// the first fn call, even if fn stops after one element — returning
+// false saves merge work, not snapshot work. Callers probing for a
+// single successor should bound hi accordingly.
+func (m *Map) Range(lo, hi uint64, fn func(core.Element) bool) {
+	runs := make([][]core.Element, 0, len(m.shards))
+	for _, s := range m.shards {
+		var run []core.Element
+		s.mu.Lock()
+		s.d.Range(lo, hi, func(e core.Element) bool {
+			run = append(run, e)
+			return true
+		})
+		s.mu.Unlock()
+		if len(run) > 0 {
+			runs = append(runs, run)
+		}
+	}
+	mergeRuns(runs, fn)
+}
+
+// mergeRuns streams the k sorted runs in ascending key order through a
+// binary min-heap of run heads, O(total log k).
+func mergeRuns(runs [][]core.Element, fn func(core.Element) bool) {
+	type head struct {
+		run int
+		idx int
+	}
+	h := make([]head, len(runs))
+	for i := range runs {
+		h[i] = head{run: i}
+	}
+	key := func(x head) uint64 { return runs[x.run][x.idx].Key }
+	less := func(i, j int) bool { return key(h[i]) < key(h[j]) }
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(h) && less(l, min) {
+				min = l
+			}
+			if r < len(h) && less(r, min) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	for len(h) > 0 {
+		top := h[0]
+		if !fn(runs[top.run][top.idx]) {
+			return
+		}
+		if top.idx+1 < len(runs[top.run]) {
+			h[0].idx++
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		down(0)
+	}
+}
+
+// ApplyBatch inserts every element, grouping the batch per shard first
+// so each touched shard's lock is taken exactly once. Duplicate keys in
+// the batch apply in slice order (last write wins), matching a plain
+// Insert loop. This is the amortized ingestion path: for a batch of k
+// elements over S shards, lock traffic drops from k acquisitions to at
+// most S.
+func (m *Map) ApplyBatch(elems []core.Element) {
+	if len(elems) == 0 {
+		return
+	}
+	groups := make([][]core.Element, len(m.shards))
+	for _, e := range elems {
+		i := m.shardIdxOf(e.Key)
+		groups[i] = append(groups[i], e)
+	}
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		s := m.shards[i]
+		s.mu.Lock()
+		for _, e := range g {
+			s.d.Insert(e.Key, e.Value)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Loader is the channel-fed asynchronous ingestion path: callers send
+// elements on C and a background goroutine folds them into the map in
+// per-shard-grouped batches of the map's batch size. Close flushes the
+// tail and blocks until everything sent has been applied.
+type Loader struct {
+	m  *Map
+	ch chan core.Element
+	wg sync.WaitGroup
+}
+
+// NewLoader starts a loader goroutine for the map. The channel buffer
+// is one full batch so producers rarely block on the flush.
+func (m *Map) NewLoader() *Loader {
+	l := &Loader{m: m, ch: make(chan core.Element, m.batchSize)}
+	l.wg.Add(1)
+	go l.run()
+	return l
+}
+
+// C is the send side: producers write elements, Close when done.
+func (l *Loader) C() chan<- core.Element { return l.ch }
+
+// Close signals end of input and waits for the final flush. It must be
+// called exactly once, after all sends have completed.
+func (l *Loader) Close() {
+	close(l.ch)
+	l.wg.Wait()
+}
+
+func (l *Loader) run() {
+	defer l.wg.Done()
+	buf := make([]core.Element, 0, l.m.batchSize)
+	for e := range l.ch {
+		buf = append(buf, e)
+		if len(buf) == l.m.batchSize {
+			l.m.ApplyBatch(buf)
+			buf = buf[:0]
+		}
+	}
+	l.m.ApplyBatch(buf)
+}

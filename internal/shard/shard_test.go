@@ -1,0 +1,346 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/cola"
+	"repro/internal/core"
+	"repro/internal/dam"
+	"repro/internal/shuttle"
+	"repro/internal/workload"
+)
+
+func TestOptionsDefaultsAndRounding(t *testing.T) {
+	m := New()
+	if s := m.NumShards(); s&(s-1) != 0 || s < 1 {
+		t.Fatalf("default NumShards = %d, want a power of two", s)
+	}
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		if got := New(WithShards(tc.in)).NumShards(); got != tc.want {
+			t.Errorf("WithShards(%d) -> %d shards, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestOptionPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"WithShards(0)":       func() { WithShards(0) },
+		"WithBatchSize(0)":    func() { WithBatchSize(0) },
+		"WithDictionary(nil)": func() { WithDictionary(nil) },
+		"factory returns nil": func() { New(WithDictionary(func(int, *dam.Space) core.Dictionary { return nil })) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRoutingCoversAllShards(t *testing.T) {
+	const shards = 8
+	m := New(WithShards(shards))
+	hit := make([]bool, shards)
+	for k := uint64(0); k < 4096; k++ {
+		hit[m.shardIdxOf(k)] = true
+	}
+	for i, h := range hit {
+		if !h {
+			t.Errorf("no key of 0..4095 routed to shard %d", i)
+		}
+	}
+	// Routing must be a pure function of the key.
+	for k := uint64(0); k < 64; k++ {
+		if m.shardIdxOf(k) != m.shardIdxOf(k) {
+			t.Fatalf("routing unstable for key %d", k)
+		}
+	}
+}
+
+// TestDictionarySemantics drives the sharded map against a map oracle
+// across several shard counts and inner structures.
+func TestDictionarySemantics(t *testing.T) {
+	factories := map[string]struct {
+		f Factory
+		// canDelete marks structures implementing core.Deleter; the
+		// deamortized COLA does not, so Delete must report false.
+		canDelete bool
+		// exactLen marks structures whose Len is exact under duplicate
+		// keys (the amortized COLA's Len overcounts until Compact).
+		exactLen bool
+	}{
+		"cola":        {func(_ int, sp *dam.Space) core.Dictionary { return cola.NewCOLA(sp) }, true, false},
+		"btree":       {func(_ int, sp *dam.Space) core.Dictionary { return btree.New(btree.Options{Space: sp}) }, true, true},
+		"deamortized": {func(_ int, sp *dam.Space) core.Dictionary { return cola.NewDeamortized(sp) }, false, false},
+	}
+	for name, tc := range factories {
+		for _, shards := range []int{1, 2, 8} {
+			m := New(WithShards(shards), WithDictionary(tc.f))
+			ref := make(map[uint64]uint64)
+			rng := workload.NewRNG(uint64(shards) + 99)
+			for i := 0; i < 3000; i++ {
+				k := rng.Uint64() % 512
+				switch rng.Uint64() % 4 {
+				case 0, 1:
+					v := rng.Uint64()
+					m.Insert(k, v)
+					ref[k] = v
+				case 2:
+					_, present := ref[k]
+					want := present && tc.canDelete
+					if got := m.Delete(k); got != want {
+						t.Fatalf("%s/%d: Delete(%d) = %v, want %v", name, shards, k, got, want)
+					}
+					if tc.canDelete {
+						delete(ref, k)
+					}
+				case 3:
+					gv, gok := m.Search(k)
+					wv, wok := ref[k]
+					if gok != wok || (gok && gv != wv) {
+						t.Fatalf("%s/%d: Search(%d) = (%d,%v), want (%d,%v)", name, shards, k, gv, gok, wv, wok)
+					}
+				}
+			}
+			if tc.exactLen && m.Len() != len(ref) {
+				t.Fatalf("%s/%d: Len = %d, want %d", name, shards, m.Len(), len(ref))
+			}
+		}
+	}
+}
+
+func TestRangeMergesAcrossShards(t *testing.T) {
+	m := New(WithShards(8))
+	const n = 2048
+	// Insert in a scrambled order; Range must still come back sorted.
+	seq := workload.NewRandomUnique(5)
+	ref := make(map[uint64]struct{})
+	for i := 0; i < n; i++ {
+		k := seq.Next() % (4 * n) // collisions exercise update semantics
+		m.Insert(k, k+1)
+		ref[k] = struct{}{}
+	}
+	var got []core.Element
+	m.Range(0, 4*n, func(e core.Element) bool { got = append(got, e); return true })
+	if len(got) != len(ref) {
+		t.Fatalf("Range returned %d elements, want %d distinct keys", len(got), len(ref))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Key >= got[i].Key {
+			t.Fatalf("Range out of order at %d: %v then %v", i, got[i-1], got[i])
+		}
+	}
+	for _, e := range got {
+		if e.Value != e.Key+1 {
+			t.Fatalf("Range element %v has wrong value", e)
+		}
+	}
+	// Window bounds are inclusive and respected.
+	lo, hi := got[10].Key, got[40].Key
+	var window []core.Element
+	m.Range(lo, hi, func(e core.Element) bool { window = append(window, e); return true })
+	if len(window) != 31 {
+		t.Fatalf("window [%d,%d] returned %d elements, want 31", lo, hi, len(window))
+	}
+	// Early stop.
+	count := 0
+	m.Range(0, 4*n, func(core.Element) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early-stop Range visited %d, want 5", count)
+	}
+}
+
+func TestApplyBatchAndLoader(t *testing.T) {
+	const n = 10_000
+	batch := make([]core.Element, 0, n)
+	for i := uint64(0); i < n; i++ {
+		batch = append(batch, core.Element{Key: i, Value: i * 2})
+	}
+
+	mb := New(WithShards(4))
+	mb.ApplyBatch(batch)
+	if mb.Len() != n {
+		t.Fatalf("ApplyBatch: Len = %d, want %d", mb.Len(), n)
+	}
+	if v, ok := mb.Search(1234); !ok || v != 2468 {
+		t.Fatalf("ApplyBatch: Search(1234) = (%d,%v)", v, ok)
+	}
+
+	// Last write wins for duplicate keys within a batch.
+	mb.ApplyBatch([]core.Element{{Key: 7, Value: 1}, {Key: 7, Value: 2}})
+	if v, _ := mb.Search(7); v != 2 {
+		t.Fatalf("duplicate keys in batch: Search(7) = %d, want 2", v)
+	}
+
+	ml := New(WithShards(4), WithBatchSize(64))
+	loader := ml.NewLoader()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 4 {
+				loader.C() <- core.Element{Key: uint64(i), Value: uint64(i) * 2}
+			}
+		}(w)
+	}
+	wg.Wait()
+	loader.Close()
+	if ml.Len() != n {
+		t.Fatalf("Loader: Len = %d, want %d", ml.Len(), n)
+	}
+	for _, k := range []uint64{0, 1, n / 2, n - 1} {
+		if v, ok := ml.Search(k); !ok || v != k*2 {
+			t.Fatalf("Loader: Search(%d) = (%d,%v), want (%d,true)", k, v, ok, k*2)
+		}
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	m := New(WithShards(4))
+	for i := uint64(0); i < 100; i++ {
+		m.Insert(i, i)
+	}
+	for i := uint64(0); i < 50; i++ {
+		m.Search(i)
+	}
+	m.Delete(3)
+	st := m.Stats()
+	// The COLA's Delete performs an internal Search, so Searches is a
+	// lower bound rather than an exact count.
+	if st.Inserts != 100 || st.Searches < 50 || st.Deletes != 1 {
+		t.Fatalf("aggregated Stats = %+v", st)
+	}
+}
+
+func TestDeleteOnNonDeleter(t *testing.T) {
+	m := New(WithShards(2), WithDictionary(func(_ int, sp *dam.Space) core.Dictionary {
+		return shuttle.New(shuttle.Options{Fanout: 8, Space: sp})
+	}))
+	m.Insert(1, 1)
+	if m.Delete(1) {
+		t.Fatal("Delete on a non-Deleter structure returned true")
+	}
+	if _, ok := m.Search(1); !ok {
+		t.Fatal("key vanished after failed Delete")
+	}
+}
+
+func TestDAMAccountingPerShard(t *testing.T) {
+	m := New(WithShards(4), WithDAM(4096, 1<<16))
+	if m.Transfers() != 0 {
+		t.Fatalf("fresh map reports %d transfers", m.Transfers())
+	}
+	seq := workload.NewRandomUnique(21)
+	for i := 0; i < 1<<12; i++ {
+		k := seq.Next()
+		m.Insert(k, k)
+	}
+	if m.Transfers() == 0 {
+		t.Fatal("DAM-charged inserts produced zero transfers")
+	}
+	// Default (no WithDAM) must charge nothing.
+	free := New(WithShards(4))
+	for i := uint64(0); i < 1000; i++ {
+		free.Insert(i, i)
+	}
+	if free.Transfers() != 0 {
+		t.Fatalf("accounting-free map reports %d transfers", free.Transfers())
+	}
+}
+
+// TestConcurrentMixed hammers every public method from many goroutines;
+// run with -race to check the locking discipline.
+func TestConcurrentMixed(t *testing.T) {
+	m := New(WithShards(8), WithBatchSize(32))
+	workers := 8
+	perG := 4000
+	if testing.Short() {
+		perG = 500
+	}
+	loader := m.NewLoader()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(w) + 1)
+			for i := 0; i < perG; i++ {
+				k := rng.Uint64() % 8192
+				switch rng.Uint64() % 8 {
+				case 0, 1, 2:
+					m.Insert(k, k)
+				case 3:
+					m.Search(k)
+				case 4:
+					m.Range(k, k+128, func(core.Element) bool { return true })
+				case 5:
+					m.Delete(k)
+				case 6:
+					loader.C() <- core.Element{Key: k, Value: k}
+				case 7:
+					m.ApplyBatch([]core.Element{{Key: k, Value: k}, {Key: k + 1, Value: k}})
+					_ = m.Len()
+					_ = m.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	loader.Close()
+	// The map must still be coherent: a fresh insert is findable and a
+	// full Range streams distinct keys in ascending order. (Len is not
+	// compared: the COLA's Len overcounts duplicate inserts until the
+	// levels compact, by documented design.)
+	m.Insert(1<<40, 99)
+	if v, ok := m.Search(1 << 40); !ok || v != 99 {
+		t.Fatalf("post-stress Search = (%d,%v)", v, ok)
+	}
+	count := 0
+	last := uint64(0)
+	m.Range(0, ^uint64(0), func(e core.Element) bool {
+		if count > 0 && e.Key <= last {
+			t.Fatalf("post-stress Range out of order: %d after %d", e.Key, last)
+		}
+		last = e.Key
+		count++
+		return true
+	})
+	if count == 0 {
+		t.Fatal("post-stress Range returned nothing")
+	}
+}
+
+func TestMergeRunsEdgeCases(t *testing.T) {
+	// No runs: fn never called.
+	mergeRuns(nil, func(core.Element) bool { t.Fatal("fn called on empty input"); return true })
+	// Single run streams through unchanged.
+	run := []core.Element{{Key: 1}, {Key: 5}, {Key: 9}}
+	var got []uint64
+	mergeRuns([][]core.Element{run}, func(e core.Element) bool { got = append(got, e.Key); return true })
+	if len(got) != 3 || got[0] != 1 || got[2] != 9 {
+		t.Fatalf("single-run merge = %v", got)
+	}
+	// Interleaved runs with equal-length ties.
+	a := []core.Element{{Key: 0}, {Key: 4}, {Key: 8}}
+	b := []core.Element{{Key: 1}, {Key: 5}, {Key: 9}}
+	c := []core.Element{{Key: 2}, {Key: 3}, {Key: 10}}
+	got = got[:0]
+	mergeRuns([][]core.Element{a, b, c}, func(e core.Element) bool { got = append(got, e.Key); return true })
+	want := []uint64{0, 1, 2, 3, 4, 5, 8, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -159,6 +159,9 @@ func TestCOBTreeBaseline(t *testing.T) {
 	// Transfer comparison at a large block size (32 KiB) in the
 	// out-of-core regime (1 MiB cache, 2^15 elements): buffers must cut
 	// insert transfers below the unbuffered baseline.
+	if testing.Short() {
+		t.Skip("skipping out-of-core transfer comparison in short mode")
+	}
 	const big = 1 << 15
 	run := func(buffered bool) float64 {
 		store := dam.NewStore(1<<15, 1<<20)

@@ -1,0 +1,144 @@
+package repro
+
+// Concurrent-throughput benchmarks: the sharded map at 1/2/4/8 shards ×
+// goroutines against the global-mutex SynchronizedDictionary on the
+// same workload (DESIGN.md E10). Aggregate ops/second is wall-clock, so
+// the sharded map's advantage scales with available cores; on a
+// GOMAXPROCS=1 host only the reduced-contention and smaller-per-shard-
+// structure effects remain visible.
+//
+//	go test -bench 'BenchmarkSharded' -cpu 8
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// concurrentDict is the surface both contenders share.
+type concurrentDict interface {
+	Insert(key, value uint64)
+	Search(key uint64) (uint64, bool)
+}
+
+// runParallelOps splits b.N operations across g goroutines and waits
+// for all of them.
+func runParallelOps(b *testing.B, g int, op func(worker, i int)) {
+	b.Helper()
+	per := b.N / g
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := per
+			if w == 0 {
+				n += b.N % g // worker 0 absorbs the remainder
+			}
+			for i := 0; i < n; i++ {
+				op(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func benchParallelInserts(b *testing.B, d concurrentDict, g int) {
+	b.Helper()
+	seqs := make([]*workload.RandomUnique, g)
+	for w := range seqs {
+		seqs[w] = workload.NewRandomUnique(uint64(w) + 1)
+	}
+	runParallelOps(b, g, func(w, _ int) {
+		k := seqs[w].Next()
+		d.Insert(k, k)
+	})
+}
+
+func benchParallelSearches(b *testing.B, d concurrentDict, g int) {
+	b.Helper()
+	const preload = 1 << 16
+	for i := uint64(0); i < preload; i++ {
+		d.Insert(i, i)
+	}
+	probes := make([]*workload.RNG, g)
+	for w := range probes {
+		probes[w] = workload.NewRNG(uint64(w) + 7)
+	}
+	runParallelOps(b, g, func(w, _ int) {
+		d.Search(probes[w].Uint64() % preload)
+	})
+}
+
+// BenchmarkShardedInsert measures aggregate insert throughput at
+// shards = goroutines = 1/2/4/8, with the SynchronizedDictionary under
+// 8 goroutines as the global-lock baseline the acceptance claim
+// compares against.
+func BenchmarkShardedInsert(b *testing.B) {
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", g), func(b *testing.B) {
+			benchParallelInserts(b, NewShardedMap(WithShards(g)), g)
+		})
+	}
+	b.Run("global-mutex", func(b *testing.B) {
+		benchParallelInserts(b, Synchronized(NewCOLA(nil)), 8)
+	})
+}
+
+// BenchmarkShardedSearch is the read-side counterpart: random probes
+// over a preloaded keyspace.
+func BenchmarkShardedSearch(b *testing.B) {
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", g), func(b *testing.B) {
+			benchParallelSearches(b, NewShardedMap(WithShards(g)), g)
+		})
+	}
+	b.Run("global-mutex", func(b *testing.B) {
+		benchParallelSearches(b, Synchronized(NewCOLA(nil)), 8)
+	})
+}
+
+// BenchmarkShardedBatchIngest compares the three write paths at 8
+// shards: per-key Insert, grouped ApplyBatch, and the channel-fed
+// Loader, quantifying what batching buys in lock traffic.
+func BenchmarkShardedBatchIngest(b *testing.B) {
+	const batch = 512
+	b.Run("insert", func(b *testing.B) {
+		m := NewShardedMap(WithShards(8))
+		seq := workload.NewRandomUnique(3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := seq.Next()
+			m.Insert(k, k)
+		}
+	})
+	b.Run("applybatch", func(b *testing.B) {
+		m := NewShardedMap(WithShards(8))
+		seq := workload.NewRandomUnique(3)
+		buf := make([]Element, 0, batch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := seq.Next()
+			buf = append(buf, Element{Key: k, Value: k})
+			if len(buf) == batch {
+				m.ApplyBatch(buf)
+				buf = buf[:0]
+			}
+		}
+		m.ApplyBatch(buf)
+	})
+	b.Run("loader", func(b *testing.B) {
+		m := NewShardedMap(WithShards(8), WithBatchSize(batch))
+		seq := workload.NewRandomUnique(3)
+		b.ResetTimer()
+		l := m.NewLoader()
+		for i := 0; i < b.N; i++ {
+			k := seq.Next()
+			l.C() <- Element{Key: k, Value: k}
+		}
+		l.Close()
+	})
+}

@@ -12,6 +12,11 @@ import "sync"
 // "read-mostly" workload still serializes behind occasional long write
 // sections; the deamortized COLA's O(log N) worst-case insert keeps
 // those sections short.
+//
+// For real multi-core scaling use ShardedMap (NewShardedMap), which
+// hash-partitions keys over N independently locked structures so
+// operations on different shards proceed in parallel; this wrapper
+// remains for callers that need a single structure shared as-is.
 type SynchronizedDictionary struct {
 	mu sync.RWMutex
 	d  Dictionary

@@ -53,10 +53,10 @@ func TestSynchronizedDeleteOnNonDeleter(t *testing.T) {
 // goroutines; run with -race to verify mutual exclusion.
 func TestSynchronizedConcurrentMixed(t *testing.T) {
 	s := Synchronized(NewCOLA(nil))
-	const (
-		workers = 8
-		perG    = 2000
-	)
+	workers, perG := 8, 2000
+	if testing.Short() {
+		perG = 400
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -65,22 +65,108 @@ func TestSynchronizedConcurrentMixed(t *testing.T) {
 			rng := workload.NewRNG(uint64(w) + 1)
 			for i := 0; i < perG; i++ {
 				k := rng.Uint64() % 4096
-				switch rng.Uint64() % 4 {
+				switch rng.Uint64() % 5 {
 				case 0, 1:
 					s.Insert(k, k)
 				case 2:
 					s.Search(k)
 				case 3:
 					s.Range(k, k+64, func(Element) bool { return true })
+				case 4:
+					s.Delete(k)
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	// Every key some goroutine inserted must be findable.
+	// The wrapper must still be coherent after the stress.
+	s.Insert(1, 1)
+	if _, ok := s.Search(1); !ok {
+		t.Fatal("post-stress Search lost a fresh insert")
+	}
 	found := 0
 	s.Range(0, 4096, func(Element) bool { found++; return true })
 	if found == 0 {
 		t.Fatal("concurrent inserts lost")
+	}
+}
+
+// TestShardedConcurrentMixed is the same stress aimed at the sharded
+// map through the facade re-exports, so -race exercises the per-shard
+// locking discipline alongside the global-mutex wrapper's.
+func TestShardedConcurrentMixed(t *testing.T) {
+	m := NewShardedMap(WithShards(8), WithBatchSize(64))
+	workers, perG := 8, 2000
+	if testing.Short() {
+		perG = 400
+	}
+	loader := m.NewLoader()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(w) + 101)
+			for i := 0; i < perG; i++ {
+				k := rng.Uint64() % 4096
+				switch rng.Uint64() % 6 {
+				case 0, 1:
+					m.Insert(k, k)
+				case 2:
+					m.Search(k)
+				case 3:
+					m.Range(k, k+64, func(Element) bool { return true })
+				case 4:
+					m.Delete(k)
+				case 5:
+					loader.C() <- Element{Key: k, Value: k}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	loader.Close()
+	m.Insert(9999999, 7)
+	if v, ok := m.Search(9999999); !ok || v != 7 {
+		t.Fatalf("post-stress Search = (%d,%v)", v, ok)
+	}
+	found := 0
+	m.Range(0, 4096, func(Element) bool { found++; return true })
+	if found == 0 {
+		t.Fatal("concurrent inserts lost")
+	}
+}
+
+// TestShardedFacade checks the re-exported constructor and options
+// compose: a B-tree-backed sharded map with per-shard DAM accounting.
+func TestShardedFacade(t *testing.T) {
+	m := NewShardedMap(
+		WithShards(4),
+		WithDictionary(func(_ int, sp *Space) Dictionary {
+			return NewBTree(BTreeOptions{Space: sp})
+		}),
+		WithShardDAM(DefaultBlockBytes, 1<<16),
+	)
+	for i := uint64(0); i < 4096; i++ {
+		m.Insert(i, i)
+	}
+	if m.Len() != 4096 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if m.Transfers() == 0 {
+		t.Fatal("DAM-charged sharded map reports zero transfers")
+	}
+	var prev uint64
+	count := 0
+	m.Range(100, 199, func(e Element) bool {
+		if count > 0 && e.Key <= prev {
+			t.Fatalf("Range out of order: %d after %d", e.Key, prev)
+		}
+		prev = e.Key
+		count++
+		return true
+	})
+	if count != 100 {
+		t.Fatalf("Range visited %d, want 100", count)
 	}
 }
