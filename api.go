@@ -8,11 +8,20 @@
 // dictionary interfaces, and constructors for every structure, so a
 // downstream user needs only this package.
 //
-//	store := repro.NewStore(4096, 64<<20)       // B = 4 KiB, M = 64 MiB
-//	d := repro.NewCOLA(store.Space("cola"))     // cache-oblivious
+//	store := repro.NewStore(4096, 64<<20)            // B = 4 KiB, M = 64 MiB
+//	d, err := repro.Build("cola",                    // any registered kind
+//	    repro.WithSpace(store.Space("cola")))
+//	if err != nil { ... }
 //	d.Insert(42, 1)
 //	v, ok := d.Search(42)
 //	fmt.Println(v, ok, store.Transfers())
+//
+// Build (registry.go) is the v2 construction surface: one named-builder
+// registry over every structure, a unified option set (options.go), and
+// Kinds/Register for enumeration and external kinds. The typed
+// constructors below (NewCOLA, NewBTree, …) predate it and remain as
+// thin wrappers; new code should prefer Build so it can swap kinds
+// freely.
 //
 // Pass a nil space to any constructor to disable cost accounting and
 // benchmark pure wall-clock behaviour.
@@ -78,13 +87,20 @@ type COLAOptions = cola.Options
 const DefaultPointerDensity = cola.DefaultPointerDensity
 
 // NewCOLA returns the 2-COLA with the paper's default pointer density.
+//
+// Deprecated: use Build("cola", WithSpace(space)).
 func NewCOLA(space *Space) *COLA { return cola.NewCOLA(space) }
 
 // NewBasicCOLA returns the pointerless basic COLA (O(log^2 N) search).
+//
+// Deprecated: use Build("basic-cola", WithSpace(space)).
 func NewBasicCOLA(space *Space) *COLA { return cola.NewBasic(space) }
 
 // NewGCOLA returns a lookahead array with explicit growth factor and
 // pointer density (the paper's g-COLA).
+//
+// Deprecated: use Build("gcola", WithGrowthFactor(g),
+// WithPointerDensity(p), WithSpace(space)).
 func NewGCOLA(opt COLAOptions) *COLA { return cola.New(opt) }
 
 // DeamortizedCOLA is the basic deamortized COLA of Theorem 22: O(log N)
@@ -92,6 +108,8 @@ func NewGCOLA(opt COLAOptions) *COLA { return cola.New(opt) }
 type DeamortizedCOLA = cola.Deamortized
 
 // NewDeamortizedCOLA returns an empty deamortized basic COLA.
+//
+// Deprecated: use Build("deamortized", WithSpace(space)).
 func NewDeamortizedCOLA(space *Space) *DeamortizedCOLA {
 	return cola.NewDeamortized(space)
 }
@@ -102,6 +120,8 @@ type DeamortizedLookaheadCOLA = cola.DeamortizedLookahead
 
 // NewDeamortizedLookaheadCOLA returns an empty deamortized COLA with
 // lookahead pointers.
+//
+// Deprecated: use Build("deamortized-la", WithSpace(space)).
 func NewDeamortizedLookaheadCOLA(space *Space) *DeamortizedLookaheadCOLA {
 	return cola.NewDeamortizedLookahead(space)
 }
@@ -113,6 +133,8 @@ type ShuttleTree = shuttle.Tree
 type ShuttleOptions = shuttle.Options
 
 // NewShuttleTree returns an empty shuttle tree.
+//
+// Deprecated: use Build("shuttle", WithFanout(c), WithSpace(space)).
 func NewShuttleTree(opt ShuttleOptions) *ShuttleTree { return shuttle.New(opt) }
 
 // BTree is the B+-tree baseline of the paper's Section 4 experiments.
@@ -122,6 +144,8 @@ type BTree = btree.Tree
 type BTreeOptions = btree.Options
 
 // NewBTree returns an empty B+-tree (4 KiB blocks by default).
+//
+// Deprecated: use Build("btree", WithBlockBytes(b), WithSpace(space)).
 func NewBTree(opt BTreeOptions) *BTree { return btree.New(opt) }
 
 // BRT is the buffered repository tree, the cache-aware write-optimized
@@ -132,6 +156,8 @@ type BRT = brt.Tree
 type BRTOptions = brt.Options
 
 // NewBRT returns an empty buffered repository tree.
+//
+// Deprecated: use Build("brt", WithBlockBytes(b), WithSpace(space)).
 func NewBRT(opt BRTOptions) *BRT { return brt.New(opt) }
 
 // LookaheadArray is the cache-aware lookahead array with growth factor
@@ -143,6 +169,9 @@ type LookaheadArrayOptions = la.Options
 
 // NewLookaheadArray returns a cache-aware lookahead array positioned at
 // epsilon on the insert/search tradeoff curve.
+//
+// Deprecated: use Build("la", WithEpsilon(e), WithBlockBytes(b),
+// WithSpace(space)).
 func NewLookaheadArray(opt LookaheadArrayOptions) *LookaheadArray { return la.New(opt) }
 
 // SWBST is the strongly weight-balanced search tree substrate (the
@@ -153,6 +182,8 @@ type SWBST = swbst.Tree
 type SWBSTOptions = swbst.Options
 
 // NewSWBST returns an empty strongly weight-balanced search tree.
+//
+// Deprecated: use Build("swbst", WithFanout(c)).
 func NewSWBST(opt SWBSTOptions) *SWBST { return swbst.New(opt) }
 
 // NewCOBTree returns the cache-oblivious B-tree baseline (Bender,
@@ -161,6 +192,9 @@ func NewSWBST(opt SWBSTOptions) *SWBST { return swbst.New(opt) }
 // embedded in a packed-memory array. Searches cost O(log_{B+1} N)
 // transfers like the shuttle tree's; inserts pay the full leaf-path
 // cost the shuttle tree's buffers amortize away.
+//
+// Deprecated: use Build("cobtree", WithFanout(fanout),
+// WithSpace(space)).
 func NewCOBTree(fanout int, space *Space) *ShuttleTree {
 	return shuttle.NewCOBTree(fanout, space)
 }
@@ -171,11 +205,16 @@ func NewCOBTree(fanout int, space *Space) *ShuttleTree {
 // blocks the others. It implements Dictionary, Deleter, and Statser.
 type ShardedMap = shard.Map
 
-// ShardOption configures NewShardedMap (functional options).
-type ShardOption = shard.Option
+// ShardOption is the former option type of NewShardedMap; the sharded
+// map now shares the unified Option set of Build.
+//
+// Deprecated: use Option.
+type ShardOption = Option
 
 // ShardFactory builds the dictionary for one shard; the space is the
-// shard's private DAM space (nil when accounting is disabled).
+// shard's private DAM space (nil when accounting is disabled). Used
+// with WithDictionary for structures outside the registry; prefer
+// WithInner(kind) for registered ones.
 type ShardFactory = shard.Factory
 
 // ShardLoader is the channel-fed asynchronous ingestion path of a
@@ -188,24 +227,15 @@ type ShardLoader = shard.Loader
 //
 //	m := repro.NewShardedMap(
 //		repro.WithShards(8),
-//		repro.WithDictionary(func(i int, sp *repro.Space) repro.Dictionary {
-//			return repro.NewBTree(repro.BTreeOptions{Space: sp})
-//		}),
+//		repro.WithInner("btree"),
 //		repro.WithBatchSize(512),
 //	)
-func NewShardedMap(opts ...ShardOption) *ShardedMap { return shard.New(opts...) }
-
-// WithShards sets the shard count (rounded up to a power of two).
-func WithShards(n int) ShardOption { return shard.WithShards(n) }
-
-// WithDictionary sets the per-shard dictionary constructor.
-func WithDictionary(f ShardFactory) ShardOption { return shard.WithDictionary(f) }
-
-// WithBatchSize sets the Loader's per-flush batch size.
-func WithBatchSize(k int) ShardOption { return shard.WithBatchSize(k) }
-
-// WithShardDAM gives every shard its own DAM store with the given block
-// and cache sizes; ShardedMap.Transfers then reports the aggregate.
-func WithShardDAM(blockBytes, cacheBytes int64) ShardOption {
-	return shard.WithDAM(blockBytes, cacheBytes)
+//
+// It takes the same unified options as Build("sharded", ...) and panics
+// where Build would return an error.
+//
+// Deprecated: use Build("sharded", ...).
+func NewShardedMap(opts ...Option) *ShardedMap {
+	d := MustBuild("sharded", opts...)
+	return d.(*ShardedMap)
 }

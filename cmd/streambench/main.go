@@ -7,7 +7,13 @@
 //	streambench -fig all                  # everything (DESIGN.md E1-E10)
 //	streambench -fig 2 -logn 20           # Figure 2 at N = 2^20
 //	streambench -fig transfers -csv       # E6 as CSV
+//	streambench -list                     # registered dictionary kinds
+//	streambench -dict cola,btree,sharded  # Figure 2 over any kinds
+//	streambench -fig 4 -dict brt,shuttle  # Figure 4 over a custom lineup
 //
+// -dict takes registered kinds (see -list) and the figures' display
+// names ("2-COLA", "B-tree", ...) interchangeably; with -fig left at
+// its default it runs the Figure 2 experiment over the chosen lineup.
 // Flags scale the experiments; the defaults finish in a few minutes.
 package main
 
@@ -18,11 +24,14 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/registry"
 )
 
 func main() {
 	var (
 		fig        = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, ratios, transfers, deamortized, scans, shuttle, concurrent, all")
+		dict       = flag.String("dict", "", "comma-separated structure lineup for -fig 2/3/4 (registered kinds or figure names; see -list)")
+		list       = flag.Bool("list", false, "list the registered dictionary kinds with their options and exit")
 		logn       = flag.Int("logn", 18, "log2 of the largest workload size")
 		lognStart  = flag.Int("logn-start", 10, "log2 of the first measured checkpoint")
 		blockBytes = flag.Int64("block", 4096, "DAM block size B in bytes")
@@ -32,6 +41,17 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of tables")
 	)
 	flag.Parse()
+	figExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fig" {
+			figExplicit = true
+		}
+	})
+
+	if *list {
+		printKinds(os.Stdout)
+		return
+	}
 
 	cfg := harness.Config{
 		LogN:       *logn,
@@ -42,14 +62,53 @@ func main() {
 		Searches:   *searches,
 	}
 
+	figName := strings.ToLower(*fig)
+	var lineup []string
+	if *dict != "" {
+		for _, tok := range strings.Split(*dict, ",") {
+			if tok = strings.TrimSpace(tok); tok != "" {
+				lineup = append(lineup, tok)
+			}
+		}
+		if len(lineup) == 0 {
+			fmt.Fprintf(os.Stderr, "-dict %q names no structures (see -list)\n", *dict)
+			os.Exit(2)
+		}
+		if err := harness.ValidateLineup(lineup); err != nil {
+			fmt.Fprintf(os.Stderr, "-dict: %v\n", err)
+			os.Exit(2)
+		}
+		if figName == "all" && !figExplicit {
+			figName = "2" // default experiment for a custom lineup
+		}
+		switch figName {
+		case "2", "3", "4":
+		default:
+			fmt.Fprintf(os.Stderr, "-dict applies to -fig 2/3/4 only (got -fig %q)\n", *fig)
+			os.Exit(2)
+		}
+	}
+
 	var results []harness.Result
-	switch strings.ToLower(*fig) {
+	switch figName {
 	case "2":
-		results = cfg.Figure2()
+		if lineup != nil {
+			results = cfg.Figure2For(lineup)
+		} else {
+			results = cfg.Figure2()
+		}
 	case "3":
-		results = cfg.Figure3()
+		if lineup != nil {
+			results = cfg.Figure3For(lineup)
+		} else {
+			results = cfg.Figure3()
+		}
 	case "4":
-		results = cfg.Figure4()
+		if lineup != nil {
+			results = cfg.Figure4For(lineup)
+		} else {
+			results = cfg.Figure4()
+		}
 	case "5":
 		results = cfg.Figure5()
 	case "ratios":
@@ -71,7 +130,6 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-
 	for _, r := range results {
 		if *csv {
 			harness.CSV(os.Stdout, r)
@@ -79,4 +137,19 @@ func main() {
 			harness.Print(os.Stdout, r)
 		}
 	}
+}
+
+// printKinds renders the registry: every kind, its one-line doc, and
+// the options it accepts.
+func printKinds(w *os.File) {
+	fmt.Fprintln(w, "registered dictionary kinds (build with -dict, or repro.Build in code):")
+	for _, kind := range registry.Kinds() {
+		info, _ := registry.Info(kind)
+		fmt.Fprintf(w, "\n  %-15s %s\n", kind, info.Doc)
+		if len(info.Options) > 0 {
+			fmt.Fprintf(w, "  %-15s options: %s\n", "", strings.Join(info.Options, ", "))
+		}
+	}
+	fmt.Fprintf(w, "\nfigure display names also accepted by -dict: %s\n",
+		strings.Join(harness.LegacyNames(), ", "))
 }

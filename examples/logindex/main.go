@@ -16,6 +16,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	repro "repro"
@@ -49,15 +50,15 @@ func main() {
 		}
 	}
 
+	// The two contenders differ only in the kind string handed to Build
+	// — the registry makes swapping structures a data change.
 	type contender struct {
 		name string
-		mk   func(sp *repro.Space) repro.Dictionary
+		kind string
 	}
 	contenders := []contender{
-		{"COLA", func(sp *repro.Space) repro.Dictionary { return repro.NewCOLA(sp) }},
-		{"B-tree", func(sp *repro.Space) repro.Dictionary {
-			return repro.NewBTree(repro.BTreeOptions{Space: sp})
-		}},
+		{"COLA", "cola"},
+		{"B-tree", "btree"},
 	}
 
 	measure := func(title string, key func(event) uint64) map[string]uint64 {
@@ -65,7 +66,10 @@ func main() {
 		out := map[string]uint64{}
 		for _, c := range contenders {
 			store := repro.NewStore(repro.DefaultBlockBytes, 512<<10)
-			d := c.mk(store.Space(c.name))
+			d, err := repro.Build(c.kind, repro.WithSpace(store.Space(c.name)))
+			if err != nil {
+				log.Fatal(err)
+			}
 			start := time.Now()
 			for _, e := range gen {
 				d.Insert(key(e), uint64(e.level))
@@ -94,7 +98,10 @@ func main() {
 
 	// Serve queries from a COLA-built dedup index to show reads work.
 	store := repro.NewStore(repro.DefaultBlockBytes, 512<<10)
-	dedup := repro.NewCOLA(store.Space("dedup"))
+	dedup, err := repro.Build("cola", repro.WithSpace(store.Space("dedup")))
+	if err != nil {
+		log.Fatal(err)
+	}
 	seenDupes := 0
 	for _, e := range gen {
 		if _, ok := dedup.Search(e.hash); ok {
@@ -106,8 +113,9 @@ func main() {
 	fmt.Printf("dedup pass (search-before-insert): %d duplicates among %d events\n",
 		seenDupes, events)
 
-	// Time-window query on the time index: contiguous key range.
-	timeIdx := repro.NewCOLA(nil)
+	// Time-window query on the time index: contiguous key range, read
+	// through the Go 1.23 iterator accessor.
+	timeIdx := repro.MustBuild("cola")
 	for _, e := range gen {
 		timeIdx.Insert(timeKey(e), uint64(e.level))
 	}
@@ -115,6 +123,8 @@ func main() {
 	lo := (mid.ts - 100_000) << 16
 	hi := (mid.ts + 100_000) << 16
 	count := 0
-	timeIdx.Range(lo, hi, func(repro.Element) bool { count++; return true })
+	for range repro.Ascend(timeIdx, lo, hi) {
+		count++
+	}
 	fmt.Printf("time-window scan (+/-100ms around median event): %d events\n", count)
 }

@@ -1,10 +1,11 @@
-// Quickstart: create a COLA, insert, search, range-scan, delete, and
-// watch the DAM-model transfer counter — five minutes with the public
-// API of the streaming B-tree library.
+// Quickstart: build a dictionary by name, insert (single and batch),
+// search, iterate, delete, and watch the DAM-model transfer counter —
+// five minutes with the public API of the streaming B-tree library.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	repro "repro"
 )
@@ -16,9 +17,14 @@ func main() {
 	// deterministically, with no disk required.
 	store := repro.NewStore(repro.DefaultBlockBytes, 256<<10)
 
-	// The cache-oblivious lookahead array (COLA): amortized
-	// O((log N)/B) block transfers per insert, O(log N) per search.
-	d := repro.NewCOLA(store.Space("quickstart"))
+	// Build constructs any registered kind (repro.Kinds() lists them)
+	// from one shared option set. "cola" is the cache-oblivious
+	// lookahead array: amortized O((log N)/B) block transfers per
+	// insert, O(log N) per search.
+	d, err := repro.Build("cola", repro.WithSpace(store.Space("quickstart")))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	const n = 200_000
 	for i := uint64(0); i < n; i++ {
@@ -34,29 +40,44 @@ func main() {
 		fmt.Printf("Search(%d) = %d\n", probe, v)
 	}
 
-	// Range scan: ascending key order, contiguous levels make this fast.
+	// Iterate with a Go 1.23 range-over-func: ascending key order,
+	// contiguous levels make this fast. Breaking out stops the scan.
 	count := 0
-	d.Range(0, 1<<20, func(e repro.Element) bool {
+	for range repro.Ascend(d, 0, 1<<20) {
 		count++
-		return count < 5 // stop early after a few
-	})
-	fmt.Printf("range scan visited %d elements in [0, 2^20]\n", count)
+		if count == 5 {
+			break
+		}
+	}
+	fmt.Printf("iterator visited %d elements in [0, 2^20] before stopping\n", count)
 
 	// Deletes are tombstones that annihilate during merges.
-	if d.Delete(probe) {
+	if del, ok := d.(repro.Deleter); ok && del.Delete(probe) {
 		if _, ok := d.Search(probe); !ok {
 			fmt.Printf("Delete(%d) ok; key gone\n", probe)
 		}
 	}
 
-	// Compare with the B-tree baseline on the same workload.
-	bt := repro.NewBTree(repro.BTreeOptions{Space: store.Space("btree")})
-	before := store.Transfers()
-	for i := uint64(0); i < n; i++ {
-		key := i * 2654435761 % (1 << 30)
-		bt.Insert(key, i)
+	// Compare with the B-tree baseline on the same workload — same
+	// Build call, different kind string. InsertBatch uses a structure's
+	// native batch path when it has one and an insert loop otherwise.
+	bt, err := repro.Build("btree", repro.WithSpace(store.Space("btree")))
+	if err != nil {
+		log.Fatal(err)
 	}
+	batch := make([]repro.Element, 0, n)
+	for i := uint64(0); i < n; i++ {
+		batch = append(batch, repro.Element{Key: i * 2654435761 % (1 << 30), Value: i})
+	}
+	before := store.Transfers()
+	repro.InsertBatch(bt, batch)
 	btTransfers := store.Transfers() - before
 	fmt.Printf("B-tree needed %d transfers for the same inserts (%.1fx the COLA)\n",
 		btTransfers, float64(btTransfers)/float64(before))
+
+	// Invalid configurations fail with descriptive errors instead of
+	// silently ignoring options.
+	if _, err := repro.Build("btree", repro.WithEpsilon(0.5)); err != nil {
+		fmt.Printf("as expected: %v\n", err)
+	}
 }

@@ -16,10 +16,10 @@ import (
 func main() {
 	// Latency-sensitive path: the deamortized COLA never performs a big
 	// rebuild inside one insert.
-	deam := repro.NewDeamortizedCOLA(nil)
+	deam := repro.MustBuild("deamortized")
 	// Throughput path: the amortized COLA is faster on average but an
 	// individual insert can rebuild everything.
-	amort := repro.NewCOLA(nil)
+	amort := repro.MustBuild("cola")
 
 	const samples = 1 << 18
 	rng := workload.NewRNG(99)
@@ -49,21 +49,20 @@ func main() {
 	fmt.Printf("  deamortized COLA: total %8v, worst single insert %8v\n",
 		totalDeam.Round(time.Millisecond), worstDeam)
 
-	stA := amort.Stats()
-	stD := deam.Stats()
+	stA := amort.(repro.Statser).Stats()
+	stD := deam.(repro.Statser).Stats()
 	fmt.Printf("  max element moves in one insert: amortized %d vs deamortized %d\n",
 		stA.MaxMoves, stD.MaxMoves)
 
 	// Windowed aggregation over the amortized COLA (it supports the
-	// same queries).
+	// same queries), via the Go 1.23 iterator accessor.
 	var sum, count uint64
 	lo := uint64(samples) * 25 / 4 // somewhere in the middle of the time range
 	hi := lo + 5000
-	amort.Range(lo, hi, func(e repro.Element) bool {
-		sum += e.Value
+	for _, v := range repro.Ascend(amort, lo, hi) {
+		sum += v
 		count++
-		return true
-	})
+	}
 	if count > 0 {
 		fmt.Printf("window [%d, %d]: %d samples, mean value %.1f\n", lo, hi, count, float64(sum)/float64(count))
 	} else {

@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	repro "repro"
 	"repro/internal/workload"
@@ -28,11 +29,15 @@ func main() {
 
 	for _, eps := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
 		store := repro.NewStore(blockBytes, cacheBytes)
-		a := repro.NewLookaheadArray(repro.LookaheadArrayOptions{
-			BlockElems: blockElems,
-			Epsilon:    eps,
-			Space:      store.Space("la"),
-		})
+		d, err := repro.Build("la",
+			repro.WithEpsilon(eps),
+			repro.WithBlockBytes(blockBytes),
+			repro.WithSpace(store.Space("la")),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := d.(*repro.LookaheadArray)
 
 		seq := workload.NewRandomUnique(17)
 		for i := 0; i < n; i++ {

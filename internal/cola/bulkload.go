@@ -6,6 +6,39 @@ import (
 	"repro/internal/core"
 )
 
+// InsertBatch implements core.BatchInserter. On an empty structure it
+// takes the BulkLoad fast path — sort once, install the whole batch
+// into one level, distribute pointers. On a non-empty structure it
+// falls back to the ordinary insert loop (semantically identical:
+// later duplicates win either way). The caller's slice is never
+// mutated.
+func (c *GCOLA) InsertBatch(elems []core.Element) {
+	if len(elems) == 0 {
+		return
+	}
+	empty := true
+	for l := range c.levels {
+		if !c.levels[l].empty() {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		cp := make([]core.Element, len(elems))
+		copy(cp, elems)
+		c.BulkLoad(cp)
+		// BulkLoad counts Moves; keep the Inserts counter meaning "elements
+		// ingested" so batch and loop ingestion report comparably.
+		c.stats.Inserts += uint64(len(elems))
+		return
+	}
+	for _, e := range elems {
+		c.Insert(e.Key, e.Value)
+	}
+}
+
+var _ core.BatchInserter = (*GCOLA)(nil)
+
 // BulkLoad replaces the structure's contents with the given elements in
 // one pass: the elements are sorted (in place), deduplicated newest-wins
 // (later slice entries win), installed into the smallest level that

@@ -306,10 +306,16 @@ func (d *Deamortized) chargeBinary(k, s, n, probes int) {
 }
 
 // Range implements core.Dictionary by k-way merging all visible arrays.
+// Duplicate keys resolve exactly as Search does: the shallower level
+// wins (a fresh insert sits in level 0 and shadows every merged copy
+// below it), and within a level the higher-epoch array wins. Epochs are
+// NOT comparable across levels — a deep array's epoch exceeds level 0's
+// even though level 0 holds the newer entry.
 func (d *Deamortized) Range(lo, hi uint64, fn func(core.Element) bool) {
 	type cursor struct {
 		data  []core.Element
 		pos   int
+		level int
 		epoch uint64
 	}
 	var cursors []cursor
@@ -326,9 +332,15 @@ func (d *Deamortized) Range(lo, hi uint64, fn func(core.Element) bool) {
 			})
 			d.chargeBinary(k, s, len(a.data), probes)
 			if p < len(a.data) {
-				cursors = append(cursors, cursor{data: a.data, pos: p, epoch: a.epoch})
+				cursors = append(cursors, cursor{data: a.data, pos: p, level: k, epoch: a.epoch})
 			}
 		}
+	}
+	newer := func(a, b *cursor) bool {
+		if a.level != b.level {
+			return a.level < b.level
+		}
+		return a.epoch > b.epoch
 	}
 	for {
 		best := -1
@@ -343,7 +355,7 @@ func (d *Deamortized) Range(lo, hi uint64, fn func(core.Element) bool) {
 				continue
 			}
 			if best < 0 || k < bestKey ||
-				(k == bestKey && cur.epoch > cursors[best].epoch) {
+				(k == bestKey && newer(cur, &cursors[best])) {
 				best = i
 				bestKey = k
 			}

@@ -80,6 +80,65 @@ func TestBulkLoadEmptyAndPanics(t *testing.T) {
 	c.BulkLoad([]core.Element{{Key: 2}})
 }
 
+// TestInsertBatchFastAndSlowPaths covers core.BatchInserter: the
+// bulk-load fast path on an empty structure (caller slice untouched),
+// the insert-loop fallback on a non-empty one, and identical visible
+// state either way.
+func TestInsertBatchFastAndSlowPaths(t *testing.T) {
+	mkBatch := func() []core.Element {
+		var elems []core.Element
+		seq := workload.NewRandomUnique(63)
+		for i := 0; i < 3000; i++ {
+			k := seq.Next()
+			elems = append(elems, core.Element{Key: k, Value: k ^ 5})
+		}
+		elems = append(elems, core.Element{Key: elems[0].Key, Value: 999}) // dup, last wins
+		return elems
+	}
+
+	fast := NewCOLA(nil)
+	batch := mkBatch()
+	orig := append([]core.Element(nil), batch...)
+	fast.InsertBatch(batch)
+	fast.checkInvariants()
+	for i := range batch {
+		if batch[i] != orig[i] {
+			t.Fatal("InsertBatch mutated the caller's slice")
+		}
+	}
+
+	slow := NewCOLA(nil)
+	slow.Insert(1<<62, 42) // non-empty: forces the loop fallback
+	slow.InsertBatch(mkBatch())
+	slow.checkInvariants()
+
+	if v, _ := fast.Search(orig[0].Key); v != 999 {
+		t.Fatalf("fast path duplicate: Search = %d, want 999", v)
+	}
+	if v, _ := slow.Search(orig[0].Key); v != 999 {
+		t.Fatalf("slow path duplicate: Search = %d, want 999", v)
+	}
+	for _, e := range orig[1:200] {
+		fv, fok := fast.Search(e.Key)
+		sv, sok := slow.Search(e.Key)
+		if !fok || !sok || fv != e.Value || sv != e.Value {
+			t.Fatalf("paths disagree at %d: fast (%d,%v), slow (%d,%v)", e.Key, fv, fok, sv, sok)
+		}
+	}
+	// The fast path dedups while installing, so Len is exact; the loop
+	// path may overcount the in-batch duplicate until a merge reconciles
+	// it (the documented Len approximation).
+	if fast.Len() != 3000 {
+		t.Fatalf("fast path Len = %d, want 3000", fast.Len())
+	}
+	if slow.Len() < 3001 {
+		t.Fatalf("slow path Len = %d, want >= 3001", slow.Len())
+	}
+	if st := fast.Stats(); st.Inserts != 3001 {
+		t.Fatalf("fast path Stats.Inserts = %d, want 3001 (elements ingested)", st.Inserts)
+	}
+}
+
 func TestSnapshotRoundTrip(t *testing.T) {
 	c := NewCOLA(nil)
 	seq := workload.NewRandomUnique(71)

@@ -1,0 +1,28 @@
+package core
+
+// BatchInserter is implemented by dictionaries with a native batch
+// ingestion path — typically one that pre-sorts or pre-groups the batch
+// so restructuring work (merges, lock acquisitions) is amortized over
+// the whole slice instead of paid per element. Semantics match a
+// sequential Insert loop over the slice: duplicate keys apply in slice
+// order, so the last occurrence of a key wins.
+type BatchInserter interface {
+	// InsertBatch inserts every element of the slice. Implementations
+	// must not retain or mutate the slice.
+	InsertBatch(elems []Element)
+}
+
+// InsertBatch inserts every element of the slice into d, using the
+// structure's native BatchInserter fast path when it has one and a
+// plain Insert loop otherwise. It is the generic adapter callers should
+// reach for: batch-aware structures get their amortization, everything
+// else still works.
+func InsertBatch(d Dictionary, elems []Element) {
+	if b, ok := d.(BatchInserter); ok {
+		b.InsertBatch(elems)
+		return
+	}
+	for _, e := range elems {
+		d.Insert(e.Key, e.Value)
+	}
+}

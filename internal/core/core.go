@@ -76,3 +76,11 @@ func (s *Stats) Add(other Stats) {
 type Statser interface {
 	Stats() Stats
 }
+
+// TransferCounter is implemented by dictionaries that own their DAM
+// store(s) — rather than charging a caller-provided Space — and can
+// therefore report their aggregate block-transfer count directly (e.g.
+// the sharded map built with per-shard stores).
+type TransferCounter interface {
+	Transfers() uint64
+}

@@ -1,0 +1,33 @@
+package core
+
+import "iter"
+
+// All returns a Go 1.23 range-over-func iterator over every key/value
+// pair of d in ascending key order, derived from Dictionary.Range:
+//
+//	for k, v := range core.All(d) { ... }
+//
+// Iteration semantics are those of the underlying Range: breaking out
+// of the loop stops the scan early.
+func All(d Dictionary) iter.Seq2[uint64, uint64] {
+	return Ascend(d, 0, ^uint64(0))
+}
+
+// Ascend returns an iterator over the key/value pairs of d with
+// lo <= key <= hi in ascending key order.
+func Ascend(d Dictionary, lo, hi uint64) iter.Seq2[uint64, uint64] {
+	return func(yield func(uint64, uint64) bool) {
+		d.Range(lo, hi, func(e Element) bool {
+			return yield(e.Key, e.Value)
+		})
+	}
+}
+
+// Elements returns an iterator over the Elements of d with
+// lo <= key <= hi in ascending key order, for callers that want the
+// paired form (e.g. to feed another structure's InsertBatch).
+func Elements(d Dictionary, lo, hi uint64) iter.Seq[Element] {
+	return func(yield func(Element) bool) {
+		d.Range(lo, hi, yield)
+	}
+}

@@ -16,13 +16,10 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/brt"
-	"repro/internal/btree"
-	"repro/internal/cola"
 	"repro/internal/core"
 	"repro/internal/dam"
 	"repro/internal/la"
-	"repro/internal/shuttle"
+	"repro/internal/registry"
 	"repro/internal/workload"
 )
 
@@ -89,43 +86,147 @@ type Result struct {
 	Notes  []string
 }
 
-// dict couples a dictionary with the store charging it.
+// dict couples a dictionary with its cost accounting: a private store
+// for space-charged structures, or the structure's own TransferCounter
+// (e.g. a sharded map with per-shard stores), or nothing (pure
+// wall-clock kinds like swbst).
 type dict struct {
-	name  string
-	d     core.Dictionary
-	store *dam.Store
+	name      string
+	d         core.Dictionary
+	store     *dam.Store
+	transfers func() uint64
 }
 
-// builders constructs the standard structure set for the B-tree-vs-COLA
-// figures, each with its own store.
-func (c Config) builders(names []string) []dict {
-	var out []dict
+// dropCache / resetCounters act on the private store when there is one
+// and are no-ops otherwise (self-accounted structures expose no cache
+// control; their search measurements run warm).
+func (b dict) dropCache() {
+	if b.store != nil {
+		b.store.DropCache()
+	}
+}
+
+func (b dict) resetCounters() {
+	if b.store != nil {
+		b.store.ResetCounters()
+	}
+}
+
+// legacySpec maps one of the figures' display names to its registry
+// kind and options. The paper's lineup names stay stable in figure
+// output while construction goes through the same registry as
+// everything else.
+type legacySpec struct {
+	kind string
+	opts func(c Config) []registry.Option
+}
+
+var legacyLineup = map[string]legacySpec{
+	"2-COLA": {"gcola", func(Config) []registry.Option {
+		return []registry.Option{registry.WithGrowthFactor(2)}
+	}},
+	"4-COLA": {"gcola", func(Config) []registry.Option {
+		return []registry.Option{registry.WithGrowthFactor(4)}
+	}},
+	"8-COLA": {"gcola", func(Config) []registry.Option {
+		return []registry.Option{registry.WithGrowthFactor(8)}
+	}},
+	"basic-COLA": {"basic-cola", nil},
+	"B-tree": {"btree", func(c Config) []registry.Option {
+		return []registry.Option{registry.WithBlockBytes(c.BlockBytes)}
+	}},
+	"BRT": {"brt", func(c Config) []registry.Option {
+		return []registry.Option{registry.WithBlockBytes(c.BlockBytes)}
+	}},
+	"deamortized-COLA":           {"deamortized", nil},
+	"deamortized-lookahead-COLA": {"deamortized-la", nil},
+	"shuttle":                    {"shuttle", nil},
+	"CO-B-tree":                  {"cobtree", nil},
+}
+
+// LegacyNames returns the figures' display names, sorted — accepted by
+// lineup flags alongside the registry kinds.
+func LegacyNames() []string {
+	out := make([]string, 0, len(legacyLineup))
+	for name := range legacyLineup {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidateLineup checks that every name is either a figure display name
+// or a registered dictionary kind, returning a descriptive error
+// otherwise.
+func ValidateLineup(names []string) error {
 	for _, name := range names {
-		store := dam.NewStore(c.BlockBytes, c.CacheBytes)
-		var d core.Dictionary
-		switch name {
-		case "2-COLA":
-			d = cola.New(cola.Options{Growth: 2, PointerDensity: cola.DefaultPointerDensity, Space: store.Space(name)})
-		case "4-COLA":
-			d = cola.New(cola.Options{Growth: 4, PointerDensity: cola.DefaultPointerDensity, Space: store.Space(name)})
-		case "8-COLA":
-			d = cola.New(cola.Options{Growth: 8, PointerDensity: cola.DefaultPointerDensity, Space: store.Space(name)})
-		case "basic-COLA":
-			d = cola.NewBasic(store.Space(name))
-		case "B-tree":
-			d = btree.New(btree.Options{BlockBytes: c.BlockBytes, Space: store.Space(name)})
-		case "BRT":
-			d = brt.New(brt.Options{BlockBytes: c.BlockBytes, Space: store.Space(name)})
-		case "deamortized-COLA":
-			d = cola.NewDeamortized(store.Space(name))
-		case "deamortized-lookahead-COLA":
-			d = cola.NewDeamortizedLookahead(store.Space(name))
-		case "shuttle":
-			d = shuttle.New(shuttle.Options{Fanout: 8, Space: store.Space(name)})
-		default:
-			panic("harness: unknown structure " + name)
+		if _, ok := legacyLineup[name]; ok {
+			continue
 		}
-		out = append(out, dict{name: name, d: d, store: store})
+		if _, ok := registry.Info(name); ok {
+			continue
+		}
+		return fmt.Errorf("unknown structure %q (registered kinds: %s; figure names: %s)",
+			name, strings.Join(registry.Kinds(), ", "), strings.Join(LegacyNames(), ", "))
+	}
+	return nil
+}
+
+// buildNamed constructs one lineup entry — a legacy display name or any
+// registered kind with its defaults — wired to this config's DAM
+// geometry wherever the kind supports accounting.
+func (c Config) buildNamed(name string) (dict, error) {
+	c = c.withDefaults()
+	if err := ValidateLineup([]string{name}); err != nil {
+		return dict{}, err
+	}
+	kind := name
+	var opts []registry.Option
+	if spec, ok := legacyLineup[name]; ok {
+		kind = spec.kind
+		if spec.opts != nil {
+			opts = spec.opts(c)
+		}
+	} else if registry.Accepts(kind, registry.OptBlockBytes) {
+		opts = append(opts, registry.WithBlockBytes(c.BlockBytes))
+	}
+
+	b := dict{name: name}
+	switch {
+	case registry.Accepts(kind, registry.OptSpace):
+		b.store = dam.NewStore(c.BlockBytes, c.CacheBytes)
+		opts = append(opts, registry.WithSpace(b.store.Space(name)))
+		b.transfers = b.store.Transfers
+	case registry.Accepts(kind, registry.OptShardDAM):
+		opts = append(opts, registry.WithShardDAM(c.BlockBytes, c.CacheBytes))
+	}
+
+	d, err := registry.Build(kind, opts...)
+	if err != nil {
+		return dict{}, err
+	}
+	b.d = d
+	if b.transfers == nil {
+		if tc, ok := d.(core.TransferCounter); ok {
+			b.transfers = tc.Transfers
+		} else {
+			b.transfers = func() uint64 { return 0 }
+		}
+	}
+	return b, nil
+}
+
+// builders constructs the structure lineup for a figure, each entry
+// with its own accounting. It panics on an unknown name or invalid
+// build; lineup flags validate with ValidateLineup first.
+func (c Config) builders(names []string) []dict {
+	out := make([]dict, 0, len(names))
+	for _, name := range names {
+		b, err := c.buildNamed(name)
+		if err != nil {
+			panic("harness: " + err.Error())
+		}
+		out = append(out, b)
 	}
 	return out
 }
@@ -158,7 +259,7 @@ func (c Config) insertSweep(names []string, mkSeq func() workload.Sequence) (rat
 			}
 			xs = append(xs, float64(lg))
 			ys = append(ys, window/el)
-			tr := b.store.Transfers()
+			tr := b.transfers()
 			ts = append(ts, float64(tr-lastTransfers)/window)
 			lastTransfers = tr
 			lastTime = now
@@ -169,11 +270,19 @@ func (c Config) insertSweep(names []string, mkSeq func() workload.Sequence) (rat
 	return rates, transfers
 }
 
-// Figure2 regenerates "COLA vs B-tree (Random Inserts)".
+// Figure2 regenerates "COLA vs B-tree (Random Inserts)" with the
+// paper's lineup.
 func (c Config) Figure2() []Result {
+	return c.Figure2For([]string{"2-COLA", "4-COLA", "8-COLA", "B-tree"})
+}
+
+// Figure2For runs the Figure 2 experiment — random unique inserts,
+// wall-clock rate and DAM transfers per checkpoint window — over an
+// arbitrary lineup of figure names or registered kinds.
+func (c Config) Figure2For(names []string) []Result {
 	c = c.withDefaults()
 	rates, transfers := c.insertSweep(
-		[]string{"2-COLA", "4-COLA", "8-COLA", "B-tree"},
+		names,
 		func() workload.Sequence { return workload.NewRandomUnique(c.Seed) },
 	)
 	return []Result{
@@ -198,12 +307,19 @@ func (c Config) Figure2() []Result {
 }
 
 // Figure3 regenerates "COLA vs B-tree (Sorted Inserts)" — keys inserted
-// in descending order, the B-tree's best case.
+// in descending order, the B-tree's best case — with the paper's
+// lineup.
 func (c Config) Figure3() []Result {
+	return c.Figure3For([]string{"2-COLA", "4-COLA", "8-COLA", "B-tree"})
+}
+
+// Figure3For runs the Figure 3 experiment (descending-key inserts) over
+// an arbitrary lineup.
+func (c Config) Figure3For(names []string) []Result {
 	c = c.withDefaults()
 	n := uint64(1) << c.LogN
 	rates, transfers := c.insertSweep(
-		[]string{"2-COLA", "4-COLA", "8-COLA", "B-tree"},
+		names,
 		func() workload.Sequence { return workload.NewDescending(n) },
 	)
 	return []Result{
@@ -225,23 +341,32 @@ func (c Config) Figure3() []Result {
 
 // Figure4 regenerates "COLA vs B-tree (Random Searches)": load with
 // descending keys (as the paper's Figure 3 data), drop the cache, then
-// measure searches.
+// measure searches — with the paper's lineup.
 func (c Config) Figure4() []Result {
+	return c.Figure4For([]string{"2-COLA", "4-COLA", "8-COLA", "B-tree"})
+}
+
+// Figure4For runs the Figure 4 experiment (random searches after a
+// sorted load, cold cache) over an arbitrary lineup.
+func (c Config) Figure4For(names []string) []Result {
 	c = c.withDefaults()
 	n := uint64(1) << c.LogN
 	var rate, transfers []Series
-	for _, b := range c.builders([]string{"2-COLA", "4-COLA", "8-COLA", "B-tree"}) {
+	for _, b := range c.builders(names) {
 		seq := workload.NewDescending(n)
 		for i := uint64(0); i < n; i++ {
 			k := seq.Next()
 			b.d.Insert(k, k)
 		}
-		b.store.DropCache()
-		b.store.ResetCounters()
+		b.dropCache()
+		b.resetCounters()
 		probe := workload.NewRNG(c.Seed + 1)
 		var xs, ys, ts []float64
 		doneSearches := 0
-		lastTransfers := uint64(0)
+		// Baseline AFTER the load: resetCounters is a no-op for
+		// self-accounted kinds (per-shard stores), so starting from zero
+		// would fold the whole load phase into the first search window.
+		lastTransfers := b.transfers()
 		lastTime := time.Now()
 		for lg := 0; (1 << lg) <= c.Searches; lg++ {
 			target := 1 << lg
@@ -260,7 +385,7 @@ func (c Config) Figure4() []Result {
 			}
 			xs = append(xs, float64(lg))
 			ys = append(ys, window/el)
-			tr := b.store.Transfers()
+			tr := b.transfers()
 			ts = append(ts, float64(tr-lastTransfers)/window)
 			lastTransfers = tr
 			lastTime = now
@@ -340,7 +465,7 @@ func (c Config) Ratios() Result {
 			b.d.Insert(k, k)
 		}
 		el := time.Since(start).Seconds()
-		return float64(n) / el, float64(b.store.Transfers()) / float64(n)
+		return float64(n) / el, float64(b.transfers()) / float64(n)
 	}
 	searchRun := func(name string) (opsPerSec float64, transfersPerOp float64) {
 		b := c.builders([]string{name})[0]
@@ -349,15 +474,15 @@ func (c Config) Ratios() Result {
 			k := seq.Next()
 			b.d.Insert(k, k)
 		}
-		b.store.DropCache()
-		b.store.ResetCounters()
+		b.dropCache()
+		b.resetCounters()
 		probe := workload.NewRNG(c.Seed + 1)
 		start := time.Now()
 		for i := 0; i < c.Searches; i++ {
 			b.d.Search(probe.Uint64() % n)
 		}
 		el := time.Since(start).Seconds()
-		return float64(c.Searches) / el, float64(b.store.Transfers()) / float64(c.Searches)
+		return float64(c.Searches) / el, float64(b.transfers()) / float64(c.Searches)
 	}
 
 	colaRandW, colaRandT := run("2-COLA", workload.NewRandomUnique(c.Seed))
@@ -402,14 +527,14 @@ func (c Config) Transfers() Result {
 			k := seq.Next()
 			b.d.Insert(k, k)
 		}
-		insertT := float64(b.store.Transfers()) / float64(n)
-		b.store.DropCache()
-		b.store.ResetCounters()
+		insertT := float64(b.transfers()) / float64(n)
+		b.dropCache()
+		b.resetCounters()
 		probe := workload.NewRNG(c.Seed + 1)
 		for i := 0; i < c.Searches; i++ {
 			b.d.Search(probe.Uint64())
 		}
-		searchT := float64(b.store.Transfers()) / float64(c.Searches)
+		searchT := float64(b.transfers()) / float64(c.Searches)
 		series = append(series, Series{Name: b.name, X: []float64{float64(n)}, Y: []float64{insertT, searchT}})
 	}
 	// Cache-aware lookahead array across epsilon.
@@ -490,33 +615,25 @@ func (c Config) Shuttle() Result {
 	n := 1 << c.LogN
 	var series []Series
 	for _, blockBytes := range []int64{512, 4096, 32768} {
-		for _, kind := range []string{"shuttle", "CO-B-tree", "B-tree"} {
-			store := dam.NewStore(blockBytes, c.CacheBytes)
-			var d core.Dictionary
-			switch kind {
-			case "shuttle":
-				d = shuttle.New(shuttle.Options{Fanout: 8, Space: store.Space(kind)})
-			case "CO-B-tree":
-				d = shuttle.NewCOBTree(8, store.Space(kind))
-			default:
-				d = btree.New(btree.Options{BlockBytes: blockBytes, Space: store.Space(kind)})
-			}
+		cb := c
+		cb.BlockBytes = blockBytes
+		for _, b := range cb.builders([]string{"shuttle", "CO-B-tree", "B-tree"}) {
 			seq := workload.NewRandomUnique(c.Seed)
 			for i := 0; i < n; i++ {
 				k := seq.Next()
-				d.Insert(k, k)
+				b.d.Insert(k, k)
 			}
-			insertT := float64(store.Transfers()) / float64(n)
-			store.DropCache()
-			store.ResetCounters()
+			insertT := float64(b.transfers()) / float64(n)
+			b.dropCache()
+			b.resetCounters()
 			probe := workload.NewRNG(c.Seed + 1)
 			searches := c.Searches / 4
 			for i := 0; i < searches; i++ {
-				d.Search(probe.Uint64())
+				b.d.Search(probe.Uint64())
 			}
-			searchT := float64(store.Transfers()) / float64(searches)
+			searchT := float64(b.transfers()) / float64(searches)
 			series = append(series, Series{
-				Name: fmt.Sprintf("%s B=%d", kind, blockBytes),
+				Name: fmt.Sprintf("%s B=%d", b.name, blockBytes),
 				X:    []float64{float64(blockBytes)},
 				Y:    []float64{insertT, searchT},
 			})
@@ -660,8 +777,8 @@ func (c Config) RangeScans() Result {
 		for _, k := range keys {
 			b.d.Insert(k, k)
 		}
-		b.store.DropCache()
-		b.store.ResetCounters()
+		b.dropCache()
+		b.resetCounters()
 		rng := workload.NewRNG(c.Seed + 9)
 		scans := 64
 		returned := 0
@@ -675,7 +792,7 @@ func (c Config) RangeScans() Result {
 		series = append(series, Series{
 			Name: b.name,
 			X:    []float64{float64(n)},
-			Y:    []float64{float64(b.store.Transfers()) / float64(returned)},
+			Y:    []float64{float64(b.transfers()) / float64(returned)},
 		})
 	}
 	return Result{

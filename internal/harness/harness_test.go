@@ -2,9 +2,11 @@ package harness
 
 import (
 	"bytes"
-	"repro/internal/core"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/registry"
 )
 
 // small returns a config tiny enough for unit tests.
@@ -141,6 +143,79 @@ func TestShuttleRuns(t *testing.T) {
 	r := c.Shuttle()
 	if len(r.Series) != 9 {
 		t.Fatalf("Shuttle has %d series, want 9", len(r.Series))
+	}
+}
+
+// TestValidateLineup covers both name namespaces and the error path.
+func TestValidateLineup(t *testing.T) {
+	if err := ValidateLineup([]string{"2-COLA", "btree", "sharded", "CO-B-tree"}); err != nil {
+		t.Fatalf("valid lineup rejected: %v", err)
+	}
+	err := ValidateLineup([]string{"btre"})
+	if err == nil || !strings.Contains(err.Error(), `unknown structure "btre"`) {
+		t.Fatalf("invalid lineup: %v", err)
+	}
+	if !strings.Contains(err.Error(), "registered kinds") {
+		t.Fatalf("error does not list the registry: %v", err)
+	}
+}
+
+// TestBuildNamedResolvesEverything builds every legacy display name and
+// every registered kind through the harness wiring.
+func TestBuildNamedResolvesEverything(t *testing.T) {
+	c := small()
+	var names []string
+	names = append(names, LegacyNames()...)
+	names = append(names, registry.Kinds()...)
+	for _, name := range names {
+		b, err := c.buildNamed(name)
+		if err != nil {
+			t.Fatalf("buildNamed(%q): %v", name, err)
+		}
+		b.d.Insert(5, 50)
+		if v, ok := b.d.Search(5); !ok || v != 50 {
+			t.Fatalf("%s: Search = (%d,%v)", name, v, ok)
+		}
+		b.dropCache()
+		b.resetCounters()
+		_ = b.transfers()
+	}
+}
+
+// TestFigure2ForArbitraryKinds runs the Figure 2 experiment over a
+// lineup mixing legacy names, space-charged kinds, a self-accounted
+// kind (sharded), and an accounting-free one (swbst).
+func TestFigure2ForArbitraryKinds(t *testing.T) {
+	c := small()
+	results := c.Figure2For([]string{"2-COLA", "brt", "sharded", "swbst"})
+	if len(results) != 2 {
+		t.Fatalf("Figure2For returned %d results", len(results))
+	}
+	for _, r := range results {
+		if len(r.Series) != 4 {
+			t.Fatalf("%s: %d series, want 4", r.Title, len(r.Series))
+		}
+	}
+	rates := results[0]
+	for _, s := range rates.Series {
+		if len(s.Y) == 0 || s.Y[len(s.Y)-1] <= 0 {
+			t.Fatalf("series %s has no positive throughput: %v", s.Name, s.Y)
+		}
+	}
+	// The space-charged structures record transfers; swbst reports zero.
+	transfers := map[string]float64{}
+	for _, s := range results[1].Series {
+		total := 0.0
+		for _, y := range s.Y {
+			total += y
+		}
+		transfers[s.Name] = total
+	}
+	if transfers["brt"] == 0 {
+		t.Error("brt recorded no transfers")
+	}
+	if transfers["swbst"] != 0 {
+		t.Error("swbst recorded transfers without a store")
 	}
 }
 

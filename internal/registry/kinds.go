@@ -1,0 +1,251 @@
+package registry
+
+// Built-in kind registrations: every dictionary in the repository,
+// constructed from the unified Config with per-kind validation. The
+// option matrix here is the authoritative one (DESIGN.md's table is
+// generated from the same lists).
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/brt"
+	"repro/internal/btree"
+	"repro/internal/cola"
+	"repro/internal/core"
+	"repro/internal/dam"
+	"repro/internal/la"
+	"repro/internal/shard"
+	"repro/internal/shuttle"
+	"repro/internal/swbst"
+	"repro/internal/syncdict"
+)
+
+func init() {
+	mustRegister("cola", KindInfo{
+		Doc:     "cache-oblivious lookahead array (g = 2, paper's pointer density): the headline write-optimized structure",
+		Options: []string{OptSpace},
+		New: func(c *Config) (core.Dictionary, error) {
+			return cola.NewCOLA(c.Space()), nil
+		},
+	})
+	mustRegister("basic-cola", KindInfo{
+		Doc:     "pointerless basic COLA: O(log^2 N) searches, the paper's simplest variant",
+		Options: []string{OptSpace},
+		New: func(c *Config) (core.Dictionary, error) {
+			return cola.NewBasic(c.Space()), nil
+		},
+	})
+	mustRegister("gcola", KindInfo{
+		Doc:     "growth-factor-g lookahead array with tunable pointer density (the paper's g-COLA)",
+		Options: []string{OptSpace, OptGrowth, OptPointerDensity},
+		New: func(c *Config) (core.Dictionary, error) {
+			return cola.New(cola.Options{
+				Growth:         c.GrowthFactor(2),
+				PointerDensity: c.PointerDensity(cola.DefaultPointerDensity),
+				Space:          c.Space(),
+			}), nil
+		},
+	})
+	mustRegister("deamortized", KindInfo{
+		Doc:     "deamortized basic COLA (Theorem 22): O(log N) worst-case moves per insert",
+		Options: []string{OptSpace},
+		New: func(c *Config) (core.Dictionary, error) {
+			return cola.NewDeamortized(c.Space()), nil
+		},
+	})
+	mustRegister("deamortized-la", KindInfo{
+		Doc:     "fully deamortized COLA with lookahead pointers (Theorem 24)",
+		Options: []string{OptSpace},
+		New: func(c *Config) (core.Dictionary, error) {
+			return cola.NewDeamortizedLookahead(c.Space()), nil
+		},
+	})
+	mustRegister("la", KindInfo{
+		Doc:     "cache-aware lookahead array with growth B^epsilon: the Be-tree insert/search tradeoff curve",
+		Options: []string{OptSpace, OptEpsilon, OptBlockBytes},
+		New: func(c *Config) (core.Dictionary, error) {
+			blockElems := int(c.BlockBytes(dam.DefaultBlockBytes) / core.ElementBytes)
+			if blockElems < 2 {
+				return nil, fmt.Errorf("block size %d holds fewer than 2 elements", c.BlockBytes(dam.DefaultBlockBytes))
+			}
+			return la.New(la.Options{
+				BlockElems: blockElems,
+				Epsilon:    c.Epsilon(0.5),
+				Space:      c.Space(),
+			}), nil
+		},
+	})
+	mustRegister("shuttle", KindInfo{
+		Doc:     "shuttle tree (Section 2): SWBST skeleton with geometric buffers in a van Emde Boas layout",
+		Options: []string{OptSpace, OptFanout, OptRelayoutEvery},
+		New: func(c *Config) (core.Dictionary, error) {
+			fanout := c.Fanout(8)
+			if fanout < 4 {
+				return nil, fmt.Errorf("shuttle fanout must be at least 4, got %d", fanout)
+			}
+			return shuttle.New(shuttle.Options{
+				Fanout:        fanout,
+				Space:         c.Space(),
+				RelayoutEvery: c.RelayoutEvery(0),
+			}), nil
+		},
+	})
+	mustRegister("cobtree", KindInfo{
+		Doc:     "cache-oblivious B-tree baseline: the shuttle machinery with buffering disabled",
+		Options: []string{OptSpace, OptFanout},
+		New: func(c *Config) (core.Dictionary, error) {
+			fanout := c.Fanout(8)
+			if fanout < 4 {
+				return nil, fmt.Errorf("cobtree fanout must be at least 4, got %d", fanout)
+			}
+			return shuttle.NewCOBTree(fanout, c.Space()), nil
+		},
+	})
+	mustRegister("btree", KindInfo{
+		Doc:     "B+-tree baseline of the paper's Section 4 experiments (one block per node)",
+		Options: []string{OptSpace, OptBlockBytes, OptLeafCapacity, OptFanout},
+		New: func(c *Config) (core.Dictionary, error) {
+			opt := btree.Options{
+				BlockBytes:   c.BlockBytes(0),
+				LeafCapacity: c.LeafCapacity(0),
+				Fanout:       c.Fanout(0),
+				Space:        c.Space(),
+			}
+			if c.IsSet(OptFanout) && opt.Fanout < 3 {
+				return nil, fmt.Errorf("btree fanout must be at least 3, got %d", opt.Fanout)
+			}
+			return btree.New(opt), nil
+		},
+	})
+	mustRegister("brt", KindInfo{
+		Doc:     "buffered repository tree: the cache-aware write-optimized comparator",
+		Options: []string{OptSpace, OptBlockBytes},
+		New: func(c *Config) (core.Dictionary, error) {
+			blockBytes := c.BlockBytes(dam.DefaultBlockBytes)
+			if blockBytes/core.ElementBytes < 4 {
+				return nil, fmt.Errorf("brt block size must hold at least 4 elements, got %d bytes", blockBytes)
+			}
+			return brt.New(brt.Options{BlockBytes: blockBytes, Space: c.Space()}), nil
+		},
+	})
+	mustRegister("swbst", KindInfo{
+		Doc:     "strongly weight-balanced search tree: the shuttle tree's skeleton, usable standalone (no DAM accounting)",
+		Options: []string{OptFanout},
+		New: func(c *Config) (core.Dictionary, error) {
+			fanout := c.Fanout(8)
+			if fanout < 4 {
+				return nil, fmt.Errorf("swbst fanout must be at least 4, got %d", fanout)
+			}
+			return swbst.New(swbst.Options{Fanout: fanout}), nil
+		},
+	})
+	mustRegister("sharded", KindInfo{
+		Doc:     "hash-partitioned concurrent map: per-shard locks around any inner kind (WithInner) or factory",
+		Options: []string{OptShards, OptBatchSize, OptShardDAM, OptInner, OptFactory},
+		New:     buildSharded,
+	})
+	mustRegister("synchronized", KindInfo{
+		Doc:     "coarse-grained RWMutex wrapper around any inner kind, forwarding its capabilities",
+		Options: []string{OptSpace, OptInner},
+		New:     buildSynchronized,
+	})
+}
+
+// innerConfig scratch-applies a wrapper kind's inner options so wrapper
+// builders can inspect what the caller set (e.g. reject an inner
+// WithSpace on a sharded map).
+func innerConfig(opts []Option) (*Config, error) {
+	cfg, err := apply(opts)
+	if err != nil {
+		return nil, fmt.Errorf("inner options: %w", err)
+	}
+	return cfg, nil
+}
+
+func buildSharded(c *Config) (core.Dictionary, error) {
+	innerKind, innerOpts, hasInner := c.Inner()
+	factory := c.Factory()
+	if hasInner && factory != nil {
+		return nil, fmt.Errorf("WithInner and WithDictionary are mutually exclusive")
+	}
+	if !hasInner {
+		innerKind = "cola"
+	}
+
+	var sopts []shard.Option
+	if n := c.Shards(0); c.IsSet(OptShards) {
+		sopts = append(sopts, shard.WithShards(n))
+	}
+	if k := c.BatchSize(0); c.IsSet(OptBatchSize) {
+		sopts = append(sopts, shard.WithBatchSize(k))
+	}
+	if blockBytes, cacheBytes, ok := c.ShardDAM(); ok {
+		sopts = append(sopts, shard.WithDAM(blockBytes, cacheBytes))
+	}
+
+	if factory != nil {
+		sopts = append(sopts, shard.WithDictionary(factory))
+		return shard.New(sopts...), nil
+	}
+
+	// Registry-built shards: validate the inner spec once up front so a
+	// bad inner kind or option fails with an error here instead of a
+	// panic inside the per-shard factory.
+	icfg, err := innerConfig(innerOpts)
+	if err != nil {
+		return nil, err
+	}
+	if icfg.IsSet(OptSpace) {
+		return nil, fmt.Errorf("inner kind %q: each shard receives its private space; use WithShardDAM instead of an inner WithSpace", innerKind)
+	}
+	if _, err := Build(innerKind, innerOpts...); err != nil {
+		return nil, err
+	}
+	innerTakesSpace := Accepts(innerKind, OptSpace)
+	if _, _, damSet := c.ShardDAM(); damSet && !innerTakesSpace {
+		return nil, fmt.Errorf("WithShardDAM has no effect: inner kind %q does not accept WithSpace", innerKind)
+	}
+	sopts = append(sopts, shard.WithDictionary(func(_ int, sp *dam.Space) core.Dictionary {
+		opts := innerOpts
+		if innerTakesSpace {
+			opts = append(append([]Option(nil), innerOpts...), WithSpace(sp))
+		}
+		d, err := Build(innerKind, opts...)
+		if err != nil {
+			// Unreachable: the same spec just built during validation.
+			panic("repro: sharded inner build failed after validation: " + err.Error())
+		}
+		return d
+	}))
+	return shard.New(sopts...), nil
+}
+
+func buildSynchronized(c *Config) (core.Dictionary, error) {
+	innerKind, innerOpts, hasInner := c.Inner()
+	if !hasInner {
+		innerKind = "cola"
+	}
+	icfg, err := innerConfig(innerOpts)
+	if err != nil {
+		return nil, err
+	}
+	if _, known := Info(innerKind); !known {
+		return nil, fmt.Errorf("unknown inner kind %q (registered kinds: %s)", innerKind, strings.Join(Kinds(), ", "))
+	}
+	opts := innerOpts
+	if c.IsSet(OptSpace) {
+		if icfg.IsSet(OptSpace) {
+			return nil, fmt.Errorf("inner kind %q: pass the space either on synchronized or inside WithInner, not both", innerKind)
+		}
+		if !Accepts(innerKind, OptSpace) {
+			return nil, fmt.Errorf("inner kind %q does not accept WithSpace", innerKind)
+		}
+		opts = append(append([]Option(nil), innerOpts...), WithSpace(c.Space()))
+	}
+	d, err := Build(innerKind, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return syncdict.New(d), nil
+}

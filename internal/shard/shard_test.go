@@ -203,6 +203,29 @@ func TestApplyBatchAndLoader(t *testing.T) {
 	}
 }
 
+// TestInsertBatchInterface checks the core.BatchInserter path is the
+// grouped ApplyBatch, reachable through the generic adapter.
+func TestInsertBatchInterface(t *testing.T) {
+	m := New(WithShards(4))
+	var d core.Dictionary = m
+	b, ok := d.(core.BatchInserter)
+	if !ok {
+		t.Fatal("Map does not implement core.BatchInserter")
+	}
+	batch := []core.Element{{Key: 1, Value: 10}, {Key: 2, Value: 20}, {Key: 1, Value: 11}}
+	b.InsertBatch(batch)
+	if v, _ := m.Search(1); v != 11 {
+		t.Fatalf("InsertBatch last-write-wins: Search(1) = %d", v)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	core.InsertBatch(d, []core.Element{{Key: 3, Value: 30}})
+	if v, ok := m.Search(3); !ok || v != 30 {
+		t.Fatalf("adapter path: Search(3) = (%d,%v)", v, ok)
+	}
+}
+
 func TestStatsAggregation(t *testing.T) {
 	m := New(WithShards(4))
 	for i := uint64(0); i < 100; i++ {

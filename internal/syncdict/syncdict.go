@@ -1,0 +1,142 @@
+// Package syncdict provides the coarse-grained concurrency wrapper of
+// the public facade: one sync.RWMutex around a single-threaded
+// dictionary. It lives in an internal package (rather than in the
+// facade) so the kind registry can construct it like any other
+// structure; the facade re-exports it as repro.SynchronizedDictionary.
+package syncdict
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Dict wraps a core.Dictionary with a sync.RWMutex so it can be shared
+// between goroutines. The underlying structures are single-threaded by
+// design (the paper's experiments are too); this wrapper is the
+// coarse-grained escape hatch for concurrent callers.
+//
+// Note that Insert on the buffered structures can trigger a merge, so a
+// "read-mostly" workload still serializes behind occasional long write
+// sections; the deamortized COLA's O(log N) worst-case insert keeps
+// those sections short. For real multi-core scaling use the sharded map
+// (internal/shard), which hash-partitions keys over N independently
+// locked structures.
+//
+// The wrapper forwards the capabilities of the structure it wraps:
+// Delete reaches a wrapped core.Deleter, Stats a wrapped core.Statser,
+// Transfers a wrapped core.TransferCounter, and InsertBatch a wrapped
+// core.BatchInserter — each under the lock, so a capability call is as
+// safe as the core operations. Where the inner structure lacks the
+// capability the method degrades gracefully (false, zero Stats, zero
+// transfers, an Insert loop); Supports reports what is genuinely
+// forwarded.
+type Dict struct {
+	mu sync.RWMutex
+	d  core.Dictionary
+}
+
+// New wraps d for concurrent use.
+func New(d core.Dictionary) *Dict {
+	return &Dict{d: d}
+}
+
+var (
+	_ core.Dictionary      = (*Dict)(nil)
+	_ core.Deleter         = (*Dict)(nil)
+	_ core.Statser         = (*Dict)(nil)
+	_ core.TransferCounter = (*Dict)(nil)
+	_ core.BatchInserter   = (*Dict)(nil)
+)
+
+// Insert implements core.Dictionary.
+func (s *Dict) Insert(key, value uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.d.Insert(key, value)
+}
+
+// InsertBatch implements core.BatchInserter: the whole batch applies
+// under one lock acquisition, forwarding to the inner structure's own
+// batch path when it has one.
+func (s *Dict) InsertBatch(elems []core.Element) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	core.InsertBatch(s.d, elems)
+}
+
+// Search implements core.Dictionary.
+//
+// The lock is exclusive, not shared: a search on a DAM-charged structure
+// mutates the store's LRU state, and several structures keep internal
+// counters. Correctness first; callers needing parallel reads should
+// shard.
+func (s *Dict) Search(key uint64) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Search(key)
+}
+
+// Range implements core.Dictionary. The callback runs under the lock; it
+// must not call back into the dictionary.
+func (s *Dict) Range(lo, hi uint64, fn func(core.Element) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.d.Range(lo, hi, fn)
+}
+
+// Len implements core.Dictionary.
+func (s *Dict) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Len()
+}
+
+// Delete forwards to the wrapped structure's Deleter if it has one; it
+// reports false otherwise.
+func (s *Dict) Delete(key uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if del, ok := s.d.(core.Deleter); ok {
+		return del.Delete(key)
+	}
+	return false
+}
+
+// Stats forwards to the wrapped structure's Statser under the lock; it
+// returns the zero Stats when the inner structure keeps no counters.
+func (s *Dict) Stats() core.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.d.(core.Statser); ok {
+		return st.Stats()
+	}
+	return core.Stats{}
+}
+
+// Transfers forwards to the wrapped structure's TransferCounter under
+// the lock; it reports zero when the inner structure does not own its
+// stores.
+func (s *Dict) Transfers() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tc, ok := s.d.(core.TransferCounter); ok {
+		return tc.Transfers()
+	}
+	return 0
+}
+
+// Supports reports which capabilities the wrapper genuinely forwards to
+// the inner structure (deleter, statser, transfers, batch): the wrapper
+// implements every interface unconditionally, so type assertions on it
+// always succeed and this is the honest capability probe.
+func (s *Dict) Supports() (deleter, statser, transfers, batch bool) {
+	_, deleter = s.d.(core.Deleter)
+	_, statser = s.d.(core.Statser)
+	_, transfers = s.d.(core.TransferCounter)
+	_, batch = s.d.(core.BatchInserter)
+	return deleter, statser, transfers, batch
+}
+
+// Unwrap returns the underlying dictionary (for single-threaded phases).
+func (s *Dict) Unwrap() core.Dictionary { return s.d }

@@ -1,0 +1,30 @@
+package repro
+
+// Go 1.23 range-over-func accessors, derived from Dictionary.Range.
+
+import (
+	"iter"
+
+	"repro/internal/core"
+)
+
+// All returns an iterator over every key/value pair of d in ascending
+// key order:
+//
+//	for k, v := range repro.All(d) { ... }
+//
+// Breaking out of the loop stops the underlying Range scan early.
+func All(d Dictionary) iter.Seq2[uint64, uint64] { return core.All(d) }
+
+// Ascend returns an iterator over the key/value pairs of d with
+// lo <= key <= hi in ascending key order.
+func Ascend(d Dictionary, lo, hi uint64) iter.Seq2[uint64, uint64] {
+	return core.Ascend(d, lo, hi)
+}
+
+// Elements returns an iterator over the Elements of d with
+// lo <= key <= hi, for callers that want the paired form (e.g. to feed
+// another structure's InsertBatch).
+func Elements(d Dictionary, lo, hi uint64) iter.Seq[Element] {
+	return core.Elements(d, lo, hi)
+}

@@ -1,0 +1,78 @@
+package repro
+
+// The unified functional options accepted by Build. One shared
+// vocabulary covers every kind; Build validates per kind, so e.g.
+// WithEpsilon on "btree" is a descriptive error rather than a silently
+// dropped field. The option matrix (which option applies to which kind)
+// is documented in DESIGN.md and queryable via KindOptions.
+
+import (
+	"repro/internal/registry"
+)
+
+// WithSpace charges the structure's memory traffic to the given DAM
+// space; nil disables accounting. Accepted by every kind that supports
+// cost accounting (all but "swbst" and "sharded"; sharded maps use
+// WithShardDAM so accounting stays race-free per shard).
+func WithSpace(sp *Space) Option { return registry.WithSpace(sp) }
+
+// WithGrowthFactor sets the lookahead-array growth factor g >= 2
+// ("gcola"); g = 2 is the cache-oblivious COLA.
+func WithGrowthFactor(g int) Option { return registry.WithGrowthFactor(g) }
+
+// WithPointerDensity sets the lookahead pointer density p in [0, 0.5]
+// ("gcola"); p = 0 disables fractional cascading, the paper uses 0.1.
+func WithPointerDensity(p float64) Option { return registry.WithPointerDensity(p) }
+
+// WithFanout sets the fanout / balance parameter of the tree kinds
+// ("shuttle", "cobtree", "swbst": >= 4; "btree": >= 3).
+func WithFanout(n int) Option { return registry.WithFanout(n) }
+
+// WithEpsilon positions the cache-aware lookahead array ("la") on the
+// insert/search tradeoff curve; epsilon in [0, 1], default 0.5.
+func WithEpsilon(e float64) Option { return registry.WithEpsilon(e) }
+
+// WithBlockBytes sets the block size B for the cache-aware kinds
+// ("btree", "brt", "la"); default DefaultBlockBytes.
+func WithBlockBytes(b int64) Option { return registry.WithBlockBytes(b) }
+
+// WithLeafCapacity overrides the B-tree's derived elements-per-leaf
+// ("btree").
+func WithLeafCapacity(n int) Option { return registry.WithLeafCapacity(n) }
+
+// WithRelayoutEvery sets how many node splits the shuttle tree absorbs
+// before rebuilding its exact van Emde Boas layout ("shuttle");
+// negative disables rebuilds.
+func WithRelayoutEvery(n int) Option { return registry.WithRelayoutEvery(n) }
+
+// WithShards sets the partition count of a sharded map ("sharded"),
+// rounded up to a power of two.
+func WithShards(n int) Option { return registry.WithShards(n) }
+
+// WithBatchSize sets a sharded map Loader's per-flush batch size
+// ("sharded").
+func WithBatchSize(k int) Option { return registry.WithBatchSize(k) }
+
+// WithShardDAM gives every shard of a sharded map its own DAM store
+// with the given geometry ("sharded"); Transfers then reports the
+// aggregate.
+func WithShardDAM(blockBytes, cacheBytes int64) Option {
+	return registry.WithShardDAM(blockBytes, cacheBytes)
+}
+
+// WithInner selects the structure a wrapper kind wraps — any registered
+// kind plus its own options ("sharded", "synchronized"):
+//
+//	repro.Build("sharded",
+//	    repro.WithShards(8),
+//	    repro.WithInner("btree", repro.WithLeafCapacity(64)),
+//	)
+//
+// Do not pass WithSpace inside a sharded map's inner options: each
+// shard receives its private space (WithShardDAM).
+func WithInner(kind string, opts ...Option) Option { return registry.WithInner(kind, opts...) }
+
+// WithDictionary sets an explicit per-shard constructor on a sharded
+// map ("sharded"), for structures not in the registry. Mutually
+// exclusive with WithInner.
+func WithDictionary(f ShardFactory) Option { return registry.WithFactory(f) }

@@ -1,78 +1,23 @@
 package repro
 
-import "sync"
+import "repro/internal/syncdict"
 
-// SynchronizedDictionary wraps a Dictionary with a sync.RWMutex so it can
-// be shared between goroutines. The underlying structures are single-
-// threaded by design (the paper's experiments are too); this wrapper is
-// the coarse-grained escape hatch for concurrent callers — reads share,
-// writes exclude.
+// SynchronizedDictionary wraps a Dictionary with a sync.RWMutex so it
+// can be shared between goroutines — the coarse-grained escape hatch
+// for concurrent callers (for real multi-core scaling use ShardedMap).
+// It forwards the capabilities of the structure it wraps: Delete,
+// Stats, Transfers, and InsertBatch each reach the inner structure
+// under the lock when it implements the corresponding interface, and
+// degrade gracefully (false / zero / an insert loop) when it does not;
+// Supports reports what is genuinely forwarded.
 //
-// Note that Insert on the buffered structures can trigger a merge, so a
-// "read-mostly" workload still serializes behind occasional long write
-// sections; the deamortized COLA's O(log N) worst-case insert keeps
-// those sections short.
-//
-// For real multi-core scaling use ShardedMap (NewShardedMap), which
-// hash-partitions keys over N independently locked structures so
-// operations on different shards proceed in parallel; this wrapper
-// remains for callers that need a single structure shared as-is.
-type SynchronizedDictionary struct {
-	mu sync.RWMutex
-	d  Dictionary
-}
+// The implementation lives in internal/syncdict so the kind registry
+// can build it ("synchronized", optionally WithInner(kind)).
+type SynchronizedDictionary = syncdict.Dict
 
-// Synchronized wraps d for concurrent use.
+// Synchronized wraps d for concurrent use. Equivalent to
+// Build("synchronized", ...) with d as the inner structure, for callers
+// that already hold one.
 func Synchronized(d Dictionary) *SynchronizedDictionary {
-	return &SynchronizedDictionary{d: d}
+	return syncdict.New(d)
 }
-
-var _ Dictionary = (*SynchronizedDictionary)(nil)
-
-// Insert implements Dictionary.
-func (s *SynchronizedDictionary) Insert(key, value uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.d.Insert(key, value)
-}
-
-// Search implements Dictionary.
-//
-// The lock is exclusive, not shared: a search on a DAM-charged structure
-// mutates the store's LRU state, and several structures keep internal
-// counters. Correctness first; callers needing parallel reads should
-// shard.
-func (s *SynchronizedDictionary) Search(key uint64) (uint64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.d.Search(key)
-}
-
-// Range implements Dictionary. The callback runs under the lock; it must
-// not call back into the dictionary.
-func (s *SynchronizedDictionary) Range(lo, hi uint64, fn func(Element) bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.d.Range(lo, hi, fn)
-}
-
-// Len implements Dictionary.
-func (s *SynchronizedDictionary) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.d.Len()
-}
-
-// Delete forwards to the wrapped structure's Deleter if it has one; it
-// reports false otherwise.
-func (s *SynchronizedDictionary) Delete(key uint64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if del, ok := s.d.(Deleter); ok {
-		return del.Delete(key)
-	}
-	return false
-}
-
-// Unwrap returns the underlying dictionary (for single-threaded phases).
-func (s *SynchronizedDictionary) Unwrap() Dictionary { return s.d }

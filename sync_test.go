@@ -49,6 +49,61 @@ func TestSynchronizedDeleteOnNonDeleter(t *testing.T) {
 	_ = s
 }
 
+// TestSynchronizedForwardsCapabilities checks the wrapper no longer
+// drops the wrapped structure's capabilities: Stats, Transfers, and
+// InsertBatch reach the inner structure under the lock, and degrade to
+// zero values when the inner structure lacks them.
+func TestSynchronizedForwardsCapabilities(t *testing.T) {
+	// Inner with everything: a sharded map with per-shard DAM stores
+	// (Statser, TransferCounter, BatchInserter, Deleter).
+	inner := NewShardedMap(WithShards(2), WithShardDAM(DefaultBlockBytes, 1<<14))
+	s := Synchronized(inner)
+
+	batch := make([]Element, 0, 50_000)
+	for i := uint64(0); i < 50_000; i++ {
+		batch = append(batch, Element{Key: i, Value: i})
+	}
+	s.InsertBatch(batch)
+	if s.Len() != len(batch) {
+		t.Fatalf("Len = %d after InsertBatch, want %d", s.Len(), len(batch))
+	}
+	if st := s.Stats(); st.Inserts == 0 {
+		t.Error("Stats not forwarded: zero inserts recorded")
+	}
+	if s.Transfers() == 0 {
+		t.Error("Transfers not forwarded: zero despite per-shard DAM stores")
+	}
+	if del, statser, transfers, bat := s.Supports(); !del || !statser || !transfers || !bat {
+		t.Errorf("Supports = (%v,%v,%v,%v), want all true", del, statser, transfers, bat)
+	}
+
+	// Via the interfaces, as generic callers see it.
+	var d Dictionary = s
+	if st, ok := d.(Statser); !ok || st.Stats().Inserts == 0 {
+		t.Error("Statser not visible through the Dictionary interface")
+	}
+	if tc, ok := d.(TransferCounter); !ok || tc.Transfers() == 0 {
+		t.Error("TransferCounter not visible through the Dictionary interface")
+	}
+
+	// Inner with none of it: swbst keeps no counters and owns no store.
+	bare := Synchronized(NewSWBST(SWBSTOptions{Fanout: 8}))
+	bare.Insert(1, 1)
+	if st := bare.Stats(); st != (Stats{}) {
+		t.Errorf("Stats over swbst = %+v, want zero", st)
+	}
+	if bare.Transfers() != 0 {
+		t.Error("Transfers over swbst nonzero")
+	}
+	if _, statser, transfers, _ := bare.Supports(); statser || transfers {
+		t.Error("Supports over swbst claims forwarded Stats/Transfers")
+	}
+	bare.InsertBatch([]Element{{Key: 2, Value: 20}, {Key: 3, Value: 30}})
+	if bare.Len() != 3 {
+		t.Fatalf("fallback InsertBatch: Len = %d, want 3", bare.Len())
+	}
+}
+
 // TestSynchronizedConcurrentMixed hammers the wrapper from many
 // goroutines; run with -race to verify mutual exclusion.
 func TestSynchronizedConcurrentMixed(t *testing.T) {
