@@ -10,6 +10,7 @@
 //	streambench -list                     # registered dictionary kinds
 //	streambench -dict cola,btree,sharded  # Figure 2 over any kinds
 //	streambench -fig 4 -dict brt,shuttle  # Figure 4 over a custom lineup
+//	streambench -fig all -json out.json   # also emit perf records (CI baseline)
 //
 // -dict takes registered kinds (see -list) and the figures' display
 // names ("2-COLA", "B-tree", ...) interchangeably; with -fig left at
@@ -24,7 +25,16 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/perf"
 	"repro/internal/registry"
+)
+
+// logN bounds accepted by -logn: below 2^8 every checkpoint window is
+// empty (LogNStart defaults to 10 and clamps down), above 2^28 a sweep
+// allocates tens of GiB and would OOM mid-run rather than fail fast.
+const (
+	minLogN = 8
+	maxLogN = 28
 )
 
 func main() {
@@ -39,8 +49,13 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "workload seed")
 		searches   = flag.Int("searches", 1<<13, "number of searches for Figure 4")
 		csv        = flag.Bool("csv", false, "emit CSV instead of tables")
+		jsonPath   = flag.String("json", "", "also write the run as perf records (internal/perf schema) to this file")
 	)
 	flag.Parse()
+	if *logn < minLogN || *logn > maxLogN {
+		fmt.Fprintf(os.Stderr, "-logn %d out of range [%d, %d]\n", *logn, minLogN, maxLogN)
+		os.Exit(2)
+	}
 	figExplicit := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "fig" {
@@ -87,6 +102,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "-dict applies to -fig 2/3/4 only (got -fig %q)\n", *fig)
 			os.Exit(2)
 		}
+	}
+	switch figName {
+	case "2", "3", "4", "5", "ratios", "transfers", "deamortized", "scans", "shuttle", "concurrent", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Open the perf output only now — after every flag has validated —
+	// and as a sibling temp file that is renamed over the target once
+	// the report is written: an unwritable path still fails before the
+	// sweep, and a failed or interrupted run can never truncate an
+	// existing report (the committed baseline in particular).
+	var jsonTmp *os.File
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath + ".tmp")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-json: %v\n", err)
+			os.Exit(2)
+		}
+		jsonTmp = f
 	}
 
 	var results []harness.Result
@@ -136,6 +173,26 @@ func main() {
 		} else {
 			harness.Print(os.Stdout, r)
 		}
+	}
+
+	if jsonTmp != nil {
+		rep := perf.NewReport(fmt.Sprintf(
+			"streambench -fig %s -logn %d -logn-start %d -block %d -cache %d -seed %d -searches %d -dict %q",
+			figName, *logn, *lognStart, *blockBytes, *cacheBytes, *seed, *searches, *dict))
+		rep.Add(harness.PerfRecords(results)...)
+		err := rep.Write(jsonTmp)
+		if cerr := jsonTmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(jsonTmp.Name(), *jsonPath)
+		}
+		if err != nil {
+			os.Remove(jsonTmp.Name())
+			fmt.Fprintf(os.Stderr, "-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d perf records to %s\n", len(rep.Results), *jsonPath)
 	}
 }
 

@@ -1,0 +1,113 @@
+package cola
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// prefillGCOLA inserts n distinct random keys and returns the keys.
+// DAM accounting is off (nil space): these tests protect the
+// structure's own allocation behaviour, not the simulator's.
+func prefillGCOLA(t *testing.T, c *GCOLA, n int) []uint64 {
+	t.Helper()
+	seq := workload.NewRandomUnique(7)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = seq.Next()
+		c.Insert(keys[i], keys[i])
+	}
+	return keys
+}
+
+// TestSearchAllocsSteadyState asserts the zero-allocation contract of
+// the search hot path, with lookahead pointers present (the paper's
+// default density, so the fractional-cascading window path is what
+// runs, not the basic-COLA fallback).
+func TestSearchAllocsSteadyState(t *testing.T) {
+	c := New(Options{Growth: 2, PointerDensity: DefaultPointerDensity})
+	keys := prefillGCOLA(t, c, 1<<13)
+
+	la := 0
+	for l := range c.levels {
+		la += c.levels[l].la
+	}
+	if la == 0 {
+		t.Fatal("precondition: no lookahead pointers present; the test would exercise the wrong path")
+	}
+
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		c.Search(keys[i%len(keys)])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("GCOLA.Search allocates %.2f allocs/op in steady state, want 0", avg)
+	}
+}
+
+// TestInsertAllocsSteadyState asserts that inserts between level-growth
+// boundaries are allocation-free: the merge ladder, run gathering,
+// lookahead stripping, and pointer distribution must all run out of the
+// per-tree scratch. The prefill is sized to 2^14+1 elements so the next
+// level allocation sits at ~2^15 inserts, far beyond the measured
+// window.
+func TestInsertAllocsSteadyState(t *testing.T) {
+	c := New(Options{Growth: 2, PointerDensity: DefaultPointerDensity})
+	prefillGCOLA(t, c, 1<<14+1)
+
+	seq := workload.NewRandomUnique(11)
+	avg := testing.AllocsPerRun(1<<12, func() {
+		k := seq.Next()
+		c.Insert(k, k)
+	})
+	if avg != 0 {
+		t.Fatalf("GCOLA.Insert allocates %.2f allocs/op in steady state, want 0", avg)
+	}
+}
+
+// TestRangeAllocsSteadyState asserts that Range's cursor setup and
+// k-way merge reuse the per-tree scratch.
+func TestRangeAllocsSteadyState(t *testing.T) {
+	c := New(Options{Growth: 2, PointerDensity: DefaultPointerDensity})
+	keys := prefillGCOLA(t, c, 1<<12)
+
+	var sum uint64
+	fn := func(e core.Element) bool { sum += e.Value; return true }
+	i := 0
+	avg := testing.AllocsPerRun(500, func() {
+		lo := keys[i%len(keys)]
+		c.Range(lo, lo+1<<20, fn)
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("GCOLA.Range allocates %.2f allocs/op in steady state, want 0", avg)
+	}
+	_ = sum
+}
+
+// TestMergeScratchDoesNotAliasLevels guards the scratch ownership rule:
+// after any operation, no level's backing array may alias the merge
+// scratch buffers (installLevel must copy).
+func TestMergeScratchDoesNotAliasLevels(t *testing.T) {
+	c := New(Options{Growth: 2, PointerDensity: DefaultPointerDensity})
+	seq := workload.NewRandomUnique(13)
+	for i := 0; i < 1<<10; i++ {
+		k := seq.Next()
+		c.Insert(k, k)
+		if i%97 == 0 {
+			c.checkInvariants()
+		}
+	}
+	aliases := func(a, b []entry) bool {
+		return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+	}
+	for l := range c.levels {
+		data := c.levels[l].data
+		if aliases(data, c.scratch.ping) || aliases(data, c.scratch.pong) || aliases(data, c.scratch.la) {
+			t.Fatalf("level %d backing array aliases merge scratch", l)
+		}
+	}
+	c.checkInvariants()
+}

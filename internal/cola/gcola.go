@@ -90,6 +90,39 @@ type GCOLA struct {
 	// offsets[l] is the byte offset of level l in the DAM space, from the
 	// deterministic capacity formula; filled alongside levels.
 	offsets []int64
+
+	// scratch holds the buffers the merge, pointer-distribution, and
+	// range paths reuse across calls, so steady-state operations do not
+	// allocate. See the mergeScratch comment for the ownership rules.
+	scratch mergeScratch
+}
+
+// rangeCursor tracks one level's position during Range's k-way merge.
+type rangeCursor struct {
+	level int
+	pos   int
+}
+
+// mergeScratch is the per-tree reusable buffer set. Ownership rules
+// (also documented in DESIGN.md):
+//
+//   - Scratch-backed slices are valid only inside the GCOLA call that
+//     produced them. installLevel copies merge output into level storage
+//     before the call returns, so nothing retains a scratch alias.
+//   - The ladder alternates between ping and pong, so the accumulator
+//     being read and the buffer being written never coincide.
+//   - Buffers only grow; their steady-state capacity is bounded by the
+//     largest merge performed so far (at most the largest level), which
+//     is the price of allocation-free inserts.
+//   - GCOLA was never safe for concurrent use (every operation mutates
+//     counters); the scratch adds no new restriction.
+type mergeScratch struct {
+	runs    [][]entry     // mergeDown/Compact run headers, newest first
+	one     [1]entry      // backing array for the incoming-entry run
+	ping    []entry       // merge-ladder accumulator (alternates with pong)
+	pong    []entry       // merge-ladder accumulator (alternates with ping)
+	la      []entry       // lookahead sample buffer for distributePointers
+	cursors []rangeCursor // per-level cursors for Range
 }
 
 var (
@@ -260,19 +293,22 @@ func (c *GCOLA) mergeDown(newEntry entry) {
 	// Lookahead entries in levels 0..t-1 are dropped by the merge (their
 	// target levels are being restructured); level t's own lookahead
 	// entries (pointing into level t+1, which is untouched) survive.
-	runs := make([][]entry, 0, t+2)
-	runs = append(runs, []entry{newEntry})
+	// Stripping happens in place — those levels are emptied below, so
+	// compacting their occupied windows is safe and allocation-free.
+	c.scratch.one[0] = newEntry
+	runs := append(c.scratch.runs[:0], c.scratch.one[:])
 	for l := 0; l < t; l++ {
 		lv := &c.levels[l]
 		if !lv.empty() {
-			runs = append(runs, stripLookahead(lv.data[lv.start:]))
 			c.chargeRead(l, lv.start, lv.used())
+			runs = append(runs, stripLookaheadInPlace(lv.data[lv.start:]))
 		}
 	}
 	if !target.empty() {
 		runs = append(runs, target.data[target.start:])
 		c.chargeRead(t, target.start, target.used())
 	}
+	c.scratch.runs = runs
 
 	// If level t is the bottom of the structure, tombstones are dropped
 	// once they have annihilated every older copy of their key.
@@ -302,26 +338,21 @@ func (c *GCOLA) mergeDown(newEntry entry) {
 	c.distributePointers(t)
 }
 
-// stripLookahead filters a run down to its real and tombstone entries.
-// It allocates only when the run actually contains lookahead entries.
-func stripLookahead(run []entry) []entry {
-	hasLA := false
-	for _, e := range run {
-		if e.kind == kindLookahead {
-			hasLA = true
-			break
+// stripLookaheadInPlace compacts a level's occupied window down to its
+// real and tombstone entries, preserving order, and returns the
+// compacted prefix. The caller must be about to empty the level (the
+// merge path is), since the window's tail is left stale.
+func stripLookaheadInPlace(run []entry) []entry {
+	w := 0
+	for i := range run {
+		if run[i].kind != kindLookahead {
+			if w != i {
+				run[w] = run[i]
+			}
+			w++
 		}
 	}
-	if !hasLA {
-		return run
-	}
-	out := make([]entry, 0, len(run))
-	for _, e := range run {
-		if e.kind != kindLookahead {
-			out = append(out, e)
-		}
-	}
-	return out
+	return run[:w]
 }
 
 // installLevel writes out right-justified into level l, recomputes the
@@ -354,14 +385,21 @@ func (c *GCOLA) installLevel(l int, out []entry) {
 // mergeRuns performs a k-way merge of runs (ordered newest first) with
 // newest-wins semantics for duplicate keys, as the paper's iterative
 // two-smallest-at-a-time pattern: because run sizes grow geometrically,
-// the ladder costs O(k) element moves for k items in total.
+// the ladder costs O(k) element moves for k items in total. Each rung
+// writes into one of the two scratch accumulators, alternating, so the
+// whole ladder reuses capacity instead of allocating per rung; the
+// returned slice aliases scratch (or runs[0] when there is nothing to
+// merge) and must be copied out before the next merge.
 func (c *GCOLA) mergeRuns(runs [][]entry, atBottom bool) []entry {
 	if len(runs) == 0 {
 		return nil
 	}
 	acc := runs[0]
+	cur, next := &c.scratch.ping, &c.scratch.pong
 	for _, older := range runs[1:] {
-		acc = c.mergeTwo(acc, older)
+		*cur = c.mergeTwoInto((*cur)[:0], acc, older)
+		acc = *cur
+		cur, next = next, cur
 	}
 	if atBottom {
 		w := 0
@@ -377,7 +415,8 @@ func (c *GCOLA) mergeRuns(runs [][]entry, atBottom bool) []entry {
 	return acc
 }
 
-// mergeTwo merges newer over older. Resolution for equal real keys:
+// mergeTwoInto merges newer over older, appending to out (which must
+// not alias either input). Resolution for equal real keys:
 //
 //   - newer real over older real: update; the older copy is dropped and
 //     the live count shrinks by one (Insert counted both copies).
@@ -389,8 +428,12 @@ func (c *GCOLA) mergeRuns(runs [][]entry, atBottom bool) []entry {
 //
 // Lookahead entries pass through untouched; only one input run ever
 // carries them (the preserved target run).
-func (c *GCOLA) mergeTwo(newer, older []entry) []entry {
-	out := make([]entry, 0, len(newer)+len(older))
+func (c *GCOLA) mergeTwoInto(out, newer, older []entry) []entry {
+	if need := len(out) + len(newer) + len(older); cap(out) < need {
+		grown := make([]entry, len(out), need)
+		copy(grown, out)
+		out = grown
+	}
 	i, j := 0, 0
 	for i < len(newer) && j < len(older) {
 		a, b := newer[i], older[j]
@@ -447,14 +490,15 @@ func (c *GCOLA) Compact() {
 	}
 	c.ensureLevel(t)
 
-	runs := make([][]entry, 0, bottom+1)
+	runs := c.scratch.runs[:0]
 	for l := 0; l <= bottom; l++ {
 		lv := &c.levels[l]
 		if !lv.empty() {
-			runs = append(runs, stripLookahead(lv.data[lv.start:]))
 			c.chargeRead(l, lv.start, lv.used())
+			runs = append(runs, stripLookaheadInPlace(lv.data[lv.start:]))
 		}
 	}
+	c.scratch.runs = runs
 	out := c.mergeRuns(runs, true)
 	for l := 0; l <= bottom; l++ {
 		lv := &c.levels[l]

@@ -37,7 +37,10 @@ func (c *GCOLA) distributePointers(t int) {
 		// land on searchable keys; a lookahead cell is still a valid
 		// anchor, so no cell type is skipped when the stride lands on it.
 		c.chargeRead(l+1, src.start, used)
-		out := make([]entry, 0, budget)
+		out := c.scratch.la[:0]
+		if cap(out) < budget {
+			out = make([]entry, 0, budget)
+		}
 		for i := src.start + stride - 1; i < len(src.data); i += stride {
 			e := src.data[i]
 			out = append(out, entry{
@@ -53,6 +56,7 @@ func (c *GCOLA) distributePointers(t int) {
 		c.installLevel(l, out)
 		c.chargeWrite(l, dst.start, len(out))
 		c.stats.Moves += uint64(len(out))
+		c.scratch.la = out[:0]
 	}
 }
 

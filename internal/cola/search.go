@@ -1,10 +1,28 @@
 package cola
 
 import (
-	"sort"
-
 	"repro/internal/core"
 )
+
+// lowerBound is the first index in [lo, hi) whose key is >= target,
+// plus the number of probes made (for DAM charging). A hand-rolled
+// loop instead of sort.Search: the closure sort.Search needs would be
+// heap-allocated on every call, and searches are a zero-allocation
+// hot path (see the AllocsPerRun tests).
+func (c *GCOLA) lowerBound(l, lo, hi int, target uint64) (pos, probes int) {
+	data := c.levels[l].data
+	i, j := lo, hi
+	for i < j {
+		mid := int(uint(i+j) >> 1)
+		probes++
+		if data[mid].key >= target {
+			j = mid
+		} else {
+			i = mid + 1
+		}
+	}
+	return i, probes
+}
 
 // Search implements core.Dictionary. Levels are probed smallest (newest)
 // to largest; the first real or tombstone entry matching the key decides.
@@ -67,11 +85,7 @@ func (c *GCOLA) searchLevel(l int, key uint64, lo, hi int) (uint64, searchState,
 	// charged as a one-cell read; the DAM store coalesces same-block
 	// probes into one transfer, so the charge model matches a real
 	// binary search's block behaviour.
-	probes := 0
-	pos := lo + sort.Search(hi-lo, func(i int) bool {
-		probes++
-		return lv.data[lo+i].key >= key
-	})
+	pos, probes := c.lowerBound(l, lo, hi, key)
 	c.chargeBinarySearch(l, lo, hi, probes)
 
 	// Scan forward over cells with the exact key: lookahead entries for
@@ -156,27 +170,23 @@ func (c *GCOLA) chargeBinarySearch(l, lo, hi, probes int) {
 // levels with newest-wins resolution, skipping lookahead entries and
 // tombstoned keys.
 func (c *GCOLA) Range(lo, hi uint64, fn func(core.Element) bool) {
-	type cursor struct {
-		level int
-		pos   int
-	}
-	cursors := make([]cursor, 0, len(c.levels))
+	cursors := c.scratch.cursors[:0]
 	for l := range c.levels {
 		lv := &c.levels[l]
 		if lv.empty() {
 			continue
 		}
 		// Position each cursor at the first cell with key >= lo.
-		probes := 0
-		p := lv.start + sort.Search(lv.used(), func(i int) bool {
-			probes++
-			return lv.data[lv.start+i].key >= lo
-		})
+		p, probes := c.lowerBound(l, lv.start, len(lv.data), lo)
 		c.chargeBinarySearch(l, lv.start, len(lv.data), probes)
 		if p < len(lv.data) {
-			cursors = append(cursors, cursor{level: l, pos: p})
+			cursors = append(cursors, rangeCursor{level: l, pos: p})
 		}
 	}
+	// Steal the scratch for the duration of the merge so a reentrant
+	// Range from inside fn allocates its own cursors instead of
+	// clobbering ours; every return below hands the buffer back.
+	c.scratch.cursors = nil
 
 	for {
 		// Pick the smallest key among cursors; ties resolved by the
@@ -204,6 +214,7 @@ func (c *GCOLA) Range(lo, hi uint64, fn func(core.Element) bool) {
 			}
 		}
 		if best < 0 {
+			c.scratch.cursors = cursors[:0]
 			return
 		}
 		// Emit the newest entry for bestKey and advance every cursor
@@ -221,6 +232,7 @@ func (c *GCOLA) Range(lo, hi uint64, fn func(core.Element) bool) {
 			continue
 		}
 		if !fn(core.Element{Key: e.key, Value: e.val}) {
+			c.scratch.cursors = cursors[:0]
 			return
 		}
 	}

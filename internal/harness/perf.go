@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/perf"
+)
+
+// PerfRecords flattens regenerated figures into perf records for the
+// benchmark pipeline (cmd/streambench -json, gated in CI by
+// cmd/perfgate). Only series whose Y axis is a rate ("…/second", which
+// becomes ns/op) or a transfer count ("transfers/…", which becomes
+// transfers/op) are exported; summary results like the headline ratios
+// have no per-operation cost and are skipped.
+//
+// Record identity: Op is the slugified figure title, Kind the series
+// name, X the series point's x value, YIndex the position within a
+// multi-metric Y vector (e.g. E6's [insert, search]), and LogN is
+// filled when the x axis is a log2 scale.
+func PerfRecords(results []Result) []perf.Result {
+	var out []perf.Result
+	for _, r := range results {
+		rate := strings.Contains(r.YLabel, "/second")
+		transfers := strings.HasPrefix(r.YLabel, "transfers/") || strings.Contains(r.YLabel, "transfers /") ||
+			strings.Contains(r.YLabel, "block transfers")
+		if !rate && !transfers {
+			continue
+		}
+		op := slug(r.Title)
+		logScale := strings.HasPrefix(r.XLabel, "log2")
+		for _, s := range r.Series {
+			for i := range s.Y {
+				xi := i
+				yIndex := 0
+				if len(s.X) == 1 && len(s.Y) > 1 {
+					// Summary-style series: one x, a vector of metrics.
+					xi = 0
+					yIndex = i
+				}
+				if xi >= len(s.X) {
+					continue
+				}
+				rec := perf.Result{Op: op, Kind: s.Name, X: s.X[xi], YIndex: yIndex}
+				switch {
+				case logScale:
+					rec.LogN = int(s.X[xi])
+				case r.XLabel == "N":
+					rec.LogN = log2i(s.X[xi])
+				}
+				if rate {
+					if s.Y[i] <= 0 {
+						continue
+					}
+					rec.NsPerOp = 1e9 / s.Y[i]
+					// Sample count of a log2 sweep's checkpoint window,
+					// mirroring insertSweep/Figure4: the first point
+					// covers everything up to 2^x, later points the
+					// half-open window (2^(x-1), 2^x]. Non-log2 rate
+					// series (E10's per-shard-count runs) carry no
+					// sample count and are never ns-gated.
+					if logScale {
+						if xi == 0 {
+							rec.Samples = 1 << uint(s.X[xi])
+						} else {
+							rec.Samples = 1 << uint(s.X[xi]-1)
+						}
+					}
+				} else {
+					rec.TransfersPerOp = s.Y[i]
+				}
+				out = append(out, rec)
+			}
+		}
+	}
+	return out
+}
+
+// slug turns a figure title into a stable record op:
+// "Figure 2t — COLA vs B-tree, random inserts (DAM transfers)" →
+// "figure-2t-cola-vs-b-tree-random-inserts-dam-transfers".
+func slug(title string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			if dash && b.Len() > 0 {
+				b.WriteByte('-')
+			}
+			dash = false
+			b.WriteRune(r)
+		default:
+			dash = true
+		}
+	}
+	return b.String()
+}
+
+// log2i is the integer log2 of n (0 for n <= 1).
+func log2i(n float64) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Round(math.Log2(n)))
+}

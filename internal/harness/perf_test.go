@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+func TestPerfRecordsFlattening(t *testing.T) {
+	results := []Result{
+		{
+			Title:  "Figure 2 — COLA vs B-tree, random inserts (wall clock)",
+			XLabel: "log2 N", YLabel: "avg inserts/second (window)",
+			Series: []Series{{Name: "2-COLA", X: []float64{10, 11}, Y: []float64{2e6, 1e6}}},
+		},
+		{
+			Title:  "E6 — DAM transfers per operation (Y = [insert, search])",
+			XLabel: "N", YLabel: "transfers/op",
+			Series: []Series{{Name: "B-tree", X: []float64{4096}, Y: []float64{0.5, 2.5}}},
+		},
+		{
+			Title:  "Headline ratios",
+			XLabel: "paper ratio", YLabel: "measured",
+			Series: []Series{{Name: "skip me", X: []float64{790}, Y: []float64{1, 2}}},
+		},
+	}
+	recs := PerfRecords(results)
+	if len(recs) != 4 {
+		t.Fatalf("flattened %d records, want 4 (2 rate + 2 transfer, ratios skipped): %+v", len(recs), recs)
+	}
+
+	r0 := recs[0]
+	if r0.Op != "figure-2-cola-vs-b-tree-random-inserts-wall-clock" {
+		t.Fatalf("bad op slug %q", r0.Op)
+	}
+	if r0.Kind != "2-COLA" || r0.LogN != 10 || r0.X != 10 {
+		t.Fatalf("bad identity: %+v", r0)
+	}
+	if r0.NsPerOp != 1e9/2e6 {
+		t.Fatalf("rate not converted to ns/op: %+v", r0)
+	}
+	// Window sample counts mirror the sweep: first checkpoint covers
+	// 2^x ops, later ones the half-window.
+	if r0.Samples != 1<<10 || recs[1].Samples != 1<<10 {
+		t.Fatalf("bad window samples: %d, %d", r0.Samples, recs[1].Samples)
+	}
+
+	// The E6 vector series yields one record per Y entry, distinguished
+	// by YIndex, with LogN derived from N.
+	if recs[2].YIndex != 0 || recs[3].YIndex != 1 {
+		t.Fatalf("vector series YIndex wrong: %+v %+v", recs[2], recs[3])
+	}
+	if recs[2].LogN != 12 || recs[2].TransfersPerOp != 0.5 {
+		t.Fatalf("bad E6 record: %+v", recs[2])
+	}
+
+	// Every record identity must be unique — perf.Read enforces this on
+	// committed baselines, so catch collisions at the source.
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if seen[r.Key()] {
+			t.Fatalf("duplicate record key %s", r.Key())
+		}
+		seen[r.Key()] = true
+	}
+}
+
+// TestPerfRecordsFromFigures runs a tiny real figure end to end and
+// checks the records survive a report round trip, which is exactly the
+// path `streambench -json` takes.
+func TestPerfRecordsFromFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real figure sweep")
+	}
+	cfg := Config{LogN: 10, LogNStart: 9, Searches: 64}
+	recs := PerfRecords(cfg.Figure2For([]string{"2-COLA", "B-tree"}))
+	if len(recs) == 0 {
+		t.Fatal("no records from a real figure")
+	}
+	rep := perf.NewReport("test")
+	rep.Add(recs...)
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := perf.Read(&buf)
+	if err != nil {
+		t.Fatalf("Read back: %v", err)
+	}
+	if len(got.Results) != len(recs) {
+		t.Fatalf("round trip lost records: wrote %d, read %d", len(recs), len(got.Results))
+	}
+}

@@ -1,0 +1,194 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Thresholds configures the comparator's regression gates. Fractional
+// thresholds express allowed growth of candidate over baseline (0.25
+// means the candidate may be up to 25% slower); the allocation
+// threshold is absolute (0 means any extra allocation per op fails).
+// A negative value disables that metric's gate.
+type Thresholds struct {
+	// NsPerOp is the allowed fractional ns/op growth. Wall-clock
+	// numbers are host-dependent, so this gate applies only when the
+	// two reports share a host fingerprint (or StrictNs is set).
+	NsPerOp float64
+	// MinNsPerOp is a noise floor: ns/op regressions are ignored when
+	// both sides are faster than this, where timer jitter dominates.
+	MinNsPerOp float64
+	// MinSamples is the sample floor: ns/op is gated only when both
+	// records averaged over at least this many operations. Figure
+	// sweeps measure each checkpoint window once — empirically even
+	// 32k-op windows jitter by 1.5x+ run to run — so per-point gating
+	// is only sound for long iteration-controlled benchmark runs.
+	// Records without sample counts are never ns-gated.
+	MinSamples int
+	// StrictNs gates ns/op even across differing host fingerprints.
+	StrictNs bool
+	// AllocsPerOp is the allowed absolute allocs/op growth.
+	AllocsPerOp float64
+	// TransfersPerOp is the allowed fractional transfers/op growth.
+	// DAM transfer counts are deterministic for a fixed workload, so
+	// the default tolerance is tight.
+	TransfersPerOp float64
+}
+
+// DefaultThresholds matches the CI gate: 25% on wall clock (same host,
+// >= 50k-op measurements only), zero extra allocations, 1% on DAM
+// transfers.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		NsPerOp:        0.25,
+		MinNsPerOp:     50,    // sub-50ns ops are dominated by timer noise
+		MinSamples:     50000, // one-shot figure windows are below this
+		AllocsPerOp:    0,
+		TransfersPerOp: 0.01,
+	}
+}
+
+// Delta is one metric of one matched record pair.
+type Delta struct {
+	Key        string
+	Metric     string // "ns/op", "allocs/op", "transfers/op"
+	Base, New  float64
+	Regression bool
+	Gated      bool // whether this metric's gate was active for the pair
+}
+
+// Ratio is New/Base, or +Inf when the baseline is zero and the
+// candidate is not.
+func (d Delta) Ratio() float64 {
+	switch {
+	case d.Base != 0:
+		return d.New / d.Base
+	case d.New == 0:
+		return 1
+	default:
+		return math.Inf(1)
+	}
+}
+
+// Comparison is the outcome of comparing a candidate report against a
+// baseline.
+type Comparison struct {
+	SameHost bool    // fingerprints matched, wall-clock numbers comparable
+	NsGated  bool    // the ns/op gate was active
+	Deltas   []Delta // one per matched (record, metric), sorted by key
+	OnlyBase []string
+	OnlyNew  []string
+}
+
+// Regressions returns the deltas that tripped their gate.
+func (c Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare matches candidate records against baseline records by key
+// and applies the thresholds. Records present on only one side are
+// reported, not gated: lineups grow and shrink across PRs, and a
+// missing baseline entry means "no expectation yet", not a failure.
+func Compare(base, cand *Report, th Thresholds) Comparison {
+	c := Comparison{SameHost: base.Host.Fingerprint() == cand.Host.Fingerprint()}
+	c.NsGated = th.NsPerOp >= 0 && (c.SameHost || th.StrictNs)
+
+	baseByKey := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseByKey[r.Key()] = r
+	}
+	matched := make(map[string]struct{}, len(cand.Results))
+	for _, n := range cand.Results {
+		key := n.Key()
+		b, ok := baseByKey[key]
+		if !ok {
+			c.OnlyNew = append(c.OnlyNew, key)
+			continue
+		}
+		matched[key] = struct{}{}
+
+		if b.NsPerOp > 0 && n.NsPerOp > 0 {
+			d := Delta{Key: key, Metric: "ns/op", Base: b.NsPerOp, New: n.NsPerOp,
+				Gated: c.NsGated && b.Samples >= th.MinSamples && n.Samples >= th.MinSamples}
+			if d.Gated && n.NsPerOp > b.NsPerOp*(1+th.NsPerOp) &&
+				(b.NsPerOp >= th.MinNsPerOp || n.NsPerOp >= th.MinNsPerOp) {
+				d.Regression = true
+			}
+			c.Deltas = append(c.Deltas, d)
+		}
+		if b.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			d := Delta{Key: key, Metric: "allocs/op", Base: *b.AllocsPerOp, New: *n.AllocsPerOp,
+				Gated: th.AllocsPerOp >= 0}
+			if d.Gated && d.New > d.Base+th.AllocsPerOp {
+				d.Regression = true
+			}
+			c.Deltas = append(c.Deltas, d)
+		}
+		if b.TransfersPerOp > 0 || n.TransfersPerOp > 0 {
+			d := Delta{Key: key, Metric: "transfers/op", Base: b.TransfersPerOp, New: n.TransfersPerOp,
+				Gated: th.TransfersPerOp >= 0}
+			if d.Gated && d.New > d.Base*(1+th.TransfersPerOp) {
+				d.Regression = true
+			}
+			c.Deltas = append(c.Deltas, d)
+		}
+	}
+	for key := range baseByKey {
+		if _, ok := matched[key]; !ok {
+			c.OnlyBase = append(c.OnlyBase, key)
+		}
+	}
+	sort.Strings(c.OnlyBase)
+	sort.Strings(c.OnlyNew)
+	sort.SliceStable(c.Deltas, func(i, j int) bool {
+		if c.Deltas[i].Key != c.Deltas[j].Key {
+			return c.Deltas[i].Key < c.Deltas[j].Key
+		}
+		return c.Deltas[i].Metric < c.Deltas[j].Metric
+	})
+	return c
+}
+
+// Format renders the comparison as an aligned table, regressions
+// first. verbose includes non-regressing deltas and unmatched keys.
+func (c Comparison) Format(w io.Writer, verbose bool) {
+	if !c.SameHost {
+		fmt.Fprintln(w, "note: baseline and candidate hosts differ; ns/op is informational unless -strict-ns")
+	}
+	regs := c.Regressions()
+	fmt.Fprintf(w, "%d matched metric(s), %d regression(s), %d baseline-only, %d candidate-only record(s)\n",
+		len(c.Deltas), len(regs), len(c.OnlyBase), len(c.OnlyNew))
+	show := regs
+	if verbose {
+		show = c.Deltas
+	}
+	if len(show) > 0 {
+		fmt.Fprintf(w, "%-60s %-14s %14s %14s %8s %s\n", "key", "metric", "base", "candidate", "ratio", "")
+		for _, d := range show {
+			flag := ""
+			if d.Regression {
+				flag = "REGRESSION"
+			} else if !d.Gated {
+				flag = "(ungated)"
+			}
+			fmt.Fprintf(w, "%-60s %-14s %14.4g %14.4g %8.3f %s\n",
+				d.Key, d.Metric, d.Base, d.New, d.Ratio(), flag)
+		}
+	}
+	if verbose {
+		for _, k := range c.OnlyBase {
+			fmt.Fprintf(w, "baseline-only: %s\n", k)
+		}
+		for _, k := range c.OnlyNew {
+			fmt.Fprintf(w, "candidate-only: %s\n", k)
+		}
+	}
+}

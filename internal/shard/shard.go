@@ -254,6 +254,39 @@ func (m *Map) Transfers() uint64 {
 	return total
 }
 
+// rangeScratch is the reusable buffer set of one Range call: every
+// shard's snapshot lands back to back in buf (ends records the
+// boundaries), runs and heads serve the k-way merge, and collect is
+// the append callback built once so the per-shard Range calls do not
+// allocate a closure. Scratches are pooled — Range can run on
+// different shards concurrently — and returned with lengths reset;
+// capacity is retained, which is what makes steady-state Range
+// allocation-free.
+type rangeScratch struct {
+	buf     []core.Element
+	ends    []int
+	runs    [][]core.Element
+	heads   []mergeHead
+	collect func(core.Element) bool
+}
+
+var rangePool = sync.Pool{New: func() any {
+	sc := &rangeScratch{}
+	sc.collect = func(e core.Element) bool {
+		sc.buf = append(sc.buf, e)
+		return true
+	}
+	return sc
+}}
+
+func (sc *rangeScratch) release() {
+	sc.buf = sc.buf[:0]
+	sc.ends = sc.ends[:0]
+	sc.runs = sc.runs[:0]
+	sc.heads = sc.heads[:0]
+	rangePool.Put(sc)
+}
+
 // Range implements core.Dictionary: fn sees every element with
 // lo <= key <= hi in ascending key order, stopping early when fn
 // returns false. Keys are hash-partitioned, so a contiguous key range
@@ -268,54 +301,43 @@ func (m *Map) Transfers() uint64 {
 // false saves merge work, not snapshot work. Callers probing for a
 // single successor should bound hi accordingly.
 func (m *Map) Range(lo, hi uint64, fn func(core.Element) bool) {
-	runs := make([][]core.Element, 0, len(m.shards))
+	sc := rangePool.Get().(*rangeScratch)
+	defer sc.release()
 	for _, s := range m.shards {
-		var run []core.Element
 		s.mu.Lock()
-		s.d.Range(lo, hi, func(e core.Element) bool {
-			run = append(run, e)
-			return true
-		})
+		s.d.Range(lo, hi, sc.collect)
 		s.mu.Unlock()
-		if len(run) > 0 {
-			runs = append(runs, run)
-		}
+		sc.ends = append(sc.ends, len(sc.buf))
 	}
-	mergeRuns(runs, fn)
+	// Rebuild the run views only now: collect may have grown (and
+	// reallocated) buf, so earlier subslices could point at a stale
+	// backing array.
+	start := 0
+	for _, end := range sc.ends {
+		if end > start {
+			sc.runs = append(sc.runs, sc.buf[start:end])
+		}
+		start = end
+	}
+	for i := range sc.runs {
+		sc.heads = append(sc.heads, mergeHead{run: i})
+	}
+	mergeRuns(sc.runs, sc.heads, fn)
+}
+
+// mergeHead is one run's cursor in the k-way-merge heap.
+type mergeHead struct {
+	run int
+	idx int
 }
 
 // mergeRuns streams the k sorted runs in ascending key order through a
-// binary min-heap of run heads, O(total log k).
-func mergeRuns(runs [][]core.Element, fn func(core.Element) bool) {
-	type head struct {
-		run int
-		idx int
-	}
-	h := make([]head, len(runs))
-	for i := range runs {
-		h[i] = head{run: i}
-	}
-	key := func(x head) uint64 { return runs[x.run][x.idx].Key }
-	less := func(i, j int) bool { return key(h[i]) < key(h[j]) }
-	down := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			min := i
-			if l < len(h) && less(l, min) {
-				min = l
-			}
-			if r < len(h) && less(r, min) {
-				min = r
-			}
-			if min == i {
-				return
-			}
-			h[i], h[min] = h[min], h[i]
-			i = min
-		}
-	}
+// binary min-heap of run heads, O(total log k). h must hold one head
+// per run (the caller provides it so the heap can live in reused
+// scratch).
+func mergeRuns(runs [][]core.Element, h []mergeHead, fn func(core.Element) bool) {
 	for i := len(h)/2 - 1; i >= 0; i-- {
-		down(i)
+		siftDown(runs, h, i)
 	}
 	for len(h) > 0 {
 		top := h[0]
@@ -328,9 +350,43 @@ func mergeRuns(runs [][]core.Element, fn func(core.Element) bool) {
 			h[0] = h[len(h)-1]
 			h = h[:len(h)-1]
 		}
-		down(0)
+		siftDown(runs, h, 0)
 	}
 }
+
+// siftDown restores the min-heap property of h from index i, ordering
+// heads by their run's current key.
+func siftDown(runs [][]core.Element, h []mergeHead, i int) {
+	headKey := func(x mergeHead) uint64 { return runs[x.run][x.idx].Key }
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && headKey(h[l]) < headKey(h[min]) {
+			min = l
+		}
+		if r < len(h) && headKey(h[r]) < headKey(h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// batchScratch holds the counting-sort buffers ApplyBatch reuses:
+// counts/offs are per-shard tallies and bucket cursors, buf receives
+// the batch regrouped shard-contiguously. Pooled for the same reason
+// as rangeScratch — loaders on different goroutines batch
+// concurrently.
+type batchScratch struct {
+	counts []int
+	offs   []int
+	buf    []core.Element
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 
 // ApplyBatch inserts every element, grouping the batch per shard first
 // so each touched shard's lock is taken exactly once. Duplicate keys in
@@ -338,26 +394,57 @@ func mergeRuns(runs [][]core.Element, fn func(core.Element) bool) {
 // Insert loop. This is the amortized ingestion path: for a batch of k
 // elements over S shards, lock traffic drops from k acquisitions to at
 // most S.
+//
+// Grouping is a two-pass counting sort into a pooled scratch buffer —
+// count per shard, prefix-sum, scatter in input order (which keeps the
+// within-shard order, preserving last-write-wins) — so steady-state
+// batches allocate nothing.
 func (m *Map) ApplyBatch(elems []core.Element) {
 	if len(elems) == 0 {
 		return
 	}
-	groups := make([][]core.Element, len(m.shards))
+	sc := batchPool.Get().(*batchScratch)
+	nShards := len(m.shards)
+	if cap(sc.counts) < nShards {
+		sc.counts = make([]int, nShards)
+		sc.offs = make([]int, nShards)
+	}
+	counts := sc.counts[:nShards]
+	offs := sc.offs[:nShards]
+	clear(counts)
+	for _, e := range elems {
+		counts[m.shardIdxOf(e.Key)]++
+	}
+	sum := 0
+	for i, n := range counts {
+		offs[i] = sum
+		sum += n
+	}
+	if cap(sc.buf) < len(elems) {
+		sc.buf = make([]core.Element, len(elems))
+	}
+	buf := sc.buf[:len(elems)]
 	for _, e := range elems {
 		i := m.shardIdxOf(e.Key)
-		groups[i] = append(groups[i], e)
+		buf[offs[i]] = e
+		offs[i]++
 	}
-	for i, g := range groups {
-		if len(g) == 0 {
-			continue
+	// After the scatter offs[i] is the end of bucket i; buckets are
+	// contiguous, so bucket i starts where bucket i-1 ends.
+	start := 0
+	for i := 0; i < nShards; i++ {
+		end := offs[i]
+		if end > start {
+			s := m.shards[i]
+			s.mu.Lock()
+			for _, e := range buf[start:end] {
+				s.d.Insert(e.Key, e.Value)
+			}
+			s.mu.Unlock()
 		}
-		s := m.shards[i]
-		s.mu.Lock()
-		for _, e := range g {
-			s.d.Insert(e.Key, e.Value)
-		}
-		s.mu.Unlock()
+		start = end
 	}
+	batchPool.Put(sc)
 }
 
 // InsertBatch implements core.BatchInserter; it is ApplyBatch under the

@@ -341,13 +341,23 @@ func TestConcurrentMixed(t *testing.T) {
 	}
 }
 
+// heads builds the per-run heap slice mergeRuns expects.
+func heads(runs [][]core.Element) []mergeHead {
+	h := make([]mergeHead, len(runs))
+	for i := range runs {
+		h[i] = mergeHead{run: i}
+	}
+	return h
+}
+
 func TestMergeRunsEdgeCases(t *testing.T) {
 	// No runs: fn never called.
-	mergeRuns(nil, func(core.Element) bool { t.Fatal("fn called on empty input"); return true })
+	mergeRuns(nil, nil, func(core.Element) bool { t.Fatal("fn called on empty input"); return true })
 	// Single run streams through unchanged.
 	run := []core.Element{{Key: 1}, {Key: 5}, {Key: 9}}
 	var got []uint64
-	mergeRuns([][]core.Element{run}, func(e core.Element) bool { got = append(got, e.Key); return true })
+	runs := [][]core.Element{run}
+	mergeRuns(runs, heads(runs), func(e core.Element) bool { got = append(got, e.Key); return true })
 	if len(got) != 3 || got[0] != 1 || got[2] != 9 {
 		t.Fatalf("single-run merge = %v", got)
 	}
@@ -356,7 +366,8 @@ func TestMergeRunsEdgeCases(t *testing.T) {
 	b := []core.Element{{Key: 1}, {Key: 5}, {Key: 9}}
 	c := []core.Element{{Key: 2}, {Key: 3}, {Key: 10}}
 	got = got[:0]
-	mergeRuns([][]core.Element{a, b, c}, func(e core.Element) bool { got = append(got, e.Key); return true })
+	runs = [][]core.Element{a, b, c}
+	mergeRuns(runs, heads(runs), func(e core.Element) bool { got = append(got, e.Key); return true })
 	want := []uint64{0, 1, 2, 3, 4, 5, 8, 9, 10}
 	if len(got) != len(want) {
 		t.Fatalf("merge = %v, want %v", got, want)

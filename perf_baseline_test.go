@@ -1,0 +1,94 @@
+package repro
+
+// Validates the committed benchmark baseline BENCH_0.json: CI's bench
+// lane compares every push against it (cmd/perfgate), so a corrupt or
+// hand-edited baseline must fail the ordinary test lane, not surface
+// as a confusing gate error.
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+const baselinePath = "BENCH_0.json"
+
+func readBaseline(t *testing.T) *perf.Report {
+	t.Helper()
+	rep, err := perf.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatalf("committed baseline unreadable: %v", err)
+	}
+	return rep
+}
+
+func TestBaselineRoundTrips(t *testing.T) {
+	rep := readBaseline(t)
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatalf("re-encoding baseline: %v", err)
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write sorts records by key; the committed file must already be in
+	// that canonical form so regenerating the baseline produces clean
+	// diffs.
+	if !bytes.Equal(bytes.TrimSpace(raw), bytes.TrimSpace(buf.Bytes())) {
+		t.Fatal("BENCH_0.json is not in canonical form; regenerate it with streambench -json (see README \"Performance\")")
+	}
+}
+
+func TestBaselineCoversTheFigures(t *testing.T) {
+	rep := readBaseline(t)
+	if len(rep.Results) == 0 {
+		t.Fatal("baseline has no records")
+	}
+	if !strings.Contains(rep.Label, "streambench") {
+		t.Fatalf("baseline label %q does not identify its producer", rep.Label)
+	}
+	var wallClock, transfers int
+	ops := map[string]bool{}
+	for _, r := range rep.Results {
+		ops[r.Op] = true
+		if r.NsPerOp > 0 {
+			wallClock++
+		}
+		if r.TransfersPerOp > 0 {
+			transfers++
+		}
+	}
+	if wallClock == 0 || transfers == 0 {
+		t.Fatalf("baseline must carry both wall-clock and transfer records (have %d / %d)", wallClock, transfers)
+	}
+	// The deterministic DAM-transfer figures are the gate's backbone;
+	// their ops must be present for the CI comparison to bite.
+	for _, op := range []string{
+		"figure-2t-cola-vs-b-tree-random-inserts-dam-transfers",
+		"figure-4t-random-searches-dam-transfers",
+	} {
+		if !ops[op] {
+			t.Errorf("baseline is missing op %q", op)
+		}
+	}
+}
+
+// TestBaselineComparesCleanlyAgainstItself guards the comparator wiring
+// end to end: a report must never regress against itself.
+func TestBaselineComparesCleanlyAgainstItself(t *testing.T) {
+	rep := readBaseline(t)
+	c := perf.Compare(rep, rep, perf.DefaultThresholds())
+	if !c.SameHost {
+		t.Fatal("a report must fingerprint-match itself")
+	}
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Fatalf("self-comparison regressed: %+v", regs)
+	}
+	if len(c.OnlyBase) != 0 || len(c.OnlyNew) != 0 {
+		t.Fatal("self-comparison left unmatched records")
+	}
+}
