@@ -7,10 +7,24 @@
 //	streambench -fig all                  # everything (DESIGN.md E1-E10)
 //	streambench -fig 2 -logn 20           # Figure 2 at N = 2^20
 //	streambench -fig transfers -csv       # E6 as CSV
-//	streambench -list                     # registered dictionary kinds
+//	streambench -fig durability           # E11: snapshot save/load bandwidth
+//	streambench -list                     # registered dictionary kinds + capabilities
 //	streambench -dict cola,btree,sharded  # Figure 2 over any kinds
 //	streambench -fig 4 -dict brt,shuttle  # Figure 4 over a custom lineup
 //	streambench -fig all -json out.json   # also emit perf records (CI baseline)
+//
+// Durability subsystem (snapshots and write-ahead logging):
+//
+//	streambench -save img.snap -dict gcola -logn 20   # ingest, persist a warm image
+//	streambench -load img.snap -searches 8192         # reopen it, measure warm searches
+//	streambench -recover-ingest -wal d.wal -dict gcola -logn 24 -wal-batch 512
+//	streambench -recover-verify -wal d.wal -wal-batch 512 -recover-min 1
+//
+// -recover-ingest feeds a deterministic keyed workload through a
+// "durable" dictionary in acknowledged batches; kill it at any point
+// (the CI recovery lane uses SIGKILL mid-ingest) and -recover-verify
+// reopens the log and proves the recovered state is exactly a whole
+// number of acknowledged batches with the right contents.
 //
 // -dict takes registered kinds (see -list) and the figures' display
 // names ("2-COLA", "B-tree", ...) interchangeably; with -fig left at
@@ -23,10 +37,15 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro"
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/perf"
 	"repro/internal/registry"
+	"repro/internal/snap"
+	"repro/internal/workload"
 )
 
 // logN bounds accepted by -logn: below 2^8 every checkpoint window is
@@ -39,7 +58,7 @@ const (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, ratios, transfers, deamortized, scans, shuttle, concurrent, all")
+		fig        = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, ratios, transfers, deamortized, scans, shuttle, concurrent, durability, all")
 		dict       = flag.String("dict", "", "comma-separated structure lineup for -fig 2/3/4 (registered kinds or figure names; see -list)")
 		list       = flag.Bool("list", false, "list the registered dictionary kinds with their options and exit")
 		logn       = flag.Int("logn", 18, "log2 of the largest workload size")
@@ -50,6 +69,15 @@ func main() {
 		searches   = flag.Int("searches", 1<<13, "number of searches for Figure 4")
 		csv        = flag.Bool("csv", false, "emit CSV instead of tables")
 		jsonPath   = flag.String("json", "", "also write the run as perf records (internal/perf schema) to this file")
+
+		savePath   = flag.String("save", "", "ingest 2^logn elements into the single -dict kind and save a warm snapshot image to this path")
+		loadPath   = flag.String("load", "", "load a warm snapshot image and measure warm searches over its contents")
+		walPath    = flag.String("wal", "", "write-ahead log path for the -recover-* modes")
+		recIngest  = flag.Bool("recover-ingest", false, "ingest 2^logn elements through a durable dictionary at -wal in acknowledged batches (kill it mid-run to test recovery)")
+		recVerify  = flag.Bool("recover-verify", false, "reopen -wal and verify the recovered state is an exact acknowledged-batch prefix")
+		walBatch   = flag.Int("wal-batch", 512, "elements per acknowledged batch in the -recover-* modes")
+		ckptEvery  = flag.Int("ckpt-every", 0, "checkpoint the durable dictionary every N batches during -recover-ingest (0 = never)")
+		recoverMin = flag.Int("recover-min", 0, "-recover-verify fails unless at least this many elements were recovered")
 	)
 	flag.Parse()
 	if *logn < minLogN || *logn > maxLogN {
@@ -65,6 +93,29 @@ func main() {
 
 	if *list {
 		printKinds(os.Stdout)
+		return
+	}
+
+	// Durability modes run instead of a figure; each validates its own
+	// flag subset and exits non-zero on failure.
+	switch {
+	case *recIngest && *recVerify:
+		fmt.Fprintln(os.Stderr, "-recover-ingest and -recover-verify are mutually exclusive")
+		os.Exit(2)
+	case *recIngest:
+		runRecoverIngest(*walPath, *dict, *logn, *walBatch, *ckptEvery)
+		return
+	case *recVerify:
+		runRecoverVerify(*walPath, *dict, *walBatch, *recoverMin)
+		return
+	case *savePath != "" && *loadPath != "":
+		fmt.Fprintln(os.Stderr, "-save and -load are mutually exclusive")
+		os.Exit(2)
+	case *savePath != "":
+		runSaveImage(*savePath, *dict, *logn, *seed)
+		return
+	case *loadPath != "":
+		runLoadImage(*loadPath, *seed, *searches)
 		return
 	}
 
@@ -104,7 +155,7 @@ func main() {
 		}
 	}
 	switch figName {
-	case "2", "3", "4", "5", "ratios", "transfers", "deamortized", "scans", "shuttle", "concurrent", "all":
+	case "2", "3", "4", "5", "ratios", "transfers", "deamortized", "scans", "shuttle", "concurrent", "durability", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
 		flag.Usage()
@@ -160,6 +211,8 @@ func main() {
 		results = []harness.Result{cfg.Shuttle()}
 	case "concurrent":
 		results = []harness.Result{cfg.Concurrent()}
+	case "durability":
+		results = []harness.Result{cfg.Durability()}
 	case "all":
 		results = cfg.All()
 	default:
@@ -196,8 +249,8 @@ func main() {
 	}
 }
 
-// printKinds renders the registry: every kind, its one-line doc, and
-// the options it accepts.
+// printKinds renders the registry: every kind, its one-line doc, the
+// options it accepts, and its capability flags.
 func printKinds(w *os.File) {
 	fmt.Fprintln(w, "registered dictionary kinds (build with -dict, or repro.Build in code):")
 	for _, kind := range registry.Kinds() {
@@ -206,7 +259,198 @@ func printKinds(w *os.File) {
 		if len(info.Options) > 0 {
 			fmt.Fprintf(w, "  %-15s options: %s\n", "", strings.Join(info.Options, ", "))
 		}
+		fmt.Fprintf(w, "  %-15s capabilities: %s\n", "", info.Caps)
 	}
 	fmt.Fprintf(w, "\nfigure display names also accepted by -dict: %s\n",
 		strings.Join(harness.LegacyNames(), ", "))
+}
+
+// fail prints an error and exits with the CLI-usage status.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+// singleKind resolves -dict for the durability modes: exactly one
+// registered kind (not a figure display name — these modes build
+// through the registry directly).
+func singleKind(dict, def string) string {
+	if dict == "" {
+		return def
+	}
+	if strings.Contains(dict, ",") {
+		fail("-dict must name exactly one registered kind here (got %q)", dict)
+	}
+	if _, ok := registry.Info(dict); !ok {
+		fail("unknown kind %q (see -list)", dict)
+	}
+	return dict
+}
+
+// checkLogN mirrors the main figure path's -logn validation.
+func checkLogN(logn int) {
+	if logn < minLogN || logn > maxLogN {
+		fail("-logn %d out of range [%d, %d]", logn, minLogN, maxLogN)
+	}
+}
+
+// runSaveImage ingests a deterministic random workload into one kind
+// and persists it as a warm on-disk image, so later runs (or the -load
+// mode) can start from a populated structure instead of a cold ingest.
+func runSaveImage(path, dict string, logn int, seed uint64) {
+	checkLogN(logn)
+	kind := singleKind(dict, "gcola")
+	if info, _ := registry.Info(kind); !info.Caps.Snapshot {
+		fail("kind %q does not support snapshots (see -list)", kind)
+	}
+	n := 1 << logn
+	d, err := registry.Build(kind)
+	if err != nil {
+		fail("build %q: %v", kind, err)
+	}
+	elems := make([]core.Element, n)
+	seq := workload.NewRandomUnique(seed)
+	for i := range elems {
+		k := seq.Next()
+		elems[i] = core.Element{Key: k, Value: k ^ 0xD1C7}
+	}
+	start := time.Now()
+	core.InsertBatch(d, elems)
+	ingest := time.Since(start)
+	start = time.Now()
+	if err := repro.SaveFile(path, kind, d); err != nil {
+		fail("-save: %v", err)
+	}
+	saveDur := time.Since(start)
+	fi, _ := os.Stat(path)
+	fmt.Printf("saved %s image of %d elements to %s: %d bytes, ingest %.2fs, save %.3fs (%.0f MB/s)\n",
+		kind, n, path, fi.Size(), ingest.Seconds(), saveDur.Seconds(),
+		float64(fi.Size())/1e6/saveDur.Seconds())
+}
+
+// runLoadImage restores a -save image — the container header says what
+// to build — and measures warm searches over the recorded workload.
+func runLoadImage(path string, seed uint64, searches int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("-load: %v", err)
+	}
+	// Header only — what kind is this image? — without reading (and
+	// checksumming) the payload twice; LoadFile below does the real work.
+	spec, err := snap.DecodeHeader(f)
+	f.Close()
+	if err != nil {
+		fail("-load: %v", err)
+	}
+	start := time.Now()
+	d, err := repro.LoadFile(path)
+	if err != nil {
+		fail("-load: %v", err)
+	}
+	loadDur := time.Since(start)
+	n := d.Len()
+	fmt.Printf("loaded %s image from %s: %d elements in %.3fs\n", spec.Kind, path, n, loadDur.Seconds())
+	if n == 0 || searches <= 0 {
+		return
+	}
+	// The image's keys are the deterministic random-unique stream of
+	// -save with the same -seed; regenerate and probe.
+	keys := workload.Take(workload.NewRandomUnique(seed), n)
+	probe := workload.NewRNG(seed + 7)
+	start = time.Now()
+	for i := 0; i < searches; i++ {
+		k := keys[probe.Intn(len(keys))]
+		if v, ok := d.Search(k); !ok || v != k^0xD1C7 {
+			fail("warm image is wrong: Search(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	dur := time.Since(start)
+	fmt.Printf("warm searches: %d in %.3fs (%.0f/s)\n", searches, dur.Seconds(), float64(searches)/dur.Seconds())
+}
+
+// recoveryMult spreads the recovery workload's sequential index over
+// the key space (fibonacci multiplier: odd, so i -> key is injective).
+const recoveryMult = 0x9E3779B97F4A7C15
+
+func recoveryKey(i int) uint64 { return uint64(i+1) * recoveryMult }
+
+// runRecoverIngest streams batches through a durable dictionary. Every
+// batch is acknowledged (write-ahead logged) before the next starts, so
+// killing this process at ANY point must lose nothing but the final
+// in-flight batch — which -recover-verify checks.
+func runRecoverIngest(path, dict string, logn, batch, ckptEvery int) {
+	if path == "" {
+		fail("-recover-ingest requires -wal")
+	}
+	checkLogN(logn)
+	if batch <= 0 {
+		fail("-wal-batch must be positive")
+	}
+	kind := singleKind(dict, "gcola")
+	opts := []repro.Option{repro.WithInner(kind)}
+	if ckptEvery > 0 {
+		opts = append(opts, repro.WithCheckpointEvery(ckptEvery))
+	}
+	d, err := repro.Open(path, opts...)
+	if err != nil {
+		fail("-recover-ingest: %v", err)
+	}
+	defer d.Close()
+	n := 1 << logn
+	if d.Len() != 0 {
+		fail("-recover-ingest: %s already holds %d elements; use a fresh -wal path", path, d.Len())
+	}
+	elems := make([]core.Element, 0, batch)
+	start := time.Now()
+	for i := 0; i < n; i += batch {
+		elems = elems[:0]
+		for j := i; j < i+batch && j < n; j++ {
+			elems = append(elems, core.Element{Key: recoveryKey(j), Value: uint64(j)})
+		}
+		d.InsertBatch(elems) // acknowledged on return
+		if (i/batch)%256 == 0 {
+			fmt.Printf("acked %d elements (%d batches)\n", i+len(elems), i/batch+1)
+		}
+	}
+	dur := time.Since(start)
+	fmt.Printf("ingest complete: %d elements in %.2fs (%.0f/s), %d records in log\n",
+		n, dur.Seconds(), float64(n)/dur.Seconds(), d.Records())
+}
+
+// runRecoverVerify reopens the log and proves the recovered dictionary
+// is exactly the acknowledged prefix of the -recover-ingest workload: a
+// whole number of batches, every recovered index present with its
+// value, and the next key absent.
+func runRecoverVerify(path, dict string, batch, minElems int) {
+	if path == "" {
+		fail("-recover-verify requires -wal")
+	}
+	if batch <= 0 {
+		fail("-wal-batch must be positive")
+	}
+	var opts []repro.Option
+	if dict != "" {
+		opts = append(opts, repro.WithInner(singleKind(dict, "")))
+	}
+	d, err := repro.Open(path, opts...)
+	if err != nil {
+		fail("-recover-verify: %v", err)
+	}
+	defer d.Close()
+	n := d.Len()
+	if n%batch != 0 {
+		fail("recovered %d elements, not a whole number of %d-element batches: an un-acknowledged tail leaked in", n, batch)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := d.Search(recoveryKey(i)); !ok || v != uint64(i) {
+			fail("recovered state wrong at index %d: Search = (%d, %v), want %d", i, v, ok, uint64(i))
+		}
+	}
+	if _, ok := d.Search(recoveryKey(n)); ok {
+		fail("key beyond the acknowledged prefix is present")
+	}
+	if n < minElems {
+		fail("recovered %d elements, -recover-min demands at least %d", n, minElems)
+	}
+	fmt.Printf("recovery verified: %d elements (%d acknowledged batches), prefix exact\n", n, n/batch)
 }

@@ -9,6 +9,8 @@ package repro
 // a structure that registers itself is conformance-tested for free.
 
 import (
+	"bytes"
+	"path/filepath"
 	"sort"
 	"testing"
 
@@ -23,7 +25,7 @@ import (
 var strongDeleters = map[string]bool{
 	"cola": true, "basic-cola": true, "gcola": true, "la": true,
 	"btree": true, "brt": true, "swbst": true,
-	"sharded": true, "synchronized": true,
+	"sharded": true, "synchronized": true, "durable": true,
 }
 
 // conformanceCase is one structure configuration under test.
@@ -33,10 +35,17 @@ type conformanceCase struct {
 	opts []Option
 }
 
-func conformanceCases() []conformanceCase {
+func conformanceCases(t *testing.T) []conformanceCase {
+	t.Helper()
 	var cases []conformanceCase
 	for _, kind := range Kinds() {
-		cases = append(cases, conformanceCase{name: kind, kind: kind})
+		c := conformanceCase{name: kind, kind: kind}
+		if kind == "durable" {
+			// The durable wrapper needs somewhere to log; every case gets
+			// a private path so suites never replay each other's WALs.
+			c.opts = []Option{WithWALPath(filepath.Join(t.TempDir(), "durable.wal"))}
+		}
+		cases = append(cases, c)
 	}
 	// Option variants: exercise the wiring the plain defaults miss.
 	cases = append(cases,
@@ -50,6 +59,11 @@ func conformanceCases() []conformanceCase {
 			opts: []Option{WithGrowthFactor(4), WithPointerDensity(0.2)}},
 		conformanceCase{name: "la/eps1", kind: "la",
 			opts: []Option{WithEpsilon(1)}},
+		conformanceCase{name: "durable/btree+ckpt", kind: "durable",
+			opts: []Option{
+				WithWALPath(filepath.Join(t.TempDir(), "durable-btree.wal")),
+				WithInner("btree"), WithCheckpointEvery(64),
+			}},
 	)
 	return cases
 }
@@ -61,7 +75,7 @@ func TestConformanceAllKinds(t *testing.T) {
 	if testing.Short() {
 		ops = 1500
 	}
-	for _, tc := range conformanceCases() {
+	for _, tc := range conformanceCases(t) {
 		t.Run(tc.name, func(t *testing.T) {
 			d, err := Build(tc.kind, tc.opts...)
 			if err != nil {
@@ -173,6 +187,127 @@ func runConformance(t *testing.T, tc conformanceCase, d Dictionary, ops int) {
 	}
 }
 
+// TestConformanceSnapshotRoundTrip drives every snapshot-capable kind
+// through save → load → verify → save → load ("reopen") against the
+// model oracle: after a mixed insert/update/delete workload, the loaded
+// copy — rebuilt purely from the container's self-describing header —
+// must reproduce the oracle exactly, twice.
+func TestConformanceSnapshotRoundTrip(t *testing.T) {
+	ops := 4000
+	if testing.Short() {
+		ops = 1000
+	}
+	for _, tc := range conformanceCases(t) {
+		if !KindCaps(tc.kind).Snapshot {
+			continue // the durable wrapper persists via its WAL instead
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Build(tc.kind, tc.opts...)
+			if err != nil {
+				t.Fatalf("Build(%q): %v", tc.kind, err)
+			}
+			oracle := make(map[uint64]uint64)
+			rng := workload.NewRNG(0x5A7E)
+			deleter, hasDeleter := d.(Deleter)
+			for i := 0; i < ops; i++ {
+				k := rng.Uint64() % (1 << 12)
+				if rng.Uint64()%8 == 0 && hasDeleter && strongDeleters[tc.kind] {
+					deleter.Delete(k)
+					delete(oracle, k)
+					continue
+				}
+				v := rng.Uint64()
+				d.Insert(k, v)
+				oracle[k] = v
+			}
+
+			verify := func(stage string, d Dictionary) {
+				t.Helper()
+				got := 0
+				for k, v := range All(d) {
+					if want, ok := oracle[k]; !ok || want != v {
+						t.Fatalf("%s: key %d = %d, oracle (%d,%v)", stage, k, v, oracle[k], ok)
+					}
+					got++
+				}
+				if got != len(oracle) {
+					t.Fatalf("%s: scan yielded %d keys, oracle has %d", stage, got, len(oracle))
+				}
+			}
+
+			var buf bytes.Buffer
+			if err := Save(&buf, tc.kind, d, tc.opts...); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			loaded, err := Load(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			verify("load", loaded)
+
+			// Reopen: the loaded copy must itself save and load cleanly.
+			var buf2 bytes.Buffer
+			if err := Save(&buf2, tc.kind, loaded, tc.opts...); err != nil {
+				t.Fatalf("re-Save: %v", err)
+			}
+			reopened, err := Load(bytes.NewReader(buf2.Bytes()))
+			if err != nil {
+				t.Fatalf("re-Load: %v", err)
+			}
+			verify("reopen", reopened)
+
+			// The restored structure stays writable.
+			reopened.Insert(1<<60, 7)
+			if v, ok := reopened.Search(1 << 60); !ok || v != 7 {
+				t.Fatal("restored structure rejects inserts")
+			}
+		})
+	}
+}
+
+// TestConformanceSnapshotTransferEquality enforces the GCOLA physical
+// codec's promise through the public Save/Load surface: a snapshot
+// restored with a fresh DAM space (re-attached via Load's extra
+// options) charges exactly the transfers of the original for an
+// identical subsequent workload.
+func TestConformanceSnapshotTransferEquality(t *testing.T) {
+	storeA := NewStore(DefaultBlockBytes, 1<<17)
+	a := MustBuild("gcola", WithGrowthFactor(2), WithSpace(storeA.Space("a")))
+	keys := workload.Take(workload.NewRandomUnique(123), 1<<13)
+	for _, k := range keys {
+		a.Insert(k, k)
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, "gcola", a, WithGrowthFactor(2)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	storeB := NewStore(DefaultBlockBytes, 1<<17)
+	b, err := Load(bytes.NewReader(buf.Bytes()), WithSpace(storeB.Space("b")))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	storeA.DropCache()
+	storeA.ResetCounters()
+	storeB.DropCache()
+	storeB.ResetCounters()
+	rng := workload.NewRNG(9)
+	for i := 0; i < 2048; i++ {
+		k := keys[rng.Intn(len(keys))]
+		a.Search(k)
+		b.Search(k)
+	}
+	for i := uint64(0); i < 512; i++ {
+		a.Insert(1<<61+i, i)
+		b.Insert(1<<61+i, i)
+	}
+	if storeA.Transfers() != storeB.Transfers() {
+		t.Fatalf("transfer counts diverge after restore: original %d, restored %d",
+			storeA.Transfers(), storeB.Transfers())
+	}
+}
+
 // TestConformanceBatchIngest rebuilds every kind from one InsertBatch
 // call — duplicates included, later entries winning — and checks the
 // result matches element-at-a-time ingestion semantics.
@@ -190,7 +325,7 @@ func TestConformanceBatchIngest(t *testing.T) {
 		batch = append(batch, Element{Key: k, Value: v})
 		oracle[k] = v
 	}
-	for _, tc := range conformanceCases() {
+	for _, tc := range conformanceCases(t) {
 		t.Run(tc.name, func(t *testing.T) {
 			d, err := Build(tc.kind, tc.opts...)
 			if err != nil {

@@ -1,0 +1,115 @@
+package repro
+
+// Adversarial regression tests for the durability subsystem: a hostile
+// container must not be able to reach a side-effecting builder, and a
+// default-shard-count inner must survive machine-parallelism changes.
+// Both reproduce review findings that were fixed before landing.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// Finding 1: a hostile container naming kind "durable" with a victim
+// WAL path must be rejected before any file is touched.
+func TestHostileDurableContainerRejectedWithoutSideEffects(t *testing.T) {
+	dir := t.TempDir()
+	victim := filepath.Join(dir, "victim.txt")
+	if err := os.WriteFile(victim, []byte("precious bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Build the hostile container through the internal encoder path:
+	// simplest is to Save a legitimate snapshot and rewrite... instead,
+	// craft via a real durable build in ANOTHER dir? The registry refuses
+	// Save("durable"), so hand-assemble: reuse snap through a save of
+	// gcola, then the attack needs a durable header. Use the exported
+	// test seam: none. So go lower: construct bytes matching the format.
+	// Easiest faithful reproduction: a container whose header spec is
+	// {Kind:"durable", WithWALPath: victim} and an empty payload.
+	data := buildHostileDurableContainer(victim)
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("hostile container accepted")
+	}
+	got, err := os.ReadFile(victim)
+	if err != nil || string(got) != "precious bytes" {
+		t.Fatalf("victim file damaged: %q (%v)", got, err)
+	}
+	if _, err := os.Stat(victim + ".ckpt"); !os.IsNotExist(err) {
+		t.Fatal("hostile load created a checkpoint sibling")
+	}
+}
+
+// Finding 2: a durable dictionary over a default-shard-count sharded
+// inner must reopen even if GOMAXPROCS changed in between.
+func TestDurableShardedSurvivesGOMAXPROCSChange(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.wal")
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	d, err := Open(path, WithInner("sharded"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		d.Insert(i, i)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	d.Insert(999, 1)
+	d.Close()
+
+	runtime.GOMAXPROCS(2)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen after GOMAXPROCS change: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != 201 {
+		t.Fatalf("recovered Len = %d", r.Len())
+	}
+	if v, ok := r.Search(150); !ok || v != 150 {
+		t.Fatal("contents wrong after reopen")
+	}
+}
+
+// buildHostileDurableContainer hand-assembles a snap container whose
+// header names kind "durable" with WithWALPath pointing at the victim.
+func buildHostileDurableContainer(victim string) []byte {
+	var h bytes.Buffer
+	putStr := func(s string) {
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(s)))
+		h.Write(l[:])
+		h.WriteString(s)
+	}
+	putStr("durable")
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], 1)
+	h.Write(n[:])
+	putStr("WithWALPath")
+	h.WriteByte(2) // tagString
+	putStr(victim)
+
+	var out bytes.Buffer
+	out.WriteString("RSNP")
+	var w4 [4]byte
+	var w8 [8]byte
+	binary.LittleEndian.PutUint32(w4[:], 1)
+	out.Write(w4[:])
+	binary.LittleEndian.PutUint32(w4[:], uint32(h.Len()))
+	out.Write(w4[:])
+	out.Write(h.Bytes())
+	binary.LittleEndian.PutUint32(w4[:], crc32.ChecksumIEEE(h.Bytes()))
+	out.Write(w4[:])
+	binary.LittleEndian.PutUint64(w8[:], 0) // empty payload
+	out.Write(w8[:])
+	binary.LittleEndian.PutUint32(w4[:], crc32.ChecksumIEEE(nil))
+	out.Write(w4[:])
+	return out.Bytes()
+}

@@ -1,0 +1,26 @@
+package brt
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// snapshotMagic identifies the buffered repository tree's logical
+// snapshot payload (see internal/core/snapshot.go): live elements in
+// ascending key order, re-inserted on restore. Buffered-but-unflushed
+// inserts are included like any other element (Range drains buffers),
+// so contents round-trip exactly; buffer occupancy itself starts fresh.
+const snapshotMagic = "BRTR"
+
+var _ core.Snapshotter = (*Tree)(nil)
+
+// WriteTo implements io.WriterTo (logical codec).
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	return core.WriteLogicalSnapshot(w, snapshotMagic, t)
+}
+
+// ReadFrom implements io.ReaderFrom; t must be empty.
+func (t *Tree) ReadFrom(r io.Reader) (int64, error) {
+	return core.ReadLogicalSnapshot(r, snapshotMagic, t)
+}

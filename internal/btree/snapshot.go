@@ -1,0 +1,26 @@
+package btree
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// snapshotMagic identifies the B-tree's logical snapshot payload (see
+// internal/core/snapshot.go): the live elements in ascending key order,
+// re-inserted on restore. Node geometry is rebuilt from the tree's own
+// Options, so a restored tree answers queries identically; the exact
+// split history (and thus node fill factors) starts fresh.
+const snapshotMagic = "BTRE"
+
+var _ core.Snapshotter = (*Tree)(nil)
+
+// WriteTo implements io.WriterTo (logical codec).
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	return core.WriteLogicalSnapshot(w, snapshotMagic, t)
+}
+
+// ReadFrom implements io.ReaderFrom; t must be empty.
+func (t *Tree) ReadFrom(r io.Reader) (int64, error) {
+	return core.ReadLogicalSnapshot(r, snapshotMagic, t)
+}

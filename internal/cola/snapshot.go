@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/core"
 )
 
-// Snapshot format: a little-endian binary stream
+// Snapshot format (the GCOLA payload, a little-endian binary stream):
 //
 //	magic "COLA" | version u32 | growth u32 | density f64-bits u64 |
 //	n i64 | levelCount u32 |
@@ -18,11 +20,36 @@ import (
 //
 // Lookahead entries are persisted verbatim, so a restored structure has
 // identical layout, occupancy, and search behaviour — including
-// transfer-count behaviour under the same DAM store parameters.
+// transfer-count behaviour under the same DAM store parameters. This is
+// the repository's one physical codec; see internal/core/snapshot.go
+// for the physical/logical distinction.
 const (
 	snapshotMagic   = "COLA"
 	snapshotVersion = 1
 )
+
+// Typed decode failures, aliased from core so errors.Is matches across
+// the whole persistence stack (container, payloads, WAL).
+var (
+	ErrBadMagic   = core.ErrBadMagic
+	ErrBadVersion = core.ErrBadVersion
+	ErrCorrupt    = core.ErrCorrupt
+)
+
+// Decode limits. A level claiming more cells than maxSnapshotLevelCells
+// (or a deeper ladder than maxSnapshotLevels) is rejected before any
+// allocation: the largest supported workloads (2^28 elements, the
+// harness's -logn ceiling) stay well inside both bounds, while a
+// corrupt stream cannot drive a multi-gigabyte make.
+const (
+	maxSnapshotLevels     = 48
+	maxSnapshotLevelCells = 1 << 28
+)
+
+var _ core.Snapshotter = (*GCOLA)(nil)
+
+// entryBytes is the wire size of one persisted cell.
+const entryBytes = 8 + 8 + 4 + 4 + 1
 
 // WriteTo serializes the structure. It implements io.WriterTo.
 func (c *GCOLA) WriteTo(w io.Writer) (int64, error) {
@@ -87,6 +114,14 @@ func (c *GCOLA) WriteTo(w io.Writer) (int64, error) {
 // ReadFrom restores a snapshot into an empty structure created with the
 // same Options (growth and pointer density are verified against the
 // stream). It implements io.ReaderFrom.
+//
+// Decoding is defensive: magic, version, level occupancy, entry kinds,
+// per-level key order, and lookahead pointer targets are all validated,
+// failures are wrapped ErrBadMagic / ErrBadVersion / ErrCorrupt (or a
+// plain configuration-mismatch error for a snapshot of a differently
+// parameterized structure), and the receiver is mutated only after the
+// entire stream has decoded — a failed ReadFrom leaves it empty and
+// usable.
 func (c *GCOLA) ReadFrom(r io.Reader) (int64, error) {
 	for l := range c.levels {
 		if !c.levels[l].empty() {
@@ -95,94 +130,150 @@ func (c *GCOLA) ReadFrom(r io.Reader) (int64, error) {
 	}
 	br := bufio.NewReader(r)
 	var n int64
-	read := func(v any) error {
-		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
-			return err
+	readFull := func(b []byte) error {
+		if _, err := io.ReadFull(br, b); err != nil {
+			return fmt.Errorf("cola: snapshot truncated at byte %d: %w", n, ErrCorrupt)
 		}
-		n += int64(binary.Size(v))
+		n += int64(len(b))
 		return nil
 	}
+	var w8 [8]byte
+	readU32 := func() (uint32, error) {
+		err := readFull(w8[:4])
+		return binary.LittleEndian.Uint32(w8[:4]), err
+	}
+	readU64 := func() (uint64, error) {
+		err := readFull(w8[:8])
+		return binary.LittleEndian.Uint64(w8[:8]), err
+	}
+
 	magic := make([]byte, len(snapshotMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if err := readFull(magic); err != nil {
 		return n, err
 	}
-	n += int64(len(magic))
 	if string(magic) != snapshotMagic {
-		return n, errors.New("cola: bad snapshot magic")
+		return n, fmt.Errorf("cola: snapshot magic %q, want %q: %w", magic, snapshotMagic, ErrBadMagic)
 	}
-	var version, growth uint32
-	var densityBits uint64
-	var live int64
-	var levelCount uint32
-	if err := read(&version); err != nil {
+	version, err := readU32()
+	if err != nil {
 		return n, err
 	}
 	if version != snapshotVersion {
-		return n, fmt.Errorf("cola: unsupported snapshot version %d", version)
+		return n, fmt.Errorf("cola: snapshot version %d, this build reads %d: %w",
+			version, snapshotVersion, ErrBadVersion)
 	}
-	if err := read(&growth); err != nil {
+	growth, err := readU32()
+	if err != nil {
 		return n, err
 	}
 	if int(growth) != c.opt.Growth {
 		return n, fmt.Errorf("cola: snapshot growth %d, structure configured with %d", growth, c.opt.Growth)
 	}
-	if err := read(&densityBits); err != nil {
+	densityBits, err := readU64()
+	if err != nil {
 		return n, err
 	}
 	if bitsFloat(densityBits) != c.opt.PointerDensity {
 		return n, fmt.Errorf("cola: snapshot pointer density %v, structure configured with %v",
 			bitsFloat(densityBits), c.opt.PointerDensity)
 	}
-	if err := read(&live); err != nil {
+	liveBits, err := readU64()
+	if err != nil {
 		return n, err
 	}
-	if err := read(&levelCount); err != nil {
+	live := int64(liveBits)
+	levelCount, err := readU32()
+	if err != nil {
 		return n, err
 	}
-	c.ensureLevel(int(levelCount) - 1)
+	if levelCount > maxSnapshotLevels {
+		return n, fmt.Errorf("cola: snapshot claims %d levels, limit %d: %w",
+			levelCount, maxSnapshotLevels, ErrCorrupt)
+	}
+
+	// Decode into fresh storage; the receiver is untouched until commit.
+	levels := make([]level, 0, levelCount)
+	offsets := make([]int64, 0, levelCount)
+	totalReal := 0
+	var cell [entryBytes]byte
 	for l := 0; l < int(levelCount); l++ {
-		var start, used uint32
-		if err := read(&start); err != nil {
+		start, err := readU32()
+		if err != nil {
 			return n, err
 		}
-		if err := read(&used); err != nil {
+		used, err := readU32()
+		if err != nil {
 			return n, err
 		}
-		lv := &c.levels[l]
-		if int(start)+int(used) != len(lv.data) {
-			return n, fmt.Errorf("cola: level %d occupancy %d+%d does not fit capacity %d",
-				l, start, used, len(lv.data))
+		capTotal := c.totalCapacity(l)
+		if capTotal > maxSnapshotLevelCells {
+			return n, fmt.Errorf("cola: level %d capacity %d exceeds decode limit %d: %w",
+				l, capTotal, maxSnapshotLevelCells, ErrCorrupt)
 		}
-		lv.start = int(start)
-		lv.real = 0
-		lv.la = 0
+		// Validate occupancy BEFORE allocating level storage, so a lying
+		// header cannot drive an allocation the stream does not back.
+		if int64(start)+int64(used) != int64(capTotal) {
+			return n, fmt.Errorf("cola: level %d occupancy %d+%d does not fit capacity %d: %w",
+				l, start, used, capTotal, ErrCorrupt)
+		}
+		lv := level{data: make([]entry, capTotal), start: int(start)}
+		// Lookahead entries point into level l+1, whose geometry is
+		// deterministic even though it is not decoded yet. The deepest
+		// level can carry none (pointers are only distributed into
+		// levels with an allocated next level), so its bound is zero and
+		// every cell there must have left == -1.
+		nextCap := int32(0)
+		if l < int(levelCount)-1 {
+			nextCap = int32(min(c.totalCapacity(l+1), math.MaxInt32))
+		}
+		prevKey := uint64(0)
 		for i := lv.start; i < len(lv.data); i++ {
+			if err := readFull(cell[:]); err != nil {
+				return n, err
+			}
 			e := &lv.data[i]
-			if err := read(&e.key); err != nil {
-				return n, err
+			e.key = binary.LittleEndian.Uint64(cell[0:8])
+			e.val = binary.LittleEndian.Uint64(cell[8:16])
+			e.ptr = int32(binary.LittleEndian.Uint32(cell[16:20]))
+			e.left = int32(binary.LittleEndian.Uint32(cell[20:24]))
+			e.kind = cell[24]
+			if i > lv.start && e.key < prevKey {
+				return n, fmt.Errorf("cola: level %d not in key order at cell %d: %w", l, i, ErrCorrupt)
 			}
-			if err := read(&e.val); err != nil {
-				return n, err
-			}
-			if err := read(&e.ptr); err != nil {
-				return n, err
-			}
-			if err := read(&e.left); err != nil {
-				return n, err
-			}
-			if err := read(&e.kind); err != nil {
-				return n, err
-			}
+			prevKey = e.key
 			switch e.kind {
 			case kindLookahead:
+				if e.ptr < 0 || e.ptr >= nextCap {
+					return n, fmt.Errorf("cola: level %d lookahead pointer %d outside next level capacity %d: %w",
+						l, e.ptr, nextCap, ErrCorrupt)
+				}
 				lv.la++
 			case kindReal, kindTombstone:
 				lv.real++
 			default:
-				return n, fmt.Errorf("cola: corrupt snapshot: entry kind %d", e.kind)
+				return n, fmt.Errorf("cola: level %d entry kind %d: %w", l, e.kind, ErrCorrupt)
+			}
+			if e.left < -1 || e.left >= nextCap {
+				return n, fmt.Errorf("cola: level %d left pointer %d outside next level capacity %d: %w",
+					l, e.left, nextCap, ErrCorrupt)
 			}
 		}
+		totalReal += lv.real
+		var off int64
+		if l > 0 {
+			off = offsets[l-1] + int64(c.totalCapacity(l-1))*core.ElementBytes
+		}
+		levels = append(levels, lv)
+		offsets = append(offsets, off)
 	}
+	if live < 0 || live > int64(totalReal) {
+		return n, fmt.Errorf("cola: snapshot live count %d inconsistent with %d stored entries: %w",
+			live, totalReal, ErrCorrupt)
+	}
+
+	// Commit: everything validated, swap in atomically.
+	c.levels = levels
+	c.offsets = offsets
 	c.n = int(live)
 	return n, nil
 }

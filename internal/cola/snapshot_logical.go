@@ -1,0 +1,45 @@
+package cola
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// Logical snapshot codecs for the deamortized variants. Unlike the
+// GCOLA's physical codec (snapshot.go), the deamortized structures
+// persist their live contents only: the shadow/visible array states and
+// in-flight merge cursors are deliberately not serialized — a restored
+// structure holds the same key/value set with a fresh (fully merged-in)
+// deamortization schedule. See internal/core/snapshot.go for the
+// physical/logical codec distinction.
+
+const (
+	deamortizedMagic   = "DCLA"
+	deamortizedLAMagic = "DLAC"
+)
+
+var (
+	_ core.Snapshotter = (*Deamortized)(nil)
+	_ core.Snapshotter = (*DeamortizedLookahead)(nil)
+)
+
+// WriteTo implements io.WriterTo (logical codec).
+func (d *Deamortized) WriteTo(w io.Writer) (int64, error) {
+	return core.WriteLogicalSnapshot(w, deamortizedMagic, d)
+}
+
+// ReadFrom implements io.ReaderFrom; d must be empty.
+func (d *Deamortized) ReadFrom(r io.Reader) (int64, error) {
+	return core.ReadLogicalSnapshot(r, deamortizedMagic, d)
+}
+
+// WriteTo implements io.WriterTo (logical codec).
+func (d *DeamortizedLookahead) WriteTo(w io.Writer) (int64, error) {
+	return core.WriteLogicalSnapshot(w, deamortizedLAMagic, d)
+}
+
+// ReadFrom implements io.ReaderFrom; d must be empty.
+func (d *DeamortizedLookahead) ReadFrom(r io.Reader) (int64, error) {
+	return core.ReadLogicalSnapshot(r, deamortizedLAMagic, d)
+}

@@ -2,6 +2,8 @@ package cola
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -242,6 +244,153 @@ func TestSnapshotIntoNonEmptyFails(t *testing.T) {
 func TestSnapshotInterfaces(t *testing.T) {
 	var _ io.WriterTo = (*GCOLA)(nil)
 	var _ io.ReaderFrom = (*GCOLA)(nil)
+}
+
+// snapshotOf serializes a small populated COLA for corruption tests.
+func snapshotOf(t *testing.T, n int) []byte {
+	t.Helper()
+	c := NewCOLA(nil)
+	for i := uint64(0); i < uint64(n); i++ {
+		c.Insert(i*2654435761, i)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotTypedErrors pins the error taxonomy: wrong magic is
+// ErrBadMagic, an unknown version is ErrBadVersion, and everything
+// structurally wrong past the preamble is ErrCorrupt.
+func TestSnapshotTypedErrors(t *testing.T) {
+	data := snapshotOf(t, 600)
+
+	bad := append([]byte(nil), data...)
+	copy(bad, "XXXX")
+	if _, err := NewCOLA(nil).ReadFrom(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("wrong magic: got %v, want ErrBadMagic", err)
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[4] = 99 // version field
+	if _, err := NewCOLA(nil).ReadFrom(bytes.NewReader(bad)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("wrong version: got %v, want ErrBadVersion", err)
+	}
+
+	for _, cut := range []int{3, 10, 30, len(data) / 2, len(data) - 1} {
+		if _, err := NewCOLA(nil).ReadFrom(bytes.NewReader(data[:cut])); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestSnapshotRejectsCorruptStructure flips structure-level fields —
+// entry kinds, occupancy, level count, live count — and demands a
+// typed, panic-free rejection for each.
+func TestSnapshotRejectsCorruptStructure(t *testing.T) {
+	data := snapshotOf(t, 600)
+	// Field offsets: magic 4 | version 4 | growth 4 | density 8 | n 8 |
+	// levelCount 4 = byte 32, then per-level start/used.
+	mutate := func(name string, f func(b []byte)) {
+		t.Run(name, func(t *testing.T) {
+			b := append([]byte(nil), data...)
+			f(b)
+			c := NewCOLA(nil)
+			if _, err := c.ReadFrom(bytes.NewReader(b)); err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+			// No partial mutation: the failed receiver is still empty and
+			// fully usable.
+			if c.Len() != 0 || len(c.levels) != 0 {
+				t.Fatalf("failed ReadFrom mutated receiver: Len=%d levels=%d", c.Len(), len(c.levels))
+			}
+			c.Insert(42, 1)
+			if v, ok := c.Search(42); !ok || v != 1 {
+				t.Fatal("receiver unusable after failed ReadFrom")
+			}
+			c.checkInvariants()
+		})
+	}
+	mutate("huge level count", func(b []byte) {
+		binary.LittleEndian.PutUint32(b[28:32], 1<<30)
+	})
+	mutate("level count past limit", func(b []byte) {
+		binary.LittleEndian.PutUint32(b[28:32], maxSnapshotLevels+1)
+	})
+	mutate("occupancy mismatch", func(b []byte) {
+		// Level 0 header directly follows at byte 32: start u32 | used u32.
+		binary.LittleEndian.PutUint32(b[32:36], 7)
+	})
+	mutate("negative live count", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[20:28], ^uint64(0)) // -1
+	})
+	mutate("live count above stored entries", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[20:28], 1<<40)
+	})
+}
+
+// TestSnapshotRejectsBadEntryKind corrupts one entry's kind byte (the
+// last byte of the first stored cell) and checks the typed rejection.
+func TestSnapshotRejectsBadEntryKind(t *testing.T) {
+	c := NewCOLA(nil)
+	c.Insert(1, 1) // one entry, in level 0
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-1] = 17 // kind byte of the only cell
+	r := NewCOLA(nil)
+	if _, err := r.ReadFrom(bytes.NewReader(b)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad entry kind: got %v, want ErrCorrupt", err)
+	}
+	if r.Len() != 0 {
+		t.Fatal("failed ReadFrom mutated receiver")
+	}
+}
+
+// TestSnapshotTransferEquality is the physical-codec promise: a
+// restored structure charges the same transfers for the same subsequent
+// operations as the original under identical DAM geometry.
+func TestSnapshotTransferEquality(t *testing.T) {
+	build := func(sp *dam.Space) *GCOLA { return NewCOLA(sp) }
+	storeA := newBenchStore()
+	a := build(storeA.Space("cola"))
+	seq := workload.NewRandomUnique(91)
+	keys := workload.Take(seq, 1<<13)
+	for _, k := range keys {
+		a.Insert(k, k)
+	}
+
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	storeB := newBenchStore()
+	b := build(storeB.Space("cola"))
+	if _, err := b.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	storeA.DropCache()
+	storeA.ResetCounters()
+	storeB.DropCache()
+	storeB.ResetCounters()
+	probe := workload.NewRNG(17)
+	for i := 0; i < 2048; i++ {
+		k := keys[probe.Intn(len(keys))]
+		a.Search(k)
+		b.Search(k)
+	}
+	for i := uint64(0); i < 512; i++ {
+		k := (1 << 62) + i
+		a.Insert(k, k)
+		b.Insert(k, k)
+	}
+	if storeA.Transfers() != storeB.Transfers() {
+		t.Fatalf("transfer counts diverge: original %d, restored %d", storeA.Transfers(), storeB.Transfers())
+	}
 }
 
 func TestBulkLoadTransferCost(t *testing.T) {

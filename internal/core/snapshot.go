@@ -1,0 +1,159 @@
+package core
+
+// Persistence capability shared by every structure in the repository.
+//
+// A structure that can be saved and restored implements Snapshotter: its
+// WriteTo emits a self-delimiting binary payload (each structure owns a
+// 4-byte payload magic and a payload version) and its ReadFrom rebuilds
+// an EMPTY structure of the same configuration from that payload. The
+// kind-agnostic container around these payloads — the header naming the
+// registry kind and options, plus CRC framing — lives in internal/snap;
+// structures never see it.
+//
+// Two codec families exist:
+//
+//   - Physical: the byte-exact level layout is persisted (GCOLA), so a
+//     restored structure reproduces the original's transfer counts under
+//     identical DAM parameters.
+//   - Logical: the live key/value set is persisted in ascending key
+//     order via WriteElements/ReadElements below, and ReadFrom rebuilds
+//     by re-inserting. Contents and query results round-trip exactly;
+//     internal layout (and therefore future restructuring schedules and
+//     operation counters) start fresh.
+//
+// Logical WriteTo walks the structure through its ordinary Range path,
+// so on a DAM-charged structure the scan is charged like any other read;
+// snapshot with accounting disabled (or reset counters afterwards) when
+// transfer counts matter.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Snapshotter is implemented by dictionaries that can persist themselves
+// to a byte stream and be restored from one. ReadFrom must be called on
+// an empty structure built with the same options as the saved one.
+type Snapshotter interface {
+	io.WriterTo
+	io.ReaderFrom
+}
+
+// Typed decode failures, shared by every codec in the repository (the
+// structures' payload decoders, the snap container, the WAL). Wrapped
+// errors carry context; match with errors.Is.
+var (
+	// ErrBadMagic reports that a stream does not start with the expected
+	// format identifier — almost always a file that is not a snapshot at
+	// all, or a payload fed to the wrong structure.
+	ErrBadMagic = errors.New("snapshot: bad magic")
+	// ErrBadVersion reports a well-formed stream written by a format
+	// version this build does not understand.
+	ErrBadVersion = errors.New("snapshot: unsupported format version")
+	// ErrCorrupt reports a stream that identifies correctly but whose
+	// contents are truncated or internally inconsistent.
+	ErrCorrupt = errors.New("snapshot: corrupt data")
+)
+
+// elementStreamVersion versions the shared logical payload layout.
+const elementStreamVersion = 1
+
+// maxElementPrealloc bounds how much ReadElements allocates up front on
+// the strength of an (unverified) count field; beyond it the slice grows
+// only as data actually arrives, so a corrupt count fails with
+// ErrCorrupt instead of an enormous allocation.
+const maxElementPrealloc = 1 << 16
+
+// WriteElements writes the shared logical snapshot payload:
+//
+//	magic (4 bytes) | version u32 | count u64 | count × (key u64 | value u64)
+//
+// all little-endian. magic must be exactly 4 bytes and is the caller's
+// per-structure payload identifier.
+func WriteElements(w io.Writer, magic string, elems []Element) (int64, error) {
+	if len(magic) != 4 {
+		panic("core: payload magic must be exactly 4 bytes")
+	}
+	bw := bufio.NewWriter(w)
+	var scratch [16]byte
+	bw.WriteString(magic)
+	binary.LittleEndian.PutUint32(scratch[:4], elementStreamVersion)
+	bw.Write(scratch[:4])
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(elems)))
+	bw.Write(scratch[:8])
+	for _, e := range elems {
+		binary.LittleEndian.PutUint64(scratch[0:8], e.Key)
+		binary.LittleEndian.PutUint64(scratch[8:16], e.Value)
+		bw.Write(scratch[:16])
+	}
+	n := int64(4+4+8) + int64(len(elems))*16
+	return n, bw.Flush()
+}
+
+// ReadElements decodes a WriteElements payload, verifying the magic and
+// version. It returns the decoded elements and the logical payload size.
+// Failures are wrapped ErrBadMagic / ErrBadVersion / ErrCorrupt; the
+// reader may have been over-consumed on error, but never on success
+// beyond internal buffering (callers composing payloads should hand
+// ReadFrom an exact in-memory section, as internal/snap does).
+func ReadElements(r io.Reader, magic string) ([]Element, int64, error) {
+	if len(magic) != 4 {
+		panic("core: payload magic must be exactly 4 bytes")
+	}
+	br := bufio.NewReader(r)
+	var head [16]byte
+	if _, err := io.ReadFull(br, head[:16]); err != nil {
+		return nil, 0, fmt.Errorf("core: payload header: %w", ErrCorrupt)
+	}
+	if string(head[:4]) != magic {
+		return nil, 0, fmt.Errorf("core: payload magic %q, want %q: %w", head[:4], magic, ErrBadMagic)
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != elementStreamVersion {
+		return nil, 0, fmt.Errorf("core: payload version %d, this build reads %d: %w",
+			v, elementStreamVersion, ErrBadVersion)
+	}
+	count := binary.LittleEndian.Uint64(head[8:16])
+	elems := make([]Element, 0, min(count, maxElementPrealloc))
+	var cell [16]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, cell[:]); err != nil {
+			return nil, 0, fmt.Errorf("core: payload truncated at element %d of %d: %w", i, count, ErrCorrupt)
+		}
+		elems = append(elems, Element{
+			Key:   binary.LittleEndian.Uint64(cell[0:8]),
+			Value: binary.LittleEndian.Uint64(cell[8:16]),
+		})
+	}
+	return elems, int64(16) + int64(count)*16, nil
+}
+
+// WriteLogicalSnapshot implements a logical-codec WriteTo: the live
+// contents of d, collected in ascending key order, as a WriteElements
+// payload under the caller's magic.
+func WriteLogicalSnapshot(w io.Writer, magic string, d Dictionary) (int64, error) {
+	elems := make([]Element, 0, d.Len())
+	d.Range(0, ^uint64(0), func(e Element) bool {
+		elems = append(elems, e)
+		return true
+	})
+	return WriteElements(w, magic, elems)
+}
+
+// ReadLogicalSnapshot implements a logical-codec ReadFrom: it decodes a
+// WriteElements payload under the caller's magic and re-inserts every
+// element (through the structure's batch fast path when it has one). d
+// must be empty; on any error d is left unmodified.
+func ReadLogicalSnapshot(r io.Reader, magic string, d Dictionary) (int64, error) {
+	if d.Len() != 0 {
+		return 0, errors.New("core: snapshot restore into a non-empty structure")
+	}
+	elems, n, err := ReadElements(r, magic)
+	if err != nil {
+		return 0, err
+	}
+	InsertBatch(d, elems)
+	return n, nil
+}

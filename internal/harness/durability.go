@@ -1,0 +1,91 @@
+// Durability scenario (E11 in DESIGN.md): the restart / cold-start
+// story the paper's figures never measure. For each snapshot-capable
+// kind, ingest N random elements, save the structure through the snap
+// container, load it back, and verify a sample against the original;
+// report save and load bandwidth plus the on-disk footprint per
+// element. This is deliberately wall-clock (no DAM store): snapshot
+// bandwidth is an I/O-path property, not a cost-model one, which is
+// also why the scenario is not part of All() — the committed perf
+// baseline (BENCH_0.json) gates DAM transfer counts, and wall-clock
+// snapshot rates on shared runners would only add noise there.
+
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/workload"
+)
+
+// durabilityLineup names the kinds E11 measures: every core structure
+// family plus the composed sharded snapshot.
+var durabilityLineup = []string{"gcola", "deamortized", "shuttle", "btree", "brt", "sharded"}
+
+// Durability runs E11 and returns one figure: two series per kind
+// ("<kind> save", "<kind> load"), X = N, Y = MB/s through the snapshot
+// container.
+func (c Config) Durability() Result {
+	c = c.withDefaults()
+	n := 1 << c.LogN
+	elems := make([]core.Element, n)
+	seq := workload.NewRandomUnique(c.Seed)
+	for i := range elems {
+		k := seq.Next()
+		elems[i] = core.Element{Key: k, Value: k ^ 0xD1C7}
+	}
+
+	var series []Series
+	var notes []string
+	for _, kind := range durabilityLineup {
+		d, err := registry.Build(kind)
+		if err != nil {
+			panic("harness: " + err.Error())
+		}
+		core.InsertBatch(d, elems)
+
+		var buf bytes.Buffer
+		start := time.Now()
+		if err := registry.Save(&buf, kind, d); err != nil {
+			panic("harness: E11 save " + kind + ": " + err.Error())
+		}
+		saveSecs := time.Since(start).Seconds()
+
+		start = time.Now()
+		restored, err := registry.Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			panic("harness: E11 load " + kind + ": " + err.Error())
+		}
+		loadSecs := time.Since(start).Seconds()
+
+		// Spot-check the restored copy against the source of truth; a
+		// codec bug must fail the run, not skew a figure.
+		probe := workload.NewRNG(c.Seed + 3)
+		for i := 0; i < 1024; i++ {
+			e := elems[probe.Intn(n)]
+			if v, ok := restored.Search(e.Key); !ok || v != e.Value {
+				panic(fmt.Sprintf("harness: E11 %s: restored Search(%d) = (%d,%v), want %d",
+					kind, e.Key, v, ok, e.Value))
+			}
+		}
+
+		mb := float64(buf.Len()) / 1e6
+		series = append(series,
+			Series{Name: kind + " save", X: []float64{float64(n)}, Y: []float64{mb / saveSecs}},
+			Series{Name: kind + " load", X: []float64{float64(n)}, Y: []float64{mb / loadSecs}},
+		)
+		notes = append(notes, fmt.Sprintf("%s: %.1f bytes/element on disk", kind, float64(buf.Len())/float64(n)))
+	}
+	return Result{
+		Title:  fmt.Sprintf("E11 — durability: snapshot save/load bandwidth at N = 2^%d (in-memory container)", c.LogN),
+		XLabel: "N",
+		YLabel: "MB/s",
+		Series: series,
+		Notes: append(notes,
+			"gcola saves its physical level layout (transfer-equal restore); the tree kinds save logical contents and rebuild",
+			"wall-clock scenario, not in All(): the perf baseline gates DAM transfers, not I/O bandwidth"),
+	}
+}

@@ -12,6 +12,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -189,6 +190,19 @@ func (c Config) buildNamed(name string) (dict, error) {
 		}
 	} else if registry.Accepts(kind, registry.OptBlockBytes) {
 		opts = append(opts, registry.WithBlockBytes(c.BlockBytes))
+	}
+
+	// The durable wrapper is lineup-able like everything else (putting a
+	// WAL under a figure measures the logging overhead directly); each
+	// build gets a fresh temp log. The files live until the OS cleans
+	// its temp dir — figure runs are short-lived processes.
+	if registry.Accepts(kind, registry.OptWALPath) {
+		f, err := os.CreateTemp("", "streambench-*.wal")
+		if err != nil {
+			return dict{}, err
+		}
+		f.Close()
+		opts = append(opts, registry.WithWALPath(f.Name()))
 	}
 
 	b := dict{name: name}

@@ -1,0 +1,25 @@
+package la
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// snapshotMagic identifies the cache-aware lookahead array's logical
+// snapshot payload (see internal/core/snapshot.go): live elements in
+// ascending key order, re-inserted on restore. Level occupancy and the
+// B^epsilon growth ladder are rebuilt by the inserts.
+const snapshotMagic = "LARR"
+
+var _ core.Snapshotter = (*Array)(nil)
+
+// WriteTo implements io.WriterTo (logical codec).
+func (a *Array) WriteTo(w io.Writer) (int64, error) {
+	return core.WriteLogicalSnapshot(w, snapshotMagic, a)
+}
+
+// ReadFrom implements io.ReaderFrom; a must be empty.
+func (a *Array) ReadFrom(r io.Reader) (int64, error) {
+	return core.ReadLogicalSnapshot(r, snapshotMagic, a)
+}

@@ -6,7 +6,11 @@ package registry
 // generated from the same lists).
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"io/fs"
+	"os"
 	"strings"
 
 	"repro/internal/brt"
@@ -14,17 +18,21 @@ import (
 	"repro/internal/cola"
 	"repro/internal/core"
 	"repro/internal/dam"
+	"repro/internal/durable"
 	"repro/internal/la"
 	"repro/internal/shard"
 	"repro/internal/shuttle"
+	"repro/internal/snap"
 	"repro/internal/swbst"
 	"repro/internal/syncdict"
+	"repro/internal/wal"
 )
 
 func init() {
 	mustRegister("cola", KindInfo{
 		Doc:     "cache-oblivious lookahead array (g = 2, paper's pointer density): the headline write-optimized structure",
 		Options: []string{OptSpace},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			return cola.NewCOLA(c.Space()), nil
 		},
@@ -32,6 +40,7 @@ func init() {
 	mustRegister("basic-cola", KindInfo{
 		Doc:     "pointerless basic COLA: O(log^2 N) searches, the paper's simplest variant",
 		Options: []string{OptSpace},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			return cola.NewBasic(c.Space()), nil
 		},
@@ -39,6 +48,7 @@ func init() {
 	mustRegister("gcola", KindInfo{
 		Doc:     "growth-factor-g lookahead array with tunable pointer density (the paper's g-COLA)",
 		Options: []string{OptSpace, OptGrowth, OptPointerDensity},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			return cola.New(cola.Options{
 				Growth:         c.GrowthFactor(2),
@@ -50,6 +60,7 @@ func init() {
 	mustRegister("deamortized", KindInfo{
 		Doc:     "deamortized basic COLA (Theorem 22): O(log N) worst-case moves per insert",
 		Options: []string{OptSpace},
+		Caps:    Caps{Snapshot: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			return cola.NewDeamortized(c.Space()), nil
 		},
@@ -57,6 +68,7 @@ func init() {
 	mustRegister("deamortized-la", KindInfo{
 		Doc:     "fully deamortized COLA with lookahead pointers (Theorem 24)",
 		Options: []string{OptSpace},
+		Caps:    Caps{Snapshot: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			return cola.NewDeamortizedLookahead(c.Space()), nil
 		},
@@ -64,6 +76,7 @@ func init() {
 	mustRegister("la", KindInfo{
 		Doc:     "cache-aware lookahead array with growth B^epsilon: the Be-tree insert/search tradeoff curve",
 		Options: []string{OptSpace, OptEpsilon, OptBlockBytes},
+		Caps:    Caps{Snapshot: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			blockElems := int(c.BlockBytes(dam.DefaultBlockBytes) / core.ElementBytes)
 			if blockElems < 2 {
@@ -79,6 +92,7 @@ func init() {
 	mustRegister("shuttle", KindInfo{
 		Doc:     "shuttle tree (Section 2): SWBST skeleton with geometric buffers in a van Emde Boas layout",
 		Options: []string{OptSpace, OptFanout, OptRelayoutEvery},
+		Caps:    Caps{Snapshot: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			fanout := c.Fanout(8)
 			if fanout < 4 {
@@ -94,6 +108,7 @@ func init() {
 	mustRegister("cobtree", KindInfo{
 		Doc:     "cache-oblivious B-tree baseline: the shuttle machinery with buffering disabled",
 		Options: []string{OptSpace, OptFanout},
+		Caps:    Caps{Snapshot: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			fanout := c.Fanout(8)
 			if fanout < 4 {
@@ -105,6 +120,7 @@ func init() {
 	mustRegister("btree", KindInfo{
 		Doc:     "B+-tree baseline of the paper's Section 4 experiments (one block per node)",
 		Options: []string{OptSpace, OptBlockBytes, OptLeafCapacity, OptFanout},
+		Caps:    Caps{Snapshot: true, Delete: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			opt := btree.Options{
 				BlockBytes:   c.BlockBytes(0),
@@ -121,6 +137,7 @@ func init() {
 	mustRegister("brt", KindInfo{
 		Doc:     "buffered repository tree: the cache-aware write-optimized comparator",
 		Options: []string{OptSpace, OptBlockBytes},
+		Caps:    Caps{Snapshot: true, Delete: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			blockBytes := c.BlockBytes(dam.DefaultBlockBytes)
 			if blockBytes/core.ElementBytes < 4 {
@@ -132,6 +149,7 @@ func init() {
 	mustRegister("swbst", KindInfo{
 		Doc:     "strongly weight-balanced search tree: the shuttle tree's skeleton, usable standalone (no DAM accounting)",
 		Options: []string{OptFanout},
+		Caps:    Caps{Snapshot: true, Delete: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			fanout := c.Fanout(8)
 			if fanout < 4 {
@@ -143,12 +161,20 @@ func init() {
 	mustRegister("sharded", KindInfo{
 		Doc:     "hash-partitioned concurrent map: per-shard locks around any inner kind (WithInner) or factory",
 		Options: []string{OptShards, OptBatchSize, OptShardDAM, OptInner, OptFactory},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true},
 		New:     buildSharded,
 	})
 	mustRegister("synchronized", KindInfo{
 		Doc:     "coarse-grained RWMutex wrapper around any inner kind, forwarding its capabilities",
 		Options: []string{OptSpace, OptInner},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true},
 		New:     buildSynchronized,
+	})
+	mustRegister("durable", KindInfo{
+		Doc:     "WAL-backed durability wrapper: logs every mutation before applying it to a snapshot-capable inner kind, checkpoints to a snapshot, recovers on reopen",
+		Options: []string{OptInner, OptWALPath, OptCheckpointEvery},
+		Caps:    Caps{WAL: true, Delete: true, Batch: true},
+		New:     buildDurable,
 	})
 }
 
@@ -219,6 +245,124 @@ func buildSharded(c *Config) (core.Dictionary, error) {
 		return d
 	}))
 	return shard.New(sopts...), nil
+}
+
+// walReplayHandler folds recovered log records into the freshly built
+// (or checkpoint-restored) inner dictionary.
+type walReplayHandler struct {
+	d core.Dictionary
+	// badDeletes records that the log holds delete records the inner
+	// structure cannot apply — a configuration mismatch the builder
+	// turns into an error rather than silently recovering partial state.
+	badDeletes bool
+}
+
+func (h *walReplayHandler) ApplyInsert(elems []core.Element) { core.InsertBatch(h.d, elems) }
+
+func (h *walReplayHandler) ApplyDelete(keys []uint64) {
+	del, ok := h.d.(core.Deleter)
+	if !ok {
+		h.badDeletes = true
+		return
+	}
+	for _, k := range keys {
+		del.Delete(k)
+	}
+}
+
+// buildDurable opens (or creates) a durable dictionary at the WAL path:
+// restore the checkpoint if one exists — its self-describing header
+// says what to build, overriding a missing WithInner — then replay the
+// log tail, then hand the recovered structure to the durable wrapper.
+// This is the capability-aware corner of Build: the inner kind must be
+// snapshot-capable, or checkpoints (and checkpoint-based reopens) would
+// be impossible.
+func buildDurable(c *Config) (core.Dictionary, error) {
+	path, ok := c.WALPath()
+	if !ok {
+		return nil, fmt.Errorf("durable requires WithWALPath")
+	}
+	innerKind, innerOpts, hasInner := c.Inner()
+	if !hasInner {
+		innerKind = "cola"
+	}
+	icfg, err := innerConfig(innerOpts)
+	if err != nil {
+		return nil, err
+	}
+	ie, known := lookup(innerKind)
+	if !known {
+		return nil, fmt.Errorf("unknown inner kind %q (registered kinds: %s)", innerKind, strings.Join(Kinds(), ", "))
+	}
+	if !ie.info.Caps.Snapshot {
+		return nil, fmt.Errorf("inner kind %q cannot snapshot itself (capabilities: %s); durable needs a snapshot-capable inner for checkpoints", innerKind, ie.info.Caps)
+	}
+	if icfg.IsSet(OptSpace) {
+		return nil, fmt.Errorf("inner kind %q: a DAM space cannot be persisted across reopens; durable inners run without one", innerKind)
+	}
+
+	ckptPath := path + ".ckpt"
+	var inner core.Dictionary
+	var spec *snap.Spec
+	if f, oerr := os.Open(ckptPath); oerr == nil {
+		inner, spec, err = loadContainer(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint %s: %w", ckptPath, err)
+		}
+		// The checkpoint's recorded spec is authoritative on reopen; a
+		// conflicting WithInner is a configuration error, not a rebuild.
+		if hasInner && spec.Kind != innerKind {
+			return nil, fmt.Errorf("checkpoint %s holds a %q but WithInner requested %q; remove the checkpoint to rebuild", ckptPath, spec.Kind, innerKind)
+		}
+	} else if !errors.Is(oerr, fs.ErrNotExist) {
+		return nil, fmt.Errorf("checkpoint %s: %w", ckptPath, oerr)
+	} else {
+		if inner, err = Build(innerKind, innerOpts...); err != nil {
+			return nil, err
+		}
+		if spec, err = specFromConfig(innerKind, icfg); err != nil {
+			return nil, err
+		}
+	}
+	sn, ok := inner.(core.Snapshotter)
+	if !ok {
+		// Reachable only through a factory-built or externally
+		// registered inner that advertises Snapshot without implementing
+		// it.
+		return nil, fmt.Errorf("inner kind %q built %T, which does not implement Snapshotter", innerKind, inner)
+	}
+	writeSnapshot := func(out io.Writer) error {
+		_, err := snap.Encode(out, spec, sn)
+		return err
+	}
+	if _, serr := os.Stat(ckptPath); errors.Is(serr, fs.ErrNotExist) {
+		// Seed the checkpoint before any record exists (the inner is
+		// still in its pre-replay state, so log replay over it stays
+		// correct): the recorded spec is then always on disk, and a
+		// later Open without WithInner rebuilds the right structure even
+		// if no periodic checkpoint ever ran.
+		if err := durable.WriteCheckpointFile(ckptPath, writeSnapshot); err != nil {
+			return nil, err
+		}
+	}
+
+	h := &walReplayHandler{d: inner}
+	w, _, err := wal.Open(path, h)
+	if err != nil {
+		return nil, err
+	}
+	if h.badDeletes {
+		w.Close()
+		return nil, fmt.Errorf("write-ahead log %s contains delete records but inner kind %q does not support deletion", path, innerKind)
+	}
+	return durable.New(durable.Options{
+		Inner:           inner,
+		Log:             w,
+		CheckpointPath:  ckptPath,
+		CheckpointEvery: c.CheckpointEvery(0),
+		WriteSnapshot:   writeSnapshot,
+	}), nil
 }
 
 func buildSynchronized(c *Config) (core.Dictionary, error) {

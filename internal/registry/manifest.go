@@ -1,0 +1,254 @@
+package registry
+
+// The bridge between the registry's option sheet and the snap
+// container's self-describing header: Save records the kind and the
+// serializable options alongside the structure's payload, Load reads
+// them back and rebuilds the right structure without the caller knowing
+// what was saved.
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"reflect"
+	"runtime"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/snap"
+)
+
+// specOptOrder fixes the header's option order so identical
+// configurations serialize identically (the set map is unordered).
+var specOptOrder = []string{
+	OptGrowth, OptPointerDensity, OptFanout, OptEpsilon, OptBlockBytes,
+	OptLeafCapacity, OptRelayoutEvery, OptShards, OptBatchSize,
+	OptShardDAM, OptWALPath, OptCheckpointEvery, OptInner,
+}
+
+// specFromConfig converts a validated Config into the container header
+// spec. OptSpace is runtime wiring (a live DAM space cannot be
+// persisted) and is silently omitted — pass WithSpace again at Load.
+// OptFactory is an error: a closure-built structure cannot be described
+// by name.
+func specFromConfig(kind string, c *Config) (*snap.Spec, error) {
+	spec := &snap.Spec{Kind: kind}
+	for _, name := range specOptOrder {
+		if !c.set[name] {
+			continue
+		}
+		switch name {
+		case OptGrowth:
+			spec.Opts = append(spec.Opts, snap.Int(name, int64(c.growth)))
+		case OptPointerDensity:
+			spec.Opts = append(spec.Opts, snap.Float(name, c.pointerDensity))
+		case OptFanout:
+			spec.Opts = append(spec.Opts, snap.Int(name, int64(c.fanout)))
+		case OptEpsilon:
+			spec.Opts = append(spec.Opts, snap.Float(name, c.epsilon))
+		case OptBlockBytes:
+			spec.Opts = append(spec.Opts, snap.Int(name, c.blockBytes))
+		case OptLeafCapacity:
+			spec.Opts = append(spec.Opts, snap.Int(name, int64(c.leafCapacity)))
+		case OptRelayoutEvery:
+			spec.Opts = append(spec.Opts, snap.Int(name, int64(c.relayoutEvery)))
+		case OptShards:
+			spec.Opts = append(spec.Opts, snap.Int(name, int64(c.shards)))
+		case OptBatchSize:
+			spec.Opts = append(spec.Opts, snap.Int(name, int64(c.batchSize)))
+		case OptShardDAM:
+			spec.Opts = append(spec.Opts, snap.IntPair(name, c.shardBlock, c.shardCache))
+		case OptWALPath:
+			spec.Opts = append(spec.Opts, snap.String(name, c.walPath))
+		case OptCheckpointEvery:
+			spec.Opts = append(spec.Opts, snap.Int(name, int64(c.ckptEvery)))
+		case OptInner:
+			icfg, err := innerConfig(c.innerOpts)
+			if err != nil {
+				return nil, err
+			}
+			isp, err := specFromConfig(c.innerKind, icfg)
+			if err != nil {
+				return nil, err
+			}
+			spec.Opts = append(spec.Opts, snap.Nested(name, isp))
+		}
+	}
+	if c.set[OptFactory] {
+		return nil, fmt.Errorf("a WithDictionary factory cannot be recorded in a snapshot; use WithInner with a registered kind")
+	}
+	// The shard count is part of the composed codec's format (hash
+	// routing depends on it), so a sharded spec built with the
+	// GOMAXPROCS-derived default must still pin it explicitly — a
+	// restore on a machine with different parallelism would otherwise
+	// build an incompatible map. Save overrides this with the live
+	// map's exact count; here (including nested WithInner specs and
+	// durable checkpoint specs) the build-time default is recorded,
+	// which is what the same-process builder produced.
+	if Accepts(kind, OptShards) && !c.set[OptShards] {
+		spec.Opts = append(spec.Opts, snap.Int(OptShards, int64(defaultShards())))
+	}
+	return spec, nil
+}
+
+// defaultShards mirrors the shard package's default partition count
+// (next power of two >= GOMAXPROCS).
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// optionsFromSpec converts a decoded header spec back into buildable
+// options. An option name this build does not know is treated like an
+// unreadable format version: the snapshot was written by a newer
+// lineup.
+func optionsFromSpec(spec *snap.Spec) ([]Option, error) {
+	opts := make([]Option, 0, len(spec.Opts))
+	for _, o := range spec.Opts {
+		switch o.Name {
+		case OptGrowth:
+			opts = append(opts, WithGrowthFactor(int(o.Int)))
+		case OptPointerDensity:
+			opts = append(opts, WithPointerDensity(o.Float))
+		case OptFanout:
+			opts = append(opts, WithFanout(int(o.Int)))
+		case OptEpsilon:
+			opts = append(opts, WithEpsilon(o.Float))
+		case OptBlockBytes:
+			opts = append(opts, WithBlockBytes(o.Int))
+		case OptLeafCapacity:
+			opts = append(opts, WithLeafCapacity(int(o.Int)))
+		case OptRelayoutEvery:
+			opts = append(opts, WithRelayoutEvery(int(o.Int)))
+		case OptShards:
+			opts = append(opts, WithShards(int(o.Int)))
+		case OptBatchSize:
+			opts = append(opts, WithBatchSize(int(o.Int)))
+		case OptShardDAM:
+			opts = append(opts, WithShardDAM(o.Int, o.Int2))
+		case OptWALPath:
+			opts = append(opts, WithWALPath(o.Str))
+		case OptCheckpointEvery:
+			opts = append(opts, WithCheckpointEvery(int(o.Int)))
+		case OptInner:
+			if o.Spec == nil {
+				return nil, fmt.Errorf("snapshot header option %q carries no inner spec: %w", o.Name, core.ErrCorrupt)
+			}
+			innerOpts, err := optionsFromSpec(o.Spec)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, WithInner(o.Spec.Kind, innerOpts...))
+		default:
+			return nil, fmt.Errorf("snapshot header names option %q unknown to this build: %w",
+				o.Name, core.ErrBadVersion)
+		}
+	}
+	return opts, nil
+}
+
+// Save writes d — which must have been built as the named kind with the
+// given options — as one self-describing snapshot container. The kind
+// must be snapshot-capable (Caps.Snapshot), the options must validate
+// exactly as they would for Build, and d's concrete type must match
+// what the kind builds, so a mislabeled save fails here rather than at
+// some future Load.
+//
+// Two options need care: WithSpace is not recorded (re-attach a space
+// via Load's extra options), and for a sharded map saved without an
+// explicit WithShards the live partition count is recorded
+// automatically, since the shard count is part of the hash routing and
+// the build-time default follows GOMAXPROCS.
+func Save(w io.Writer, kind string, d core.Dictionary, opts ...Option) error {
+	e, ok := lookup(kind)
+	if !ok {
+		return fmt.Errorf("repro: unknown dictionary kind %q (registered kinds: %s)",
+			kind, strings.Join(Kinds(), ", "))
+	}
+	if !e.info.Caps.Snapshot {
+		return fmt.Errorf("repro: kind %q does not support snapshots (capabilities: %s)", kind, e.info.Caps)
+	}
+	sn, ok := d.(core.Snapshotter)
+	if !ok {
+		return fmt.Errorf("repro: %T does not implement Snapshotter", d)
+	}
+	cfg, err := configFor(e, kind, opts)
+	if err != nil {
+		return err
+	}
+	if e.accepts[OptShards] && !cfg.IsSet(OptShards) {
+		if ns, ok := d.(interface{ NumShards() int }); ok {
+			if err := WithShards(ns.NumShards())(cfg); err != nil {
+				return buildErr(kind, err)
+			}
+		}
+	}
+	probe, err := e.info.New(cfg)
+	if err != nil {
+		return buildErr(kind, err)
+	}
+	if pt, dt := reflect.TypeOf(probe), reflect.TypeOf(d); pt != dt {
+		return fmt.Errorf("repro: kind %q builds %v but the dictionary being saved is %v; pass the kind it was built as", kind, pt, dt)
+	}
+	spec, err := specFromConfig(kind, cfg)
+	if err != nil {
+		return buildErr(kind, err)
+	}
+	if _, err := snap.Encode(w, spec, sn); err != nil {
+		return fmt.Errorf("repro: saving %q: %w", kind, err)
+	}
+	return nil
+}
+
+// Load reads one snapshot container, rebuilds the recorded kind with
+// the recorded options plus any extra ones (applied after, e.g.
+// WithSpace to re-attach cost accounting), and restores the payload
+// into it. Both checksums are verified before any structure decoder
+// runs.
+func Load(r io.Reader, extra ...Option) (core.Dictionary, error) {
+	d, _, err := loadContainer(r, extra...)
+	return d, err
+}
+
+// loadContainer is Load, additionally returning the decoded spec (the
+// durable builder re-uses it to write future checkpoints under the
+// same header).
+func loadContainer(r io.Reader, extra ...Option) (core.Dictionary, *snap.Spec, error) {
+	spec, payload, err := snap.Decode(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("repro: loading snapshot: %w", err)
+	}
+	// Gate on the recorded kind's snapshot capability BEFORE building
+	// it: a builder may have side effects (the durable kind opens and
+	// repairs files at its WAL path), and a hostile header must not be
+	// able to trigger them. Only Caps.Snapshot kinds — whose builders
+	// are pure construction — run from untrusted input.
+	e, known := lookup(spec.Kind)
+	if !known {
+		return nil, nil, fmt.Errorf("repro: snapshot names unregistered kind %q (registered kinds: %s)",
+			spec.Kind, strings.Join(Kinds(), ", "))
+	}
+	if !e.info.Caps.Snapshot {
+		return nil, nil, fmt.Errorf("repro: snapshot names kind %q, which cannot restore itself (capabilities: %s)",
+			spec.Kind, e.info.Caps)
+	}
+	recorded, err := optionsFromSpec(spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("repro: loading snapshot: %w", err)
+	}
+	d, err := Build(spec.Kind, append(recorded, extra...)...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("repro: loading snapshot of %q: %w", spec.Kind, err)
+	}
+	sn, ok := d.(core.Snapshotter)
+	if !ok {
+		return nil, nil, fmt.Errorf("repro: snapshot names kind %q, which cannot restore itself", spec.Kind)
+	}
+	if _, err := sn.ReadFrom(payload); err != nil {
+		return nil, nil, fmt.Errorf("repro: restoring %q payload: %w", spec.Kind, err)
+	}
+	return d, spec, nil
+}

@@ -1,0 +1,187 @@
+package registry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cola"
+	"repro/internal/core"
+	"repro/internal/dam"
+	"repro/internal/snap"
+)
+
+// applyT folds options for tests, failing the test on error.
+func applyT(t *testing.T, opts ...Option) *Config {
+	t.Helper()
+	cfg, err := apply(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestSpecRoundTrip: Config -> Spec -> options -> Config must preserve
+// every serializable option, including a nested inner spec.
+func TestSpecRoundTrip(t *testing.T) {
+	cfg := applyT(t,
+		WithShards(8),
+		WithBatchSize(512),
+		WithShardDAM(4096, 1<<20),
+		WithInner("gcola", WithGrowthFactor(4), WithPointerDensity(0.25)),
+	)
+	spec, err := specFromConfig("sharded", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != "sharded" || len(spec.Opts) != 4 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	opts, err := optionsFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := applyT(t, opts...)
+	if back.Shards(0) != 8 || back.BatchSize(0) != 512 {
+		t.Fatalf("shards/batch lost: %d/%d", back.Shards(0), back.BatchSize(0))
+	}
+	if b, c, ok := back.ShardDAM(); !ok || b != 4096 || c != 1<<20 {
+		t.Fatalf("shard DAM lost: %d/%d/%v", b, c, ok)
+	}
+	ik, iopts, ok := back.Inner()
+	if !ok || ik != "gcola" {
+		t.Fatalf("inner lost: %q/%v", ik, ok)
+	}
+	icfg := applyT(t, iopts...)
+	if icfg.GrowthFactor(0) != 4 || icfg.PointerDensity(0) != 0.25 {
+		t.Fatalf("inner opts lost: g=%d p=%g", icfg.GrowthFactor(0), icfg.PointerDensity(0))
+	}
+}
+
+func TestSpecSkipsSpaceRejectsFactory(t *testing.T) {
+	cfg := applyT(t, WithSpace(nil), WithGrowthFactor(3))
+	spec, err := specFromConfig("gcola", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range spec.Opts {
+		if o.Name == OptSpace {
+			t.Fatal("spec recorded WithSpace")
+		}
+	}
+	fcfg := applyT(t, WithFactory(func(int, *dam.Space) core.Dictionary { return cola.NewCOLA(nil) }))
+	if _, err := specFromConfig("sharded", fcfg); err == nil {
+		t.Fatal("spec accepted a factory")
+	}
+}
+
+func TestOptionsFromSpecRejectsUnknownName(t *testing.T) {
+	spec := &snap.Spec{Kind: "cola", Opts: []snap.Opt{snap.Int("WithFromTheFuture", 1)}}
+	if _, err := optionsFromSpec(spec); err == nil || !strings.Contains(err.Error(), "WithFromTheFuture") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestWALPathAndCheckpointOptions pins the new options' validation.
+func TestWALPathAndCheckpointOptions(t *testing.T) {
+	if err := WithWALPath("")(newConfig()); err == nil {
+		t.Fatal("empty WAL path accepted")
+	}
+	if err := WithCheckpointEvery(-1)(newConfig()); err == nil {
+		t.Fatal("negative checkpoint period accepted")
+	}
+	cfg := applyT(t, WithWALPath("a.wal"), WithCheckpointEvery(0))
+	if p, ok := cfg.WALPath(); !ok || p != "a.wal" {
+		t.Fatalf("WALPath = %q/%v", p, ok)
+	}
+	if cfg.CheckpointEvery(99) != 0 {
+		t.Fatal("explicit zero period not honoured")
+	}
+}
+
+// TestKindCaps pins the capability matrix the listing tools print and
+// the capability-aware paths consult, and checks the snapshot flag is
+// honest: every kind claiming it must build a core.Snapshotter.
+func TestKindCaps(t *testing.T) {
+	want := map[string]Caps{
+		"cola":         {Snapshot: true, Delete: true, Batch: true},
+		"gcola":        {Snapshot: true, Delete: true, Batch: true},
+		"deamortized":  {Snapshot: true},
+		"shuttle":      {Snapshot: true},
+		"btree":        {Snapshot: true, Delete: true},
+		"brt":          {Snapshot: true, Delete: true},
+		"swbst":        {Snapshot: true, Delete: true},
+		"sharded":      {Snapshot: true, Delete: true, Batch: true},
+		"synchronized": {Snapshot: true, Delete: true, Batch: true},
+		"durable":      {WAL: true, Delete: true, Batch: true},
+	}
+	for kind, caps := range want {
+		info, ok := Info(kind)
+		if !ok {
+			t.Fatalf("kind %q not registered", kind)
+		}
+		if info.Caps != caps {
+			t.Fatalf("%s caps = %+v, want %+v", kind, info.Caps, caps)
+		}
+	}
+	for _, kind := range Kinds() {
+		info, _ := Info(kind)
+		if !info.Caps.Snapshot || kind == "durable" {
+			continue
+		}
+		opts := []Option(nil)
+		d, err := Build(kind, opts...)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", kind, err)
+		}
+		if _, ok := d.(core.Snapshotter); !ok {
+			t.Fatalf("kind %q claims Snapshot but builds %T (no Snapshotter)", kind, d)
+		}
+	}
+}
+
+func TestCapsString(t *testing.T) {
+	if s := (Caps{}).String(); s != "none" {
+		t.Fatalf("empty caps = %q", s)
+	}
+	if s := (Caps{Snapshot: true, WAL: true, Delete: true, Batch: true}).String(); s != "snapshot, wal, delete, batch" {
+		t.Fatalf("full caps = %q", s)
+	}
+}
+
+// TestSaveAutoRecordsShardCount: saving a sharded map without
+// WithShards must record the live partition count, so the loaded map
+// routes keys identically on any machine.
+func TestSaveAutoRecordsShardCount(t *testing.T) {
+	d, err := Build("sharded") // default shard count follows GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		d.Insert(i*2654435761, i)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, "sharded", d); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	spec, _, err := snap.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range spec.Opts {
+		if o.Name == OptShards {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("shard count not recorded in the header")
+	}
+	d2, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if d2.Len() != 500 {
+		t.Fatalf("restored Len = %d", d2.Len())
+	}
+}

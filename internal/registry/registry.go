@@ -26,19 +26,21 @@ import (
 // They match the facade's constructor names so an error message names
 // the function the caller actually wrote.
 const (
-	OptSpace          = "WithSpace"
-	OptGrowth         = "WithGrowthFactor"
-	OptPointerDensity = "WithPointerDensity"
-	OptFanout         = "WithFanout"
-	OptEpsilon        = "WithEpsilon"
-	OptBlockBytes     = "WithBlockBytes"
-	OptLeafCapacity   = "WithLeafCapacity"
-	OptRelayoutEvery  = "WithRelayoutEvery"
-	OptShards         = "WithShards"
-	OptBatchSize      = "WithBatchSize"
-	OptShardDAM       = "WithShardDAM"
-	OptInner          = "WithInner"
-	OptFactory        = "WithDictionary"
+	OptSpace           = "WithSpace"
+	OptGrowth          = "WithGrowthFactor"
+	OptPointerDensity  = "WithPointerDensity"
+	OptFanout          = "WithFanout"
+	OptEpsilon         = "WithEpsilon"
+	OptBlockBytes      = "WithBlockBytes"
+	OptLeafCapacity    = "WithLeafCapacity"
+	OptRelayoutEvery   = "WithRelayoutEvery"
+	OptShards          = "WithShards"
+	OptBatchSize       = "WithBatchSize"
+	OptShardDAM        = "WithShardDAM"
+	OptInner           = "WithInner"
+	OptFactory         = "WithDictionary"
+	OptWALPath         = "WithWALPath"
+	OptCheckpointEvery = "WithCheckpointEvery"
 )
 
 // Config is the unified option sheet every kind builds from. Options
@@ -63,6 +65,8 @@ type Config struct {
 	innerKind      string
 	innerOpts      []Option
 	factory        shard.Factory
+	walPath        string
+	ckptEvery      int
 }
 
 func newConfig() *Config { return &Config{set: make(map[string]bool)} }
@@ -161,6 +165,18 @@ func (c *Config) Inner() (kind string, opts []Option, ok bool) {
 
 // Factory returns the explicit per-shard factory; nil when unset.
 func (c *Config) Factory() shard.Factory { return c.factory }
+
+// WALPath returns the write-ahead log path; ok is false when unset.
+func (c *Config) WALPath() (string, bool) { return c.walPath, c.set[OptWALPath] }
+
+// CheckpointEvery returns the automatic checkpoint period in log
+// records, or def when unset.
+func (c *Config) CheckpointEvery(def int) int {
+	if c.set[OptCheckpointEvery] {
+		return c.ckptEvery
+	}
+	return def
+}
 
 // Option is one entry of the unified functional-option set shared by
 // every registered kind. Applying an option can fail (a value out of
@@ -317,6 +333,34 @@ func WithInner(kind string, opts ...Option) Option {
 	}
 }
 
+// WithWALPath sets the write-ahead log path of a "durable" dictionary;
+// the checkpoint snapshot lives next to it at path + ".ckpt". Reopening
+// the same path recovers the logged state.
+func WithWALPath(path string) Option {
+	return func(c *Config) error {
+		if path == "" {
+			return fmt.Errorf("WithWALPath(%q): path must be non-empty", path)
+		}
+		c.walPath = path
+		c.mark(OptWALPath)
+		return nil
+	}
+}
+
+// WithCheckpointEvery makes a "durable" dictionary checkpoint
+// automatically after every n appended log records (batches, not
+// elements); n = 0 disables automatic checkpoints.
+func WithCheckpointEvery(n int) Option {
+	return func(c *Config) error {
+		if n < 0 {
+			return fmt.Errorf("WithCheckpointEvery(%d): period must be non-negative", n)
+		}
+		c.ckptEvery = n
+		c.mark(OptCheckpointEvery)
+		return nil
+	}
+}
+
 // WithFactory sets an explicit per-shard dictionary constructor on a
 // sharded map, for structures not in the registry. Mutually exclusive
 // with WithInner.
@@ -331,6 +375,46 @@ func WithFactory(f shard.Factory) Option {
 	}
 }
 
+// Caps are a kind's capability flags, the feature matrix listing tools
+// print and the capability-aware build/save paths consult. For wrapper
+// kinds ("sharded", "synchronized", "durable") a flag means the
+// capability is forwarded when the inner kind has it.
+type Caps struct {
+	// Snapshot: implements core.Snapshotter, so Save/Load round-trip it
+	// through the snap container.
+	Snapshot bool
+	// WAL: mutations are write-ahead logged and recoverable after a
+	// crash.
+	WAL bool
+	// Delete: implements core.Deleter.
+	Delete bool
+	// Batch: implements core.BatchInserter with a native fast path
+	// (core.InsertBatch falls back to an insert loop for everyone else).
+	Batch bool
+}
+
+// String renders the set flags as "snapshot, wal, delete, batch" (or
+// "none").
+func (c Caps) String() string {
+	var parts []string
+	if c.Snapshot {
+		parts = append(parts, "snapshot")
+	}
+	if c.WAL {
+		parts = append(parts, "wal")
+	}
+	if c.Delete {
+		parts = append(parts, "delete")
+	}
+	if c.Batch {
+		parts = append(parts, "batch")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
+}
+
 // KindInfo describes one registered dictionary kind.
 type KindInfo struct {
 	// Doc is a one-line description shown by listing tools.
@@ -338,6 +422,8 @@ type KindInfo struct {
 	// Options names the options the kind accepts (the Opt* constants);
 	// Build rejects everything else with a descriptive error.
 	Options []string
+	// Caps are the kind's capability flags; see Caps.
+	Caps Caps
 	// New builds the dictionary from a validated Config. Options not in
 	// the accepted set are guaranteed unset; accepted options may still
 	// carry kind-invalid values New must reject with an error.
@@ -434,6 +520,23 @@ func Build(kind string, opts ...Option) (core.Dictionary, error) {
 		return nil, fmt.Errorf("repro: unknown dictionary kind %q (registered kinds: %s)",
 			kind, strings.Join(Kinds(), ", "))
 	}
+	cfg, err := configFor(e, kind, opts)
+	if err != nil {
+		return nil, err
+	}
+	d, err := e.info.New(cfg)
+	if err != nil {
+		return nil, buildErr(kind, err)
+	}
+	if d == nil {
+		return nil, fmt.Errorf("repro: building %q: builder returned a nil dictionary", kind)
+	}
+	return d, nil
+}
+
+// configFor folds opts into a Config validated against one kind's
+// accepted-option set — the shared front half of Build and Save.
+func configFor(e *entry, kind string, opts []Option) (*Config, error) {
 	cfg, err := apply(opts)
 	if err != nil {
 		return nil, buildErr(kind, err)
@@ -455,14 +558,7 @@ func Build(kind string, opts ...Option) (core.Dictionary, error) {
 		return nil, fmt.Errorf("repro: kind %q does not accept %s (accepted options: %s)",
 			kind, strings.Join(rejected, ", "), what)
 	}
-	d, err := e.info.New(cfg)
-	if err != nil {
-		return nil, buildErr(kind, err)
-	}
-	if d == nil {
-		return nil, fmt.Errorf("repro: building %q: builder returned a nil dictionary", kind)
-	}
-	return d, nil
+	return cfg, nil
 }
 
 // buildErr adds the package prefix and kind context to a build

@@ -1,0 +1,27 @@
+package shuttle
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// snapshotMagic identifies the shuttle tree's logical snapshot payload
+// (see internal/core/snapshot.go): live elements — including ones still
+// sitting in shuttle buffers — in ascending key order, re-inserted on
+// restore. The SWBST skeleton, van Emde Boas layout, and buffer
+// occupancy are rebuilt by the inserts rather than persisted; the same
+// codec serves the CO-B-tree configuration (buffering disabled).
+const snapshotMagic = "SHUT"
+
+var _ core.Snapshotter = (*Tree)(nil)
+
+// WriteTo implements io.WriterTo (logical codec).
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	return core.WriteLogicalSnapshot(w, snapshotMagic, t)
+}
+
+// ReadFrom implements io.ReaderFrom; t must be empty.
+func (t *Tree) ReadFrom(r io.Reader) (int64, error) {
+	return core.ReadLogicalSnapshot(r, snapshotMagic, t)
+}

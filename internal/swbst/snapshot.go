@@ -1,0 +1,26 @@
+package swbst
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// snapshotMagic identifies the strongly weight-balanced search tree's
+// logical snapshot payload (see internal/core/snapshot.go): live
+// elements in ascending key order, re-inserted on restore. Ascending
+// re-insertion rebalances as it goes, so the restored tree satisfies
+// the same balance invariants with a possibly different shape.
+const snapshotMagic = "SWBT"
+
+var _ core.Snapshotter = (*Tree)(nil)
+
+// WriteTo implements io.WriterTo (logical codec).
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	return core.WriteLogicalSnapshot(w, snapshotMagic, t)
+}
+
+// ReadFrom implements io.ReaderFrom; t must be empty.
+func (t *Tree) ReadFrom(r io.Reader) (int64, error) {
+	return core.ReadLogicalSnapshot(r, snapshotMagic, t)
+}

@@ -6,6 +6,8 @@
 package syncdict
 
 import (
+	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/core"
@@ -47,6 +49,7 @@ var (
 	_ core.Statser         = (*Dict)(nil)
 	_ core.TransferCounter = (*Dict)(nil)
 	_ core.BatchInserter   = (*Dict)(nil)
+	_ core.Snapshotter     = (*Dict)(nil)
 )
 
 // Insert implements core.Dictionary.
@@ -124,6 +127,31 @@ func (s *Dict) Transfers() uint64 {
 		return tc.Transfers()
 	}
 	return 0
+}
+
+// WriteTo forwards to the wrapped structure's Snapshotter under the
+// lock; the payload is the inner structure's own (the wrapper adds no
+// framing, so a snapshot of a synchronized dictionary and of its inner
+// structure are interchangeable). It errors when the inner structure
+// cannot snapshot itself.
+func (s *Dict) WriteTo(w io.Writer) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sn, ok := s.d.(core.Snapshotter); ok {
+		return sn.WriteTo(w)
+	}
+	return 0, fmt.Errorf("syncdict: wrapped %T is not a Snapshotter", s.d)
+}
+
+// ReadFrom forwards to the wrapped structure's Snapshotter under the
+// lock; the wrapped structure must be empty.
+func (s *Dict) ReadFrom(r io.Reader) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sn, ok := s.d.(core.Snapshotter); ok {
+		return sn.ReadFrom(r)
+	}
+	return 0, fmt.Errorf("syncdict: wrapped %T is not a Snapshotter", s.d)
 }
 
 // Supports reports which capabilities the wrapper genuinely forwards to

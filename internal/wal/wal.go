@@ -1,0 +1,265 @@
+// Package wal implements the append-only write-ahead log behind the
+// registry's "durable" wrapper kind. The log is a flat file of
+// self-checking records, little-endian:
+//
+//	record:  body length u32 | body CRC32 u32 | body
+//	body:    op u8 (1 = insert batch, 2 = delete batch) | count u32 |
+//	         count × element (key u64 | value u64)   for inserts
+//	         count × key u64                         for deletes
+//
+// Appends are acknowledged when the record has reached the operating
+// system in a single write call: a crashed (or SIGKILLed) process loses
+// nothing it acknowledged, a lost power event loses what the OS had not
+// flushed — call Sync for the stronger guarantee.
+//
+// Open replays every intact record in append order and truncates the
+// tail at the first damaged one (length or checksum mismatch, short
+// read): a record torn by a crash mid-append disappears, which is
+// exactly the un-acknowledged suffix. Replaying a log whose effects are
+// already (partially) in a checkpoint is safe because records apply
+// idempotently in order — the final operation on each key wins either
+// way.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+// Record operation codes.
+const (
+	opInsert byte = 1
+	opDelete byte = 2
+)
+
+// maxBodyBytes bounds one record body (about 4M elements per batch);
+// replay treats a larger claimed length as tail damage rather than
+// attempting the allocation.
+const maxBodyBytes = 1 << 26
+
+// MaxBatchElems is the largest insert batch one record can carry;
+// callers with bigger batches split them (the durable wrapper does so
+// transparently).
+const MaxBatchElems = (maxBodyBytes - 5) / 16
+
+// Handler receives the replayed operations of Open, in append order.
+type Handler interface {
+	// ApplyInsert applies one logged insert batch. The slice is reused
+	// across calls; implementations must not retain it.
+	ApplyInsert(elems []core.Element)
+	// ApplyDelete applies one logged delete batch. The slice is reused
+	// across calls; implementations must not retain it.
+	ApplyDelete(keys []uint64)
+}
+
+// WAL is an open write-ahead log positioned for appending. Methods are
+// not safe for concurrent use; the durable wrapper serializes access.
+type WAL struct {
+	f       *os.File
+	path    string
+	buf     []byte // record assembly buffer, reused across appends
+	records uint64 // intact records currently in the log
+}
+
+// Open opens (creating if absent) the log at path, replays every intact
+// record through h in append order, truncates any damaged tail, and
+// returns the log positioned for appending together with the number of
+// records replayed.
+func Open(path string, h Handler) (*WAL, int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	w := &WAL{f: f, path: path}
+	replayed, goodEnd, err := w.replay(h)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if fi, statErr := f.Stat(); statErr == nil && fi.Size() > goodEnd {
+		// Torn tail: drop the bytes past the last intact record so the
+		// next append starts on a record boundary.
+		if err := f.Truncate(goodEnd); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(goodEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("wal: seeking %s: %w", path, err)
+	}
+	w.records = uint64(replayed)
+	return w, replayed, nil
+}
+
+// replay streams records from the start of the file through h and
+// returns how many intact records it applied and the byte offset just
+// past the last one. Damage (truncation, checksum or size mismatch,
+// unknown op) ends replay without error — it is the expected artifact
+// of a crash mid-append.
+func (w *WAL) replay(h Handler) (int, int64, error) {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, fmt.Errorf("wal: seeking %s: %w", w.path, err)
+	}
+	br := bufio.NewReaderSize(w.f, 1<<16)
+	var (
+		head     [8]byte
+		body     []byte
+		elems    []core.Element
+		keys     []uint64
+		replayed int
+		goodEnd  int64
+	)
+	for {
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			return replayed, goodEnd, nil // clean EOF or torn header
+		}
+		bodyLen := binary.LittleEndian.Uint32(head[0:4])
+		sum := binary.LittleEndian.Uint32(head[4:8])
+		if bodyLen < 5 || bodyLen > maxBodyBytes {
+			return replayed, goodEnd, nil
+		}
+		if cap(body) < int(bodyLen) {
+			body = make([]byte, bodyLen)
+		}
+		body = body[:bodyLen]
+		if _, err := io.ReadFull(br, body); err != nil {
+			return replayed, goodEnd, nil
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return replayed, goodEnd, nil
+		}
+		op := body[0]
+		count := binary.LittleEndian.Uint32(body[1:5])
+		payload := body[5:]
+		switch op {
+		case opInsert:
+			if uint64(len(payload)) != uint64(count)*16 {
+				return replayed, goodEnd, nil
+			}
+			if cap(elems) < int(count) {
+				elems = make([]core.Element, count)
+			}
+			elems = elems[:count]
+			for i := range elems {
+				elems[i].Key = binary.LittleEndian.Uint64(payload[i*16:])
+				elems[i].Value = binary.LittleEndian.Uint64(payload[i*16+8:])
+			}
+			h.ApplyInsert(elems)
+		case opDelete:
+			if uint64(len(payload)) != uint64(count)*8 {
+				return replayed, goodEnd, nil
+			}
+			if cap(keys) < int(count) {
+				keys = make([]uint64, count)
+			}
+			keys = keys[:count]
+			for i := range keys {
+				keys[i] = binary.LittleEndian.Uint64(payload[i*8:])
+			}
+			h.ApplyDelete(keys)
+		default:
+			return replayed, goodEnd, nil
+		}
+		replayed++
+		goodEnd += int64(8 + len(body))
+	}
+}
+
+// AppendInsert logs one insert batch. The record reaches the file in a
+// single write call, so a successful return means a process crash
+// cannot lose it. Empty batches append nothing.
+func (w *WAL) AppendInsert(elems []core.Element) error {
+	if len(elems) == 0 {
+		return nil
+	}
+	bodyLen := 5 + 16*len(elems)
+	b := w.record(opInsert, uint32(len(elems)), bodyLen)
+	off := 13 // 8-byte record header + op + count
+	for _, e := range elems {
+		binary.LittleEndian.PutUint64(b[off:], e.Key)
+		binary.LittleEndian.PutUint64(b[off+8:], e.Value)
+		off += 16
+	}
+	return w.commit(b)
+}
+
+// AppendDelete logs one delete batch; see AppendInsert for the
+// acknowledgement contract.
+func (w *WAL) AppendDelete(keys []uint64) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	bodyLen := 5 + 8*len(keys)
+	b := w.record(opDelete, uint32(len(keys)), bodyLen)
+	off := 13
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(b[off:], k)
+		off += 8
+	}
+	return w.commit(b)
+}
+
+// record lays out the header and body prefix of one record in the
+// reusable buffer and returns the full record slice; commit fills in
+// the checksum once the payload is written.
+func (w *WAL) record(op byte, count uint32, bodyLen int) []byte {
+	if bodyLen > maxBodyBytes {
+		panic(fmt.Sprintf("wal: record body of %d bytes exceeds the %d limit; split the batch", bodyLen, maxBodyBytes))
+	}
+	total := 8 + bodyLen
+	if cap(w.buf) < total {
+		w.buf = make([]byte, total)
+	}
+	b := w.buf[:total]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(bodyLen))
+	b[8] = op
+	binary.LittleEndian.PutUint32(b[9:13], count)
+	return b
+}
+
+// commit checksums and writes the assembled record.
+func (w *WAL) commit(b []byte) error {
+	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(b[8:]))
+	if _, err := w.f.Write(b); err != nil {
+		return fmt.Errorf("wal: appending to %s: %w", w.path, err)
+	}
+	w.records++
+	return nil
+}
+
+// Sync flushes the log to stable storage (fsync).
+func (w *WAL) Sync() error { return w.f.Sync() }
+
+// Reset empties the log — the checkpoint step after the state it
+// records has been captured elsewhere — and syncs the truncation.
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncating %s: %w", w.path, err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seeking %s: %w", w.path, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing %s: %w", w.path, err)
+	}
+	w.records = 0
+	return nil
+}
+
+// Records reports how many intact records the log currently holds
+// (replayed at Open plus appended since, minus any Reset).
+func (w *WAL) Records() uint64 { return w.records }
+
+// Path reports the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Close closes the log file. It does not sync; call Sync first if the
+// power-loss guarantee matters.
+func (w *WAL) Close() error { return w.f.Close() }

@@ -1,0 +1,243 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// mapHandler replays into a plain map, recording batch boundaries.
+type mapHandler struct {
+	m       map[uint64]uint64
+	batches int
+}
+
+func newMapHandler() *mapHandler { return &mapHandler{m: make(map[uint64]uint64)} }
+
+func (h *mapHandler) ApplyInsert(elems []core.Element) {
+	for _, e := range elems {
+		h.m[e.Key] = e.Value
+	}
+	h.batches++
+}
+
+func (h *mapHandler) ApplyDelete(keys []uint64) {
+	for _, k := range keys {
+		delete(h.m, k)
+	}
+	h.batches++
+}
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.wal")
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := walPath(t)
+	w, replayed, err := Open(path, newMapHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 0 {
+		t.Fatalf("fresh log replayed %d records", replayed)
+	}
+	batch := make([]core.Element, 100)
+	for i := range batch {
+		batch[i] = core.Element{Key: uint64(i), Value: uint64(i * 3)}
+	}
+	if err := w.AppendInsert(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendDelete([]uint64{5, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendInsert([]core.Element{{Key: 7, Value: 999}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendInsert(nil); err != nil { // no-op, no record
+		t.Fatal(err)
+	}
+	if w.Records() != 3 {
+		t.Fatalf("Records = %d, want 3", w.Records())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := newMapHandler()
+	w2, replayed, err := Open(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if replayed != 3 || h.batches != 3 {
+		t.Fatalf("replayed %d records over %d batches, want 3/3", replayed, h.batches)
+	}
+	if len(h.m) != 99 {
+		t.Fatalf("replayed map has %d keys, want 99", len(h.m))
+	}
+	if _, ok := h.m[5]; ok {
+		t.Fatal("deleted key 5 survived replay")
+	}
+	if h.m[7] != 999 {
+		t.Fatalf("key 7 = %d, want 999 (delete then re-insert, in order)", h.m[7])
+	}
+}
+
+// TestTornTailTruncated simulates a crash mid-append: replay must stop
+// at the last intact record, truncate the damage, and keep appending
+// from there.
+func TestTornTailTruncated(t *testing.T) {
+	path := walPath(t)
+	w, _, err := Open(path, newMapHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AppendInsert([]core.Element{{Key: 1, Value: 10}})
+	w.AppendInsert([]core.Element{{Key: 2, Value: 20}})
+	w.Close()
+
+	fi, _ := os.Stat(path)
+	intact := fi.Size()
+	// Crash artifacts to splice after the intact records.
+	tails := map[string][]byte{
+		"torn header":    {0x29, 0x00},
+		"torn body":      {0x29, 0x00, 0x00, 0x00, 0xAA, 0xBB, 0xCC, 0xDD, 0x01, 0x02},
+		"bad checksum":   mkRecord(t, 3, 30, true),
+		"bad op":         mkBadOpRecord(),
+		"oversized body": mkOversizedHeader(),
+	}
+	for name, tail := range tails {
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			damaged := filepath.Join(t.TempDir(), "damaged.wal")
+			if err := os.WriteFile(damaged, append(append([]byte(nil), data...), tail...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			h := newMapHandler()
+			w, replayed, err := Open(damaged, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if replayed != 2 || h.m[1] != 10 || h.m[2] != 20 {
+				t.Fatalf("replayed %d records, map %v", replayed, h.m)
+			}
+			if fi, _ := os.Stat(damaged); fi.Size() != intact {
+				t.Fatalf("damage not truncated: size %d, want %d", fi.Size(), intact)
+			}
+			// The log keeps working on the clean boundary.
+			if err := w.AppendInsert([]core.Element{{Key: 3, Value: 30}}); err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
+			h2 := newMapHandler()
+			if _, replayed, err = Open(damaged, h2); err != nil || replayed != 3 {
+				t.Fatalf("after repair+append: replayed %d (%v)", replayed, err)
+			}
+		})
+	}
+}
+
+// mkRecord builds one standalone insert record, optionally with a
+// corrupted checksum.
+func mkRecord(t *testing.T, key, val uint64, breakCRC bool) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	p := filepath.Join(dir, "one.wal")
+	w, _, err := Open(p, newMapHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AppendInsert([]core.Element{{Key: key, Value: val}})
+	w.Close()
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if breakCRC {
+		b[4] ^= 0xFF
+	}
+	return b
+}
+
+func mkBadOpRecord() []byte {
+	// length 5, valid CRC over body {op=9, count=0}.
+	body := []byte{9, 0, 0, 0, 0}
+	rec := []byte{5, 0, 0, 0, 0, 0, 0, 0}
+	rec = append(rec, body...)
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(body))
+	return rec
+}
+
+func mkOversizedHeader() []byte {
+	return []byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0}
+}
+
+func TestResetEmptiesLog(t *testing.T) {
+	path := walPath(t)
+	w, _, err := Open(path, newMapHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AppendInsert([]core.Element{{Key: 1, Value: 1}})
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 0 {
+		t.Fatalf("Records after Reset = %d", w.Records())
+	}
+	w.AppendInsert([]core.Element{{Key: 2, Value: 2}})
+	w.Close()
+	h := newMapHandler()
+	_, replayed, err := Open(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 1 || len(h.m) != 1 || h.m[2] != 2 {
+		t.Fatalf("after reset: replayed %d, map %v", replayed, h.m)
+	}
+}
+
+func TestOversizedBatchPanics(t *testing.T) {
+	path := walPath(t)
+	w, _, err := Open(path, newMapHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for a batch past maxBodyBytes")
+		}
+	}()
+	w.AppendInsert(make([]core.Element, maxBodyBytes/16+1))
+}
+
+func TestRecordLayoutStable(t *testing.T) {
+	// Pin the wire format: one insert record of one element.
+	rec := mkRecord(t, 0x1122334455667788, 0x99AABBCCDDEEFF00, false)
+	want := []byte{
+		21, 0, 0, 0, // body length: 1 + 4 + 16
+	}
+	if !bytes.Equal(rec[0:4], want) {
+		t.Fatalf("length field = %v", rec[0:4])
+	}
+	if rec[8] != opInsert {
+		t.Fatalf("op byte = %d", rec[8])
+	}
+	if got := rec[9]; got != 1 {
+		t.Fatalf("count = %d", got)
+	}
+	if rec[13] != 0x88 || rec[20] != 0x11 {
+		t.Fatal("key not little-endian at offset 13")
+	}
+}

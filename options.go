@@ -76,3 +76,14 @@ func WithInner(kind string, opts ...Option) Option { return registry.WithInner(k
 // map ("sharded"), for structures not in the registry. Mutually
 // exclusive with WithInner.
 func WithDictionary(f ShardFactory) Option { return registry.WithFactory(f) }
+
+// WithWALPath sets the write-ahead log path of a "durable" dictionary;
+// its checkpoint snapshot lives next to it at path + ".ckpt". Open is
+// the shorthand that passes this for you.
+func WithWALPath(path string) Option { return registry.WithWALPath(path) }
+
+// WithCheckpointEvery makes a "durable" dictionary checkpoint
+// automatically after every n appended log records (batches, not
+// elements); 0 — the default — disables automatic checkpoints and the
+// log grows until Checkpoint is called.
+func WithCheckpointEvery(n int) Option { return registry.WithCheckpointEvery(n) }

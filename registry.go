@@ -30,19 +30,21 @@ type KindInfo = registry.KindInfo
 // Canonical option names, as listed in KindInfo.Options and accepted-
 // option error messages. Each matches the facade constructor's name.
 const (
-	OptSpace          = registry.OptSpace
-	OptGrowthFactor   = registry.OptGrowth
-	OptPointerDensity = registry.OptPointerDensity
-	OptFanout         = registry.OptFanout
-	OptEpsilon        = registry.OptEpsilon
-	OptBlockBytes     = registry.OptBlockBytes
-	OptLeafCapacity   = registry.OptLeafCapacity
-	OptRelayoutEvery  = registry.OptRelayoutEvery
-	OptShards         = registry.OptShards
-	OptBatchSize      = registry.OptBatchSize
-	OptShardDAM       = registry.OptShardDAM
-	OptInner          = registry.OptInner
-	OptDictionary     = registry.OptFactory
+	OptSpace           = registry.OptSpace
+	OptGrowthFactor    = registry.OptGrowth
+	OptPointerDensity  = registry.OptPointerDensity
+	OptFanout          = registry.OptFanout
+	OptEpsilon         = registry.OptEpsilon
+	OptBlockBytes      = registry.OptBlockBytes
+	OptLeafCapacity    = registry.OptLeafCapacity
+	OptRelayoutEvery   = registry.OptRelayoutEvery
+	OptShards          = registry.OptShards
+	OptBatchSize       = registry.OptBatchSize
+	OptShardDAM        = registry.OptShardDAM
+	OptInner           = registry.OptInner
+	OptDictionary      = registry.OptFactory
+	OptWALPath         = registry.OptWALPath
+	OptCheckpointEvery = registry.OptCheckpointEvery
 )
 
 // Build constructs the named dictionary kind from the unified option
@@ -56,9 +58,9 @@ const (
 // Unknown kinds, out-of-range option values, and options the kind does
 // not accept return descriptive errors. The registered built-ins are
 // "cola", "basic-cola", "gcola", "deamortized", "deamortized-la", "la",
-// "shuttle", "cobtree", "btree", "brt", "swbst", "sharded", and
-// "synchronized"; Kinds() reports the live set including anything added
-// via Register.
+// "shuttle", "cobtree", "btree", "brt", "swbst", "sharded",
+// "synchronized", and "durable"; Kinds() reports the live set including
+// anything added via Register.
 func Build(kind string, opts ...Option) (Dictionary, error) {
 	return registry.Build(kind, opts...)
 }
@@ -94,6 +96,21 @@ func KindOptions(kind string) []string {
 		return nil
 	}
 	return append([]string(nil), info.Options...)
+}
+
+// Caps are a kind's capability flags (snapshot / wal / delete / batch);
+// for wrapper kinds a flag means the capability is forwarded when the
+// inner kind has it.
+type Caps = registry.Caps
+
+// KindCaps returns a registered kind's capability flags (the zero Caps
+// if unknown).
+func KindCaps(kind string) Caps {
+	info, ok := registry.Info(kind)
+	if !ok {
+		return Caps{}
+	}
+	return info.Caps
 }
 
 // Register adds an external dictionary kind to the registry, making it

@@ -5,6 +5,7 @@ package repro
 // the batch-insert adapter.
 
 import (
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
@@ -45,7 +46,11 @@ func TestKindsCoverTheLineup(t *testing.T) {
 // operations (deep behavior is covered by the conformance suite).
 func TestBuildSmoke(t *testing.T) {
 	for _, kind := range Kinds() {
-		d, err := Build(kind)
+		var opts []Option
+		if KindCaps(kind).WAL {
+			opts = append(opts, WithWALPath(filepath.Join(t.TempDir(), kind+".wal")))
+		}
+		d, err := Build(kind, opts...)
 		if err != nil {
 			t.Fatalf("Build(%q): %v", kind, err)
 		}
