@@ -386,6 +386,13 @@ func runRecoverIngest(path, dict string, logn, batch, ckptEvery int) {
 	if batch <= 0 {
 		fail("-wal-batch must be positive")
 	}
+	if (1<<logn)%batch != 0 {
+		// -recover-verify proves the recovered count is a whole number
+		// of batches; a short final batch from a non-dividing size would
+		// make a COMPLETED run indistinguishable from a leaked
+		// un-acknowledged tail and fail verification falsely.
+		fail("-wal-batch %d does not divide the 2^%d-element workload; pick a power of two so every acknowledged batch is full-size", batch, logn)
+	}
 	kind := singleKind(dict, "gcola")
 	opts := []repro.Option{repro.WithInner(kind)}
 	if ckptEvery > 0 {

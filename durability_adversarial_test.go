@@ -78,10 +78,38 @@ func TestDurableShardedSurvivesGOMAXPROCSChange(t *testing.T) {
 	}
 }
 
-// buildHostileDurableContainer hand-assembles a snap container whose
-// header names kind "durable" with WithWALPath pointing at the victim.
-func buildHostileDurableContainer(victim string) []byte {
-	var h bytes.Buffer
+// Finding 3 (review round 2): the capability gate must hold one nesting
+// level down. A hostile container naming a pure snapshot-capable
+// wrapper kind with a nested WithInner spec of {"durable", WithWALPath:
+// victim} previously bypassed the top-level-only check: the wrapper's
+// builder Built the durable inner, whose wal.Open truncated the victim
+// during torn-tail repair and created a .ckpt sibling.
+func TestHostileNestedDurableContainerRejectedWithoutSideEffects(t *testing.T) {
+	for _, outer := range []string{"synchronized", "sharded"} {
+		t.Run(outer, func(t *testing.T) {
+			dir := t.TempDir()
+			victim := filepath.Join(dir, "victim.txt")
+			if err := os.WriteFile(victim, []byte("precious bytes"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			data := buildHostileNestedContainer(outer, victim)
+			if _, err := Load(bytes.NewReader(data)); err == nil {
+				t.Fatal("hostile nested container accepted")
+			}
+			got, err := os.ReadFile(victim)
+			if err != nil || string(got) != "precious bytes" {
+				t.Fatalf("victim file damaged: %q (%v)", got, err)
+			}
+			if _, err := os.Stat(victim + ".ckpt"); !os.IsNotExist(err) {
+				t.Fatal("hostile load created a checkpoint sibling")
+			}
+		})
+	}
+}
+
+// hostileDurableSpec appends the header encoding of {Kind:"durable",
+// WithWALPath: victim} to h.
+func hostileDurableSpec(h *bytes.Buffer, victim string) {
 	putStr := func(s string) {
 		var l [2]byte
 		binary.LittleEndian.PutUint16(l[:], uint16(len(s)))
@@ -95,17 +123,50 @@ func buildHostileDurableContainer(victim string) []byte {
 	putStr("WithWALPath")
 	h.WriteByte(2) // tagString
 	putStr(victim)
+}
 
+// buildHostileDurableContainer hand-assembles a snap container whose
+// header names kind "durable" with WithWALPath pointing at the victim.
+func buildHostileDurableContainer(victim string) []byte {
+	var h bytes.Buffer
+	hostileDurableSpec(&h, victim)
+	return frameHostileContainer(h.Bytes())
+}
+
+// buildHostileNestedContainer hand-assembles a snap container whose
+// header names the outer wrapper kind with a nested WithInner spec of
+// {"durable", WithWALPath: victim}.
+func buildHostileNestedContainer(outer, victim string) []byte {
+	var h bytes.Buffer
+	putStr := func(s string) {
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(s)))
+		h.Write(l[:])
+		h.WriteString(s)
+	}
+	putStr(outer)
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], 1)
+	h.Write(n[:])
+	putStr("WithInner")
+	h.WriteByte(3) // tagSpec
+	hostileDurableSpec(&h, victim)
+	return frameHostileContainer(h.Bytes())
+}
+
+// frameHostileContainer wraps header bytes in the container preamble,
+// checksums, and an empty payload.
+func frameHostileContainer(header []byte) []byte {
 	var out bytes.Buffer
 	out.WriteString("RSNP")
 	var w4 [4]byte
 	var w8 [8]byte
 	binary.LittleEndian.PutUint32(w4[:], 1)
 	out.Write(w4[:])
-	binary.LittleEndian.PutUint32(w4[:], uint32(h.Len()))
+	binary.LittleEndian.PutUint32(w4[:], uint32(len(header)))
 	out.Write(w4[:])
-	out.Write(h.Bytes())
-	binary.LittleEndian.PutUint32(w4[:], crc32.ChecksumIEEE(h.Bytes()))
+	out.Write(header)
+	binary.LittleEndian.PutUint32(w4[:], crc32.ChecksumIEEE(header))
 	out.Write(w4[:])
 	binary.LittleEndian.PutUint64(w8[:], 0) // empty payload
 	out.Write(w8[:])

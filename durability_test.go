@@ -80,6 +80,55 @@ func TestSaveErrorTaxonomy(t *testing.T) {
 	if err := Save(&buf, "btree", d); err == nil || !strings.Contains(err.Error(), "pass the kind it was built as") {
 		t.Fatalf("type mismatch: %v", err)
 	}
+	// Wrapper kinds need the inner layers checked too: the top-level
+	// concrete type of a sharded map is *shard.Map whatever its shards
+	// hold, so a forgotten (or wrong) WithInner must fail here rather
+	// than record a header that contradicts the payload.
+	sd := MustBuild("sharded", WithShards(4), WithInner("btree"))
+	sd.Insert(1, 1)
+	if err := Save(&buf, "sharded", sd, WithShards(4)); err == nil || !strings.Contains(err.Error(), "WithInner") {
+		t.Fatalf("forgotten WithInner: %v", err)
+	}
+	if err := Save(&buf, "sharded", sd, WithShards(4), WithInner("shuttle")); err == nil || !strings.Contains(err.Error(), "WithInner") {
+		t.Fatalf("wrong WithInner: %v", err)
+	}
+	buf.Reset()
+	if err := Save(&buf, "sharded", sd, WithShards(4), WithInner("btree")); err != nil {
+		t.Fatalf("correct WithInner: %v", err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("round-trip after inner check: %v", err)
+	}
+	buf.Reset()
+	// Same through a second wrapper layer.
+	yd := MustBuild("synchronized", WithInner("sharded", WithShards(2), WithInner("btree")))
+	if err := Save(&buf, "synchronized", yd, WithInner("sharded", WithShards(2), WithInner("gcola"))); err == nil || !strings.Contains(err.Error(), "WithInner") {
+		t.Fatalf("nested wrong WithInner: %v", err)
+	}
+	buf.Reset()
+	// A nested sharded map saved without its WithShards must record the
+	// LIVE partition count, not this host's GOMAXPROCS-derived default —
+	// the count is part of the payload's hash routing, so anything else
+	// writes a container that can never load.
+	yd.Insert(42, 7)
+	if err := Save(&buf, "synchronized", yd, WithInner("sharded", WithInner("btree"))); err != nil {
+		t.Fatalf("nested save without WithShards: %v", err)
+	}
+	if ld, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("loading nested default-shards container: %v", err)
+	} else if v, ok := ld.Search(42); !ok || v != 7 {
+		t.Fatal("nested round-trip contents wrong")
+	}
+	buf.Reset()
+	// An explicitly claimed count that contradicts the live map is a
+	// mislabeled save and fails here, at any wrapper depth.
+	if err := Save(&buf, "sharded", sd, WithShards(8), WithInner("btree")); err == nil || !strings.Contains(err.Error(), "partitions") {
+		t.Fatalf("wrong top-level WithShards: %v", err)
+	}
+	if err := Save(&buf, "synchronized", yd, WithInner("sharded", WithShards(8), WithInner("btree"))); err == nil || !strings.Contains(err.Error(), "partitions") {
+		t.Fatalf("wrong nested WithShards: %v", err)
+	}
+	buf.Reset()
 	// A sharded map over a factory cannot be described by name.
 	fd := MustBuild("sharded", WithShards(2), WithDictionary(func(int, *Space) Dictionary {
 		return MustBuild("cola")
@@ -102,7 +151,12 @@ func TestLoadErrorTaxonomy(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
-	for _, cut := range []int{0, 5, len(data) / 2, len(data) - 1} {
+	// Truncated to nothing there is no magic prefix left, so the stream
+	// reads as "not a container" rather than a damaged one.
+	if _, err := Load(bytes.NewReader(data[:0])); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("truncated to empty: %v", err)
+	}
+	for _, cut := range []int{5, len(data) / 2, len(data) - 1} {
 		if _, err := Load(bytes.NewReader(data[:cut])); !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("truncated at %d: %v", cut, err)
 		}
@@ -298,6 +352,43 @@ func TestOpenConfigMismatches(t *testing.T) {
 	if _, err := Open(path, WithInner("gcola")); err == nil || !strings.Contains(err.Error(), "checkpoint") {
 		t.Fatalf("inner-kind conflict with checkpoint: %v", err)
 	}
+
+	// Inner OPTIONS that contradict the checkpoint's recorded spec are a
+	// configuration error too, not a silent fall-back to the recorded
+	// values; matching or omitted options reopen fine.
+	gpath := filepath.Join(dir, "g.wal")
+	g, err := Open(gpath, WithInner("gcola", WithGrowthFactor(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Insert(1, 1)
+	if err := g.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	if _, err := Open(gpath, WithInner("gcola", WithGrowthFactor(3))); err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("inner-option conflict with checkpoint: %v", err)
+	}
+	// An option the creating Open left to its default is not recorded,
+	// so a later explicit value — even the true default — cannot be
+	// verified and is rejected with a pointer at the remedy.
+	if _, err := Open(path, WithInner("btree", WithFanout(8))); err == nil || !strings.Contains(err.Error(), "was not set when the checkpoint was created") {
+		t.Fatalf("unrecorded inner option: %v", err)
+	}
+	for _, opts := range [][]Option{
+		{WithInner("gcola", WithGrowthFactor(4))}, // exact match
+		{WithInner("gcola")},                      // options left to the recorded spec
+		nil,                                       // kind left to the recorded spec too
+	} {
+		g, err := Open(gpath, opts...)
+		if err != nil {
+			t.Fatalf("reopen with %d options: %v", len(opts), err)
+		}
+		if v, ok := g.Search(1); !ok || v != 1 {
+			t.Fatal("contents wrong after reopen")
+		}
+		g.Close()
+	}
 	if _, err := Open(filepath.Join(dir, "x.wal"), WithInner("durable")); err == nil {
 		t.Fatal("durable-in-durable accepted")
 	}
@@ -306,6 +397,10 @@ func TestOpenConfigMismatches(t *testing.T) {
 	}
 	if _, err := Open(filepath.Join(dir, "y.wal"), WithInner("gcola", WithSpace(nil))); err == nil {
 		t.Fatal("inner WithSpace accepted on a durable inner")
+	}
+	// A space buried one wrapper deeper is just as unpersistable.
+	if _, err := Open(filepath.Join(dir, "z.wal"), WithInner("synchronized", WithInner("cola", WithSpace(nil)))); err == nil {
+		t.Fatal("nested inner WithSpace accepted on a durable inner")
 	}
 }
 

@@ -38,12 +38,18 @@ var (
 
 // Decode limits. A level claiming more cells than maxSnapshotLevelCells
 // (or a deeper ladder than maxSnapshotLevels) is rejected before any
-// allocation: the largest supported workloads (2^28 elements, the
-// harness's -logn ceiling) stay well inside both bounds, while a
-// corrupt stream cannot drive a multi-gigabyte make.
+// allocation. The cell ceiling must cover the largest level a supported
+// structure produces: at the harness's -logn ceiling of 2^28 elements
+// with growth 2, the top level holds 2^28 real cells plus up to
+// 0.5 * 2^28 lookahead cells (the maximum pointer density) — about
+// 1.5 * 2^28 = 4.0e8 < 1<<29. WriteTo enforces the same ceiling, so a
+// snapshot that saves is always loadable; a forged level count beyond
+// it fails before driving the hundreds-of-gigabyte make a deep-ladder
+// level would demand. TestSnapshotLevelLimitCoversHarnessEnvelope pins
+// the arithmetic.
 const (
 	maxSnapshotLevels     = 48
-	maxSnapshotLevelCells = 1 << 28
+	maxSnapshotLevelCells = 1 << 29
 )
 
 var _ core.Snapshotter = (*GCOLA)(nil)
@@ -53,6 +59,19 @@ const entryBytes = 8 + 8 + 4 + 4 + 1
 
 // WriteTo serializes the structure. It implements io.WriterTo.
 func (c *GCOLA) WriteTo(w io.Writer) (int64, error) {
+	// Mirror ReadFrom's decode ceilings so anything WriteTo emits is
+	// guaranteed loadable: a structure beyond the supported envelope
+	// fails the save loudly instead of producing a snapshot every
+	// future load rejects as corrupt.
+	if len(c.levels) > maxSnapshotLevels {
+		return 0, fmt.Errorf("cola: %d levels exceed the snapshot format's %d-level limit", len(c.levels), maxSnapshotLevels)
+	}
+	for l := range c.levels {
+		if len(c.levels[l].data) > maxSnapshotLevelCells {
+			return 0, fmt.Errorf("cola: level %d holds %d cells, beyond the snapshot format's %d-cell limit",
+				l, len(c.levels[l].data), maxSnapshotLevelCells)
+		}
+	}
 	bw := bufio.NewWriter(w)
 	var n int64
 	write := func(v any) error {

@@ -141,6 +141,18 @@ func TestInsertBatchFastAndSlowPaths(t *testing.T) {
 	}
 }
 
+// TestSnapshotLevelLimitCoversHarnessEnvelope pins the arithmetic the
+// decode ceiling relies on: the top level of the largest supported
+// workload (2^28 elements, the harness's -logn ceiling) at the maximum
+// pointer density must fit under maxSnapshotLevelCells, or WriteTo and
+// ReadFrom would refuse snapshots of legitimate structures.
+func TestSnapshotLevelLimitCoversHarnessEnvelope(t *testing.T) {
+	c := New(Options{Growth: 2, PointerDensity: 0.5})
+	if got := c.totalCapacity(28); got > maxSnapshotLevelCells {
+		t.Fatalf("totalCapacity(28) at max density = %d cells, over the %d decode limit", got, maxSnapshotLevelCells)
+	}
+}
+
 func TestSnapshotRoundTrip(t *testing.T) {
 	c := NewCOLA(nil)
 	seq := workload.NewRandomUnique(71)

@@ -66,9 +66,14 @@ type Options struct {
 // Error contract: the Dictionary interface has no error returns, so a
 // failed log append — the point where durability would silently end —
 // panics with the underlying error, which also becomes visible through
-// Err. A failed automatic checkpoint does NOT panic: the log is intact,
-// so no acknowledged write is at risk; the error is retained in Err and
-// the next record retries.
+// Err. The log cuts a torn record back to the last intact boundary
+// after a failed write; if even that fails it poisons itself, so a
+// caller that recovers the panic and keeps going panics again on every
+// mutation (never acknowledging a write that replay could not reach)
+// until a successful Checkpoint empties the log. A failed automatic
+// checkpoint does NOT panic: the log is intact, so no acknowledged
+// write is at risk; the error is retained in Err and the next record
+// retries.
 type Dict struct {
 	mu            sync.Mutex
 	inner         core.Dictionary

@@ -297,23 +297,39 @@ func buildDurable(c *Config) (core.Dictionary, error) {
 	if !ie.info.Caps.Snapshot {
 		return nil, fmt.Errorf("inner kind %q cannot snapshot itself (capabilities: %s); durable needs a snapshot-capable inner for checkpoints", innerKind, ie.info.Caps)
 	}
-	if icfg.IsSet(OptSpace) {
-		return nil, fmt.Errorf("inner kind %q: a DAM space cannot be persisted across reopens; durable inners run without one", innerKind)
+	// The space check walks the whole inner option tree: a WithSpace one
+	// wrapper deeper (e.g. WithInner("synchronized", WithInner("cola",
+	// WithSpace(sp)))) is just as unpersistable — specFromConfig drops
+	// OptSpace from the recorded header, so a reopen would silently
+	// rebuild without the space instead of failing loudly here.
+	if set, serr := innerTreeSetsSpace(icfg); serr != nil {
+		return nil, serr
+	} else if set {
+		return nil, fmt.Errorf("inner kind %q: a DAM space cannot be persisted across reopens; durable inners run without one (WithSpace found in the inner option tree)", innerKind)
 	}
 
 	ckptPath := path + ".ckpt"
 	var inner core.Dictionary
 	var spec *snap.Spec
 	if f, oerr := os.Open(ckptPath); oerr == nil {
+		// The checkpoint's recorded spec is authoritative on reopen: a
+		// WithInner that contradicts it — a different kind OR a different
+		// value for any explicitly-set inner option — is a configuration
+		// error, not a rebuild. Options the caller leaves unset follow the
+		// recorded configuration silently. Validated against the header
+		// alone, BEFORE the payload restore: the header is tens of bytes,
+		// the payload can be the whole structure, and a conflicting reopen
+		// must not pay for (then discard) a full restore.
+		if hasInner {
+			if err := checkpointHeaderConflict(f, ckptPath, innerKind, icfg); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
 		inner, spec, err = loadContainer(f)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint %s: %w", ckptPath, err)
-		}
-		// The checkpoint's recorded spec is authoritative on reopen; a
-		// conflicting WithInner is a configuration error, not a rebuild.
-		if hasInner && spec.Kind != innerKind {
-			return nil, fmt.Errorf("checkpoint %s holds a %q but WithInner requested %q; remove the checkpoint to rebuild", ckptPath, spec.Kind, innerKind)
 		}
 	} else if !errors.Is(oerr, fs.ErrNotExist) {
 		return nil, fmt.Errorf("checkpoint %s: %w", ckptPath, oerr)
@@ -363,6 +379,46 @@ func buildDurable(c *Config) (core.Dictionary, error) {
 		CheckpointEvery: c.CheckpointEvery(0),
 		WriteSnapshot:   writeSnapshot,
 	}), nil
+}
+
+// innerTreeSetsSpace reports whether an option tree sets WithSpace at
+// any wrapper nesting depth.
+func innerTreeSetsSpace(c *Config) (bool, error) {
+	if c.IsSet(OptSpace) {
+		return true, nil
+	}
+	if _, iopts, ok := c.Inner(); ok {
+		icfg, err := innerConfig(iopts)
+		if err != nil {
+			return false, err
+		}
+		return innerTreeSetsSpace(icfg)
+	}
+	return false, nil
+}
+
+// checkpointHeaderConflict reads only the container header from f,
+// rejects a requested inner kind or explicitly-set inner options the
+// recorded spec cannot honor, and rewinds f for the full restore.
+func checkpointHeaderConflict(f *os.File, ckptPath, innerKind string, icfg *Config) error {
+	hspec, err := snap.DecodeHeader(f)
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: %w", ckptPath, err)
+	}
+	if hspec.Kind != innerKind {
+		return fmt.Errorf("checkpoint %s holds a %q but WithInner requested %q; remove the checkpoint to rebuild", ckptPath, hspec.Kind, innerKind)
+	}
+	reqSpec, err := requestedSpec(innerKind, icfg)
+	if err != nil {
+		return err
+	}
+	if desc, conflict := specConflict(reqSpec, hspec); conflict {
+		return fmt.Errorf("checkpoint %s conflicts with the requested inner options: %s; omit the option to reopen with the recorded configuration, or remove the checkpoint to rebuild", ckptPath, desc)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("checkpoint %s: %w", ckptPath, err)
+	}
+	return nil
 }
 
 func buildSynchronized(c *Config) (core.Dictionary, error) {

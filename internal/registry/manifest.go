@@ -32,6 +32,20 @@ var specOptOrder = []string{
 // OptFactory is an error: a closure-built structure cannot be described
 // by name.
 func specFromConfig(kind string, c *Config) (*snap.Spec, error) {
+	return buildSpec(kind, c, true)
+}
+
+// requestedSpec is specFromConfig without the default-shard pinning:
+// the result holds exactly the options the caller set, at every nesting
+// level, which is the right shape for comparing a caller's request
+// against a checkpoint's recorded spec (a synthetic GOMAXPROCS-derived
+// pin must not read as a conflict on a machine with different
+// parallelism).
+func requestedSpec(kind string, c *Config) (*snap.Spec, error) {
+	return buildSpec(kind, c, false)
+}
+
+func buildSpec(kind string, c *Config, pinDefaults bool) (*snap.Spec, error) {
 	spec := &snap.Spec{Kind: kind}
 	for _, name := range specOptOrder {
 		if !c.set[name] {
@@ -67,7 +81,7 @@ func specFromConfig(kind string, c *Config) (*snap.Spec, error) {
 			if err != nil {
 				return nil, err
 			}
-			isp, err := specFromConfig(c.innerKind, icfg)
+			isp, err := buildSpec(c.innerKind, icfg, pinDefaults)
 			if err != nil {
 				return nil, err
 			}
@@ -85,10 +99,48 @@ func specFromConfig(kind string, c *Config) (*snap.Spec, error) {
 	// map's exact count; here (including nested WithInner specs and
 	// durable checkpoint specs) the build-time default is recorded,
 	// which is what the same-process builder produced.
-	if Accepts(kind, OptShards) && !c.set[OptShards] {
+	if pinDefaults && Accepts(kind, OptShards) && !c.set[OptShards] {
 		spec.Opts = append(spec.Opts, snap.Int(OptShards, int64(defaultShards())))
 	}
 	return spec, nil
+}
+
+// specConflict reports the first place where the recorded spec rec
+// contradicts the requested spec req — a differing kind, an option rec
+// does not record, or a differing value — as a human-readable
+// description. req must hold only explicitly-set options (see
+// requestedSpec); options the caller left to default are simply absent
+// from it, so the recorded configuration wins for them. An option the
+// caller passes that was never recorded is rejected even if its value
+// happens to equal the default the structure was really built with:
+// defaults live inside the builders and are not recorded, so the match
+// cannot be verified — the safe answers are "omit it" or "rebuild".
+// Nested specs are compared with the same subset semantics.
+func specConflict(req, rec *snap.Spec) (string, bool) {
+	if req.Kind != rec.Kind {
+		return fmt.Sprintf("kind %q was requested but %q is recorded", req.Kind, rec.Kind), true
+	}
+	for _, ro := range req.Opts {
+		found := false
+		for _, so := range rec.Opts {
+			if so.Name != ro.Name {
+				continue
+			}
+			found = true
+			if ro.Spec != nil && so.Spec != nil {
+				if desc, conflict := specConflict(ro.Spec, so.Spec); conflict {
+					return ro.Name + ": " + desc, true
+				}
+			} else if !reflect.DeepEqual(ro, so) {
+				return fmt.Sprintf("%s requests a different value than the recorded one", ro.Name), true
+			}
+			break
+		}
+		if !found {
+			return fmt.Sprintf("%s was not set when the checkpoint was created (the value was left to its default, which is not recorded)", ro.Name), true
+		}
+	}
+	return "", false
 }
 
 // defaultShards mirrors the shard package's default partition count
@@ -193,12 +245,73 @@ func Save(w io.Writer, kind string, d core.Dictionary, opts ...Option) error {
 	if pt, dt := reflect.TypeOf(probe), reflect.TypeOf(d); pt != dt {
 		return fmt.Errorf("repro: kind %q builds %v but the dictionary being saved is %v; pass the kind it was built as", kind, pt, dt)
 	}
+	// The top-level type check cannot see through wrapper kinds — a
+	// sharded map of btree shards and one of cola shards are both
+	// *shard.Map — so walk the wrapper layers and compare the inner
+	// concrete types too. Otherwise a forgotten or wrong WithInner
+	// records a header that contradicts the payload, failing (or worse,
+	// silently rebuilding a different structure) at some future Load.
+	for p, l := probe, d; ; {
+		pi, pok := innerOf(p)
+		li, lok := innerOf(l)
+		if !pok || !lok {
+			break
+		}
+		if pt, lt := reflect.TypeOf(pi), reflect.TypeOf(li); pt != lt {
+			return fmt.Errorf("repro: kind %q with these options builds inner %v but the dictionary being saved holds inner %v; pass the WithInner it was built with", kind, pt, lt)
+		}
+		p, l = pi, li
+	}
 	spec, err := specFromConfig(kind, cfg)
 	if err != nil {
 		return buildErr(kind, err)
 	}
+	if err := reconcileShardCounts(spec, cfg, d); err != nil {
+		return fmt.Errorf("repro: saving %q: %w", kind, err)
+	}
 	if _, err := snap.Encode(w, spec, sn); err != nil {
 		return fmt.Errorf("repro: saving %q: %w", kind, err)
+	}
+	return nil
+}
+
+// reconcileShardCounts rewrites every recorded shard count in spec to
+// the live partition count of the (sub)structure it describes, walking
+// wrapper layers in tandem with the live dictionary. A count pinned
+// from the build-time default (GOMAXPROCS-derived) may disagree with
+// the count a nested map was really built with, and the live count is
+// the one the payload's hash routing depends on, so it is the only one
+// worth recording. A count the caller claimed explicitly must already
+// match the live one; a mismatch is a mislabeled save and fails here
+// rather than at some future Load.
+func reconcileShardCounts(spec *snap.Spec, c *Config, d core.Dictionary) error {
+	if ns, ok := d.(interface{ NumShards() int }); ok {
+		live := int64(ns.NumShards())
+		for i := range spec.Opts {
+			if spec.Opts[i].Name != OptShards {
+				continue
+			}
+			if c.IsSet(OptShards) && spec.Opts[i].Int != live {
+				return fmt.Errorf("WithShards(%d) was passed but the map being saved has %d partitions; pass the count it was built with, or omit WithShards to record it automatically", spec.Opts[i].Int, live)
+			}
+			spec.Opts[i].Int = live
+			break
+		}
+	}
+	inner, ok := innerOf(d)
+	if !ok {
+		return nil
+	}
+	if _, innerOpts, hasInner := c.Inner(); hasInner {
+		icfg, err := innerConfig(innerOpts)
+		if err != nil {
+			return err
+		}
+		for i := range spec.Opts {
+			if spec.Opts[i].Name == OptInner && spec.Opts[i].Spec != nil {
+				return reconcileShardCounts(spec.Opts[i].Spec, icfg, inner)
+			}
+		}
 	}
 	return nil
 }
@@ -221,19 +334,15 @@ func loadContainer(r io.Reader, extra ...Option) (core.Dictionary, *snap.Spec, e
 	if err != nil {
 		return nil, nil, fmt.Errorf("repro: loading snapshot: %w", err)
 	}
-	// Gate on the recorded kind's snapshot capability BEFORE building
-	// it: a builder may have side effects (the durable kind opens and
-	// repairs files at its WAL path), and a hostile header must not be
-	// able to trigger them. Only Caps.Snapshot kinds — whose builders
-	// are pure construction — run from untrusted input.
-	e, known := lookup(spec.Kind)
-	if !known {
-		return nil, nil, fmt.Errorf("repro: snapshot names unregistered kind %q (registered kinds: %s)",
-			spec.Kind, strings.Join(Kinds(), ", "))
-	}
-	if !e.info.Caps.Snapshot {
-		return nil, nil, fmt.Errorf("repro: snapshot names kind %q, which cannot restore itself (capabilities: %s)",
-			spec.Kind, e.info.Caps)
+	// Gate on the recorded kinds' snapshot capabilities BEFORE building
+	// anything: a builder may have side effects (the durable kind opens
+	// and repairs files at its WAL path), and a hostile header must not
+	// be able to trigger them. Only Caps.Snapshot kinds — whose builders
+	// are pure construction — run from untrusted input, and the check is
+	// recursive because wrapper builders Build their nested WithInner
+	// specs.
+	if err := validateSpecKinds(spec); err != nil {
+		return nil, nil, err
 	}
 	recorded, err := optionsFromSpec(spec)
 	if err != nil {
@@ -251,4 +360,46 @@ func loadContainer(r io.Reader, extra ...Option) (core.Dictionary, *snap.Spec, e
 		return nil, nil, fmt.Errorf("repro: restoring %q payload: %w", spec.Kind, err)
 	}
 	return d, spec, nil
+}
+
+// innerOf descends one wrapper layer: a synchronized wrapper unwraps to
+// the dictionary it guards, a sharded map to a representative shard's
+// inner (every shard is built by the same factory, so one stands for
+// all). Non-wrapper structures report false.
+func innerOf(d core.Dictionary) (core.Dictionary, bool) {
+	switch v := d.(type) {
+	case interface{ Unwrap() core.Dictionary }:
+		return v.Unwrap(), true
+	case interface{ InnerAt(int) core.Dictionary }:
+		return v.InnerAt(0), true
+	}
+	return nil, false
+}
+
+// validateSpecKinds walks a decoded header spec — including every
+// nested WithInner spec — and rejects any kind that is unknown or not
+// snapshot-capable, before any builder can run. A wrapper builder
+// Builds its inner spec, so a hostile container naming a pure wrapper
+// ("synchronized", "sharded") around a side-effecting kind ("durable",
+// whose wal.Open truncates and repairs files at its WAL path) is
+// exactly as dangerous as naming that kind at the top level; both must
+// fail here.
+func validateSpecKinds(spec *snap.Spec) error {
+	e, known := lookup(spec.Kind)
+	if !known {
+		return fmt.Errorf("repro: snapshot names unregistered kind %q (registered kinds: %s)",
+			spec.Kind, strings.Join(Kinds(), ", "))
+	}
+	if !e.info.Caps.Snapshot {
+		return fmt.Errorf("repro: snapshot names kind %q, which cannot restore itself (capabilities: %s)",
+			spec.Kind, e.info.Caps)
+	}
+	for _, o := range spec.Opts {
+		if o.Spec != nil {
+			if err := validateSpecKinds(o.Spec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

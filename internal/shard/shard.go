@@ -182,6 +182,11 @@ func (m *Map) shardOf(key uint64) *state {
 // NumShards reports the number of partitions.
 func (m *Map) NumShards() int { return len(m.shards) }
 
+// InnerAt returns shard i's inner dictionary, for type and capability
+// introspection (e.g. verifying a save's claimed inner kind against the
+// live map). Callers must not mutate it: the shard's lock is not held.
+func (m *Map) InnerAt(i int) core.Dictionary { return m.shards[i].d }
+
 // Insert implements core.Dictionary.
 func (m *Map) Insert(key, value uint64) {
 	s := m.shardOf(key)

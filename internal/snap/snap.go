@@ -199,7 +199,10 @@ func decodeHeaderFrom(r io.Reader) (*Spec, error) {
 	// preamble.
 	var fixed [12]byte
 	if n, err := io.ReadFull(r, fixed[:4]); err != nil {
-		if string(fixed[:n]) == Magic[:n] {
+		// Only a non-empty prefix of the magic is evidence of a torn
+		// container; an empty stream matches the empty prefix vacuously
+		// and must still report "not a container".
+		if n > 0 && string(fixed[:n]) == Magic[:n] {
 			return nil, fmt.Errorf("snap: container preamble truncated: %w", core.ErrCorrupt)
 		}
 		return nil, fmt.Errorf("snap: %d-byte stream is not a container: %w", n, core.ErrBadMagic)

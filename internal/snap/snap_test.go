@@ -99,8 +99,10 @@ func TestContainerTypedErrors(t *testing.T) {
 		}
 	})
 	t.Run("empty stream", func(t *testing.T) {
-		if _, _, err := Decode(bytes.NewReader(nil)); !errors.Is(err, core.ErrCorrupt) {
-			t.Fatalf("got %v, want ErrCorrupt", err)
+		// Zero bytes is "not a container", not a torn one: the empty
+		// prefix matches the magic vacuously and must not read as damage.
+		if _, _, err := Decode(strings.NewReader("")); !errors.Is(err, core.ErrBadMagic) {
+			t.Fatalf("got %v, want ErrBadMagic", err)
 		}
 	})
 	t.Run("header bit flip", func(t *testing.T) {

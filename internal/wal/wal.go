@@ -65,6 +65,8 @@ type WAL struct {
 	path    string
 	buf     []byte // record assembly buffer, reused across appends
 	records uint64 // intact records currently in the log
+	off     int64  // byte offset just past the last intact record
+	broken  error  // the append failure that left torn bytes we could not cut back
 }
 
 // Open opens (creating if absent) the log at path, replays every intact
@@ -95,6 +97,7 @@ func Open(path string, h Handler) (*WAL, int, error) {
 		return nil, 0, fmt.Errorf("wal: seeking %s: %w", path, err)
 	}
 	w.records = uint64(replayed)
+	w.off = goodEnd
 	return w, replayed, nil
 }
 
@@ -224,14 +227,37 @@ func (w *WAL) record(op byte, count uint32, bodyLen int) []byte {
 	return b
 }
 
-// commit checksums and writes the assembled record.
+// commit checksums and writes the assembled record. A failed write may
+// leave a torn record in the file; commit cuts the file back to the
+// last intact boundary so later appends stay reachable by replay. If
+// that repair itself fails, the log is poisoned: every further append
+// errors immediately, because a record written after torn bytes lies
+// beyond where replay stops — it would be acknowledged yet silently
+// unrecoverable. Reset (a successful checkpoint) clears the poison,
+// since truncation to empty removes the torn bytes too.
 func (w *WAL) commit(b []byte) error {
+	if w.broken != nil {
+		return fmt.Errorf("wal: %s holds torn bytes from an earlier append failure (%v); checkpoint to reset the log", w.path, w.broken)
+	}
 	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(b[8:]))
 	if _, err := w.f.Write(b); err != nil {
+		if terr := w.truncateTo(w.off); terr != nil {
+			w.broken = err
+		}
 		return fmt.Errorf("wal: appending to %s: %w", w.path, err)
 	}
+	w.off += int64(len(b))
 	w.records++
 	return nil
+}
+
+// truncateTo cuts the file to off and repositions for appending.
+func (w *WAL) truncateTo(off int64) error {
+	if err := w.f.Truncate(off); err != nil {
+		return err
+	}
+	_, err := w.f.Seek(off, io.SeekStart)
+	return err
 }
 
 // Sync flushes the log to stable storage (fsync).
@@ -239,6 +265,8 @@ func (w *WAL) Sync() error { return w.f.Sync() }
 
 // Reset empties the log — the checkpoint step after the state it
 // records has been captured elsewhere — and syncs the truncation.
+// Truncating to zero also removes any torn bytes a failed append left
+// behind, so a poisoned log is clean again afterwards.
 func (w *WAL) Reset() error {
 	if err := w.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: truncating %s: %w", w.path, err)
@@ -250,6 +278,8 @@ func (w *WAL) Reset() error {
 		return fmt.Errorf("wal: syncing %s: %w", w.path, err)
 	}
 	w.records = 0
+	w.off = 0
+	w.broken = nil
 	return nil
 }
 

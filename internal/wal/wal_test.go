@@ -3,9 +3,11 @@ package wal
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -203,6 +205,72 @@ func TestResetEmptiesLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	if replayed != 1 || len(h.m) != 1 || h.m[2] != 2 {
+		t.Fatalf("after reset: replayed %d, map %v", replayed, h.m)
+	}
+}
+
+// TestFailedAppendPoisonsLog: when an append fails AND the torn bytes
+// cannot be cut back to the last record boundary, the log must refuse
+// every further append — otherwise a caller that recovers the panic
+// upstream would keep acknowledging records written past the tear,
+// which replay can never reach.
+func TestFailedAppendPoisonsLog(t *testing.T) {
+	path := walPath(t)
+	w, _, err := Open(path, newMapHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendInsert([]core.Element{{Key: 1, Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	w.f.Close() // every later write AND the truncate repair now fail
+	if err := w.AppendInsert([]core.Element{{Key: 3, Value: 4}}); err == nil {
+		t.Fatal("append on a dead file reported success")
+	}
+	if w.broken == nil {
+		t.Fatal("failed append with failed repair did not poison the log")
+	}
+	if err := w.AppendInsert([]core.Element{{Key: 5, Value: 6}}); err == nil || !strings.Contains(err.Error(), "torn bytes") {
+		t.Fatalf("append on a poisoned log: %v", err)
+	}
+	// A restart sees exactly the acknowledged prefix.
+	h := newMapHandler()
+	w2, replayed, err := Open(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if replayed != 1 || h.m[1] != 2 {
+		t.Fatalf("after poisoned crash: replayed %d, map %v", replayed, h.m)
+	}
+}
+
+// TestResetClearsPoison: a checkpoint (Reset) truncates the file to
+// empty, torn bytes included, so the poison lifts and appends resume.
+func TestResetClearsPoison(t *testing.T) {
+	path := walPath(t)
+	w, _, err := Open(path, newMapHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.broken = errors.New("simulated unrepairable tear")
+	if err := w.AppendInsert([]core.Element{{Key: 1, Value: 1}}); err == nil {
+		t.Fatal("poisoned log accepted an append")
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendInsert([]core.Element{{Key: 2, Value: 2}}); err != nil {
+		t.Fatalf("append after reset: %v", err)
+	}
+	w.Close()
+	h := newMapHandler()
+	w2, replayed, err := Open(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if replayed != 1 || h.m[2] != 2 {
 		t.Fatalf("after reset: replayed %d, map %v", replayed, h.m)
 	}
 }
