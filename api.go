@@ -59,6 +59,21 @@ type Stats = core.Stats
 // Statser exposes Stats.
 type Statser = core.Statser
 
+// SharedReader is implemented by dictionaries whose Search/Range are
+// safe for concurrent use inside Begin/EndSharedReads brackets with
+// mutations excluded; the concurrency wrappers (sharded, synchronized,
+// durable) consult it to serve reads under their RWMutex's read side.
+// Probe with SharedReads, not a type assertion: wrappers and
+// conditionally-safe structures implement the interface unconditionally
+// and answer honestly through the probe.
+type SharedReader = core.SharedReader
+
+// SharedReads reports whether d genuinely supports shared reads — the
+// honest instance-level probe behind the registry's "shared-reads"
+// capability flag. For a wrapper it reflects the structure it actually
+// wraps (a sharded map around a non-shared-read kind answers false).
+func SharedReads(d Dictionary) bool { return core.SharedReads(d) }
+
 // Store simulates a two-level DAM memory (block size B, cache size M)
 // and counts block transfers.
 type Store = dam.Store

@@ -7,6 +7,7 @@
 //	streambench -fig all                  # everything (DESIGN.md E1-E10)
 //	streambench -fig 2 -logn 20           # Figure 2 at N = 2^20
 //	streambench -fig transfers -csv       # E6 as CSV
+//	streambench -fig readmostly           # E12: shared-read vs exclusive-lock searches
 //	streambench -fig durability           # E11: snapshot save/load bandwidth
 //	streambench -list                     # registered dictionary kinds + capabilities
 //	streambench -dict cola,btree,sharded  # Figure 2 over any kinds
@@ -58,7 +59,7 @@ const (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, ratios, transfers, deamortized, scans, shuttle, concurrent, durability, all")
+		fig        = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, ratios, transfers, deamortized, scans, shuttle, concurrent, readmostly, durability, all")
 		dict       = flag.String("dict", "", "comma-separated structure lineup for -fig 2/3/4 (registered kinds or figure names; see -list)")
 		list       = flag.Bool("list", false, "list the registered dictionary kinds with their options and exit")
 		logn       = flag.Int("logn", 18, "log2 of the largest workload size")
@@ -155,7 +156,7 @@ func main() {
 		}
 	}
 	switch figName {
-	case "2", "3", "4", "5", "ratios", "transfers", "deamortized", "scans", "shuttle", "concurrent", "durability", "all":
+	case "2", "3", "4", "5", "ratios", "transfers", "deamortized", "scans", "shuttle", "concurrent", "readmostly", "durability", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
 		flag.Usage()
@@ -211,6 +212,8 @@ func main() {
 		results = []harness.Result{cfg.Shuttle()}
 	case "concurrent":
 		results = []harness.Result{cfg.Concurrent()}
+	case "readmostly":
+		results = []harness.Result{cfg.ReadMostly()}
 	case "durability":
 		results = []harness.Result{cfg.Durability()}
 	case "all":

@@ -185,6 +185,47 @@ func runConformance(t *testing.T, tc conformanceCase, d Dictionary, ops int) {
 			t.Fatalf("early break: visited %d", seen)
 		}
 	}
+
+	// Len exactness: the COLA family reconciles its live count during
+	// merges and guarantees exactness after compaction (and after any
+	// bottom-reaching merge — pinned by internal/cola's own tests); when
+	// every leaf under d exposes Compact, compact them all and demand
+	// the oracle's count. This used to be exempt entirely ("compare Len
+	// only after compaction" with no conformance check at all).
+	if compactLeaves(d) {
+		if got := d.Len(); got != len(oracle) {
+			t.Fatalf("Len after Compact = %d, oracle has %d", got, len(oracle))
+		}
+	}
+}
+
+// compacter is the COLA family's anytime reconciliation hook.
+type compacter interface{ Compact() }
+
+// compactLeaves walks the wrapper kinds down to their leaf structures
+// and compacts every one of them, reporting whether ALL leaves were
+// compactable (only then is an exact-Len assertion justified for the
+// whole composite).
+func compactLeaves(d Dictionary) bool {
+	switch x := d.(type) {
+	case *SynchronizedDictionary:
+		return compactLeaves(x.Unwrap())
+	case *DurableDictionary:
+		return compactLeaves(x.Unwrap())
+	case *ShardedMap:
+		all := true
+		for i := 0; i < x.NumShards(); i++ {
+			if !compactLeaves(x.InnerAt(i)) {
+				all = false
+			}
+		}
+		return all
+	}
+	if c, ok := d.(compacter); ok {
+		c.Compact()
+		return true
+	}
+	return false
 }
 
 // TestConformanceSnapshotRoundTrip drives every snapshot-capable kind
@@ -332,9 +373,16 @@ func TestConformanceBatchIngest(t *testing.T) {
 				t.Fatalf("Build(%q): %v", tc.kind, err)
 			}
 			InsertBatch(d, batch)
-			// Len is not asserted: several structures document it as
-			// approximate while duplicate keys sit unreconciled in
-			// buffers; the full scan below is the exact check.
+			// The full scan below is the exact content check; Len is
+			// asserted after compaction for the COLA family (exact by the
+			// merge-reconciliation guarantee) and left unasserted only for
+			// structures that document approximation and expose no
+			// compaction hook (BRT, shuttle).
+			if compactLeaves(d) {
+				if got := d.Len(); got != len(oracle) {
+					t.Fatalf("Len after Compact = %d, oracle has %d", got, len(oracle))
+				}
+			}
 			count := 0
 			for k, v := range All(d) {
 				if oracle[k] != v {

@@ -16,6 +16,7 @@ package brt
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dam"
@@ -58,13 +59,20 @@ type Tree struct {
 	height int
 	n      int
 	seq    uint64
-	stats  core.Stats
+
+	// stats carries every counter except Searches, which is atomic so
+	// bracketed concurrent searches (the core.SharedReader contract:
+	// Search and Range read nodes and buffers without restructuring)
+	// never race Stats() readers.
+	stats    core.Stats
+	searches atomic.Uint64
 }
 
 var (
-	_ core.Dictionary = (*Tree)(nil)
-	_ core.Deleter    = (*Tree)(nil)
-	_ core.Statser    = (*Tree)(nil)
+	_ core.Dictionary   = (*Tree)(nil)
+	_ core.Deleter      = (*Tree)(nil)
+	_ core.Statser      = (*Tree)(nil)
+	_ core.SharedReader = (*Tree)(nil)
 )
 
 // New returns an empty buffered repository tree.
@@ -121,8 +129,20 @@ func (t *Tree) FlushAll() {
 // Height reports the number of tree levels.
 func (t *Tree) Height() int { return t.height }
 
-// Stats implements core.Statser.
-func (t *Tree) Stats() core.Stats { return t.stats }
+// Stats implements core.Statser; safe concurrently with bracketed
+// shared reads (Searches is loaded atomically).
+func (t *Tree) Stats() core.Stats {
+	st := t.stats
+	st.Searches = t.searches.Load()
+	return st
+}
+
+// BeginSharedReads implements core.SharedReader by opening a shared
+// epoch on the owning DAM store (no-op without accounting).
+func (t *Tree) BeginSharedReads() { t.opt.Space.BeginSharedReads() }
+
+// EndSharedReads closes the bracket opened by BeginSharedReads.
+func (t *Tree) EndSharedReads() { t.opt.Space.EndSharedReads() }
 
 func (t *Tree) alloc(leaf bool) int32 {
 	t.nodes = append(t.nodes, node{leaf: leaf, parent: -1})
@@ -377,7 +397,7 @@ func (t *Tree) splitInternalWhileOver(id int32) {
 // each buffer (shallower entries are newer; within a buffer the largest
 // seq wins), then the leaf. O(height) block transfers.
 func (t *Tree) Search(key uint64) (uint64, bool) {
-	t.stats.Searches++
+	t.searches.Add(1)
 	if t.root < 0 {
 		return 0, false
 	}

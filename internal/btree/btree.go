@@ -11,6 +11,7 @@ package btree
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dam"
@@ -34,7 +35,11 @@ type Options struct {
 	Space *dam.Space
 }
 
-// Tree is a B+-tree over uint64 keys and values.
+// Tree is a B+-tree over uint64 keys and values. Mutations are
+// single-threaded; the read path (Search, Range) follows the
+// core.SharedReader contract — it reads structure state, bumps only the
+// atomic search counter, and charges the DAM space, which freezes its
+// accounting inside a shared-read bracket.
 type Tree struct {
 	opt    Options
 	nodes  []node
@@ -42,7 +47,11 @@ type Tree struct {
 	root   int32
 	height int // number of levels; 1 = root is a leaf
 	n      int
-	stats  core.Stats
+
+	// stats carries every counter except Searches, which is atomic so
+	// bracketed concurrent searches never race Stats() readers.
+	stats    core.Stats
+	searches atomic.Uint64
 }
 
 type node struct {
@@ -57,9 +66,10 @@ type node struct {
 }
 
 var (
-	_ core.Dictionary = (*Tree)(nil)
-	_ core.Deleter    = (*Tree)(nil)
-	_ core.Statser    = (*Tree)(nil)
+	_ core.Dictionary   = (*Tree)(nil)
+	_ core.Deleter      = (*Tree)(nil)
+	_ core.Statser      = (*Tree)(nil)
+	_ core.SharedReader = (*Tree)(nil)
 )
 
 // New returns an empty B+-tree.
@@ -87,8 +97,20 @@ func (t *Tree) Len() int { return t.n }
 // a leaf).
 func (t *Tree) Height() int { return t.height }
 
-// Stats implements core.Statser.
-func (t *Tree) Stats() core.Stats { return t.stats }
+// Stats implements core.Statser; safe concurrently with bracketed
+// shared reads (Searches is loaded atomically).
+func (t *Tree) Stats() core.Stats {
+	st := t.stats
+	st.Searches = t.searches.Load()
+	return st
+}
+
+// BeginSharedReads implements core.SharedReader by opening a shared
+// epoch on the owning DAM store (no-op without accounting).
+func (t *Tree) BeginSharedReads() { t.opt.Space.BeginSharedReads() }
+
+// EndSharedReads closes the bracket opened by BeginSharedReads.
+func (t *Tree) EndSharedReads() { t.opt.Space.EndSharedReads() }
 
 func (t *Tree) alloc(leaf bool) int32 {
 	if len(t.free) > 0 {
@@ -118,7 +140,7 @@ func (t *Tree) dirty(id int32) {
 
 // Search implements core.Dictionary in O(height) block accesses.
 func (t *Tree) Search(key uint64) (uint64, bool) {
-	t.stats.Searches++
+	t.searches.Add(1)
 	if t.root < 0 {
 		return 0, false
 	}

@@ -17,6 +17,8 @@
 package cola
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/dam"
 )
@@ -76,24 +78,39 @@ const DefaultPointerDensity = 0.1
 
 // GCOLA is a lookahead array with growth factor g and pointer density p.
 //
-// Len is exact for workloads whose Insert calls use distinct keys and for
-// any workload after Compact; between merges, a key re-inserted while an
-// older copy is still buffered is counted once per un-reconciled copy
-// (merges reconcile the count as duplicates annihilate).
+// Len is exact for workloads whose Insert calls use distinct keys, after
+// Compact, and after any merge whose target is the bottom-most occupied
+// level (such a merge sees the whole structure, so the count is
+// reconciled authoritatively against the merged output). Between such
+// merges, a key re-inserted while an older copy sits in a level the
+// next merges do not reach is counted once per un-reconciled copy;
+// copies that meet in a merge reconcile immediately.
+//
+// GCOLA is single-threaded for mutations, but its read path (Search,
+// Range) follows the core.SharedReader contract: bracketed by
+// Begin/EndSharedReads and with writers excluded, any number of
+// goroutines may search concurrently — the search counter is atomic,
+// Range runs out of pooled per-call cursors, and DAM charges go through
+// the store's frozen shared-read epoch.
 type GCOLA struct {
 	opt    Options
 	levels []level
 	n      int // live-key count, reconciled during merges
 
-	stats core.Stats
+	// stats carries every counter except Searches, which lives in its
+	// own atomic so concurrent bracketed searches never race Stats()
+	// readers (the rest of the struct is only written under mutation
+	// exclusion).
+	stats    core.Stats
+	searches atomic.Uint64
 
 	// offsets[l] is the byte offset of level l in the DAM space, from the
 	// deterministic capacity formula; filled alongside levels.
 	offsets []int64
 
-	// scratch holds the buffers the merge, pointer-distribution, and
-	// range paths reuse across calls, so steady-state operations do not
-	// allocate. See the mergeScratch comment for the ownership rules.
+	// scratch holds the buffers the merge and pointer-distribution paths
+	// reuse across calls, so steady-state operations do not allocate.
+	// See the mergeScratch comment for the ownership rules.
 	scratch mergeScratch
 }
 
@@ -114,21 +131,23 @@ type rangeCursor struct {
 //   - Buffers only grow; their steady-state capacity is bounded by the
 //     largest merge performed so far (at most the largest level), which
 //     is the price of allocation-free inserts.
-//   - GCOLA was never safe for concurrent use (every operation mutates
-//     counters); the scratch adds no new restriction.
+//   - Only mutation paths (Insert/Delete/Compact) touch the scratch, and
+//     those remain single-threaded; the shared-read path must not —
+//     Range's cursors are pooled per call (see cursorPool) so bracketed
+//     concurrent reads never contend on per-tree state.
 type mergeScratch struct {
-	runs    [][]entry     // mergeDown/Compact run headers, newest first
-	one     [1]entry      // backing array for the incoming-entry run
-	ping    []entry       // merge-ladder accumulator (alternates with pong)
-	pong    []entry       // merge-ladder accumulator (alternates with ping)
-	la      []entry       // lookahead sample buffer for distributePointers
-	cursors []rangeCursor // per-level cursors for Range
+	runs [][]entry // mergeDown/Compact run headers, newest first
+	one  [1]entry  // backing array for the incoming-entry run
+	ping []entry   // merge-ladder accumulator (alternates with pong)
+	pong []entry   // merge-ladder accumulator (alternates with ping)
+	la   []entry   // lookahead sample buffer for distributePointers
 }
 
 var (
-	_ core.Dictionary = (*GCOLA)(nil)
-	_ core.Deleter    = (*GCOLA)(nil)
-	_ core.Statser    = (*GCOLA)(nil)
+	_ core.Dictionary   = (*GCOLA)(nil)
+	_ core.Deleter      = (*GCOLA)(nil)
+	_ core.Statser      = (*GCOLA)(nil)
+	_ core.SharedReader = (*GCOLA)(nil)
 )
 
 // New returns an empty g-COLA. It panics if opt.Growth < 2 or the pointer
@@ -161,8 +180,22 @@ func (c *GCOLA) Growth() int { return c.opt.Growth }
 // Levels reports how many levels have been allocated.
 func (c *GCOLA) Levels() int { return len(c.levels) }
 
-// Stats implements core.Statser.
-func (c *GCOLA) Stats() core.Stats { return c.stats }
+// Stats implements core.Statser. Safe to call concurrently with
+// bracketed shared reads: Searches is loaded atomically and the other
+// counters only change under mutation exclusion.
+func (c *GCOLA) Stats() core.Stats {
+	st := c.stats
+	st.Searches = c.searches.Load()
+	return st
+}
+
+// BeginSharedReads implements core.SharedReader by opening a shared
+// epoch on the owning DAM store (a no-op without accounting). See the
+// GCOLA type comment for the bracket contract.
+func (c *GCOLA) BeginSharedReads() { c.opt.Space.BeginSharedReads() }
+
+// EndSharedReads closes the bracket opened by BeginSharedReads.
+func (c *GCOLA) EndSharedReads() { c.opt.Space.EndSharedReads() }
 
 // realCapacity returns the number of real elements level l can hold:
 // 1 for level 0, 2(g-1)g^(l-1) for l >= 1 (the paper's level sizes).
@@ -232,8 +265,11 @@ func (c *GCOLA) Len() int { return c.n }
 // Insert implements core.Dictionary.
 func (c *GCOLA) Insert(key, value uint64) {
 	c.stats.Inserts++
-	c.insertEntry(entry{key: key, val: value, kind: kindReal, left: -1})
+	// Count before routing: if the entry triggers a merge reaching the
+	// bottom-most occupied level, the merge reconciles n authoritatively
+	// against its output (which already contains this entry).
 	c.n++
+	c.insertEntry(entry{key: key, val: value, kind: kindReal, left: -1})
 }
 
 // Delete implements core.Deleter: it searches for the key (so the result
@@ -244,8 +280,10 @@ func (c *GCOLA) Delete(key uint64) bool {
 	if _, ok := c.Search(key); !ok {
 		return false
 	}
-	c.insertEntry(entry{key: key, kind: kindTombstone, left: -1})
+	// Count before routing, as in Insert, so a bottom-reaching merge's
+	// authoritative reconciliation is not undone afterwards.
 	c.n--
+	c.insertEntry(entry{key: key, kind: kindTombstone, left: -1})
 	return true
 }
 
@@ -326,6 +364,17 @@ func (c *GCOLA) mergeDown(newEntry entry) {
 	c.installLevel(t, out)
 	c.chargeWrite(t, target.start, len(out))
 	c.stats.Moves += uint64(len(out))
+
+	// A merge into the bottom-most occupied level sees the entire
+	// structure: tombstones were dropped, lookahead entries cannot exist
+	// in a bottom level, so the output length IS the live-key count.
+	// Setting it authoritatively makes Len exact after any such merge —
+	// not only after Compact — even when duplicate-key updates had
+	// accumulated un-reconciled copies across levels the smaller merges
+	// never brought together.
+	if atBottom {
+		c.n = len(out)
+	}
 
 	// Empty the consumed levels.
 	for l := 0; l < t; l++ {

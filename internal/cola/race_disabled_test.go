@@ -1,0 +1,5 @@
+//go:build !race
+
+package cola
+
+const raceEnabled = false

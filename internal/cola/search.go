@@ -1,6 +1,8 @@
 package cola
 
 import (
+	"sync"
+
 	"repro/internal/core"
 )
 
@@ -31,8 +33,12 @@ func (c *GCOLA) lowerBound(l, lo, hi int, target uint64) (pos, probes int) {
 // (Lemma 20); when a level has no pointers (tiny levels, p = 0, or a gap
 // of empty levels) the whole level is binary searched, which is the
 // "basic COLA" fallback.
+//
+// Search mutates nothing but the atomic search counter and the DAM
+// charge stream, so bracketed concurrent searches are safe (the
+// core.SharedReader contract).
 func (c *GCOLA) Search(key uint64) (uint64, bool) {
-	c.stats.Searches++
+	c.searches.Add(1)
 	lo, hi := -1, -1 // window into the upcoming level; -1 means unknown
 	for l := 0; l < len(c.levels); l++ {
 		lv := &c.levels[l]
@@ -166,11 +172,28 @@ func (c *GCOLA) chargeBinarySearch(l, lo, hi, probes int) {
 	}
 }
 
+// cursorBuf is the per-call cursor set of one Range; pooled (rather
+// than per-tree scratch) so bracketed concurrent Ranges and reentrant
+// Ranges from inside fn each get their own, while steady-state calls
+// stay allocation-free. Capacity is retained across uses and is bounded
+// by the level count, i.e. O(log N).
+type cursorBuf struct {
+	c []rangeCursor
+}
+
+var cursorPool = sync.Pool{New: func() any { return new(cursorBuf) }}
+
 // Range implements core.Dictionary: a k-way merge across the occupied
 // levels with newest-wins resolution, skipping lookahead entries and
-// tombstoned keys.
+// tombstoned keys. Like Search, Range is safe for bracketed concurrent
+// use: its cursors are pooled per call and it mutates nothing else.
 func (c *GCOLA) Range(lo, hi uint64, fn func(core.Element) bool) {
-	cursors := c.scratch.cursors[:0]
+	cb := cursorPool.Get().(*cursorBuf)
+	defer func() {
+		cb.c = cb.c[:0]
+		cursorPool.Put(cb)
+	}()
+	cursors := cb.c[:0]
 	for l := range c.levels {
 		lv := &c.levels[l]
 		if lv.empty() {
@@ -183,10 +206,7 @@ func (c *GCOLA) Range(lo, hi uint64, fn func(core.Element) bool) {
 			cursors = append(cursors, rangeCursor{level: l, pos: p})
 		}
 	}
-	// Steal the scratch for the duration of the merge so a reentrant
-	// Range from inside fn allocates its own cursors instead of
-	// clobbering ours; every return below hands the buffer back.
-	c.scratch.cursors = nil
+	cb.c = cursors
 
 	for {
 		// Pick the smallest key among cursors; ties resolved by the
@@ -214,7 +234,6 @@ func (c *GCOLA) Range(lo, hi uint64, fn func(core.Element) bool) {
 			}
 		}
 		if best < 0 {
-			c.scratch.cursors = cursors[:0]
 			return
 		}
 		// Emit the newest entry for bestKey and advance every cursor
@@ -232,7 +251,6 @@ func (c *GCOLA) Range(lo, hi uint64, fn func(core.Element) bool) {
 			continue
 		}
 		if !fn(core.Element{Key: e.key, Value: e.val}) {
-			c.scratch.cursors = cursors[:0]
 			return
 		}
 	}

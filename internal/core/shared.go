@@ -1,0 +1,65 @@
+package core
+
+// SharedReader is implemented by dictionaries whose read path — Search
+// and Range — is safe for concurrent use by multiple goroutines while a
+// shared-read bracket is open, provided no mutation runs concurrently.
+// The contract a caller (typically a concurrency wrapper holding an
+// RWMutex read lock) must follow:
+//
+//  1. Acquire read-side exclusion against mutations (e.g. RLock).
+//  2. Call BeginSharedReads, run any number of Search/Range calls on
+//     this goroutine, call EndSharedReads.
+//  3. Release the read-side exclusion only after EndSharedReads.
+//
+// Brackets nest (wrappers forward them to their inner structure) and
+// are cheap — an atomic counter bump on the structure's DAM store, or a
+// no-op for structures without one. While at least one bracket is open
+// a DAM-charged structure's store freezes LRU recency updates and
+// counts misses against the frozen resident set (see dam.Store), which
+// is what makes concurrent charging race-free.
+//
+// Implementing SharedReader is a declaration that the read path mutates
+// nothing non-atomically: no plain counters, no per-structure scratch
+// reused across calls, no lazy placement on probe paths. Structures
+// whose safety is conditional (e.g. the shuttle tree, whose charge path
+// places buffers lazily when accounting is on) additionally implement
+// SharedReadProber and report the condition honestly; callers must
+// consult SharedReads, not the type assertion alone.
+type SharedReader interface {
+	BeginSharedReads()
+	EndSharedReads()
+}
+
+// SharedReadProber is the honest capability probe for shared reads.
+// Wrappers implement it by forwarding the question to the structure
+// they wrap (a sharded map around a non-shared-read inner must answer
+// false even though its own methods exist unconditionally), and leaf
+// structures with conditional safety implement it to report the
+// condition. SharedReads folds both cases.
+type SharedReadProber interface {
+	SharedReads() bool
+}
+
+// SharedReads reports whether d's Search/Range genuinely support the
+// shared-read bracket protocol: the prober answers when present (it is
+// authoritative — wrappers and conditionally-safe structures implement
+// their interfaces unconditionally), otherwise implementing
+// SharedReader is the declaration.
+func SharedReads(d Dictionary) bool {
+	if p, ok := d.(SharedReadProber); ok {
+		return p.SharedReads()
+	}
+	_, ok := d.(SharedReader)
+	return ok
+}
+
+// AsSharedReader returns the bracket target when d genuinely supports
+// shared reads (per SharedReads), or (nil, false) otherwise — the one
+// probe concurrency wrappers need at construction time.
+func AsSharedReader(d Dictionary) (SharedReader, bool) {
+	sr, ok := d.(SharedReader)
+	if !ok || !SharedReads(d) {
+		return nil, false
+	}
+	return sr, true
+}

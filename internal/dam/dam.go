@@ -13,8 +13,21 @@
 // are properties of the memory, not of the algorithm.
 package dam
 
-// Store models the two-level memory. It is not safe for concurrent use;
-// experiments are single-threaded, matching the paper.
+import "sync/atomic"
+
+// Store models the two-level memory. It is not safe for general
+// concurrent use — experiments are single-threaded, matching the paper
+// — with one carefully scoped exception: while a shared-read epoch is
+// open (BeginSharedReads/EndSharedReads), any number of goroutines may
+// issue Read charges and query the counters concurrently. During the
+// epoch the LRU is frozen: recency is not updated, nothing becomes
+// resident or is evicted, and misses are counted with atomics against
+// the frozen resident set. Write charges and all structural mutation
+// remain exclusive-only (a Write during an open epoch panics).
+//
+// Outside any epoch the code path is exactly the single-threaded one,
+// so single-threaded transfer counts are bit-identical to a store
+// without the epoch machinery.
 type Store struct {
 	blockBytes int64
 	capacity   int // resident blocks (M/B)
@@ -29,6 +42,13 @@ type Store struct {
 	writebacks uint64 // dirty evictions
 	reads      uint64 // Read calls
 	writes     uint64 // Write calls
+
+	// Shared-read epoch state: sharedDepth counts open brackets, and
+	// while it is positive misses and read charges accumulate in the
+	// atomic counters instead of touching the plain ones (or the LRU).
+	sharedDepth     atomic.Int64
+	sharedTransfers atomic.Uint64
+	sharedReads     atomic.Uint64
 
 	nextBase uint64 // next Space base address
 }
@@ -66,23 +86,46 @@ func (s *Store) BlockBytes() int64 { return s.blockBytes }
 // CacheBlocks reports the number of resident blocks (M/B).
 func (s *Store) CacheBlocks() int { return s.capacity }
 
-// Transfers reports the number of block transfers (cache misses) so far.
-func (s *Store) Transfers() uint64 { return s.transfers }
+// Transfers reports the number of block transfers (cache misses) so
+// far: exclusive-mode misses plus misses counted during shared-read
+// epochs. Safe to call while an epoch is open.
+func (s *Store) Transfers() uint64 { return s.transfers + s.sharedTransfers.Load() }
 
 // Writebacks reports the number of dirty blocks evicted so far.
 func (s *Store) Writebacks() uint64 { return s.writebacks }
 
-// Accesses reports the number of Read and Write range accesses so far.
-func (s *Store) Accesses() (reads, writes uint64) { return s.reads, s.writes }
+// Accesses reports the number of Read and Write range accesses so far,
+// shared-epoch reads included.
+func (s *Store) Accesses() (reads, writes uint64) {
+	return s.reads + s.sharedReads.Load(), s.writes
+}
 
 // ResetCounters zeroes the transfer and access counters without
 // disturbing cache residency. Use between experiment phases (e.g. between
-// the load phase and the query phase of Figure 4).
+// the load phase and the query phase of Figure 4). It must not race an
+// open shared-read epoch.
 func (s *Store) ResetCounters() {
 	s.transfers = 0
 	s.writebacks = 0
 	s.reads = 0
 	s.writes = 0
+	s.sharedTransfers.Store(0)
+	s.sharedReads.Store(0)
+}
+
+// BeginSharedReads opens a shared-read epoch (brackets nest). While at
+// least one bracket is open the resident set is frozen: concurrent
+// goroutines may charge reads, each miss counting one transfer against
+// the frozen set without updating recency or residency. The caller is
+// responsible for excluding writers for the duration (the concurrency
+// wrappers hold an RWMutex read lock across the bracket).
+func (s *Store) BeginSharedReads() { s.sharedDepth.Add(1) }
+
+// EndSharedReads closes one bracket; it panics on underflow.
+func (s *Store) EndSharedReads() {
+	if s.sharedDepth.Add(-1) < 0 {
+		panic("dam: EndSharedReads without a matching BeginSharedReads")
+	}
 }
 
 // DropCache evicts every resident block, simulating the paper's
@@ -181,6 +224,10 @@ func (s *Store) access(base uint64, off, n int64, write bool) {
 	if n <= 0 {
 		return
 	}
+	if s.sharedDepth.Load() > 0 {
+		s.sharedAccess(base, off, n, write)
+		return
+	}
 	if write {
 		s.writes++
 	} else {
@@ -191,6 +238,27 @@ func (s *Store) access(base uint64, off, n int64, write bool) {
 	last := (addr + uint64(n) - 1) / uint64(s.blockBytes)
 	for id := first; id <= last; id++ {
 		s.touch(id, write)
+	}
+}
+
+// sharedAccess is the frozen-set charge path of an open shared-read
+// epoch: the LRU table is only read (safe for concurrent map reads —
+// nothing mutates it while the epoch is open), every non-resident block
+// counts one transfer, and the counters are atomic. Repeated shared
+// reads of the same non-resident block each count a miss — the price
+// of freezing recency, documented in DESIGN.md's shared-read appendix.
+func (s *Store) sharedAccess(base uint64, off, n int64, write bool) {
+	if write {
+		panic("dam: write charged during an open shared-read epoch")
+	}
+	s.sharedReads.Add(1)
+	addr := base + uint64(off)
+	first := addr / uint64(s.blockBytes)
+	last := (addr + uint64(n) - 1) / uint64(s.blockBytes)
+	for id := first; id <= last; id++ {
+		if _, resident := s.table[id]; !resident {
+			s.sharedTransfers.Add(1)
+		}
 	}
 }
 
@@ -218,6 +286,24 @@ func (sp *Space) Write(off, n int64) {
 		return
 	}
 	sp.store.access(sp.base, off, n, true)
+}
+
+// BeginSharedReads forwards to the owning store's shared-read epoch;
+// a nil space is a no-op, mirroring Read/Write, so structures without
+// accounting implement core.SharedReader at zero cost.
+func (sp *Space) BeginSharedReads() {
+	if sp == nil {
+		return
+	}
+	sp.store.BeginSharedReads()
+}
+
+// EndSharedReads closes the bracket opened by BeginSharedReads.
+func (sp *Space) EndSharedReads() {
+	if sp == nil {
+		return
+	}
+	sp.store.EndSharedReads()
 }
 
 // Name reports the space's debug name.

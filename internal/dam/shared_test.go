@@ -1,0 +1,156 @@
+package dam
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSharedEpochFreezesResidency: misses inside a shared-read epoch
+// are counted but change nothing — no residency, no recency, no
+// eviction — so the exclusive-mode state after the epoch is exactly the
+// state before it.
+func TestSharedEpochFreezesResidency(t *testing.T) {
+	s := NewStore(64, 64*2) // two resident blocks
+	sp := s.Space("t")
+	sp.Read(0, 1)  // block 0 resident
+	sp.Read(64, 1) // block 1 resident
+	if s.Transfers() != 2 {
+		t.Fatalf("setup transfers = %d, want 2", s.Transfers())
+	}
+
+	s.BeginSharedReads()
+	sp.Read(128, 1) // miss against the frozen set
+	sp.Read(128, 1) // still a miss: nothing became resident
+	sp.Read(0, 1)   // hit: block 0 is in the frozen set
+	s.EndSharedReads()
+
+	if got := s.Transfers(); got != 4 {
+		t.Fatalf("transfers after epoch = %d, want 4 (2 setup + 2 frozen misses)", got)
+	}
+	reads, _ := s.Accesses()
+	if reads != 5 {
+		t.Fatalf("reads = %d, want 5", reads)
+	}
+
+	// Residency unchanged: blocks 0 and 1 still hit, block 2 still
+	// misses (and now becomes resident, evicting LRU block 1 — the
+	// epoch must not have touched recency, so 0 was most recent).
+	base := s.Transfers()
+	sp.Read(0, 1)
+	sp.Read(64, 1)
+	if s.Transfers() != base {
+		t.Fatalf("resident blocks miss after epoch: transfers %d -> %d", base, s.Transfers())
+	}
+	sp.Read(128, 1)
+	if s.Transfers() != base+1 {
+		t.Fatalf("block 2 should still miss exactly once, transfers %d -> %d", base, s.Transfers())
+	}
+}
+
+// TestSharedEpochNests: brackets nest (wrappers forward them), and the
+// frozen path stays active until the outermost closes.
+func TestSharedEpochNests(t *testing.T) {
+	s := NewStore(64, 64)
+	sp := s.Space("t")
+	s.BeginSharedReads()
+	s.BeginSharedReads()
+	s.EndSharedReads()
+	sp.Read(0, 1) // depth still 1: frozen miss
+	s.EndSharedReads()
+	if s.transfers != 0 || s.sharedTransfers.Load() != 1 {
+		t.Fatalf("counters = (%d exclusive, %d shared), want (0, 1)",
+			s.transfers, s.sharedTransfers.Load())
+	}
+	sp.Read(0, 1) // depth 0: normal path, block becomes resident
+	if s.transfers != 1 {
+		t.Fatalf("exclusive transfers after epoch = %d, want 1", s.transfers)
+	}
+}
+
+// TestSharedEpochEndUnderflowPanics pins the bracket discipline.
+func TestSharedEpochEndUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on EndSharedReads underflow")
+		}
+	}()
+	NewStore(64, 64).EndSharedReads()
+}
+
+// TestSharedEpochWritePanics: the epoch is read-only by contract; a
+// structure charging a write inside one is a declared-shared structure
+// mutating on its read path — a bug worth crashing on.
+func TestSharedEpochWritePanics(t *testing.T) {
+	s := NewStore(64, 64)
+	sp := s.Space("t")
+	s.BeginSharedReads()
+	defer s.EndSharedReads()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Write during shared-read epoch")
+		}
+	}()
+	sp.Write(0, 1)
+}
+
+// TestSharedEpochConcurrentReads hammers the frozen charge path from
+// many goroutines (run with -race): counters must be exact because
+// every miss is counted atomically against an immutable resident set.
+func TestSharedEpochConcurrentReads(t *testing.T) {
+	s := NewStore(64, 64*8)
+	sp := s.Space("t")
+	for b := int64(0); b < 8; b++ {
+		sp.Read(b*64, 1) // blocks 0..7 resident
+	}
+	base := s.Transfers()
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sp.BeginSharedReads()
+			defer sp.EndSharedReads()
+			for i := 0; i < perWorker; i++ {
+				if i%2 == 0 {
+					sp.Read(int64(i%8)*64, 1) // resident: hit
+				} else {
+					sp.Read(64*100, 1) // never resident: miss
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wantMisses := uint64(workers * perWorker / 2)
+	if got := s.Transfers() - base; got != wantMisses {
+		t.Fatalf("frozen misses = %d, want %d", got, wantMisses)
+	}
+	reads, _ := s.Accesses()
+	if want := uint64(8 + workers*perWorker); reads != want {
+		t.Fatalf("reads = %d, want %d", reads, want)
+	}
+}
+
+// TestSharedCountersSurviveReset: ResetCounters clears the shared
+// counters too, so experiment phases measured after a concurrent phase
+// start from zero like they always did.
+func TestSharedCountersSurviveReset(t *testing.T) {
+	s := NewStore(64, 64)
+	sp := s.Space("t")
+	s.BeginSharedReads()
+	sp.Read(0, 1)
+	s.EndSharedReads()
+	if s.Transfers() != 1 {
+		t.Fatalf("transfers = %d, want 1", s.Transfers())
+	}
+	s.ResetCounters()
+	if s.Transfers() != 0 {
+		t.Fatalf("transfers after reset = %d, want 0", s.Transfers())
+	}
+	reads, _ := s.Accesses()
+	if reads != 0 {
+		t.Fatalf("reads after reset = %d, want 0", reads)
+	}
+}

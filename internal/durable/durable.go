@@ -59,9 +59,15 @@ type Options struct {
 // deliberately does not implement core.Snapshotter — its persistence
 // story IS the WAL plus checkpoints, written via Checkpoint.
 //
-// Every method serializes on one mutex, so a Dict is safe for
-// concurrent use; scale-out belongs to the inner structure (wrap a
-// sharded map for parallel reads of the in-memory state).
+// Every mutation serializes on one RWMutex, so a Dict is safe for
+// concurrent use. When the inner structure genuinely supports shared
+// reads (core.AsSharedReader, probed once at construction), Search and
+// Range take the read side bracketed by Begin/EndSharedReads and scale
+// with concurrent readers — reads never touch the log, so nothing about
+// the durability contract changes; otherwise they serialize with the
+// mutations, the pre-shared-read behaviour. SharedReads reports which
+// mode the wrapper is in (its own methods exist unconditionally, so the
+// prober — not a type assertion — is the honest capability probe).
 //
 // Error contract: the Dictionary interface has no error returns, so a
 // failed log append — the point where durability would silently end —
@@ -75,8 +81,9 @@ type Options struct {
 // write is at risk; the error is retained in Err and the next record
 // retries.
 type Dict struct {
-	mu            sync.Mutex
+	mu            sync.RWMutex
 	inner         core.Dictionary
+	sr            core.SharedReader // shared-read bracket target; nil = exclusive reads
 	log           *wal.WAL
 	ckptPath      string
 	every         int
@@ -88,11 +95,13 @@ type Dict struct {
 }
 
 var (
-	_ core.Dictionary      = (*Dict)(nil)
-	_ core.Deleter         = (*Dict)(nil)
-	_ core.Statser         = (*Dict)(nil)
-	_ core.TransferCounter = (*Dict)(nil)
-	_ core.BatchInserter   = (*Dict)(nil)
+	_ core.Dictionary       = (*Dict)(nil)
+	_ core.Deleter          = (*Dict)(nil)
+	_ core.Statser          = (*Dict)(nil)
+	_ core.TransferCounter  = (*Dict)(nil)
+	_ core.BatchInserter    = (*Dict)(nil)
+	_ core.SharedReader     = (*Dict)(nil)
+	_ core.SharedReadProber = (*Dict)(nil)
 )
 
 // New assembles the wrapper; see Options.
@@ -100,13 +109,17 @@ func New(opt Options) *Dict {
 	if opt.Inner == nil || opt.Log == nil || opt.WriteSnapshot == nil || opt.CheckpointPath == "" {
 		panic("durable: New requires Inner, Log, CheckpointPath, and WriteSnapshot")
 	}
-	return &Dict{
+	d := &Dict{
 		inner:         opt.Inner,
 		log:           opt.Log,
 		ckptPath:      opt.CheckpointPath,
 		every:         opt.CheckpointEvery,
 		writeSnapshot: opt.WriteSnapshot,
 	}
+	if sr, ok := core.AsSharedReader(opt.Inner); ok {
+		d.sr = sr
+	}
+	return d
 }
 
 // mustAppend runs one log append and panics on failure (see the type
@@ -183,44 +196,94 @@ func (d *Dict) Delete(key uint64) bool {
 	return present
 }
 
-// Search implements core.Dictionary.
+// Search implements core.Dictionary: on the read side of the lock,
+// bracketed, when the inner structure supports shared reads; exclusive
+// otherwise. Reads never touch the write-ahead log.
 func (d *Dict) Search(key uint64) (uint64, bool) {
+	if d.sr != nil {
+		d.mu.RLock()
+		d.sr.BeginSharedReads()
+		v, ok := d.inner.Search(key)
+		d.sr.EndSharedReads()
+		d.mu.RUnlock()
+		return v, ok
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.inner.Search(key)
 }
 
-// Range implements core.Dictionary. The callback runs under the lock;
-// it must not call back into the dictionary.
+// Range implements core.Dictionary, with the same lock choice as
+// Search. The callback runs under the lock and must not call back into
+// the dictionary at all — a reentrant RLock deadlocks against a
+// waiting writer. The bracket and lock release are deferred so a
+// panicking callback cannot leak the read lock or leave the shared
+// epoch open.
 func (d *Dict) Range(lo, hi uint64, fn func(core.Element) bool) {
+	if d.sr != nil {
+		d.mu.RLock()
+		d.sr.BeginSharedReads()
+		defer func() {
+			d.sr.EndSharedReads()
+			d.mu.RUnlock()
+		}()
+		d.inner.Range(lo, hi, fn)
+		return
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.inner.Range(lo, hi, fn)
 }
 
-// Len implements core.Dictionary.
+// SharedReads implements core.SharedReadProber: whether reads genuinely
+// run on the shared side, i.e. whether the inner structure honestly
+// declared shared-read safety.
+func (d *Dict) SharedReads() bool { return d.sr != nil }
+
+// BeginSharedReads implements core.SharedReader for outer wrappers
+// nesting this one; a no-op when the inner structure is not shared-read
+// safe.
+func (d *Dict) BeginSharedReads() {
+	if d.sr != nil {
+		d.sr.BeginSharedReads()
+	}
+}
+
+// EndSharedReads closes the bracket opened by BeginSharedReads.
+func (d *Dict) EndSharedReads() {
+	if d.sr != nil {
+		d.sr.EndSharedReads()
+	}
+}
+
+// Len implements core.Dictionary on the read side of the lock, like
+// the other wrappers' aggregation accessors: inner Len is
+// mutation-free, so a monitoring poll never drains concurrent shared
+// searches.
 func (d *Dict) Len() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.inner.Len()
 }
 
-// Stats forwards to the inner structure's Statser (zero Stats without
-// one).
+// Stats forwards to the inner structure's Statser on the read side of
+// the lock (Stats accessors are mutation-free; shared-read-safe inners
+// load their search counter atomically); zero Stats without one.
 func (d *Dict) Stats() core.Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if st, ok := d.inner.(core.Statser); ok {
 		return st.Stats()
 	}
 	return core.Stats{}
 }
 
-// Transfers forwards to the inner structure's TransferCounter (zero
-// without one).
+// Transfers forwards to the inner structure's TransferCounter on the
+// read side of the lock (only internally-synchronized store owners
+// implement it); zero without one.
 func (d *Dict) Transfers() uint64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if tc, ok := d.inner.(core.TransferCounter); ok {
 		return tc.Transfers()
 	}

@@ -267,6 +267,37 @@ func TestConcurrentScenario(t *testing.T) {
 	}
 }
 
+// TestReadMostlyScenario runs E12 at a small scale and checks the
+// result's shape; the ≥2x shared-vs-exclusive speedup claim is asserted
+// by the benchmarks (BenchmarkShardedReadMostly), not here, since test
+// hosts may be single-core.
+func TestReadMostlyScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E12 drives 4 contenders x 4 scales")
+	}
+	c := small()
+	c.LogN = 12
+	r := c.ReadMostly()
+	if len(r.Series) != 4 {
+		t.Fatalf("ReadMostly has %d series, want 4", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if len(s.X) != 4 || len(s.Y) != 4 {
+			t.Fatalf("series %q has %d points, want 4", s.Name, len(s.X))
+		}
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("series %q point %d is non-positive: %v", s.Name, i, y)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	Print(&buf, r)
+	if !strings.Contains(buf.String(), "sharded shared srch/s") {
+		t.Fatalf("Print output missing series:\n%s", buf.String())
+	}
+}
+
 func TestRangeScansNearSequentialBound(t *testing.T) {
 	c := small()
 	r := c.RangeScans()

@@ -32,7 +32,7 @@ func init() {
 	mustRegister("cola", KindInfo{
 		Doc:     "cache-oblivious lookahead array (g = 2, paper's pointer density): the headline write-optimized structure",
 		Options: []string{OptSpace},
-		Caps:    Caps{Snapshot: true, Delete: true, Batch: true},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, SharedReads: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			return cola.NewCOLA(c.Space()), nil
 		},
@@ -40,7 +40,7 @@ func init() {
 	mustRegister("basic-cola", KindInfo{
 		Doc:     "pointerless basic COLA: O(log^2 N) searches, the paper's simplest variant",
 		Options: []string{OptSpace},
-		Caps:    Caps{Snapshot: true, Delete: true, Batch: true},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, SharedReads: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			return cola.NewBasic(c.Space()), nil
 		},
@@ -48,7 +48,7 @@ func init() {
 	mustRegister("gcola", KindInfo{
 		Doc:     "growth-factor-g lookahead array with tunable pointer density (the paper's g-COLA)",
 		Options: []string{OptSpace, OptGrowth, OptPointerDensity},
-		Caps:    Caps{Snapshot: true, Delete: true, Batch: true},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, SharedReads: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			return cola.New(cola.Options{
 				Growth:         c.GrowthFactor(2),
@@ -76,7 +76,7 @@ func init() {
 	mustRegister("la", KindInfo{
 		Doc:     "cache-aware lookahead array with growth B^epsilon: the Be-tree insert/search tradeoff curve",
 		Options: []string{OptSpace, OptEpsilon, OptBlockBytes},
-		Caps:    Caps{Snapshot: true},
+		Caps:    Caps{Snapshot: true, SharedReads: true}, // read path is the embedded GCOLA's
 		New: func(c *Config) (core.Dictionary, error) {
 			blockElems := int(c.BlockBytes(dam.DefaultBlockBytes) / core.ElementBytes)
 			if blockElems < 2 {
@@ -120,7 +120,7 @@ func init() {
 	mustRegister("btree", KindInfo{
 		Doc:     "B+-tree baseline of the paper's Section 4 experiments (one block per node)",
 		Options: []string{OptSpace, OptBlockBytes, OptLeafCapacity, OptFanout},
-		Caps:    Caps{Snapshot: true, Delete: true},
+		Caps:    Caps{Snapshot: true, Delete: true, SharedReads: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			opt := btree.Options{
 				BlockBytes:   c.BlockBytes(0),
@@ -137,7 +137,7 @@ func init() {
 	mustRegister("brt", KindInfo{
 		Doc:     "buffered repository tree: the cache-aware write-optimized comparator",
 		Options: []string{OptSpace, OptBlockBytes},
-		Caps:    Caps{Snapshot: true, Delete: true},
+		Caps:    Caps{Snapshot: true, Delete: true, SharedReads: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			blockBytes := c.BlockBytes(dam.DefaultBlockBytes)
 			if blockBytes/core.ElementBytes < 4 {
@@ -149,7 +149,7 @@ func init() {
 	mustRegister("swbst", KindInfo{
 		Doc:     "strongly weight-balanced search tree: the shuttle tree's skeleton, usable standalone (no DAM accounting)",
 		Options: []string{OptFanout},
-		Caps:    Caps{Snapshot: true, Delete: true},
+		Caps:    Caps{Snapshot: true, Delete: true, SharedReads: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			fanout := c.Fanout(8)
 			if fanout < 4 {
@@ -161,19 +161,19 @@ func init() {
 	mustRegister("sharded", KindInfo{
 		Doc:     "hash-partitioned concurrent map: per-shard locks around any inner kind (WithInner) or factory",
 		Options: []string{OptShards, OptBatchSize, OptShardDAM, OptInner, OptFactory},
-		Caps:    Caps{Snapshot: true, Delete: true, Batch: true},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, SharedReads: true},
 		New:     buildSharded,
 	})
 	mustRegister("synchronized", KindInfo{
 		Doc:     "coarse-grained RWMutex wrapper around any inner kind, forwarding its capabilities",
 		Options: []string{OptSpace, OptInner},
-		Caps:    Caps{Snapshot: true, Delete: true, Batch: true},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, SharedReads: true},
 		New:     buildSynchronized,
 	})
 	mustRegister("durable", KindInfo{
 		Doc:     "WAL-backed durability wrapper: logs every mutation before applying it to a snapshot-capable inner kind, checkpoints to a snapshot, recovers on reopen",
 		Options: []string{OptInner, OptWALPath, OptCheckpointEvery},
-		Caps:    Caps{WAL: true, Delete: true, Batch: true},
+		Caps:    Caps{WAL: true, Delete: true, Batch: true, SharedReads: true},
 		New:     buildDurable,
 	})
 }

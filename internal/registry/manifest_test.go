@@ -2,6 +2,7 @@ package registry
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -104,16 +105,16 @@ func TestWALPathAndCheckpointOptions(t *testing.T) {
 // honest: every kind claiming it must build a core.Snapshotter.
 func TestKindCaps(t *testing.T) {
 	want := map[string]Caps{
-		"cola":         {Snapshot: true, Delete: true, Batch: true},
-		"gcola":        {Snapshot: true, Delete: true, Batch: true},
+		"cola":         {Snapshot: true, Delete: true, Batch: true, SharedReads: true},
+		"gcola":        {Snapshot: true, Delete: true, Batch: true, SharedReads: true},
 		"deamortized":  {Snapshot: true},
-		"shuttle":      {Snapshot: true},
-		"btree":        {Snapshot: true, Delete: true},
-		"brt":          {Snapshot: true, Delete: true},
-		"swbst":        {Snapshot: true, Delete: true},
-		"sharded":      {Snapshot: true, Delete: true, Batch: true},
-		"synchronized": {Snapshot: true, Delete: true, Batch: true},
-		"durable":      {WAL: true, Delete: true, Batch: true},
+		"shuttle":      {Snapshot: true}, // shared reads conditional (no DAM only): flag stays off
+		"btree":        {Snapshot: true, Delete: true, SharedReads: true},
+		"brt":          {Snapshot: true, Delete: true, SharedReads: true},
+		"swbst":        {Snapshot: true, Delete: true, SharedReads: true},
+		"sharded":      {Snapshot: true, Delete: true, Batch: true, SharedReads: true},
+		"synchronized": {Snapshot: true, Delete: true, Batch: true, SharedReads: true},
+		"durable":      {WAL: true, Delete: true, Batch: true, SharedReads: true},
 	}
 	for kind, caps := range want {
 		info, ok := Info(kind)
@@ -140,11 +141,67 @@ func TestKindCaps(t *testing.T) {
 	}
 }
 
+// TestSharedReadsCapsHonest keeps the kind-level shared-reads flag and
+// the instance-level probe from disagreeing (the capability-probe
+// asymmetry fix): a kind claiming SharedReads must build instances
+// whose core.SharedReads probe answers true by default; a kind not
+// claiming it may probe true only when its safety is conditional
+// (shuttle family: safe only without a space); and the wrapper kinds'
+// probes must follow the concrete inner, not their static flag.
+func TestSharedReadsCapsHonest(t *testing.T) {
+	conditional := map[string]bool{"shuttle": true, "cobtree": true}
+	for _, kind := range Kinds() {
+		info, _ := Info(kind)
+		var opts []Option
+		if info.Caps.WAL {
+			opts = append(opts, WithWALPath(filepath.Join(t.TempDir(), kind+".wal")))
+		}
+		d, err := Build(kind, opts...)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", kind, err)
+		}
+		got := core.SharedReads(d)
+		if info.Caps.SharedReads && !got {
+			t.Errorf("kind %q claims shared-reads but its default build probes false", kind)
+		}
+		if !info.Caps.SharedReads && got && !conditional[kind] {
+			t.Errorf("kind %q probes shared-read capable but does not claim the capability", kind)
+		}
+	}
+
+	// Wrapper probes follow the nested inner, in both directions and
+	// through both concurrency wrappers plus the durable one.
+	for _, tc := range []struct {
+		kind string
+		opts []Option
+		want bool
+	}{
+		{"sharded", []Option{WithInner("deamortized")}, false},
+		{"sharded", []Option{WithInner("btree")}, true},
+		{"synchronized", []Option{WithInner("deamortized-la")}, false},
+		{"synchronized", []Option{WithInner("swbst")}, true},
+		{"synchronized", []Option{WithInner("sharded", WithInner("btree"))}, true},
+		{"synchronized", []Option{WithInner("la")}, true},
+		{"sharded", []Option{WithInner("synchronized", WithInner("deamortized"))}, false},
+		{"durable", []Option{WithWALPath(filepath.Join(t.TempDir(), "h1.wal")), WithInner("deamortized")}, false},
+		{"durable", []Option{WithWALPath(filepath.Join(t.TempDir(), "h2.wal")), WithInner("gcola")}, true},
+	} {
+		d, err := Build(tc.kind, tc.opts...)
+		if err != nil {
+			t.Fatalf("Build(%q nested): %v", tc.kind, err)
+		}
+		if got := core.SharedReads(d); got != tc.want {
+			t.Errorf("%s nested probe = %v, want %v (case %+v)", tc.kind, got, tc.want, tc.opts)
+		}
+	}
+}
+
 func TestCapsString(t *testing.T) {
 	if s := (Caps{}).String(); s != "none" {
 		t.Fatalf("empty caps = %q", s)
 	}
-	if s := (Caps{Snapshot: true, WAL: true, Delete: true, Batch: true}).String(); s != "snapshot, wal, delete, batch" {
+	full := Caps{Snapshot: true, WAL: true, Delete: true, Batch: true, SharedReads: true}
+	if s := full.String(); s != "snapshot, wal, delete, batch, shared-reads" {
 		t.Fatalf("full caps = %q", s)
 	}
 }

@@ -391,10 +391,20 @@ type Caps struct {
 	// Batch: implements core.BatchInserter with a native fast path
 	// (core.InsertBatch falls back to an insert loop for everyone else).
 	Batch bool
+	// SharedReads: every instance's Search/Range follows the
+	// core.SharedReader shared-read contract, so the concurrency
+	// wrappers serve them under an RWMutex read lock. Kinds whose
+	// safety is conditional (the shuttle family: safe only without DAM
+	// accounting) leave the flag unset — the built instance's
+	// core.SharedReads probe is authoritative there. For wrapper kinds
+	// the flag, like the others, means "forwarded when the inner kind
+	// has it"; the wrappers' own SharedReads() probes answer for a
+	// concrete nested inner.
+	SharedReads bool
 }
 
-// String renders the set flags as "snapshot, wal, delete, batch" (or
-// "none").
+// String renders the set flags as "snapshot, wal, delete, batch,
+// shared-reads" (or "none").
 func (c Caps) String() string {
 	var parts []string
 	if c.Snapshot {
@@ -408,6 +418,9 @@ func (c Caps) String() string {
 	}
 	if c.Batch {
 		parts = append(parts, "batch")
+	}
+	if c.SharedReads {
+		parts = append(parts, "shared-reads")
 	}
 	if len(parts) == 0 {
 		return "none"

@@ -7,14 +7,17 @@
 // — the multi-core scaling story the single global lock of
 // repro.SynchronizedDictionary cannot offer.
 //
-// Per-shard operations that touch the dictionary take the shard's
-// exclusive lock even for Search: on a DAM-charged structure a search
-// moves blocks in the store's LRU, and every structure here keeps
-// internal operation counters, so shared readers would race. The
-// RWMutex's read side serves the aggregation paths (Len, Stats,
-// Transfers), which only read structure state. Parallelism therefore
-// comes from the partitioning, not from reader sharing — with S shards,
-// up to S operations run concurrently.
+// Parallelism comes from two sources. Partitioning: with S shards, up
+// to S mutations run concurrently. Reader sharing: when the per-shard
+// structures genuinely support shared reads (core.AsSharedReader —
+// atomic counters, pooled read scratch, and frozen DAM accounting
+// inside Begin/EndSharedReads brackets), Search and Range take the
+// shard's RWMutex on its read side, so any number of searches proceed
+// concurrently even within one shard. For inner structures that stay
+// exclusive (the deamortized COLAs, an accounted shuttle tree) reads
+// fall back to the shard's exclusive lock and only the partitioning
+// term remains. The read side also serves the aggregation
+// paths (Len, Stats, Transfers), which only read structure state.
 //
 // Construction uses functional options:
 //
@@ -116,8 +119,9 @@ const fibMult = 0x9E3779B97F4A7C15
 type state struct {
 	mu    sync.RWMutex
 	d     core.Dictionary
-	store *dam.Store // nil unless WithDAM
-	_     [24]byte   // pad to separate adjacent shards' hot words
+	sr    core.SharedReader // bracket target; non-nil only when m.shared
+	store *dam.Store        // nil unless WithDAM
+	_     [16]byte          // pad to separate adjacent shards' hot words
 }
 
 // Map is the sharded concurrent dictionary. It implements
@@ -127,14 +131,21 @@ type Map struct {
 	shards    []*state
 	shift     uint // 64 - log2(len(shards))
 	batchSize int
+	// shared records whether EVERY shard's structure honestly declared
+	// shared-read safety at construction; Search/Range then take the
+	// per-shard read lock. All-or-nothing keeps the probe answer and
+	// the lock discipline uniform across shards.
+	shared bool
 }
 
 var (
-	_ core.Dictionary      = (*Map)(nil)
-	_ core.Deleter         = (*Map)(nil)
-	_ core.Statser         = (*Map)(nil)
-	_ core.TransferCounter = (*Map)(nil)
-	_ core.BatchInserter   = (*Map)(nil)
+	_ core.Dictionary       = (*Map)(nil)
+	_ core.Deleter          = (*Map)(nil)
+	_ core.Statser          = (*Map)(nil)
+	_ core.TransferCounter  = (*Map)(nil)
+	_ core.BatchInserter    = (*Map)(nil)
+	_ core.SharedReader     = (*Map)(nil)
+	_ core.SharedReadProber = (*Map)(nil)
 )
 
 // New builds a sharded map from the given options.
@@ -152,6 +163,7 @@ func New(opts ...Option) *Map {
 		shift:     uint(64 - bits.TrailingZeros(uint(cfg.shards))),
 		batchSize: cfg.batchSize,
 	}
+	m.shared = true
 	for i := range m.shards {
 		st := &state{}
 		var sp *dam.Space
@@ -163,7 +175,20 @@ func New(opts ...Option) *Map {
 		if st.d == nil {
 			panic("shard: factory returned a nil dictionary")
 		}
+		if sr, ok := core.AsSharedReader(st.d); ok {
+			st.sr = sr
+		} else {
+			m.shared = false
+		}
 		m.shards[i] = st
+	}
+	if !m.shared {
+		// All-or-nothing: a mixed lineup (possible only via a factory
+		// that varies by shard index) degrades every shard to exclusive
+		// reads so the probe answer stays uniform.
+		for _, st := range m.shards {
+			st.sr = nil
+		}
 	}
 	return m
 }
@@ -187,6 +212,59 @@ func (m *Map) NumShards() int { return len(m.shards) }
 // live map). Callers must not mutate it: the shard's lock is not held.
 func (m *Map) InnerAt(i int) core.Dictionary { return m.shards[i].d }
 
+// SharedReads implements core.SharedReadProber: true only when every
+// shard's structure honestly declared shared-read safety, i.e. when
+// Search/Range actually run under the read lock. The map's own methods
+// exist unconditionally, so this — not a type assertion — is the
+// authoritative probe, exactly as on the synchronized wrapper; the
+// registry's Caps.SharedReads flag for "sharded" means "forwarded when
+// the inner kind has it", and this probe is how the built instance
+// answers for a concrete (possibly nested) inner.
+func (m *Map) SharedReads() bool { return m.shared }
+
+// BeginSharedReads implements core.SharedReader for outer wrappers
+// nesting this map: the bracket forwards to every shard (brackets
+// nest), and is a no-op when the map is not shared-read capable.
+func (m *Map) BeginSharedReads() {
+	if !m.shared {
+		return
+	}
+	for _, s := range m.shards {
+		s.sr.BeginSharedReads()
+	}
+}
+
+// EndSharedReads closes the bracket opened by BeginSharedReads.
+func (m *Map) EndSharedReads() {
+	if !m.shared {
+		return
+	}
+	for _, s := range m.shards {
+		s.sr.EndSharedReads()
+	}
+}
+
+// Supports reports which capabilities the map genuinely forwards to
+// its per-shard structures (deleter, statser, transfers, batch, shared
+// reads) — the same honest Supports probe the synchronized wrapper
+// exposes, so the registry's capability reporting can never disagree
+// with what either wrapper actually forwards for a nested inner. The
+// per-shard structures are built by one factory, so shard 0 answers
+// for the interface probes; shared reads require every shard (see
+// SharedReads). Transfers is a property of the map itself (per-shard
+// stores via WithDAM) or of self-accounting inners.
+func (m *Map) Supports() (deleter, statser, transfers, batch, sharedReads bool) {
+	d0 := m.shards[0].d
+	_, deleter = d0.(core.Deleter)
+	_, statser = d0.(core.Statser)
+	_, batch = d0.(core.BatchInserter)
+	transfers = m.shards[0].store != nil
+	if !transfers {
+		_, transfers = d0.(core.TransferCounter)
+	}
+	return deleter, statser, transfers, batch, m.shared
+}
+
 // Insert implements core.Dictionary.
 func (m *Map) Insert(key, value uint64) {
 	s := m.shardOf(key)
@@ -195,10 +273,20 @@ func (m *Map) Insert(key, value uint64) {
 	s.mu.Unlock()
 }
 
-// Search implements core.Dictionary. See the package comment for why
-// the shard lock is exclusive rather than shared.
+// Search implements core.Dictionary. With shared-read-safe inner
+// structures the shard lock is taken on its read side and bracketed
+// (see the package comment), so searches scale with readers even
+// within one shard; otherwise the lock is exclusive.
 func (m *Map) Search(key uint64) (uint64, bool) {
 	s := m.shardOf(key)
+	if m.shared {
+		s.mu.RLock()
+		s.sr.BeginSharedReads()
+		v, ok := s.d.Search(key)
+		s.sr.EndSharedReads()
+		s.mu.RUnlock()
+		return v, ok
+	}
 	s.mu.Lock()
 	v, ok := s.d.Search(key)
 	s.mu.Unlock()
@@ -309,9 +397,17 @@ func (m *Map) Range(lo, hi uint64, fn func(core.Element) bool) {
 	sc := rangePool.Get().(*rangeScratch)
 	defer sc.release()
 	for _, s := range m.shards {
-		s.mu.Lock()
-		s.d.Range(lo, hi, sc.collect)
-		s.mu.Unlock()
+		if m.shared {
+			s.mu.RLock()
+			s.sr.BeginSharedReads()
+			s.d.Range(lo, hi, sc.collect)
+			s.sr.EndSharedReads()
+			s.mu.RUnlock()
+		} else {
+			s.mu.Lock()
+			s.d.Range(lo, hi, sc.collect)
+			s.mu.Unlock()
+		}
 		sc.ends = append(sc.ends, len(sc.buf))
 	}
 	// Rebuild the run views only now: collect may have grown (and

@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cola"
+	"repro/internal/core"
+	"repro/internal/dam"
+	"repro/internal/workload"
+)
+
+// exclusiveInner hides SharedReader methods so a factory can force the
+// exclusive-lock read path on an otherwise shared-read-safe structure.
+type exclusiveInner struct {
+	core.Dictionary
+}
+
+func TestSharedReadsProbe(t *testing.T) {
+	shared := New(WithShards(4))
+	if !shared.SharedReads() || !core.SharedReads(shared) {
+		t.Fatal("default COLA shards must report shared reads")
+	}
+	if _, _, _, _, sr := shared.Supports(); !sr {
+		t.Fatal("Supports: sharedReads = false for COLA shards")
+	}
+
+	excl := New(WithShards(4), WithDictionary(func(_ int, sp *dam.Space) core.Dictionary {
+		return exclusiveInner{cola.NewCOLA(sp)}
+	}))
+	if excl.SharedReads() || core.SharedReads(excl) {
+		t.Fatal("hidden-SharedReader shards must report exclusive reads")
+	}
+
+	deam := New(WithShards(2), WithDictionary(func(_ int, sp *dam.Space) core.Dictionary {
+		return cola.NewDeamortized(sp)
+	}))
+	if deam.SharedReads() {
+		t.Fatal("deamortized shards must report exclusive reads")
+	}
+	// Brackets on a non-shared map are no-ops, not panics.
+	deam.BeginSharedReads()
+	deam.EndSharedReads()
+
+	// A mixed lineup (possible only via an index-dependent factory)
+	// degrades the whole map to exclusive: all-or-nothing.
+	mixed := New(WithShards(2), WithDictionary(func(i int, sp *dam.Space) core.Dictionary {
+		if i == 0 {
+			return cola.NewCOLA(sp)
+		}
+		return exclusiveInner{cola.NewCOLA(sp)}
+	}))
+	if mixed.SharedReads() {
+		t.Fatal("mixed lineup must degrade to exclusive reads")
+	}
+}
+
+// TestSharedSearchStressWithDAM is the -race stress of the per-shard
+// RLock fast path with per-shard DAM stores: many readers share each
+// shard concurrently (searches and ranges, bracketed by the stores'
+// shared-read epochs) while writers insert and delete through the
+// exclusive side and pollers aggregate Len/Stats/Transfers from the
+// read side.
+func TestSharedSearchStressWithDAM(t *testing.T) {
+	m := New(WithShards(4), WithDAM(dam.DefaultBlockBytes, 1<<16))
+	if !m.SharedReads() {
+		t.Fatal("precondition: DAM-charged COLA shards must be shared-read capable")
+	}
+	const keyspace = 1 << 12
+	for k := uint64(0); k < keyspace; k += 2 {
+		m.Insert(k, k)
+	}
+	perG := 4000
+	if testing.Short() {
+		perG = 800
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(w) + 21)
+			for i := 0; i < perG; i++ {
+				k := rng.Uint64() % keyspace
+				if v, ok := m.Search(k); ok && v != k && v != k+1 {
+					t.Errorf("Search(%d) = %d", k, v)
+					return
+				}
+				if i%128 == 0 {
+					m.Range(k, k+64, func(core.Element) bool { return true })
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(w) + 91)
+			for i := 0; i < perG/2; i++ {
+				k := rng.Uint64() % keyspace
+				if rng.Uint64()%4 == 3 {
+					m.Delete(k)
+				} else {
+					m.Insert(k, k+1)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perG/4; i++ {
+			_ = m.Len()
+			_ = m.Stats()
+			_ = m.Transfers()
+		}
+	}()
+	wg.Wait()
+
+	if m.Transfers() == 0 {
+		t.Fatal("per-shard DAM stores recorded no transfers")
+	}
+	if st := m.Stats(); st.Searches == 0 {
+		t.Fatal("Stats.Searches = 0 after concurrent searches")
+	}
+	m.Insert(keyspace+3, 9)
+	if v, ok := m.Search(keyspace + 3); !ok || v != 9 {
+		t.Fatalf("post-stress Search = (%d,%v)", v, ok)
+	}
+}
+
+// TestExclusiveFallbackStress runs the same shape with the shared path
+// disabled, keeping the pre-shared-read lock discipline covered.
+func TestExclusiveFallbackStress(t *testing.T) {
+	m := New(WithShards(4), WithDictionary(func(_ int, sp *dam.Space) core.Dictionary {
+		return exclusiveInner{cola.NewCOLA(sp)}
+	}))
+	const keyspace = 1 << 10
+	perG := 2000
+	if testing.Short() {
+		perG = 400
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(w) + 51)
+			for i := 0; i < perG; i++ {
+				k := rng.Uint64() % keyspace
+				switch rng.Uint64() % 4 {
+				case 0:
+					m.Insert(k, k)
+				case 1:
+					_ = m.Len()
+				default:
+					m.Search(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	m.Insert(1, 1)
+	if _, ok := m.Search(1); !ok {
+		t.Fatal("post-stress Search lost an insert")
+	}
+}

@@ -2,6 +2,7 @@ package shuttle
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dam"
@@ -32,12 +33,22 @@ type Options struct {
 // The dictionary supports Insert, Search, and Range (the paper's scope;
 // no deletes). Len is exact for distinct-key workloads and after
 // FlushAll.
+//
+// Shared reads are conditional, reported honestly via SharedReads: with
+// DAM accounting off the read path only reads structure state (plus the
+// atomic search counter), but with a space attached the charge path
+// places layout chunks lazily (layout.bufBase), a structural mutation —
+// so an accounted tree stays exclusive-only and the prober says so.
 type Tree struct {
 	opt      Options
 	skel     *swbst.Tree
 	buffered int // elements currently in buffers
-	stats    core.Stats
 	lay      *layout
+
+	// stats carries every counter except Searches, which is atomic so
+	// bracketed concurrent searches never race Stats() readers.
+	stats    core.Stats
+	searches atomic.Uint64
 }
 
 // aux is the shuttle-tree state hung off each internal skeleton node.
@@ -61,7 +72,11 @@ type buffer struct {
 	slot   int // layout PMA slot of the chunk
 }
 
-var _ core.Dictionary = (*Tree)(nil)
+var (
+	_ core.Dictionary       = (*Tree)(nil)
+	_ core.SharedReader     = (*Tree)(nil)
+	_ core.SharedReadProber = (*Tree)(nil)
+)
 
 // NoBuffers is an HFunc yielding no buffers at any height: the resulting
 // structure is a strongly weight-balanced tree in a vEB layout embedded
@@ -104,8 +119,26 @@ func (t *Tree) Height() int { return t.skel.Height() }
 // Len implements core.Dictionary.
 func (t *Tree) Len() int { return t.skel.Len() + t.buffered }
 
-// Stats implements core.Statser.
-func (t *Tree) Stats() core.Stats { return t.stats }
+// Stats implements core.Statser; safe concurrently with bracketed
+// shared reads (Searches is loaded atomically).
+func (t *Tree) Stats() core.Stats {
+	st := t.stats
+	st.Searches = t.searches.Load()
+	return st
+}
+
+// SharedReads implements core.SharedReadProber: only an unaccounted
+// tree is shared-read safe (see the Tree comment — the accounted charge
+// path places layout chunks lazily during searches).
+func (t *Tree) SharedReads() bool { return t.opt.Space == nil }
+
+// BeginSharedReads implements core.SharedReader. Callers must gate on
+// SharedReads (core.AsSharedReader does); for an unaccounted tree the
+// bracket is a no-op.
+func (t *Tree) BeginSharedReads() { t.opt.Space.BeginSharedReads() }
+
+// EndSharedReads closes the bracket opened by BeginSharedReads.
+func (t *Tree) EndSharedReads() { t.opt.Space.EndSharedReads() }
 
 // auxOf returns (creating on demand) the shuttle state of internal node
 // nd, whose children sit at height h-1 for node height h.
@@ -311,7 +344,7 @@ func (t *Tree) maybeRelayout() {
 // Search implements core.Dictionary: descend the root-to-leaf path,
 // checking each child pointer's buffers smallest (newest) to largest.
 func (t *Tree) Search(key uint64) (uint64, bool) {
-	t.stats.Searches++
+	t.searches.Add(1)
 	nd := t.skel.Root()
 	if nd == nil {
 		return 0, false

@@ -25,6 +25,11 @@ type Options struct {
 
 // Tree is a strongly weight-balanced search tree. Elements live in the
 // leaves; internal nodes route by pivot keys.
+//
+// The read path (Search, Range) mutates nothing — no counters, no DAM
+// charges — so the tree implements core.SharedReader with no-op
+// brackets: concurrent searches are safe whenever mutations are
+// excluded.
 type Tree struct {
 	c      int
 	root   *Node
@@ -48,7 +53,10 @@ type Node struct {
 	Aux any
 }
 
-var _ core.Dictionary = (*Tree)(nil)
+var (
+	_ core.Dictionary   = (*Tree)(nil)
+	_ core.SharedReader = (*Tree)(nil)
+)
 
 // New returns an empty tree.
 func New(opt Options) *Tree {
@@ -81,6 +89,13 @@ func (t *Tree) maxWeight(h int) int {
 	}
 	return w
 }
+
+// BeginSharedReads implements core.SharedReader; the swbst read path is
+// pure, so the bracket is a no-op.
+func (t *Tree) BeginSharedReads() {}
+
+// EndSharedReads implements core.SharedReader.
+func (t *Tree) EndSharedReads() {}
 
 // Search implements core.Dictionary.
 func (t *Tree) Search(key uint64) (uint64, bool) {

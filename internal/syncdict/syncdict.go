@@ -3,6 +3,29 @@
 // dictionary. It lives in an internal package (rather than in the
 // facade) so the kind registry can construct it like any other
 // structure; the facade re-exports it as repro.SynchronizedDictionary.
+//
+// # Lock discipline
+//
+// The wrapper maintains one invariant: the exclusive side of the
+// RWMutex is held for every call that may mutate the inner structure
+// non-atomically, and the read side serves everything that provably
+// cannot. Concretely:
+//
+//   - Mutations (Insert, InsertBatch, Delete, WriteTo*, ReadFrom) always
+//     take the exclusive lock. (*WriteTo mutates nothing logically, but
+//     it streams DAM-charged reads and level state and is not part of
+//     the shared-read contract, so it stays exclusive.)
+//   - Aggregation (Len, Stats, Transfers) takes the read lock: every
+//     inner accessor behind it is mutation-free — Len and Stats read
+//     counters (structures implementing core.SharedReader keep their
+//     search counter atomic precisely so Stats can race searches), and
+//     Transfers only exists on inner structures that own their stores
+//     and lock internally (the sharded map, the durable wrapper).
+//   - Search and Range take the read lock when the inner structure
+//     genuinely supports shared reads (core.AsSharedReader at
+//     construction time), bracketed by Begin/EndSharedReads so a
+//     DAM-charged inner freezes its accounting; they fall back to the
+//     exclusive lock otherwise.
 package syncdict
 
 import (
@@ -18,38 +41,53 @@ import (
 // design (the paper's experiments are too); this wrapper is the
 // coarse-grained escape hatch for concurrent callers.
 //
-// Note that Insert on the buffered structures can trigger a merge, so a
-// "read-mostly" workload still serializes behind occasional long write
-// sections; the deamortized COLA's O(log N) worst-case insert keeps
-// those sections short. For real multi-core scaling use the sharded map
-// (internal/shard), which hash-partitions keys over N independently
-// locked structures.
+// When the inner structure declares shared-read safety
+// (core.SharedReader, honestly probed via core.AsSharedReader), Search
+// and Range run under the read lock and scale with concurrent readers;
+// a read-mostly workload then serializes only behind the occasional
+// write section. For structures that stay exclusive (the deamortized
+// COLAs, an accounted shuttle tree) every operation serializes as
+// before. For multi-core write scaling
+// use the sharded map (internal/shard), which hash-partitions keys over
+// N independently locked structures.
 //
 // The wrapper forwards the capabilities of the structure it wraps:
 // Delete reaches a wrapped core.Deleter, Stats a wrapped core.Statser,
 // Transfers a wrapped core.TransferCounter, and InsertBatch a wrapped
-// core.BatchInserter — each under the lock, so a capability call is as
-// safe as the core operations. Where the inner structure lacks the
-// capability the method degrades gracefully (false, zero Stats, zero
-// transfers, an Insert loop); Supports reports what is genuinely
-// forwarded.
+// core.BatchInserter — each under the appropriate lock side, so a
+// capability call is as safe as the core operations. Where the inner
+// structure lacks the capability the method degrades gracefully (false,
+// zero Stats, zero transfers, an Insert loop); Supports reports what is
+// genuinely forwarded.
 type Dict struct {
 	mu sync.RWMutex
 	d  core.Dictionary
+	// sr is the shared-read bracket target; nil means the inner
+	// structure did not (honestly) declare shared-read safety and reads
+	// stay exclusive.
+	sr core.SharedReader
 }
 
-// New wraps d for concurrent use.
+// New wraps d for concurrent use, probing its shared-read capability
+// once here (the answer is a property of the built instance and cannot
+// change afterwards).
 func New(d core.Dictionary) *Dict {
-	return &Dict{d: d}
+	s := &Dict{d: d}
+	if sr, ok := core.AsSharedReader(d); ok {
+		s.sr = sr
+	}
+	return s
 }
 
 var (
-	_ core.Dictionary      = (*Dict)(nil)
-	_ core.Deleter         = (*Dict)(nil)
-	_ core.Statser         = (*Dict)(nil)
-	_ core.TransferCounter = (*Dict)(nil)
-	_ core.BatchInserter   = (*Dict)(nil)
-	_ core.Snapshotter     = (*Dict)(nil)
+	_ core.Dictionary       = (*Dict)(nil)
+	_ core.Deleter          = (*Dict)(nil)
+	_ core.Statser          = (*Dict)(nil)
+	_ core.TransferCounter  = (*Dict)(nil)
+	_ core.BatchInserter    = (*Dict)(nil)
+	_ core.Snapshotter      = (*Dict)(nil)
+	_ core.SharedReader     = (*Dict)(nil)
+	_ core.SharedReadProber = (*Dict)(nil)
 )
 
 // Insert implements core.Dictionary.
@@ -68,30 +106,54 @@ func (s *Dict) InsertBatch(elems []core.Element) {
 	core.InsertBatch(s.d, elems)
 }
 
-// Search implements core.Dictionary.
-//
-// The lock is exclusive, not shared: a search on a DAM-charged structure
-// mutates the store's LRU state, and several structures keep internal
-// counters. Correctness first; callers needing parallel reads should
-// shard.
+// Search implements core.Dictionary. With a shared-read-safe inner the
+// lock is the RWMutex's read side and concurrent searches proceed in
+// parallel, bracketed so DAM accounting freezes (see the package
+// comment); otherwise the lock is exclusive, the pre-shared-read
+// behaviour.
 func (s *Dict) Search(key uint64) (uint64, bool) {
+	if s.sr != nil {
+		s.mu.RLock()
+		s.sr.BeginSharedReads()
+		v, ok := s.d.Search(key)
+		s.sr.EndSharedReads()
+		s.mu.RUnlock()
+		return v, ok
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.d.Search(key)
 }
 
-// Range implements core.Dictionary. The callback runs under the lock; it
-// must not call back into the dictionary.
+// Range implements core.Dictionary, with the same lock choice as
+// Search. The callback runs under the lock and must not call back into
+// the dictionary at all — not even Search: a writer waiting between
+// this goroutine's read lock and a reentrant RLock deadlocks both
+// (sync.RWMutex forbids recursive read-locking for exactly that
+// reason). The bracket and lock release are deferred so a panicking
+// callback cannot leak the read lock or leave the store's shared-read
+// epoch open.
 func (s *Dict) Range(lo, hi uint64, fn func(core.Element) bool) {
+	if s.sr != nil {
+		s.mu.RLock()
+		s.sr.BeginSharedReads()
+		defer func() {
+			s.sr.EndSharedReads()
+			s.mu.RUnlock()
+		}()
+		s.d.Range(lo, hi, fn)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.d.Range(lo, hi, fn)
 }
 
-// Len implements core.Dictionary.
+// Len implements core.Dictionary on the read side of the lock; inner
+// Len accessors are mutation-free (see the package comment).
 func (s *Dict) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.d.Len()
 }
 
@@ -106,23 +168,27 @@ func (s *Dict) Delete(key uint64) bool {
 	return false
 }
 
-// Stats forwards to the wrapped structure's Statser under the lock; it
-// returns the zero Stats when the inner structure keeps no counters.
+// Stats forwards to the wrapped structure's Statser on the read side of
+// the lock (Stats accessors are mutation-free, and shared-read-safe
+// structures load their search counter atomically, so Stats may race
+// bracketed searches); it returns the zero Stats when the inner
+// structure keeps no counters.
 func (s *Dict) Stats() core.Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if st, ok := s.d.(core.Statser); ok {
 		return st.Stats()
 	}
 	return core.Stats{}
 }
 
-// Transfers forwards to the wrapped structure's TransferCounter under
-// the lock; it reports zero when the inner structure does not own its
-// stores.
+// Transfers forwards to the wrapped structure's TransferCounter on the
+// read side of the lock (only structures that own — and internally
+// synchronize — their stores implement it); it reports zero when the
+// inner structure does not own its stores.
 func (s *Dict) Transfers() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if tc, ok := s.d.(core.TransferCounter); ok {
 		return tc.Transfers()
 	}
@@ -154,16 +220,40 @@ func (s *Dict) ReadFrom(r io.Reader) (int64, error) {
 	return 0, fmt.Errorf("syncdict: wrapped %T is not a Snapshotter", s.d)
 }
 
+// SharedReads implements core.SharedReadProber: the wrapper's own
+// methods exist unconditionally, so this — whether the inner structure
+// genuinely declared shared-read safety — is the honest probe, and it
+// is what an outer wrapper nesting this one consults.
+func (s *Dict) SharedReads() bool { return s.sr != nil }
+
+// BeginSharedReads implements core.SharedReader for outer wrappers
+// nesting this one (brackets nest by design); a no-op when the inner
+// structure is not shared-read safe.
+func (s *Dict) BeginSharedReads() {
+	if s.sr != nil {
+		s.sr.BeginSharedReads()
+	}
+}
+
+// EndSharedReads closes the bracket opened by BeginSharedReads.
+func (s *Dict) EndSharedReads() {
+	if s.sr != nil {
+		s.sr.EndSharedReads()
+	}
+}
+
 // Supports reports which capabilities the wrapper genuinely forwards to
-// the inner structure (deleter, statser, transfers, batch): the wrapper
-// implements every interface unconditionally, so type assertions on it
-// always succeed and this is the honest capability probe.
-func (s *Dict) Supports() (deleter, statser, transfers, batch bool) {
+// the inner structure (deleter, statser, transfers, batch, shared
+// reads): the wrapper implements every interface unconditionally, so
+// type assertions on it always succeed and this is the honest
+// capability probe. The sharded map exposes the same probe, so the two
+// concurrency wrappers report symmetrically.
+func (s *Dict) Supports() (deleter, statser, transfers, batch, sharedReads bool) {
 	_, deleter = s.d.(core.Deleter)
 	_, statser = s.d.(core.Statser)
 	_, transfers = s.d.(core.TransferCounter)
 	_, batch = s.d.(core.BatchInserter)
-	return deleter, statser, transfers, batch
+	return deleter, statser, transfers, batch, s.sr != nil
 }
 
 // Unwrap returns the underlying dictionary (for single-threaded phases).

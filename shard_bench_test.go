@@ -101,6 +101,76 @@ func BenchmarkShardedSearch(b *testing.B) {
 	})
 }
 
+// exclusiveDict hides a dictionary's SharedReader methods so the
+// concurrency wrappers fall back to exclusive locking: the honest
+// pre-shared-read baseline, on the same structure.
+type exclusiveDict struct {
+	Dictionary
+}
+
+// benchReadMostly drives the E12 mix: preload, then b.N operations at
+// 95% searches / 5% fresh-key inserts across g goroutines.
+func benchReadMostly(b *testing.B, d concurrentDict, g int) {
+	b.Helper()
+	const preload = 1 << 16
+	keys := make([]uint64, preload)
+	for i := range keys {
+		keys[i] = uint64(i)*0x9E3779B97F4A7C15 + 1
+		d.Insert(keys[i], keys[i])
+	}
+	rngs := make([]*workload.RNG, g)
+	fresh := make([]*workload.RandomUnique, g)
+	for w := 0; w < g; w++ {
+		rngs[w] = workload.NewRNG(uint64(w) + 13)
+		fresh[w] = workload.NewRandomUnique(uint64(w)<<32 + 0xE12)
+	}
+	runParallelOps(b, g, func(w, _ int) {
+		if rngs[w].Uint64()%20 == 0 {
+			k := fresh[w].Next()
+			d.Insert(k, k)
+		} else {
+			d.Search(keys[rngs[w].Uint64()%preload])
+		}
+	})
+}
+
+// BenchmarkShardedReadMostly measures the E12 mix on the sharded map at
+// shards = goroutines = 1/2/4/8 with the shared-read fast path, plus
+// the exclusive-lock baseline at 8 — the pair the acceptance claim
+// (shared >= 2x exclusive at 8 goroutines on >= 4 cores) compares.
+func BenchmarkShardedReadMostly(b *testing.B) {
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shared/shards=%d", g), func(b *testing.B) {
+			benchReadMostly(b, NewShardedMap(WithShards(g)), g)
+		})
+	}
+	b.Run("exclusive/shards=8", func(b *testing.B) {
+		m := NewShardedMap(WithShards(8), WithDictionary(func(_ int, sp *Space) Dictionary {
+			return exclusiveDict{NewCOLA(sp)}
+		}))
+		benchReadMostly(b, m, 8)
+	})
+}
+
+// BenchmarkSyncReadMostly is the single-structure counterpart: one
+// SynchronizedDictionary under 8 goroutines, RLock shared searches vs
+// the exclusive-lock baseline.
+func BenchmarkSyncReadMostly(b *testing.B) {
+	b.Run("shared", func(b *testing.B) {
+		benchReadMostly(b, Synchronized(NewCOLA(nil)), 8)
+	})
+	b.Run("exclusive", func(b *testing.B) {
+		benchReadMostly(b, Synchronized(exclusiveDict{NewCOLA(nil)}), 8)
+	})
+}
+
+// BenchmarkSyncSharedSearch is the pure shared-read search hot path
+// through the synchronized wrapper (RLock + bracket + COLA search) —
+// the benchmark CI pins to zero allocations alongside ShardedSearch.
+func BenchmarkSyncSharedSearch(b *testing.B) {
+	benchParallelSearches(b, Synchronized(NewCOLA(nil)), 8)
+}
+
 // BenchmarkShardedBatchIngest compares the three write paths at 8
 // shards: per-key Insert, grouped ApplyBatch, and the channel-fed
 // Loader, quantifying what batching buys in lock traffic.

@@ -73,8 +73,8 @@ func TestSynchronizedForwardsCapabilities(t *testing.T) {
 	if s.Transfers() == 0 {
 		t.Error("Transfers not forwarded: zero despite per-shard DAM stores")
 	}
-	if del, statser, transfers, bat := s.Supports(); !del || !statser || !transfers || !bat {
-		t.Errorf("Supports = (%v,%v,%v,%v), want all true", del, statser, transfers, bat)
+	if del, statser, transfers, bat, shared := s.Supports(); !del || !statser || !transfers || !bat || !shared {
+		t.Errorf("Supports = (%v,%v,%v,%v,%v), want all true", del, statser, transfers, bat, shared)
 	}
 
 	// Via the interfaces, as generic callers see it.
@@ -95,12 +95,40 @@ func TestSynchronizedForwardsCapabilities(t *testing.T) {
 	if bare.Transfers() != 0 {
 		t.Error("Transfers over swbst nonzero")
 	}
-	if _, statser, transfers, _ := bare.Supports(); statser || transfers {
-		t.Error("Supports over swbst claims forwarded Stats/Transfers")
+	if _, statser, transfers, _, shared := bare.Supports(); statser || transfers || !shared {
+		t.Error("Supports over swbst claims forwarded Stats/Transfers or denies shared reads")
 	}
 	bare.InsertBatch([]Element{{Key: 2, Value: 20}, {Key: 3, Value: 30}})
 	if bare.Len() != 3 {
 		t.Fatalf("fallback InsertBatch: Len = %d, want 3", bare.Len())
+	}
+}
+
+// TestSharedReadsFacadeProbe pins the re-exported instance-level
+// capability probe across leaf structures and wrappers.
+func TestSharedReadsFacadeProbe(t *testing.T) {
+	if !SharedReads(NewCOLA(nil)) {
+		t.Fatal("COLA must probe shared-read capable")
+	}
+	if SharedReads(NewDeamortizedCOLA(nil)) {
+		t.Fatal("deamortized COLA must probe exclusive")
+	}
+	if !SharedReads(NewShardedMap(WithShards(2))) {
+		t.Fatal("sharded map over COLA must probe shared-read capable")
+	}
+	if !SharedReads(Synchronized(NewBTree(BTreeOptions{}))) {
+		t.Fatal("synchronized B-tree must probe shared-read capable")
+	}
+	if SharedReads(Synchronized(NewDeamortizedCOLA(nil))) {
+		t.Fatal("synchronized deamortized COLA must probe exclusive")
+	}
+	// The shuttle tree is conditional: safe without a space only.
+	if !SharedReads(NewShuttleTree(ShuttleOptions{Fanout: 8})) {
+		t.Fatal("unaccounted shuttle tree must probe shared-read capable")
+	}
+	store := NewStore(DefaultBlockBytes, 1<<16)
+	if SharedReads(NewShuttleTree(ShuttleOptions{Fanout: 8, Space: store.Space("s")})) {
+		t.Fatal("DAM-charged shuttle tree must probe exclusive (lazy layout placement on the probe path)")
 	}
 }
 
