@@ -31,14 +31,25 @@
 // Records present on only one side are listed but never fail the gate:
 // lineups grow across PRs, and a missing baseline entry means "no
 // expectation yet". Exit status: 0 clean, 1 regression, 2 usage error.
+//
+// Hypothesis verdicts (streambench -hypothesis -json) gate through
+// -hypotheses, a comma-separated list of verdict files or globs: any
+// falsified verdict fails the gate, exactly like a perf regression.
+// With only -hypotheses given, -baseline is not required. -summary
+// appends markdown delta and verdict tables to the named file (CI
+// passes $GITHUB_STEP_SUMMARY).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"regexp"
+	"strings"
 
+	"repro/internal/hypothesis"
 	"repro/internal/perf"
 )
 
@@ -60,14 +71,49 @@ func main() {
 		minSamp   = flag.Int("min-samples", 50000, "gate ns/op only for records averaging at least this many operations")
 		strictNs  = flag.Bool("strict-ns", false, "gate ns/op even when baseline and candidate hosts differ")
 		zeroAlloc = flag.String("assert-zero-allocs", "", "fail if any candidate gobench record whose kind matches this `regexp` reports allocs/op > 0")
+		hyps      = flag.String("hypotheses", "", "comma-separated hypothesis verdict files or globs (streambench -hypothesis -json); a falsified verdict fails the gate")
+		summary   = flag.String("summary", "", "append markdown delta/verdict tables to this file (CI passes $GITHUB_STEP_SUMMARY)")
 		verbose   = flag.Bool("v", false, "print all deltas, not just regressions")
 	)
 	flag.Parse()
-	if *baseline == "" {
-		fatalUsage("perfgate: -baseline is required")
+	if *baseline == "" && *hyps == "" {
+		fatalUsage("perfgate: -baseline is required (or -hypotheses alone)")
 	}
-	if *candidate == "" && *gobench == "" {
-		fatalUsage("perfgate: need -candidate and/or -gobench")
+	if *baseline != "" && *candidate == "" && *gobench == "" {
+		fatalUsage("perfgate: need -candidate and/or -gobench with -baseline")
+	}
+	if *baseline == "" && (*candidate != "" || *gobench != "" || *zeroAlloc != "") {
+		fatalUsage("perfgate: -candidate/-gobench/-assert-zero-allocs need -baseline")
+	}
+
+	verdicts := readVerdicts(*hyps)
+
+	var summaryFile *os.File
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatalUsage("perfgate: -summary: %v", err)
+		}
+		defer f.Close()
+		summaryFile = f
+	}
+
+	failed := false
+	if len(verdicts) > 0 {
+		failed = reportVerdicts(os.Stdout, verdicts) || failed
+		if summaryFile != nil {
+			if err := hypothesis.WriteMarkdown(summaryFile, verdicts); err != nil {
+				fatalUsage("perfgate: -summary: %v", err)
+			}
+		}
+	}
+	if *baseline == "" {
+		if failed {
+			fmt.Fprintln(os.Stderr, "perfgate: falsified hypothesis verdict(s)")
+			os.Exit(1)
+		}
+		fmt.Println("perfgate: all hypotheses confirmed")
+		return
 	}
 
 	base, err := perf.ReadFile(*baseline)
@@ -117,7 +163,6 @@ func main() {
 	// baseline needed — so it gates allocation regressions even when
 	// the committed baseline was recorded on a different host and
 	// carries no allocation data.
-	failed := false
 	if *zeroAlloc != "" {
 		re, err := regexp.Compile(*zeroAlloc)
 		if err != nil {
@@ -143,9 +188,67 @@ func main() {
 
 	c := perf.Compare(base, cand, th)
 	c.Format(os.Stdout, *verbose)
+	if summaryFile != nil {
+		if err := c.Markdown(summaryFile, *verbose); err != nil {
+			fatalUsage("perfgate: -summary: %v", err)
+		}
+	}
 	if regs := c.Regressions(); len(regs) > 0 || failed {
 		fmt.Fprintf(os.Stderr, "perfgate: %d regression(s) against %s\n", len(regs), *baseline)
 		os.Exit(1)
 	}
 	fmt.Println("perfgate: no regressions")
+}
+
+// readVerdicts expands the -hypotheses list (comma-separated paths or
+// globs) and loads every verdict. A token matching no file is a usage
+// error: a glob that silently rots would wave falsifications through.
+func readVerdicts(spec string) []hypothesis.Verdict {
+	if spec == "" {
+		return nil
+	}
+	var out []hypothesis.Verdict
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		paths, err := filepath.Glob(tok)
+		if err != nil {
+			fatalUsage("perfgate: -hypotheses %q: %v", tok, err)
+		}
+		if len(paths) == 0 {
+			fatalUsage("perfgate: -hypotheses %q matched no files", tok)
+		}
+		for _, path := range paths {
+			v, err := hypothesis.ReadVerdict(path)
+			if err != nil {
+				fatalUsage("perfgate: -hypotheses: %v", err)
+			}
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		fatalUsage("perfgate: -hypotheses %q named no verdict files", spec)
+	}
+	return out
+}
+
+// reportVerdicts prints each verdict and returns whether any falsified.
+func reportVerdicts(w io.Writer, verdicts []hypothesis.Verdict) bool {
+	failed := false
+	for _, v := range verdicts {
+		status := "CONFIRMED"
+		if !v.Confirmed {
+			status = "FALSIFIED"
+			failed = true
+		}
+		fmt.Fprintf(w, "%-28s %-9s experiment %.3f (>= %.3f)  control %.3f (<= %.3f)\n",
+			v.Name, status, v.Experiment.Observed, v.Prediction.MinRatio*(1-v.Prediction.Tolerance),
+			v.Control.Observed, v.Prediction.ControlMax*(1+v.Prediction.Tolerance))
+		for _, r := range v.Reasons {
+			fmt.Fprintf(w, "    - %s\n", r)
+		}
+	}
+	return failed
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/hypothesis"
+)
+
+// runHypothesis measures one experiment bundle and exits with the
+// verdict: 0 confirmed, 1 falsified, 2 usage error. When jsonPath is
+// set the verdict document is written on BOTH outcomes (a falsification
+// is a result, not a failure to produce one) via a sibling temp file
+// renamed over the target, so a usage or build error never truncates an
+// existing verdict.
+func runHypothesis(name string, cfg harness.Config, jsonPath string) {
+	if _, ok := hypothesis.Get(name); !ok {
+		fmt.Fprintf(os.Stderr, "unknown hypothesis bundle %q; registered: %s\n",
+			name, strings.Join(hypothesis.Names(), ", "))
+		os.Exit(2)
+	}
+	var jsonTmp *os.File
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath + ".tmp")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-json: %v\n", err)
+			os.Exit(2)
+		}
+		jsonTmp = f
+	}
+
+	v, err := hypothesis.Run(name, cfg)
+	if err != nil {
+		if jsonTmp != nil {
+			jsonTmp.Close()
+			os.Remove(jsonTmp.Name())
+		}
+		fmt.Fprintf(os.Stderr, "-hypothesis: %v\n", err)
+		os.Exit(1)
+	}
+
+	printVerdict(os.Stdout, v)
+
+	if jsonTmp != nil {
+		enc := json.NewEncoder(jsonTmp)
+		enc.SetIndent("", "  ")
+		err := enc.Encode(v)
+		if cerr := jsonTmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(jsonTmp.Name(), jsonPath)
+		}
+		if err != nil {
+			os.Remove(jsonTmp.Name())
+			fmt.Fprintf(os.Stderr, "-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote verdict to %s\n", jsonPath)
+	}
+	if !v.Confirmed {
+		os.Exit(1)
+	}
+}
+
+// printVerdict renders one verdict for a human.
+func printVerdict(w *os.File, v hypothesis.Verdict) {
+	fmt.Fprintf(w, "hypothesis %s — %s\n", v.Name, v.Title)
+	fmt.Fprintf(w, "  claim:     %s\n", v.Claim)
+	fmt.Fprintf(w, "  mechanism: %s\n", v.Mechanism)
+	fmt.Fprintf(w, "  geometry:  N=2^%d, cache=%d B, seed=%d, metric %s\n", v.LogN, v.CacheBytes, v.Seed, v.Metric)
+	for _, r := range []hypothesis.RatioResult{v.Experiment, v.Control} {
+		fmt.Fprintf(w, "  %-11s %s = %.4f / %.4f = %.3f\n",
+			r.Label+":", v.Metric, r.Num.Value, r.Den.Value, r.Observed)
+	}
+	fmt.Fprintf(w, "  prediction: experiment >= %.3f and control <= %.3f (tolerance %.0f%%)\n",
+		v.Prediction.MinRatio*(1-v.Prediction.Tolerance),
+		v.Prediction.ControlMax*(1+v.Prediction.Tolerance),
+		v.Prediction.Tolerance*100)
+	if v.Confirmed {
+		fmt.Fprintf(w, "  verdict: CONFIRMED\n")
+		return
+	}
+	fmt.Fprintf(w, "  verdict: FALSIFIED\n")
+	for _, r := range v.Reasons {
+		fmt.Fprintf(w, "    - %s\n", r)
+	}
+}

@@ -9,6 +9,9 @@
 //	streambench -fig transfers -csv       # E6 as CSV
 //	streambench -fig readmostly           # E12: shared-read vs exclusive-lock searches
 //	streambench -fig durability           # E11: snapshot save/load bandwidth
+//	streambench -fig scenarios            # E13: the default skew × arrival × mix grid
+//	streambench -scenario zipf1.2+bursty+95r5w,uniform+steady+60w40d
+//	streambench -hypothesis cola-insert-advantage -json verdict.json
 //	streambench -list                     # registered dictionary kinds + capabilities
 //	streambench -dict cola,btree,sharded  # Figure 2 over any kinds
 //	streambench -fig 4 -dict brt,shuttle  # Figure 4 over a custom lineup
@@ -26,6 +29,13 @@
 // (the CI recovery lane uses SIGKILL mid-ingest) and -recover-verify
 // reopens the log and proves the recovered state is exactly a whole
 // number of acknowledged batches with the right contents.
+//
+// -scenario drives composable workloads (key-skew + arrival + op-mix,
+// e.g. "zipf1.2+bursty+95r5w"; see internal/workload) over the -dict
+// lineup. -hypothesis runs one registered experiment bundle — claim,
+// quantitative prediction, control arm — and exits 0 when the claim is
+// confirmed, 1 when it is falsified (writing the JSON verdict either
+// way if -json is given), 2 on usage errors.
 //
 // -dict takes registered kinds (see -list) and the figures' display
 // names ("2-COLA", "B-tree", ...) interchangeably; with -fig left at
@@ -59,8 +69,10 @@ const (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, ratios, transfers, deamortized, scans, shuttle, concurrent, readmostly, durability, all")
-		dict       = flag.String("dict", "", "comma-separated structure lineup for -fig 2/3/4 (registered kinds or figure names; see -list)")
+		fig        = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, ratios, transfers, deamortized, scans, shuttle, concurrent, readmostly, durability, scenarios, all")
+		dict       = flag.String("dict", "", "comma-separated structure lineup for -fig 2/3/4/scenarios (registered kinds or figure names; see -list)")
+		scenario   = flag.String("scenario", "", "comma-separated scenario specs (skew+arrival+mix, e.g. zipf1.2+bursty+95r5w) for -fig scenarios; implies it when -fig is unset")
+		hyp        = flag.String("hypothesis", "", "run one experiment bundle by name and exit 0 confirmed / 1 falsified (see internal/hypothesis)")
 		list       = flag.Bool("list", false, "list the registered dictionary kinds with their options and exit")
 		logn       = flag.Int("logn", 18, "log2 of the largest workload size")
 		lognStart  = flag.Int("logn-start", 10, "log2 of the first measured checkpoint")
@@ -97,6 +109,22 @@ func main() {
 		return
 	}
 
+	// Hypothesis mode runs instead of a figure: the bundle pins its own
+	// arms and geometry, so the figure-selection flags do not compose
+	// with it.
+	if *hyp != "" {
+		if *recIngest || *recVerify || *savePath != "" || *loadPath != "" {
+			fmt.Fprintln(os.Stderr, "-hypothesis and the durability modes are mutually exclusive")
+			os.Exit(2)
+		}
+		if *dict != "" || *scenario != "" || figExplicit {
+			fmt.Fprintln(os.Stderr, "-hypothesis runs its bundle's own pinned arms; -fig, -dict and -scenario do not apply")
+			os.Exit(2)
+		}
+		runHypothesis(*hyp, harness.Config{BlockBytes: *blockBytes, Seed: *seed}, *jsonPath)
+		return
+	}
+
 	// Durability modes run instead of a figure; each validates its own
 	// flag subset and exits non-zero on failure.
 	switch {
@@ -130,6 +158,34 @@ func main() {
 	}
 
 	figName := strings.ToLower(*fig)
+
+	// Scenario specs validate before any work, like every other flag; an
+	// unknown spec must exit 2 without touching the -json target.
+	var scenarioSpecs []string
+	if *scenario != "" {
+		for _, tok := range strings.Split(*scenario, ",") {
+			if tok = strings.TrimSpace(tok); tok != "" {
+				scenarioSpecs = append(scenarioSpecs, tok)
+			}
+		}
+		if len(scenarioSpecs) == 0 {
+			fmt.Fprintf(os.Stderr, "-scenario %q names no scenarios\n", *scenario)
+			os.Exit(2)
+		}
+		for _, spec := range scenarioSpecs {
+			if _, err := workload.Parse(spec); err != nil {
+				fmt.Fprintf(os.Stderr, "-scenario: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		if !figExplicit {
+			figName = "scenarios"
+		} else if figName != "scenarios" {
+			fmt.Fprintf(os.Stderr, "-scenario applies to -fig scenarios only (got -fig %q)\n", *fig)
+			os.Exit(2)
+		}
+	}
+
 	var lineup []string
 	if *dict != "" {
 		for _, tok := range strings.Split(*dict, ",") {
@@ -149,14 +205,14 @@ func main() {
 			figName = "2" // default experiment for a custom lineup
 		}
 		switch figName {
-		case "2", "3", "4":
+		case "2", "3", "4", "scenarios":
 		default:
-			fmt.Fprintf(os.Stderr, "-dict applies to -fig 2/3/4 only (got -fig %q)\n", *fig)
+			fmt.Fprintf(os.Stderr, "-dict applies to -fig 2/3/4/scenarios only (got -fig %q)\n", *fig)
 			os.Exit(2)
 		}
 	}
 	switch figName {
-	case "2", "3", "4", "5", "ratios", "transfers", "deamortized", "scans", "shuttle", "concurrent", "readmostly", "durability", "all":
+	case "2", "3", "4", "5", "ratios", "transfers", "deamortized", "scans", "shuttle", "concurrent", "readmostly", "durability", "scenarios", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
 		flag.Usage()
@@ -216,6 +272,28 @@ func main() {
 		results = []harness.Result{cfg.ReadMostly()}
 	case "durability":
 		results = []harness.Result{cfg.Durability()}
+	case "scenarios":
+		specs := scenarioSpecs
+		if specs == nil {
+			specs = harness.DefaultScenarioGrid()
+		}
+		names := lineup
+		if names == nil {
+			names = harness.DefaultScenarioLineup()
+		}
+		var err error
+		results, err = cfg.ScenariosFor(names, specs)
+		if err != nil {
+			// Specs and lineup validated above, so this is a structural
+			// mismatch (e.g. a delete-bearing mix over a structure with no
+			// Deleter) — a usage error, caught before any report is written.
+			if jsonTmp != nil {
+				jsonTmp.Close()
+				os.Remove(jsonTmp.Name())
+			}
+			fmt.Fprintf(os.Stderr, "-fig scenarios: %v\n", err)
+			os.Exit(2)
+		}
 	case "all":
 		results = cfg.All()
 	default:

@@ -279,30 +279,17 @@ func (d *Deamortized) searchArray(k, s int, key uint64) (uint64, bool) {
 	if len(data) == 0 {
 		return 0, false
 	}
-	probes := 0
+	// Probes are charged at their actual (key-dependent) positions so
+	// the cache sees the real divergent probe paths of distinct
+	// searches; see GCOLA.lowerBound.
 	i := sort.Search(len(data), func(i int) bool {
-		probes++
+		d.chargeRead(k, s, i, 1)
 		return data[i].Key >= key
 	})
-	d.chargeBinary(k, s, len(data), probes)
 	if i < len(data) && data[i].Key == key {
 		return data[i].Value, true
 	}
 	return 0, false
-}
-
-// chargeBinary charges the midpoint probe footprint of a binary search
-// over an array of length n in slot s of level k.
-func (d *Deamortized) chargeBinary(k, s, n, probes int) {
-	if d.space == nil || n == 0 {
-		return
-	}
-	i, j := 0, n
-	for p := 0; p < probes && i < j; p++ {
-		mid := int(uint(i+j) >> 1)
-		d.chargeRead(k, s, mid, 1)
-		j = mid
-	}
 }
 
 // Range implements core.Dictionary by k-way merging all visible arrays.
@@ -325,12 +312,10 @@ func (d *Deamortized) Range(lo, hi uint64, fn func(core.Element) bool) {
 			if !a.occupied() {
 				continue
 			}
-			probes := 0
 			p := sort.Search(len(a.data), func(i int) bool {
-				probes++
+				d.chargeRead(k, s, i, 1)
 				return a.data[i].Key >= lo
 			})
-			d.chargeBinary(k, s, len(a.data), probes)
 			if p < len(a.data) {
 				cursors = append(cursors, cursor{data: a.data, pos: p, level: k, epoch: a.epoch})
 			}

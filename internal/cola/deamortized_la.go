@@ -573,12 +573,13 @@ func (d *DeamortizedLookahead) searchArray(k, s int, key uint64, lo, hi int) (ui
 	if lo > hi {
 		lo = hi
 	}
-	probes := 0
+	// Probes are charged at their actual (key-dependent) positions so
+	// the cache sees the real divergent probe paths of distinct
+	// searches; see GCOLA.lowerBound.
 	pos := lo + sort.Search(hi-lo, func(i int) bool {
-		probes++
+		d.chargeRead(k, s, lo+i, 1)
 		return data[lo+i].key >= key
 	})
-	d.chargeBinary(k, s, lo, hi, probes)
 
 	state := notFound
 	var val uint64
@@ -615,18 +616,6 @@ func (d *DeamortizedLookahead) searchArray(k, s int, key uint64, lo, hi int) (ui
 	return 0, notFound, nlo, nhi, sl.link
 }
 
-func (d *DeamortizedLookahead) chargeBinary(k, s, lo, hi, probes int) {
-	if d.space == nil || hi <= lo {
-		return
-	}
-	i, j := lo, hi
-	for p := 0; p < probes && i < j; p++ {
-		mid := int(uint(i+j) >> 1)
-		d.chargeRead(k, s, mid, 1)
-		j = mid
-	}
-}
-
 // Range implements core.Dictionary by k-way merging all visible arrays.
 func (d *DeamortizedLookahead) Range(lo, hi uint64, fn func(core.Element) bool) {
 	type cursor struct {
@@ -638,12 +627,10 @@ func (d *DeamortizedLookahead) Range(lo, hi uint64, fn func(core.Element) bool) 
 	for k := range d.levels {
 		for _, s := range d.visibleNewestFirst(k) {
 			sl := &d.levels[k].slots[s]
-			probes := 0
 			p := sort.Search(len(sl.data), func(i int) bool {
-				probes++
+				d.chargeRead(k, s, i, 1)
 				return sl.data[i].key >= lo
 			})
-			d.chargeBinary(k, s, 0, len(sl.data), probes)
 			if p < len(sl.data) {
 				cursors = append(cursors, cursor{data: sl.data, pos: p, epoch: sl.epoch})
 			}

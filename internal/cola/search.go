@@ -6,24 +6,31 @@ import (
 	"repro/internal/core"
 )
 
-// lowerBound is the first index in [lo, hi) whose key is >= target,
-// plus the number of probes made (for DAM charging). A hand-rolled
-// loop instead of sort.Search: the closure sort.Search needs would be
-// heap-allocated on every call, and searches are a zero-allocation
-// hot path (see the AllocsPerRun tests).
-func (c *GCOLA) lowerBound(l, lo, hi int, target uint64) (pos, probes int) {
+// lowerBound is the first index in [lo, hi) whose key is >= target.
+// Every probe is charged at its actual position: the probe path is
+// key-dependent, so distinct searches diverge into distinct blocks
+// after the first few (shared, cache-resident) midpoints — exactly the
+// O(log(range/B)) uncached-transfer profile of a real binary search. A
+// synthetic probe chain (e.g. always halving leftward) would charge the
+// same cells for every search over the same window, and an LRU cache
+// would then make all but the first binary search free, silently
+// erasing the very cost lookahead pointers exist to avoid. A
+// hand-rolled loop instead of sort.Search: the closure sort.Search
+// needs would be heap-allocated on every call, and searches are a
+// zero-allocation hot path (see the AllocsPerRun tests).
+func (c *GCOLA) lowerBound(l, lo, hi int, target uint64) int {
 	data := c.levels[l].data
 	i, j := lo, hi
 	for i < j {
 		mid := int(uint(i+j) >> 1)
-		probes++
+		c.chargeRead(l, mid, 1)
 		if data[mid].key >= target {
 			j = mid
 		} else {
 			i = mid + 1
 		}
 	}
-	return i, probes
+	return i
 }
 
 // Search implements core.Dictionary. Levels are probed smallest (newest)
@@ -91,8 +98,7 @@ func (c *GCOLA) searchLevel(l int, key uint64, lo, hi int) (uint64, searchState,
 	// charged as a one-cell read; the DAM store coalesces same-block
 	// probes into one transfer, so the charge model matches a real
 	// binary search's block behaviour.
-	pos, probes := c.lowerBound(l, lo, hi, key)
-	c.chargeBinarySearch(l, lo, hi, probes)
+	pos := c.lowerBound(l, lo, hi, key)
 
 	// Scan forward over cells with the exact key: lookahead entries for
 	// the key may precede the real entry (the merge emits them first).
@@ -152,26 +158,6 @@ func (c *GCOLA) searchLevel(l int, key uint64, lo, hi int) (uint64, searchState,
 	return 0, notFound, nlo, nhi
 }
 
-// chargeBinarySearch charges the probe footprint of a binary search over
-// cells [lo, hi) of level l: the classic probe sequence touches
-// O(log(hi-lo)) cells spread across the range, with the final probes
-// clustered in one block. We charge the exact midpoint sequence for the
-// window size, which reproduces the O(log(range/B)) + O(1) transfer
-// profile of binary search in the DAM model.
-func (c *GCOLA) chargeBinarySearch(l, lo, hi, probes int) {
-	if c.opt.Space == nil || hi <= lo {
-		return
-	}
-	i, j := lo, hi
-	for p := 0; p < probes && i < j; p++ {
-		mid := int(uint(i+j) >> 1)
-		c.chargeRead(l, mid, 1)
-		// Halve pessimistically toward the left; the exact direction
-		// does not change the block-count profile.
-		j = mid
-	}
-}
-
 // cursorBuf is the per-call cursor set of one Range; pooled (rather
 // than per-tree scratch) so bracketed concurrent Ranges and reentrant
 // Ranges from inside fn each get their own, while steady-state calls
@@ -200,8 +186,7 @@ func (c *GCOLA) Range(lo, hi uint64, fn func(core.Element) bool) {
 			continue
 		}
 		// Position each cursor at the first cell with key >= lo.
-		p, probes := c.lowerBound(l, lv.start, len(lv.data), lo)
-		c.chargeBinarySearch(l, lv.start, len(lv.data), probes)
+		p := c.lowerBound(l, lv.start, len(lv.data), lo)
 		if p < len(lv.data) {
 			cursors = append(cursors, rangeCursor{level: l, pos: p})
 		}

@@ -177,6 +177,15 @@ func ValidateLineup(names []string) error {
 // registered kind with its defaults — wired to this config's DAM
 // geometry wherever the kind supports accounting.
 func (c Config) buildNamed(name string) (dict, error) {
+	return c.buildWith(name, nil)
+}
+
+// buildWith is buildNamed with extra registry options appended after
+// the name-derived ones (later options win), so callers — the
+// hypothesis bundles' control arms in particular — can perturb a lineup
+// entry ("2-COLA" with its lookahead pointers fragmented) without
+// inventing a new display name.
+func (c Config) buildWith(name string, extra []registry.Option) (dict, error) {
 	c = c.withDefaults()
 	if err := ValidateLineup([]string{name}); err != nil {
 		return dict{}, err
@@ -191,6 +200,7 @@ func (c Config) buildNamed(name string) (dict, error) {
 	} else if registry.Accepts(kind, registry.OptBlockBytes) {
 		opts = append(opts, registry.WithBlockBytes(c.BlockBytes))
 	}
+	opts = append(opts, extra...)
 
 	// The durable wrapper is lineup-able like everything else (putting a
 	// WAL under a figure measures the logging overhead directly); each

@@ -157,6 +157,54 @@ func Compare(base, cand *Report, th Thresholds) Comparison {
 	return c
 }
 
+// Markdown renders the comparison as a GitHub-flavored markdown
+// fragment (CI appends it to $GITHUB_STEP_SUMMARY). verbose includes
+// non-regressing deltas; unmatched keys are summarized by count either
+// way, since lineups legitimately grow across PRs.
+func (c Comparison) Markdown(w io.Writer, verbose bool) error {
+	regs := c.Regressions()
+	status := "✅ no regressions"
+	if len(regs) > 0 {
+		status = fmt.Sprintf("❌ %d regression(s)", len(regs))
+	}
+	if _, err := fmt.Fprintf(w, "### Perf gate — %s\n\n%d matched metric(s), %d baseline-only, %d candidate-only record(s)",
+		status, len(c.Deltas), len(c.OnlyBase), len(c.OnlyNew)); err != nil {
+		return err
+	}
+	if !c.SameHost {
+		if _, err := fmt.Fprintf(w, " (hosts differ; ns/op informational)"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	show := regs
+	if verbose {
+		show = c.Deltas
+	}
+	if len(show) > 0 {
+		if _, err := fmt.Fprintf(w, "\n|key|metric|base|candidate|ratio|status|\n|---|---|---|---|---|---|\n"); err != nil {
+			return err
+		}
+		for _, d := range show {
+			flag := ""
+			switch {
+			case d.Regression:
+				flag = "**REGRESSION**"
+			case !d.Gated:
+				flag = "ungated"
+			}
+			if _, err := fmt.Fprintf(w, "|%s|%s|%.4g|%.4g|%.3f|%s|\n",
+				d.Key, d.Metric, d.Base, d.New, d.Ratio(), flag); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
 // Format renders the comparison as an aligned table, regressions
 // first. verbose includes non-regressing deltas and unmatched keys.
 func (c Comparison) Format(w io.Writer, verbose bool) {

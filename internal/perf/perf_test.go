@@ -260,3 +260,30 @@ func TestTrimCPUSuffix(t *testing.T) {
 		}
 	}
 }
+
+func TestComparisonMarkdown(t *testing.T) {
+	base := Result{Op: "fig", Kind: "2-COLA", TransfersPerOp: 1.0}
+	b, n := mkPair(base, func(r *Result) { r.TransfersPerOp = 1.5 })
+	c := Compare(b, n, DefaultThresholds())
+
+	var sb strings.Builder
+	if err := c.Markdown(&sb, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"1 regression(s)", "|transfers/op|", "REGRESSION", "|---|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown lacks %q:\n%s", want, out)
+		}
+	}
+
+	// A clean comparison says so and, non-verbose, emits no table rows.
+	b2, n2 := mkPair(base, func(r *Result) {})
+	var clean strings.Builder
+	if err := Compare(b2, n2, DefaultThresholds()).Markdown(&clean, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(clean.String(), "no regressions") || strings.Contains(clean.String(), "REGRESSION") {
+		t.Errorf("clean markdown wrong:\n%s", clean.String())
+	}
+}

@@ -1,0 +1,440 @@
+package workload
+
+// Composable scenarios: the key-skew × arrival-pattern × op-mix grid.
+//
+// A Scenario is a point on that grid plus a seed and a keyspace bound.
+// Its Stream() yields a deterministic sequence of typed operations
+// (insert / search / delete / range-scan) grouped into arrival "ticks",
+// so the same spec string always drives bit-for-bit the same workload —
+// the property the perf pipeline's record identity and the hypothesis
+// bundles' falsifiable predictions both rest on.
+//
+// Canonical naming: a scenario names itself skew+arrival+mix, e.g.
+// "zipf1.2+bursty+95r5w". Parse accepts the same grammar, and
+// Parse(s.Name()) round-trips for every valid scenario, so the name is
+// usable as a perf-record identity. Seed and keyspace are deliberately
+// not part of the name: they are geometry, chosen by the harness, not
+// workload shape.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OpKind discriminates the operations a scenario stream emits.
+type OpKind uint8
+
+const (
+	// OpInsert adds (or overwrites) a key.
+	OpInsert OpKind = iota
+	// OpSearch looks up one key.
+	OpSearch
+	// OpDelete removes a previously inserted key.
+	OpDelete
+	// OpScan range-scans [Key, Key+ScanSpan-1].
+	OpScan
+)
+
+// String names the op kind for output and error messages.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpSearch:
+		return "search"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one operation of a scenario stream.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// ScanSpan is the inclusive key width of every OpScan: the scan covers
+// [Key, Key+ScanSpan-1]. Fixed so scenario cost is comparable across
+// structures and runs.
+const ScanSpan = 64
+
+// DefaultKeySpace bounds generated keys when Scenario.KeySpace is zero.
+const DefaultKeySpace = 1 << 20
+
+// Arrival-pattern shape constants. Ticks are the unit of arrival: a
+// steady tick carries one op, a bursty stream alternates burstOnTicks
+// ticks of burstOpsPerTick ops with burstOffTicks empty ticks (a 25%
+// duty cycle), and a diurnal stream ramps ops/tick linearly from 1 up
+// to diurnalPeak and back over diurnalPeriod ticks.
+const (
+	burstOnTicks    = 64
+	burstOffTicks   = 192
+	burstOpsPerTick = 4
+	diurnalPeriod   = 256
+	diurnalPeak     = 8
+)
+
+// Skew is the key-skew axis: which keys the stream touches.
+type Skew struct {
+	// Kind is one of "uniform", "zipf", "sequential", "hotset".
+	Kind string
+	// S is the zipf exponent (> 1); meaningful only when Kind is "zipf".
+	S float64
+}
+
+// Hotset shape: hotTrafficPct percent of key draws land in the first
+// 1/hotSpaceDiv of the keyspace.
+const (
+	hotTrafficPct = 90
+	hotSpaceDiv   = 10
+)
+
+// Arrival is the arrival-pattern axis: how ops group into ticks.
+type Arrival struct {
+	// Kind is one of "steady", "bursty", "diurnal".
+	Kind string
+}
+
+// Mix is the op-mix axis: percentages per op kind, summing to 100.
+type Mix struct {
+	SearchPct int // r
+	InsertPct int // w
+	DeletePct int // d
+	ScanPct   int // s
+}
+
+// ReadFraction is the fraction of ops that only read (searches and
+// scans).
+func (m Mix) ReadFraction() float64 {
+	return float64(m.SearchPct+m.ScanPct) / 100
+}
+
+// Name renders the mix canonically: percentage+letter pairs in the
+// fixed order r (search), w (insert), d (delete), s (scan), zero
+// entries omitted — "95r5w", "100w", "60w40d".
+func (m Mix) Name() string {
+	var b strings.Builder
+	for _, p := range []struct {
+		pct    int
+		letter byte
+	}{{m.SearchPct, 'r'}, {m.InsertPct, 'w'}, {m.DeletePct, 'd'}, {m.ScanPct, 's'}} {
+		if p.pct > 0 {
+			fmt.Fprintf(&b, "%d%c", p.pct, p.letter)
+		}
+	}
+	return b.String()
+}
+
+// Scenario is one point of the skew × arrival × mix grid, plus the
+// geometry (seed, keyspace) the harness chooses.
+type Scenario struct {
+	Skew    Skew
+	Arrival Arrival
+	Mix     Mix
+	// KeySpace bounds every generated key to [0, KeySpace); zero means
+	// DefaultKeySpace.
+	KeySpace uint64
+	// Seed drives every random choice in the stream.
+	Seed uint64
+}
+
+// withDefaults fills the zero geometry fields.
+func (s Scenario) withDefaults() Scenario {
+	if s.KeySpace == 0 {
+		s.KeySpace = DefaultKeySpace
+	}
+	return s
+}
+
+// Validate checks every axis and returns a descriptive error for the
+// first violation.
+func (s Scenario) Validate() error {
+	s = s.withDefaults()
+	switch s.Skew.Kind {
+	case "uniform", "sequential", "hotset":
+	case "zipf":
+		if s.Skew.S <= 1 {
+			return fmt.Errorf("workload: zipf exponent must exceed 1, got %g", s.Skew.S)
+		}
+	default:
+		return fmt.Errorf("workload: unknown skew %q (uniform, zipf<s>, sequential, hotset)", s.Skew.Kind)
+	}
+	switch s.Arrival.Kind {
+	case "steady", "bursty", "diurnal":
+	default:
+		return fmt.Errorf("workload: unknown arrival %q (steady, bursty, diurnal)", s.Arrival.Kind)
+	}
+	m := s.Mix
+	for _, pct := range []int{m.SearchPct, m.InsertPct, m.DeletePct, m.ScanPct} {
+		if pct < 0 || pct > 100 {
+			return fmt.Errorf("workload: mix percentage %d out of [0, 100]", pct)
+		}
+	}
+	if sum := m.SearchPct + m.InsertPct + m.DeletePct + m.ScanPct; sum != 100 {
+		return fmt.Errorf("workload: mix %q sums to %d, want 100", m.Name(), sum)
+	}
+	if s.KeySpace < hotSpaceDiv {
+		return fmt.Errorf("workload: keyspace %d too small (need at least %d)", s.KeySpace, hotSpaceDiv)
+	}
+	return nil
+}
+
+// Name is the canonical spec string: skew+arrival+mix. It omits seed
+// and keyspace (geometry, not workload shape) and round-trips through
+// Parse.
+func (s Scenario) Name() string {
+	skew := s.Skew.Kind
+	if s.Skew.Kind == "zipf" {
+		skew = "zipf" + strconv.FormatFloat(s.Skew.S, 'f', -1, 64)
+	}
+	return skew + "+" + s.Arrival.Kind + "+" + s.Mix.Name()
+}
+
+// Parse reads a canonical scenario spec ("zipf1.2+bursty+95r5w") back
+// into a Scenario with zero geometry (caller sets Seed/KeySpace). The
+// returned scenario is validated.
+func Parse(spec string) (Scenario, error) {
+	parts := strings.Split(spec, "+")
+	if len(parts) != 3 {
+		return Scenario{}, fmt.Errorf("workload: scenario %q is not skew+arrival+mix", spec)
+	}
+	var s Scenario
+	switch {
+	case strings.HasPrefix(parts[0], "zipf"):
+		exp, err := strconv.ParseFloat(strings.TrimPrefix(parts[0], "zipf"), 64)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("workload: scenario %q: bad zipf exponent: %v", spec, err)
+		}
+		s.Skew = Skew{Kind: "zipf", S: exp}
+	default:
+		s.Skew = Skew{Kind: parts[0]}
+	}
+	s.Arrival = Arrival{Kind: parts[1]}
+	mix, err := parseMix(parts[2])
+	if err != nil {
+		return Scenario{}, fmt.Errorf("workload: scenario %q: %v", spec, err)
+	}
+	s.Mix = mix
+	if err := s.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("workload: scenario %q: %v", spec, err)
+	}
+	return s, nil
+}
+
+// parseMix reads percentage+letter pairs ("95r5w"); each letter at most
+// once.
+func parseMix(tok string) (Mix, error) {
+	var m Mix
+	seen := map[byte]bool{}
+	i := 0
+	for i < len(tok) {
+		j := i
+		for j < len(tok) && tok[j] >= '0' && tok[j] <= '9' {
+			j++
+		}
+		if j == i || j == len(tok) {
+			return Mix{}, fmt.Errorf("bad mix %q (want pairs like 95r5w; letters r/w/d/s)", tok)
+		}
+		pct, err := strconv.Atoi(tok[i:j])
+		if err != nil {
+			return Mix{}, fmt.Errorf("bad mix %q: %v", tok, err)
+		}
+		letter := tok[j]
+		if seen[letter] {
+			return Mix{}, fmt.Errorf("bad mix %q: duplicate %q", tok, string(letter))
+		}
+		seen[letter] = true
+		switch letter {
+		case 'r':
+			m.SearchPct = pct
+		case 'w':
+			m.InsertPct = pct
+		case 'd':
+			m.DeletePct = pct
+		case 's':
+			m.ScanPct = pct
+		default:
+			return Mix{}, fmt.Errorf("bad mix %q: unknown op letter %q (r/w/d/s)", tok, string(letter))
+		}
+		i = j + 1
+	}
+	return m, nil
+}
+
+// keyGen draws keys in [0, space) under one skew. Each stream holds
+// independent generators for inserts, searches/scans, and deletes so
+// the delete stream can replay the insert stream exactly (see Stream).
+type keyGen struct {
+	skew  Skew
+	space uint64
+	rng   *RNG
+	zipf  *Zipf
+	seq   uint64
+}
+
+func newKeyGen(skew Skew, space, seed uint64) *keyGen {
+	g := &keyGen{skew: skew, space: space, rng: NewRNG(seed)}
+	if skew.Kind == "zipf" {
+		g.zipf = NewZipf(seed, space, skew.S)
+	}
+	return g
+}
+
+func (g *keyGen) next() uint64 {
+	switch g.skew.Kind {
+	case "uniform":
+		return g.rng.Uint64() % g.space
+	case "zipf":
+		return g.zipf.Next()
+	case "sequential":
+		v := g.seq % g.space
+		g.seq++
+		return v
+	case "hotset":
+		hot := g.space / hotSpaceDiv
+		if g.rng.Intn(100) < hotTrafficPct {
+			return g.rng.Uint64() % hot
+		}
+		return hot + g.rng.Uint64()%(g.space-hot)
+	}
+	panic("workload: unvalidated skew " + g.skew.Kind)
+}
+
+// Stream yields a Scenario's deterministic op sequence, grouped into
+// arrival ticks.
+//
+// Key streams are split by purpose so every axis stays independently
+// deterministic: insert keys, search/scan keys, and delete keys each
+// come from their own generator. The delete generator is an identically
+// seeded replica of the insert generator advanced once per delete, so
+// deletes remove exactly the keys the stream inserted, in insertion
+// order; if deletes momentarily outpace inserts the target key has not
+// arrived yet and the delete is a (deterministic) miss.
+type Stream struct {
+	sc      Scenario
+	tick    uint64
+	kinds   *RNG
+	inserts *keyGen
+	searchs *keyGen
+	deletes *keyGen
+	// pending buffers the current tick for Next().
+	pending []Op
+	pos     int
+}
+
+// Seed-derivation constants: one sub-seed per independent random
+// stream. The insert and delete generators share insertStream so the
+// delete replica reproduces insert keys exactly.
+const (
+	kindStream   = 0x5CE7A110
+	insertStream = 0x5CE7A111
+	searchStream = 0x5CE7A112
+)
+
+// Stream validates the scenario and returns its op stream positioned at
+// the first tick.
+func (s Scenario) Stream() (*Stream, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	st := &Stream{sc: s}
+	st.Reset()
+	return st, nil
+}
+
+// Reset rewinds the stream to its first tick; the replayed op sequence
+// is bit-for-bit identical.
+func (st *Stream) Reset() {
+	s := st.sc
+	st.tick = 0
+	st.pending = st.pending[:0]
+	st.pos = 0
+	st.kinds = NewRNG(mix64(s.Seed ^ kindStream))
+	st.inserts = newKeyGen(s.Skew, s.KeySpace, mix64(s.Seed^insertStream))
+	st.searchs = newKeyGen(s.Skew, s.KeySpace, mix64(s.Seed^searchStream))
+	st.deletes = newKeyGen(s.Skew, s.KeySpace, mix64(s.Seed^insertStream))
+}
+
+// Scenario returns the (validated, defaults-filled) scenario this
+// stream plays.
+func (st *Stream) Scenario() Scenario { return st.sc }
+
+// opsThisTick is the arrival pattern: how many ops land on tick t.
+func (st *Stream) opsThisTick(t uint64) int {
+	switch st.sc.Arrival.Kind {
+	case "steady":
+		return 1
+	case "bursty":
+		if t%(burstOnTicks+burstOffTicks) < burstOnTicks {
+			return burstOpsPerTick
+		}
+		return 0
+	case "diurnal":
+		pos := t % diurnalPeriod
+		half := uint64(diurnalPeriod / 2)
+		if pos > half {
+			pos = diurnalPeriod - pos
+		}
+		return 1 + int((diurnalPeak-1)*pos/half)
+	}
+	panic("workload: unvalidated arrival " + st.sc.Arrival.Kind)
+}
+
+// genOp draws one op: kind from the mix, key from the kind's generator.
+func (st *Stream) genOp() Op {
+	m := st.sc.Mix
+	r := st.kinds.Intn(100)
+	switch {
+	case r < m.SearchPct:
+		return Op{Kind: OpSearch, Key: st.searchs.next()}
+	case r < m.SearchPct+m.InsertPct:
+		return Op{Kind: OpInsert, Key: st.inserts.next()}
+	case r < m.SearchPct+m.InsertPct+m.DeletePct:
+		return Op{Kind: OpDelete, Key: st.deletes.next()}
+	default:
+		k := st.searchs.next()
+		// Clamp so the scan window stays inside the keyspace.
+		if max := st.sc.KeySpace - ScanSpan; k > max {
+			k = max
+		}
+		return Op{Kind: OpScan, Key: k}
+	}
+}
+
+// NextTick appends the ops arriving on the next tick to buf and returns
+// it. The returned slice is empty (but non-nil semantics of buf are
+// preserved) during a bursty stream's off-phase.
+func (st *Stream) NextTick(buf []Op) []Op {
+	n := st.opsThisTick(st.tick)
+	st.tick++
+	for i := 0; i < n; i++ {
+		buf = append(buf, st.genOp())
+	}
+	return buf
+}
+
+// Next returns the next op, skipping empty ticks.
+func (st *Stream) Next() Op {
+	for st.pos >= len(st.pending) {
+		st.pending = st.NextTick(st.pending[:0])
+		st.pos = 0
+	}
+	op := st.pending[st.pos]
+	st.pos++
+	return op
+}
+
+// TakeOps materializes the next n ops of the stream (empty ticks
+// skipped).
+func TakeOps(st *Stream, n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = st.Next()
+	}
+	return out
+}

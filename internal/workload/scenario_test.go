@@ -1,0 +1,347 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// --- spec grammar -----------------------------------------------------
+
+func TestScenarioNameRoundTrip(t *testing.T) {
+	specs := []string{
+		"uniform+steady+95r5w",
+		"zipf1.2+bursty+95r5w",
+		"sequential+diurnal+100w",
+		"hotset+steady+60w40d",
+		"uniform+steady+80r10w5d5s",
+		"zipf1.5+steady+100r",
+	}
+	for _, spec := range specs {
+		sc, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := sc.Name(); got != spec {
+			t.Errorf("Parse(%q).Name() = %q", spec, got)
+		}
+	}
+}
+
+func TestScenarioParseRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"uniform+steady",          // missing mix
+		"uniform+steady+95r5w+x",  // extra axis
+		"gaussian+steady+100w",    // unknown skew
+		"zipf0.9+steady+100w",     // zipf exponent <= 1
+		"zipfx+steady+100w",       // unparsable exponent
+		"uniform+poisson+100w",    // unknown arrival
+		"uniform+steady+95r4w",    // sums to 99
+		"uniform+steady+95r5w5w",  // duplicate letter
+		"uniform+steady+95r5x",    // unknown op letter
+		"uniform+steady+r5w",      // missing percentage
+		"uniform+steady+95r5",     // trailing number
+		"uniform+steady+100w0d0d", // duplicate zero entries
+		"uniform+steady+150r-50w", // out of range
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+// --- determinism ------------------------------------------------------
+
+// Every cell of a skew × arrival slice must replay bit-for-bit under a
+// fixed seed, both across two independent streams and across Reset.
+func TestScenarioDeterminism(t *testing.T) {
+	skews := []string{"uniform", "zipf1.2", "sequential", "hotset"}
+	arrivals := []string{"steady", "bursty", "diurnal"}
+	for _, skew := range skews {
+		for _, arrival := range arrivals {
+			spec := skew + "+" + arrival + "+70r20w5d5s"
+			sc, err := Parse(spec)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", spec, err)
+			}
+			sc.Seed = 42
+			sc.KeySpace = 1 << 12
+			a, err := sc.Stream()
+			if err != nil {
+				t.Fatalf("%s: Stream: %v", spec, err)
+			}
+			b, err := sc.Stream()
+			if err != nil {
+				t.Fatalf("%s: Stream: %v", spec, err)
+			}
+			const n = 4096
+			opsA := TakeOps(a, n)
+			opsB := TakeOps(b, n)
+			for i := range opsA {
+				if opsA[i] != opsB[i] {
+					t.Fatalf("%s: op %d differs across identical streams: %v vs %v", spec, i, opsA[i], opsB[i])
+				}
+			}
+			a.Reset()
+			for i := 0; i < n; i++ {
+				if op := a.Next(); op != opsA[i] {
+					t.Fatalf("%s: op %d differs after Reset: %v vs %v", spec, i, op, opsA[i])
+				}
+			}
+		}
+	}
+}
+
+// Different seeds must not replay the same key sequence (regression
+// guard for sub-seed derivation collapsing).
+func TestScenarioSeedsDiffer(t *testing.T) {
+	mk := func(seed uint64) []Op {
+		sc, err := Parse("uniform+steady+50r50w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Seed = seed
+		st, err := sc.Stream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return TakeOps(st, 256)
+	}
+	a, b := mk(1), mk(2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 1 and 2 generated identical op streams")
+	}
+}
+
+// --- zipf frequencies vs theoretical mass (chi-square) ----------------
+
+// Observed zipf draw frequencies must match the theoretical probability
+// mass p_k ∝ (k+1)^-s. With 2^17 draws over 64 ranks the chi-square
+// statistic has 63 degrees of freedom; its 99.9th percentile is ≈ 103.4,
+// and the generator is deterministic, so a bound of 110 cannot flake —
+// it only fails if the distribution itself drifts.
+func TestZipfScenarioChiSquare(t *testing.T) {
+	const (
+		ranks = 64
+		draws = 1 << 17
+		s     = 1.2
+	)
+	sc, err := Parse("zipf1.2+steady+100w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 7
+	sc.KeySpace = ranks
+	st, err := sc.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := make([]float64, ranks)
+	for i := 0; i < draws; i++ {
+		op := st.Next()
+		if op.Kind != OpInsert {
+			t.Fatalf("100w mix emitted %v", op.Kind)
+		}
+		if op.Key >= ranks {
+			t.Fatalf("zipf key %d outside keyspace %d", op.Key, ranks)
+		}
+		observed[op.Key]++
+	}
+	var norm float64
+	mass := make([]float64, ranks)
+	for k := 0; k < ranks; k++ {
+		mass[k] = math.Pow(float64(k+1), -s)
+		norm += mass[k]
+	}
+	var chi2 float64
+	for k := 0; k < ranks; k++ {
+		expected := draws * mass[k] / norm
+		d := observed[k] - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 110 {
+		t.Fatalf("zipf chi-square %.1f exceeds 110 (df=63): observed frequencies diverge from the s=%.1f mass", chi2, s)
+	}
+	// Sanity: rank 0 must dominate rank 32 decisively under s=1.2.
+	if observed[0] < 10*observed[32] {
+		t.Fatalf("zipf skew too weak: rank0=%g rank32=%g", observed[0], observed[32])
+	}
+}
+
+// --- bursty duty cycle ------------------------------------------------
+
+// The bursty arrival is a square wave: exactly burstOnTicks loaded ticks
+// of burstOpsPerTick ops, then burstOffTicks empty ticks. Both the duty
+// cycle and the per-tick burst size are exact, not statistical.
+func TestBurstyDutyCycle(t *testing.T) {
+	sc, err := Parse("uniform+bursty+100w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 3
+	st, err := sc.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const periods = 8
+	total := (burstOnTicks + burstOffTicks) * periods
+	loaded, ops := 0, 0
+	var buf []Op
+	for i := 0; i < total; i++ {
+		buf = st.NextTick(buf[:0])
+		if len(buf) != 0 && len(buf) != burstOpsPerTick {
+			t.Fatalf("tick %d carries %d ops, want 0 or %d", i, len(buf), burstOpsPerTick)
+		}
+		inOn := uint64(i)%(burstOnTicks+burstOffTicks) < burstOnTicks
+		if inOn != (len(buf) > 0) {
+			t.Fatalf("tick %d: on-phase=%v but %d ops", i, inOn, len(buf))
+		}
+		if len(buf) > 0 {
+			loaded++
+		}
+		ops += len(buf)
+	}
+	wantDuty := float64(burstOnTicks) / float64(burstOnTicks+burstOffTicks)
+	if got := float64(loaded) / float64(total); got != wantDuty {
+		t.Fatalf("duty cycle %.3f, want exactly %.3f", got, wantDuty)
+	}
+	if want := burstOnTicks * burstOpsPerTick * periods; ops != want {
+		t.Fatalf("%d ops over %d periods, want %d", ops, periods, want)
+	}
+}
+
+// The diurnal ramp must be periodic, span [1, diurnalPeak] ops/tick,
+// and hit its peak mid-period.
+func TestDiurnalRamp(t *testing.T) {
+	sc, err := Parse("uniform+diurnal+100w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sc.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	var buf []Op
+	for i := 0; i < 2*diurnalPeriod; i++ {
+		buf = st.NextTick(buf[:0])
+		sizes = append(sizes, len(buf))
+	}
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes[:diurnalPeriod] {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if min != 1 || max != diurnalPeak {
+		t.Fatalf("diurnal ops/tick range [%d, %d], want [1, %d]", min, max, diurnalPeak)
+	}
+	if sizes[diurnalPeriod/2] != diurnalPeak {
+		t.Fatalf("mid-period tick carries %d ops, want peak %d", sizes[diurnalPeriod/2], diurnalPeak)
+	}
+	for i := 0; i < diurnalPeriod; i++ {
+		if sizes[i] != sizes[i+diurnalPeriod] {
+			t.Fatalf("diurnal not periodic at tick %d: %d vs %d", i, sizes[i], sizes[i+diurnalPeriod])
+		}
+	}
+}
+
+// --- op-mix convergence -----------------------------------------------
+
+// Observed op-kind fractions must converge to the mix percentages
+// within 1 percentage point over 10^5 ops (deterministic seed: exact
+// reproducibility, generous bound).
+func TestMixFractionConvergence(t *testing.T) {
+	sc, err := Parse("uniform+steady+80r10w5d5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 11
+	st, err := sc.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	counts := map[OpKind]int{}
+	for i := 0; i < n; i++ {
+		counts[st.Next().Kind]++
+	}
+	want := map[OpKind]float64{OpSearch: 0.80, OpInsert: 0.10, OpDelete: 0.05, OpScan: 0.05}
+	for kind, frac := range want {
+		got := float64(counts[kind]) / n
+		if math.Abs(got-frac) > 0.01 {
+			t.Errorf("%v fraction %.4f, want %.2f ± 0.01", kind, got, frac)
+		}
+	}
+}
+
+// --- delete replica ---------------------------------------------------
+
+// Deletes must target exactly the insert-key sequence, in insertion
+// order: collect inserts and deletes from a mixed stream and check the
+// delete sequence is a prefix-aligned replay of the insert sequence.
+func TestDeleteReplaysInsertStream(t *testing.T) {
+	sc, err := Parse("uniform+steady+60w40d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 5
+	sc.KeySpace = 1 << 16
+	st, err := sc.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inserted, deleted []uint64
+	for i := 0; i < 20000; i++ {
+		op := st.Next()
+		switch op.Kind {
+		case OpInsert:
+			inserted = append(inserted, op.Key)
+		case OpDelete:
+			deleted = append(deleted, op.Key)
+		}
+	}
+	if len(deleted) == 0 {
+		t.Fatal("no deletes generated")
+	}
+	for i, k := range deleted {
+		if i >= len(inserted) {
+			break // deletes ran ahead of inserts; keys arrive later
+		}
+		if k != inserted[i] {
+			t.Fatalf("delete %d removed key %d, want insert-order key %d", i, k, inserted[i])
+		}
+	}
+}
+
+// Scan ops must stay inside the keyspace even at the top edge.
+func TestScanWindowClamped(t *testing.T) {
+	sc, err := Parse("sequential+steady+100s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.KeySpace = ScanSpan * 2
+	st, err := sc.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		op := st.Next()
+		if op.Kind != OpScan {
+			t.Fatalf("100s mix emitted %v", op.Kind)
+		}
+		if op.Key+ScanSpan > sc.KeySpace {
+			t.Fatalf("scan window [%d, %d) leaves keyspace %d", op.Key, op.Key+ScanSpan, sc.KeySpace)
+		}
+	}
+}

@@ -150,15 +150,22 @@ func (r *RandomUnique) Reset() { r.i = 0 }
 func (r *RandomUnique) Name() string { return "random-unique" }
 
 // Zipf yields keys drawn from a zipfian distribution over [0, n) with
-// exponent s > 1, via rejection-inversion. Useful for skewed-update
-// workloads beyond the paper's uniform experiments.
+// exponent s > 1 (rank r is drawn with probability proportional to
+// (r+1)^-s), via Hörmann's rejection-inversion. Useful for skewed
+// workloads beyond the paper's uniform experiments; the scenario
+// generator's chi-square test pins the sampled frequencies to the
+// theoretical mass.
 type Zipf struct {
 	seed uint64
 	rng  *RNG
 	n    uint64
 	s    float64
-	// precomputed constants for rejection-inversion (Hörmann)
-	hx0, hxm, dif float64
+	// Precomputed rejection-inversion constants: the u-interval
+	// (hxn, hx1] and the unconditional-acceptance width. The left edge
+	// is h(1.5) - pmf(1), NOT h(0.5): extending inversion below 1.5
+	// would hand rank 1 the whole continuous envelope slice and
+	// overweight the head by ~8% at s = 1.2.
+	hx1, hxn, threshold float64
 }
 
 // NewZipf returns a zipfian stream over [0, n) with exponent s (> 1).
@@ -170,12 +177,13 @@ func NewZipf(seed uint64, n uint64, s float64) *Zipf {
 		panic("workload: Zipf exponent must exceed 1")
 	}
 	z := &Zipf{seed: seed, rng: NewRNG(seed), n: n, s: s}
-	z.hx0 = z.h(0.5) - 1
-	z.hxm = z.h(float64(n) + 0.5)
-	z.dif = z.hx0 - z.hxm
+	z.hx1 = z.h(1.5) - 1
+	z.hxn = z.h(float64(n) + 0.5)
+	z.threshold = 2 - z.hInv(z.h(2.5)-math.Pow(2, -s))
 	return z
 }
 
+// h is the antiderivative of the envelope x^-s.
 func (z *Zipf) h(x float64) float64 {
 	return math.Pow(x, 1-z.s) / (1 - z.s)
 }
@@ -187,7 +195,7 @@ func (z *Zipf) hInv(x float64) float64 {
 // Next implements Sequence.
 func (z *Zipf) Next() uint64 {
 	for {
-		u := z.hx0 - z.rng.Float64()*z.dif
+		u := z.hxn + z.rng.Float64()*(z.hx1-z.hxn)
 		x := z.hInv(u)
 		k := math.Floor(x + 0.5)
 		if k < 1 {
@@ -196,7 +204,7 @@ func (z *Zipf) Next() uint64 {
 		if k > float64(z.n) {
 			k = float64(z.n)
 		}
-		if k-x <= 0.5 || u >= z.h(k+0.5)-math.Pow(k, -z.s) {
+		if k-x <= z.threshold || u >= z.h(k+0.5)-math.Pow(k, -z.s) {
 			return uint64(k) - 1
 		}
 	}
