@@ -87,7 +87,7 @@ func LoadFile(path string, extra ...Option) (Dictionary, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repro: LoadFile: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //repro:allow durerr read-only handle; Close cannot lose acknowledged writes
 	return Load(f, extra...)
 }
 

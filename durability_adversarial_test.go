@@ -62,14 +62,14 @@ func TestDurableShardedSurvivesGOMAXPROCSChange(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.Insert(999, 1)
-	d.Close()
+	mustClose(t, d)
 
 	runtime.GOMAXPROCS(2)
 	r, err := Open(path)
 	if err != nil {
 		t.Fatalf("reopen after GOMAXPROCS change: %v", err)
 	}
-	defer r.Close()
+	defer mustClose(t, r)
 	if r.Len() != 201 {
 		t.Fatalf("recovered Len = %d", r.Len())
 	}

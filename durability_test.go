@@ -73,7 +73,7 @@ func TestSaveErrorTaxonomy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer durableDict.Close()
+	defer mustClose(t, durableDict)
 	if err := Save(&buf, "durable", durableDict); err == nil || !strings.Contains(err.Error(), "does not support snapshots") {
 		t.Fatalf("durable save: %v", err)
 	}
@@ -214,13 +214,13 @@ func TestOpenRecoversAcknowledgedState(t *testing.T) {
 	}
 	// No Close, no checkpoint: simulate a crash by just reopening the
 	// files (the OS page cache stands in for the disk either way).
-	d.Close()
+	mustClose(t, d)
 
 	r, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer r.Close()
+	defer mustClose(t, r)
 	if r.Len() != 499 {
 		t.Fatalf("recovered Len = %d, want 499", r.Len())
 	}
@@ -261,14 +261,14 @@ func TestCheckpointTruncatesAndReopensFromSnapshot(t *testing.T) {
 	}
 	// Tail after the checkpoint.
 	d.Insert(9000, 1)
-	d.Close()
+	mustClose(t, d)
 
 	// Reopen without WithInner: the checkpoint header says what to build.
 	r, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer r.Close()
+	defer mustClose(t, r)
 	if r.Len() != 501 {
 		t.Fatalf("recovered Len = %d, want 501", r.Len())
 	}
@@ -297,12 +297,12 @@ func TestAutomaticCheckpointing(t *testing.T) {
 	if err := d.Err(); err != nil {
 		t.Fatalf("Err = %v", err)
 	}
-	d.Close()
+	mustClose(t, d)
 	r, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer r.Close()
+	defer mustClose(t, r)
 	if r.Len() != 25 {
 		t.Fatalf("recovered Len = %d", r.Len())
 	}
@@ -319,19 +319,21 @@ func TestOpenSurvivesTornTail(t *testing.T) {
 	for i := uint64(0); i < 100; i++ {
 		d.Insert(i, i)
 	}
-	d.Close()
+	mustClose(t, d)
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.Write([]byte{0x15, 0x00, 0x00, 0x00, 0xDE, 0xAD}) // torn record
-	f.Close()
+	if _, err := f.Write([]byte{0x15, 0x00, 0x00, 0x00, 0xDE, 0xAD}); err != nil {
+		t.Fatal(err) // the torn record is the point of the test setup
+	}
+	mustClose(t, f)
 
 	r, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer r.Close()
+	defer mustClose(t, r)
 	if r.Len() != 100 {
 		t.Fatalf("recovered Len = %d, want 100", r.Len())
 	}
@@ -348,7 +350,7 @@ func TestOpenConfigMismatches(t *testing.T) {
 	if err := d.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	d.Close()
+	mustClose(t, d)
 	if _, err := Open(path, WithInner("gcola")); err == nil || !strings.Contains(err.Error(), "checkpoint") {
 		t.Fatalf("inner-kind conflict with checkpoint: %v", err)
 	}
@@ -365,7 +367,7 @@ func TestOpenConfigMismatches(t *testing.T) {
 	if err := g.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	g.Close()
+	mustClose(t, g)
 	if _, err := Open(gpath, WithInner("gcola", WithGrowthFactor(3))); err == nil || !strings.Contains(err.Error(), "checkpoint") {
 		t.Fatalf("inner-option conflict with checkpoint: %v", err)
 	}
@@ -387,7 +389,7 @@ func TestOpenConfigMismatches(t *testing.T) {
 		if v, ok := g.Search(1); !ok || v != 1 {
 			t.Fatal("contents wrong after reopen")
 		}
-		g.Close()
+		mustClose(t, g)
 	}
 	if _, err := Open(filepath.Join(dir, "x.wal"), WithInner("durable")); err == nil {
 		t.Fatal("durable-in-durable accepted")
@@ -412,7 +414,7 @@ func TestDurableConcurrentUse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d.Close()
+	defer mustClose(t, d)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -1,0 +1,12 @@
+package repro
+
+import "testing"
+
+// mustClose closes c and fails the test on error: in durability tests
+// a dropped Close error can hide a failed flush (and durerr flags it).
+func mustClose(t testing.TB, c interface{ Close() error }) {
+	t.Helper()
+	if err := c.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}

@@ -49,6 +49,10 @@ type entry struct {
 // right-justified in data[start:], matching the paper ("we maintain the
 // elements right justified in their array").
 type level struct {
+	// data is the level's cell array in the DAM model: every index,
+	// range, copy, or append on it must happen inside a //repro:charges
+	// accessor (machine-checked by reprolint's damcharge analyzer).
+	//repro:accounted
 	data  []entry
 	start int // first occupied cell; len(data) when empty
 	real  int // occupied real+tombstone cells (excludes lookahead entries)
@@ -138,9 +142,12 @@ type rangeCursor struct {
 type mergeScratch struct {
 	runs [][]entry // mergeDown/Compact run headers, newest first
 	one  [1]entry  // backing array for the incoming-entry run
-	ping []entry   // merge-ladder accumulator (alternates with pong)
-	pong []entry   // merge-ladder accumulator (alternates with ping)
-	la   []entry   // lookahead sample buffer for distributePointers
+	//repro:scratch
+	ping []entry // merge-ladder accumulator (alternates with pong)
+	//repro:scratch
+	pong []entry // merge-ladder accumulator (alternates with ping)
+	//repro:scratch
+	la []entry // lookahead sample buffer for distributePointers
 }
 
 var (
@@ -289,6 +296,8 @@ func (c *GCOLA) Delete(key uint64) bool {
 
 // insertEntry routes a real or tombstone entry into level 0, cascading a
 // merge when level 0 is occupied.
+//
+//repro:charges opt.Space (level-0 write)
 func (c *GCOLA) insertEntry(e entry) {
 	movesBefore := c.stats.Moves
 	c.ensureLevel(0)
@@ -322,6 +331,8 @@ func (c *GCOLA) mergeTarget() int {
 
 // mergeDown merges the new entry and levels 0..t-1 into level t, then
 // redistributes lookahead pointers down from t. Levels 0..t-1 end empty.
+//
+//repro:charges opt.Space (run reads + target write)
 func (c *GCOLA) mergeDown(newEntry entry) {
 	t := c.mergeTarget()
 	target := &c.levels[t]
@@ -407,6 +418,8 @@ func stripLookaheadInPlace(run []entry) []entry {
 // installLevel writes out right-justified into level l, recomputes the
 // real-entry count and the left copies (each cell's copy of the closest
 // lookahead pointer at or to its left).
+//
+//repro:charges caller:mergeDown and Compact charge the target write
 func (c *GCOLA) installLevel(l int, out []entry) {
 	lv := &c.levels[l]
 	if len(out) > len(lv.data) {
@@ -439,6 +452,8 @@ func (c *GCOLA) installLevel(l int, out []entry) {
 // whole ladder reuses capacity instead of allocating per rung; the
 // returned slice aliases scratch (or runs[0] when there is nothing to
 // merge) and must be copied out before the next merge.
+//
+//repro:allow scratchalias caller installs the returned run via installLevel before the next merge reuses scratch
 func (c *GCOLA) mergeRuns(runs [][]entry, atBottom bool) []entry {
 	if len(runs) == 0 {
 		return nil
@@ -520,6 +535,8 @@ func (c *GCOLA) mergeTwoInto(out, newer, older []entry) []entry {
 
 // Compact merges every level into a single level, dropping tombstones and
 // duplicates, after which Len is exact for any preceding workload.
+//
+//repro:charges opt.Space (level reads + bottom write)
 func (c *GCOLA) Compact() {
 	totalReal := 0
 	bottom := -1

@@ -11,6 +11,8 @@ package cola
 // The scans are geometrically decreasing, so the total cost is dominated
 // by the scan of level t, which the amortized analysis of Lemma 19
 // already pays for.
+//
+//repro:charges opt.Space (one range read per source level)
 func (c *GCOLA) distributePointers(t int) {
 	if c.opt.PointerDensity == 0 {
 		return
@@ -63,6 +65,8 @@ func (c *GCOLA) distributePointers(t int) {
 // checkInvariants validates the structural invariants of every level and
 // panics with a description on violation. Tests call this; production
 // paths do not.
+//
+//repro:allow damcharge test-only invariant validator, deliberately outside the DAM cost model
 func (c *GCOLA) checkInvariants() {
 	liveSeen := 0
 	for l := range c.levels {

@@ -18,6 +18,8 @@ import (
 // hand-rolled loop instead of sort.Search: the closure sort.Search
 // needs would be heap-allocated on every call, and searches are a
 // zero-allocation hot path (see the AllocsPerRun tests).
+//
+//repro:charges opt.Space (one cell per probe)
 func (c *GCOLA) lowerBound(l, lo, hi int, target uint64) int {
 	data := c.levels[l].data
 	i, j := lo, hi
@@ -82,6 +84,8 @@ const (
 // searchLevel searches level l for key within window [lo, hi) (absolute
 // cell indices; -1 for unknown) and returns the match state plus the
 // window for level l+1 derived from the bracketing lookahead pointers.
+//
+//repro:charges opt.Space (scan reads)
 func (c *GCOLA) searchLevel(l int, key uint64, lo, hi int) (uint64, searchState, int, int) {
 	lv := &c.levels[l]
 	if lo < 0 || lo < lv.start {
@@ -173,6 +177,8 @@ var cursorPool = sync.Pool{New: func() any { return new(cursorBuf) }}
 // levels with newest-wins resolution, skipping lookahead entries and
 // tombstoned keys. Like Search, Range is safe for bracketed concurrent
 // use: its cursors are pooled per call and it mutates nothing else.
+//
+//repro:charges opt.Space (one cell per cursor advance)
 func (c *GCOLA) Range(lo, hi uint64, fn func(core.Element) bool) {
 	cb := cursorPool.Get().(*cursorBuf)
 	defer func() {

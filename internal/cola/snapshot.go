@@ -58,6 +58,8 @@ var _ core.Snapshotter = (*GCOLA)(nil)
 const entryBytes = 8 + 8 + 4 + 4 + 1
 
 // WriteTo serializes the structure. It implements io.WriterTo.
+//
+//repro:allow damcharge snapshot serialization is a whole-structure sequential pass outside the per-op DAM cost model
 func (c *GCOLA) WriteTo(w io.Writer) (int64, error) {
 	// Mirror ReadFrom's decode ceilings so anything WriteTo emits is
 	// guaranteed loadable: a structure beyond the supported envelope
@@ -141,6 +143,8 @@ func (c *GCOLA) WriteTo(w io.Writer) (int64, error) {
 // parameterized structure), and the receiver is mutated only after the
 // entire stream has decoded — a failed ReadFrom leaves it empty and
 // usable.
+//
+//repro:allow damcharge snapshot deserialization is a whole-structure sequential pass outside the per-op DAM cost model
 func (c *GCOLA) ReadFrom(r io.Reader) (int64, error) {
 	for l := range c.levels {
 		if !c.levels[l].empty() {

@@ -56,7 +56,7 @@ func hideSharedReader(c *cola.GCOLA) exclusiveInner {
 func TestForwardingBasics(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "d.wal")
 	d := openDict(t, path, cola.NewCOLA(nil), 0)
-	defer d.Close()
+	defer mustClose(t, d)
 
 	d.Insert(1, 10)
 	d.InsertBatch([]core.Element{{Key: 2, Value: 20}, {Key: 3, Value: 30}})
@@ -88,13 +88,13 @@ func TestForwardingBasics(t *testing.T) {
 func TestSharedReadsProbeAndForwarding(t *testing.T) {
 	dir := t.TempDir()
 	shared := openDict(t, filepath.Join(dir, "s.wal"), cola.NewCOLA(nil), 0)
-	defer shared.Close()
+	defer mustClose(t, shared)
 	if !shared.SharedReads() || !core.SharedReads(shared) {
 		t.Fatal("durable over COLA must report shared reads")
 	}
 
 	excl := openDict(t, filepath.Join(dir, "e.wal"), hideSharedReader(cola.NewCOLA(nil)), 0)
-	defer excl.Close()
+	defer mustClose(t, excl)
 	if excl.SharedReads() || core.SharedReads(excl) {
 		t.Fatal("durable over a hidden-SharedReader inner must report exclusive reads")
 	}
@@ -103,7 +103,7 @@ func TestSharedReadsProbeAndForwarding(t *testing.T) {
 	excl.EndSharedReads()
 
 	deam := openDict(t, filepath.Join(dir, "d.wal"), cola.NewDeamortized(nil), 0)
-	defer deam.Close()
+	defer mustClose(t, deam)
 	if deam.SharedReads() {
 		t.Fatal("durable over deamortized COLA must report exclusive reads")
 	}
@@ -125,7 +125,7 @@ func TestSharedSearchesRaceLoggedInserts(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			path := filepath.Join(t.TempDir(), "race.wal")
 			d := openDict(t, path, tc.inner, 64) // checkpoints race the traffic too
-			defer d.Close()
+			defer mustClose(t, d)
 
 			const keyspace = 1 << 11
 			for k := uint64(0); k < keyspace; k += 2 {
@@ -210,7 +210,7 @@ func TestRecoveryAfterSharedTraffic(t *testing.T) {
 
 	inner := cola.NewCOLA(nil)
 	d2 := openDict(t, path, inner, 0)
-	defer d2.Close()
+	defer mustClose(t, d2)
 	if d2.Len() != n {
 		t.Fatalf("recovered Len = %d, want %d", d2.Len(), n)
 	}
@@ -225,7 +225,7 @@ func TestRecoveryAfterSharedTraffic(t *testing.T) {
 func TestCheckpointResetsSchedule(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "c.wal")
 	d := openDict(t, path, cola.NewCOLA(nil), 4)
-	defer d.Close()
+	defer mustClose(t, d)
 	for i := uint64(0); i < 10; i++ {
 		d.Insert(i, i)
 	}

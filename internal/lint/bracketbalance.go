@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/cfg"
+)
+
+// BracketAnalyzer enforces the bracket-balance invariant: every
+// acquire — RLock, Lock, or a Begin* bracket such as BeginSharedReads —
+// is matched by its release on every control-flow path from the
+// acquire to a return. A deferred release (direct or inside a deferred
+// closure) satisfies every path, including panics; without one, any
+// early return that skips the release is a finding. Matching is by
+// receiver expression, so s.mu.RLock() paired with other.mu.RUnlock()
+// does not balance.
+//
+// Functions that are themselves part of the bracket machinery — named
+// Begin*, Lock, or RLock, such as a wrapper's forwarding
+// BeginSharedReads — are deliberately unbalanced and are skipped.
+var BracketAnalyzer = &analysis.Analyzer{
+	Name:     "bracketbalance",
+	Doc:      "every RLock/Lock/Begin* acquire must release on all control-flow paths",
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Run:      runBracket,
+}
+
+// releaseFor maps an acquire call name to its release; Begin* pairs
+// generically with End*.
+func releaseFor(name string) (string, bool) {
+	switch name {
+	case "RLock":
+		return "RUnlock", true
+	case "Lock":
+		return "Unlock", true
+	}
+	if rest, ok := strings.CutPrefix(name, "Begin"); ok && rest != "" {
+		return "End" + rest, true
+	}
+	return "", false
+}
+
+func runBracket(pass *analysis.Pass) (interface{}, error) {
+	dirs := collectDirectives(pass)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, isForwarder := releaseFor(fd.Name.Name); isForwarder {
+				continue
+			}
+			g := cfgs.FuncDecl(fd)
+			if g == nil {
+				continue
+			}
+			checkBrackets(pass, fd, g, dirs)
+		}
+	}
+	return nil, nil
+}
+
+// bracketCall matches x.<name>() calls; it returns the receiver
+// expression string.
+func bracketCall(n ast.Node) (name, recvStr string, call *ast.CallExpr) {
+	c, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "", "", nil
+	}
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", nil
+	}
+	return sel.Sel.Name, types.ExprString(sel.X), c
+}
+
+func checkBrackets(pass *analysis.Pass, fd *ast.FuncDecl, g *cfg.CFG, dirs *dirIndex) {
+	// Deferred releases cover every path (including panics) from the
+	// moment the defer is registered; since acquire-then-defer is the
+	// only idiom in the tree, treat any deferred release as covering
+	// the matching acquire.
+	deferred := make(map[string]bool) // "release/recv"
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if name, recv, c := bracketCall(d.Call); c != nil {
+			deferred[name+"/"+recv] = true
+		}
+		// A deferred closure releasing inside covers all paths too.
+		if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(m ast.Node) bool {
+				if name, recv, c := bracketCall(m); c != nil {
+					deferred[name+"/"+recv] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Locate acquires inside CFG blocks and walk successors. Closure
+	// bodies have their own CFG and are not scanned against this one.
+	for _, b := range g.Blocks {
+		for i, node := range b.Nodes {
+			ast.Inspect(node, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				name, recv, call := bracketCall(n)
+				if call == nil {
+					return true
+				}
+				release, isAcquire := releaseFor(name)
+				if !isAcquire || deferred[release+"/"+recv] {
+					return true
+				}
+				if leak, exit := pathWithoutRelease(b, i, release, recv); leak {
+					if dirs.allowed("bracketbalance", call.Pos(), fd.Doc) {
+						return true
+					}
+					extra := ""
+					if exit != nil {
+						extra = " (unreleased path reaches the return at " +
+							pass.Fset.Position(exit.Pos()).String() + ")"
+					}
+					pass.Reportf(call.Pos(),
+						"%s.%s() is not matched by %s on every path to return%s",
+						recv, name, release, extra)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// pathWithoutRelease reports whether some path from just after the
+// acquire (block b, node index i) reaches a function exit without
+// passing a matching release call, along with the leaking return
+// statement when one is identifiable.
+func pathWithoutRelease(b *cfg.Block, i int, release, recv string) (bool, ast.Node) {
+	releasesIn := func(nodes []ast.Node) bool {
+		for _, n := range nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if found {
+					return false
+				}
+				if name, r, c := bracketCall(m); c != nil && name == release && r == recv {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+		return false
+	}
+	if releasesIn(b.Nodes[i+1:]) {
+		return false, nil
+	}
+	if len(b.Succs) == 0 {
+		return true, retOrNil(b)
+	}
+	seen := map[*cfg.Block]bool{}
+	var dfs func(blk *cfg.Block) (bool, ast.Node)
+	dfs = func(blk *cfg.Block) (bool, ast.Node) {
+		if seen[blk] {
+			return false, nil
+		}
+		seen[blk] = true
+		if releasesIn(blk.Nodes) {
+			return false, nil
+		}
+		if len(blk.Succs) == 0 {
+			return true, retOrNil(blk)
+		}
+		for _, s := range blk.Succs {
+			if leak, at := dfs(s); leak {
+				return true, at
+			}
+		}
+		return false, nil
+	}
+	for _, s := range b.Succs {
+		if leak, at := dfs(s); leak {
+			return true, at
+		}
+	}
+	return false, nil
+}
+
+// retOrNil avoids a typed-nil ast.Node when a no-successor block is
+// not a return block (e.g. falls off the end of the function).
+func retOrNil(b *cfg.Block) ast.Node {
+	if r := b.Return(); r != nil {
+		return r
+	}
+	return nil
+}

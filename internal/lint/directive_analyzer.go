@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+)
+
+// DirectiveAnalyzer is the syntax gate for the //repro: directive
+// vocabulary. It rejects unknown verbs, //repro:allow waivers that
+// name an unknown analyzer or omit the reason (a waiver without a
+// reason is itself a finding — the whole point of the waiver policy is
+// that every suppression is explained), and //repro:charges
+// declarations without an argument (the argument documents which
+// space, or "caller:<who>", so the accessor set stays reviewable).
+var DirectiveAnalyzer = &analysis.Analyzer{
+	Name:     "reprodirective",
+	Doc:      "//repro: directives must be well-formed; waivers must name a known analyzer and carry a reason",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runDirectiveCheck,
+}
+
+func runDirectiveCheck(pass *analysis.Pass) (interface{}, error) {
+	idx := collectDirectives(pass)
+	for _, d := range idx.all {
+		switch d.verb {
+		case verbAccounted, verbReadonly, verbScratch:
+			// Marker verbs; arguments (free-form notes) are permitted.
+		case verbCharges:
+			if d.args == "" {
+				pass.Reportf(d.pos, "//repro:charges needs an argument naming the charged space (or caller:<who>)")
+			}
+		case verbAllow:
+			name, reason, _ := strings.Cut(d.args, " ")
+			if name == "" {
+				pass.Reportf(d.pos, "//repro:allow needs an analyzer name and a reason")
+				continue
+			}
+			if !knownAnalyzers[name] {
+				pass.Reportf(d.pos, "//repro:allow names unknown analyzer %q (known: damcharge, rlockpure, bracketbalance, scratchalias, durerr)", name)
+				continue
+			}
+			if strings.TrimSpace(reason) == "" {
+				pass.Reportf(d.pos, "//repro:allow %s has no reason — every waiver must be explained", name)
+			}
+		default:
+			pass.Reportf(d.pos, "unknown //repro: directive verb %q", d.verb)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"path/filepath"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// DurerrAnalyzer enforces the durability error discipline: in the
+// durability-critical code — the wal, snap, and durable packages and
+// the facade's durability*.go files — an error from Write, Sync,
+// Close, Truncate, or Rename must not be discarded, neither by calling
+// in an expression statement nor by assigning the error to blank. A
+// dropped Sync error is a silently-lost durability guarantee; a
+// dropped Close can hide a failed flush.
+//
+// Writers that are documented never to fail (bytes.Buffer,
+// strings.Builder, hash.Hash implementations) are exempt; anything
+// else needs a //repro:allow durerr <reason> waiver (the usual one:
+// close-on-error paths where the original error is already being
+// returned).
+var DurerrAnalyzer = &analysis.Analyzer{
+	Name:     "durerr",
+	Doc:      "durability paths must not discard Write/Sync/Close/Truncate/Rename errors",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runDurerr,
+}
+
+// durErrMethods are the error-returning calls the discipline covers.
+var durErrMethods = map[string]bool{
+	"Write": true, "Sync": true, "Close": true, "Truncate": true, "Rename": true,
+}
+
+// durerrPackages are the import-path base names in scope; files named
+// durability*.go are in scope regardless of package.
+var durerrPackages = map[string]bool{"wal": true, "snap": true, "durable": true}
+
+func runDurerr(pass *analysis.Pass) (interface{}, error) {
+	pkgInScope := durerrPackages[path.Base(strings.TrimSuffix(pass.Pkg.Path(), "_test"))] ||
+		durerrPackages[strings.TrimSuffix(path.Base(pass.Pkg.Path()), "_test")]
+	dirs := collectDirectives(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	fileInScope := func(pos ast.Node) bool {
+		if pkgInScope {
+			return true
+		}
+		f := pass.Fset.File(pos.Pos())
+		if f == nil {
+			return false
+		}
+		return strings.HasPrefix(filepath.Base(f.Name()), "durability")
+	}
+
+	var enclosing *ast.FuncDecl
+	ins.Nodes([]ast.Node{(*ast.FuncDecl)(nil), (*ast.ExprStmt)(nil), (*ast.AssignStmt)(nil), (*ast.DeferStmt)(nil), (*ast.GoStmt)(nil)}, func(n ast.Node, push bool) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			if push {
+				enclosing = fd
+			}
+			return true
+		}
+		if !push || !fileInScope(n) {
+			return true
+		}
+		var doc *ast.CommentGroup
+		if enclosing != nil {
+			doc = enclosing.Doc
+		}
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				reportDiscard(pass, call, dirs, doc, "discarded")
+			}
+		case *ast.DeferStmt:
+			reportDiscard(pass, s.Call, dirs, doc, "discarded (deferred)")
+		case *ast.GoStmt:
+			reportDiscard(pass, s.Call, dirs, doc, "discarded (go statement)")
+		case *ast.AssignStmt:
+			// Flag when every error-typed result lands in a blank ident.
+			for i, rhs := range s.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isDurErrCall(pass, call) {
+					continue
+				}
+				if allErrorsBlank(pass, s, i, call) {
+					reportDiscard(pass, call, dirs, doc, "assigned to blank")
+				}
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// isDurErrCall reports whether call is one of the covered methods (or
+// package functions, e.g. os.Rename) returning an error, excluding the
+// documented never-fail writers.
+func isDurErrCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var name string
+	var recv ast.Expr
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		recv = fun.X
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	if !durErrMethods[name] {
+		return false
+	}
+	// Must return an error somewhere in its results.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || !hasErrorResult(sig) {
+		return false
+	}
+	// Exempt never-fail writers.
+	if recv != nil {
+		if t := pass.TypesInfo.TypeOf(recv); t != nil {
+			ts := strings.TrimPrefix(types.TypeString(t, nil), "*")
+			switch {
+			case ts == "bytes.Buffer", ts == "strings.Builder":
+				return false
+			case strings.HasPrefix(ts, "hash."):
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func hasErrorResult(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.TypeString(res.At(i).Type(), nil) == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// allErrorsBlank reports whether every error result of the i-th RHS
+// call is assigned to blank. Two shapes: one call as the entire RHS
+// (n LHS for n results) and a 1:1 multi-assign.
+func allErrorsBlank(pass *analysis.Pass, s *ast.AssignStmt, i int, call *ast.CallExpr) bool {
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	isBlank := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(s.Rhs) == 1 && len(s.Lhs) == res.Len() {
+		for j := 0; j < res.Len(); j++ {
+			if types.TypeString(res.At(j).Type(), nil) == "error" && !isBlank(s.Lhs[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	// 1:1 assignment: the call must have exactly one result (the error).
+	if i < len(s.Lhs) && res.Len() == 1 {
+		return isBlank(s.Lhs[i])
+	}
+	return false
+}
+
+func reportDiscard(pass *analysis.Pass, call *ast.CallExpr, dirs *dirIndex, doc *ast.CommentGroup, how string) {
+	if !isDurErrCall(pass, call) {
+		return
+	}
+	if dirs.allowed("durerr", call.Pos(), doc) {
+		return
+	}
+	name := "call"
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		name = types.ExprString(sel.X) + "." + sel.Sel.Name
+	} else if id, ok := call.Fun.(*ast.Ident); ok {
+		name = id.Name
+	}
+	pass.Reportf(call.Pos(), "error from %s %s on a durability path (check it, or waive with //repro:allow durerr <reason>)", name, how)
+}

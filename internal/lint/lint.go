@@ -1,0 +1,59 @@
+// Package lint is reprolint: a go/analysis suite that machine-checks
+// the repo's prose invariants — the rules that have historically been
+// enforced only by package comments and reviewer memory, and that have
+// twice shipped silent bugs (the PR 6 synthetic midpoint chain that
+// undercharged pointerless search ~1000x, and the PR 5
+// mutation-under-RLock and DAM-accounting races).
+//
+// The suite has five invariant analyzers plus a directive syntax
+// checker:
+//
+//   - damcharge: slices marked //repro:accounted may only be indexed,
+//     sliced, or ranged over inside functions declared as charged
+//     accessors with //repro:charges <space>. A charged accessor must
+//     itself contain a charge call (a Read/Write on a dam space or a
+//     call to another charged accessor) unless its directive argument
+//     starts with "caller:", which documents that its callers charge.
+//   - rlockpure: between mu.RLock() and mu.RUnlock() (and between
+//     BeginSharedReads/EndSharedReads, and throughout methods marked
+//     //repro:readonly), receiver fields must not be written
+//     non-atomically and known-mutating methods of the same package
+//     must not be called on the receiver.
+//   - bracketbalance: every RLock/Lock/Begin* acquire must have a
+//     matching release on every control-flow path to a return; a
+//     deferred release satisfies all paths including panics.
+//   - scratchalias: values derived from sync.Pool.Get or from fields
+//     marked //repro:scratch must not be returned, stored into
+//     non-scratch fields, or sent on channels (DESIGN.md scratch
+//     ownership rules 1-5).
+//   - durerr: in the durability packages (internal/wal, internal/snap,
+//     internal/durable, and the facade's durability*.go files), a
+//     discarded error from Write/Sync/Close/Truncate/Rename is a
+//     finding, whether dropped in an expression statement or assigned
+//     to blank.
+//
+// Intentional exceptions are waived in place with
+//
+//	//repro:allow <analyzer> <reason>
+//
+// on the finding's line, the line above it, or the doc comment of the
+// enclosing function. A waiver must carry a reason: reprodirective
+// (the syntax checker) rejects reason-less waivers, unknown analyzer
+// names, and malformed directives, so every suppression in the tree
+// is explained.
+package lint
+
+import "golang.org/x/tools/go/analysis"
+
+// Suite returns the repo's custom invariant analyzers, including the
+// directive syntax checker.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DirectiveAnalyzer,
+		DamchargeAnalyzer,
+		RlockpureAnalyzer,
+		BracketAnalyzer,
+		ScratchAnalyzer,
+		DurerrAnalyzer,
+	}
+}

@@ -1,0 +1,50 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer runs over its hermetic testdata package (flagged and
+// clean cases side by side) plus, where one exists, the regression
+// package reproducing a bug this repo actually shipped.
+
+func TestDamcharge(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DamchargeAnalyzer, "damcharge")
+}
+
+// TestDamchargeMidpointChain replays PR 6's hypothesis experiment E13:
+// a binary search that charged a synthetic, key-independent midpoint
+// chain while probing real cells. The probe path is not a declared
+// accessor, so damcharge fails it.
+func TestDamchargeMidpointChain(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DamchargeAnalyzer, "histdam")
+}
+
+func TestRlockpure(t *testing.T) {
+	linttest.Run(t, "testdata", lint.RlockpureAnalyzer, "rlockpure")
+}
+
+// TestRlockpureSyncdictRace replays PR 5's pre-fix syncdict: plain
+// counter increments on the RLock fast path.
+func TestRlockpureSyncdictRace(t *testing.T) {
+	linttest.Run(t, "testdata", lint.RlockpureAnalyzer, "histrlock")
+}
+
+func TestBracketbalance(t *testing.T) {
+	linttest.Run(t, "testdata", lint.BracketAnalyzer, "bracketbalance")
+}
+
+func TestScratchalias(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ScratchAnalyzer, "scratchalias")
+}
+
+func TestDurerr(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DurerrAnalyzer, "wal")
+}
+
+func TestDirectiveSyntax(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DirectiveAnalyzer, "reprodirective")
+}

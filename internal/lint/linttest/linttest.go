@@ -1,0 +1,330 @@
+// Package linttest is an offline analysistest equivalent: it loads
+// GOPATH-style packages from a testdata/src tree, type-checks them
+// against stub dependencies in the same tree (never the real standard
+// library, so the tests are hermetic), runs an analyzer with its
+// Requires closure, and matches reported diagnostics against
+// analysistest-style "// want" comments.
+//
+// The real golang.org/x/tools/go/analysis/analysistest needs
+// go/packages and a `go list` invocation per test; this harness trades
+// that generality for zero subprocesses and zero network, which is
+// what this repo's build environment requires.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each named package from dir/src, runs a (and its Requires
+// closure) over it, and verifies the diagnostics against // want
+// comments in that package's files. Stub dependency packages (sync,
+// os, ...) live in the same tree and are loaded on demand.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(dir, "src"))
+	for _, path := range pkgpaths {
+		pi, err := l.load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		diags, err := l.run(a, pi)
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, l.fset, pi.files, diags)
+	}
+}
+
+type pkgInfo struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	srcdir string
+	fset   *token.FileSet
+	pkgs   map[string]*pkgInfo
+	// facts is a process-wide store standing in for the serialized
+	// fact files a real driver maintains; keyed by object/package plus
+	// concrete fact type.
+	objFacts map[objFactKey]analysis.Fact
+	pkgFacts map[pkgFactKey]analysis.Fact
+}
+
+type objFactKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	typ reflect.Type
+}
+
+func newLoader(srcdir string) *loader {
+	return &loader{
+		srcdir:   srcdir,
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*pkgInfo),
+		objFacts: make(map[objFactKey]analysis.Fact),
+		pkgFacts: make(map[pkgFactKey]analysis.Fact),
+	}
+}
+
+// Import implements types.Importer by loading the stub package from
+// the testdata tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	pi, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pi.pkg, nil
+}
+
+func (l *loader) load(path string) (*pkgInfo, error) {
+	if pi, ok := l.pkgs[path]; ok {
+		return pi, nil
+	}
+	dir := filepath.Join(l.srcdir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("no stub or test package for import %q: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("package %q has no Go files", path)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l, Sizes: types.SizesFor("gc", "amd64")}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pi := &pkgInfo{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = pi
+	return pi, nil
+}
+
+// run executes a and its Requires closure over pi, returning only the
+// diagnostics of a itself (dependency diagnostics are discarded, as
+// the real driver does for required-but-not-requested analyzers).
+func (l *loader) run(a *analysis.Analyzer, pi *pkgInfo) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]interface{})
+	var exec func(x *analysis.Analyzer) error
+	exec = func(x *analysis.Analyzer) error {
+		if _, done := results[x]; done {
+			return nil
+		}
+		for _, dep := range x.Requires {
+			if err := exec(dep); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   x,
+			Fset:       l.fset,
+			Files:      pi.files,
+			Pkg:        pi.pkg,
+			TypesInfo:  pi.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if x == a {
+					diags = append(diags, d)
+				}
+			},
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				stored, ok := l.objFacts[objFactKey{obj, reflect.TypeOf(fact)}]
+				if ok {
+					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+				}
+				return ok
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				l.objFacts[objFactKey{obj, reflect.TypeOf(fact)}] = fact
+			},
+			ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+				stored, ok := l.pkgFacts[pkgFactKey{pkg, reflect.TypeOf(fact)}]
+				if ok {
+					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+				}
+				return ok
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				l.pkgFacts[pkgFactKey{pi.pkg, reflect.TypeOf(fact)}] = fact
+			},
+			AllObjectFacts: func() []analysis.ObjectFact {
+				var out []analysis.ObjectFact
+				for k, f := range l.objFacts {
+					out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+				}
+				return out
+			},
+			AllPackageFacts: func() []analysis.PackageFact {
+				var out []analysis.PackageFact
+				for k, f := range l.pkgFacts {
+					out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+				}
+				return out
+			},
+		}
+		res, err := x.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", x.Name, err)
+		}
+		results[x] = res
+		return nil
+	}
+	if err := exec(a); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+// checkWants cross-checks diagnostics against // want comments: every
+// diagnostic must match a want on its line, and every want must be
+// matched by some diagnostic.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				pats, above := parseWant(c.Text)
+				line := pos.Line
+				if above {
+					line--
+				}
+				for _, pat := range pats {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: line, re: re, text: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.text)
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps from a `// want "..." \`...\“
+// comment; non-want comments yield nil. The `// want-above` variant
+// anchors the expectation to the previous source line — needed when
+// the diagnostic is on a full-line directive comment, which cannot
+// share its line with a second comment.
+func parseWant(text string) (pats []string, above bool) {
+	trimmed := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	rest, ok := strings.CutPrefix(trimmed, "want-above ")
+	if ok {
+		above = true
+	} else if rest, ok = strings.CutPrefix(trimmed, "want "); !ok {
+		return nil, false
+	}
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := 1
+			for end < len(rest) {
+				if rest[end] == '\\' {
+					end += 2
+					continue
+				}
+				if rest[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(rest) {
+				return pats, above
+			}
+			if s, err := strconv.Unquote(rest[:end+1]); err == nil {
+				pats = append(pats, s)
+			}
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return pats, above
+			}
+			pats = append(pats, rest[1:1+end])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return pats, above
+		}
+	}
+	return pats, above
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// ScratchAnalyzer enforces the scratch-buffer ownership rules
+// (DESIGN.md rules 1-5): a value derived from sync.Pool.Get or from a
+// field marked //repro:scratch is only valid inside the call that
+// produced it. Flagged escapes: returning a scratch-backed value,
+// storing it into a field that is not itself scratch, and sending it
+// on a channel. Assignments INTO scratch (c.scratch.x = ..., or fields
+// of a pool-owned object) are the intended use and pass. Taint is
+// tracked intra-procedurally through assignments of reference-like
+// values (slices, pointers, maps); passing scratch to a callee is not
+// flagged — the callee's own returns are the escape points.
+var ScratchAnalyzer = &analysis.Analyzer{
+	Name:     "scratchalias",
+	Doc:      "pooled and //repro:scratch buffers must not escape (returned, stored, or sent)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runScratch,
+}
+
+func runScratch(pass *analysis.Pass) (interface{}, error) {
+	dirs := collectDirectives(pass)
+	scratch := markedFields(pass, verbScratch)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		checkScratchEscapes(pass, fd, scratch, dirs)
+	})
+	return nil, nil
+}
+
+// isPoolGet reports whether call is (*sync.Pool).Get, directly or
+// under a type assertion.
+func isPoolGet(pass *analysis.Pass, e ast.Expr) bool {
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	return strings.HasSuffix(strings.TrimPrefix(types.TypeString(t, nil), "*"), "sync.Pool")
+}
+
+// aliasLike reports whether t can alias scratch memory; basic-typed
+// copies (an int pulled out of a pooled struct) cannot.
+func aliasLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan, *types.Array, *types.Struct, *types.Interface:
+		_ = u
+		return true
+	}
+	return false
+}
+
+func checkScratchEscapes(pass *analysis.Pass, fd *ast.FuncDecl, scratch map[types.Object]bool, dirs *dirIndex) {
+	taint := make(map[types.Object]bool)
+	tainted := func(e ast.Expr) bool {
+		if freshAlloc(pass, e) {
+			return false
+		}
+		if isPoolGet(pass, e) {
+			return true
+		}
+		if selectsMarked(pass, e, scratch) || selectsMarked(pass, e, taint) {
+			return true
+		}
+		// A call with a tainted argument to a builtin that aliases its
+		// arguments (append) stays tainted.
+		if call, ok := e.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					for _, a := range call.Args {
+						if selectsMarked(pass, a, scratch) || selectsMarked(pass, a, taint) {
+							return true
+						}
+					}
+				}
+			}
+		}
+		return false
+	}
+	report := func(n ast.Node, format string, args ...any) {
+		if dirs.allowed("scratchalias", n.Pos(), fd.Doc) {
+			return
+		}
+		pass.Reportf(n.Pos(), format, args...)
+	}
+	// rootTainted: whether the base of an LHS selector chain is itself
+	// scratch-derived (storing into the pooled object is fine).
+	rootTainted := func(e ast.Expr) bool {
+		for {
+			switch x := e.(type) {
+			case *ast.SelectorExpr:
+				if scratch[pass.TypesInfo.Uses[x.Sel]] {
+					return true
+				}
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.Ident:
+				return taint[pass.TypesInfo.Uses[x]]
+			default:
+				return false
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Taint flows right to left; a store into a non-scratch field
+			// from a tainted RHS is an escape.
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				lhs := n.Lhs[i]
+				t := pass.TypesInfo.TypeOf(rhs)
+				// Multi-value RHS (v := pool.Get().(*T) has one RHS) —
+				// only same-index pairs are tracked.
+				if !tainted(rhs) || !aliasLike(t) {
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					if obj := pass.TypesInfo.Defs[l]; obj != nil {
+						taint[obj] = true
+					} else if obj := pass.TypesInfo.Uses[l]; obj != nil {
+						taint[obj] = true
+					}
+				default:
+					// Selector / index LHS: storing into scratch itself (or
+					// into a pool-owned local) is the intended use; storing
+					// anywhere else leaks the alias past this call.
+					if !rootTainted(lhs) {
+						report(n, "stores scratch-backed value in %s (scratch must not outlive the call; DESIGN.md scratch rules)",
+							types.ExprString(lhs))
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if aliasLike(pass.TypesInfo.TypeOf(res)) && tainted(res) {
+					report(n, "returns scratch-backed value %s (scratch is only valid inside the call that produced it)",
+						types.ExprString(res))
+				}
+			}
+		case *ast.SendStmt:
+			if aliasLike(pass.TypesInfo.TypeOf(n.Value)) && tainted(n.Value) {
+				report(n, "sends scratch-backed value %s on a channel", types.ExprString(n.Value))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,41 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestSelfcheck builds cmd/reprolint and runs it over the whole repo,
+// so `go test ./...` fails whenever any package violates a
+// machine-checked invariant — the suite gates every test run, not just
+// the dedicated CI lane.
+func TestSelfcheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping whole-repo analysis run")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	// Module root is two levels up from internal/lint.
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", root, err)
+	}
+	tool := filepath.Join(t.TempDir(), "reprolint")
+	build := exec.Command(goTool, "build", "-o", tool, "./cmd/reprolint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building reprolint: %v\n%s", err, out)
+	}
+	vet := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("reprolint found violations (fix them or add //repro:allow <analyzer> <reason>):\n%s", out)
+	}
+}

@@ -1,0 +1,45 @@
+// Package histrlock is a regression reproduction of the PR 5 pre-fix
+// syncdict: the shared-reader fast path took mu.RLock for searches but
+// still maintained its stats counters with plain increments, so
+// concurrent readers raced on the counter words. rlockpure fails the
+// build on exactly that shape; the fixed shape (atomic counters under
+// RLock) is below it and stays clean.
+package histrlock
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type syncDict struct {
+	mu       sync.RWMutex
+	m        map[uint64]uint64
+	searches int64
+	found    int64
+}
+
+// SearchPrefix is the pre-fix fast path: RLock plus plain counter
+// increments — the data race PR 5 shipped and later fixed.
+func (d *syncDict) SearchPrefix(k uint64) (uint64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.searches++ // want `receiver field d\.searches mutated non-atomically in shared-read region`
+	v, ok := d.m[k]
+	if ok {
+		d.found++ // want `receiver field d\.found mutated non-atomically in shared-read region`
+	}
+	return v, ok
+}
+
+// SearchFixed is the post-fix shape: same RLock bracket, counters
+// maintained through sync/atomic. Clean.
+func (d *syncDict) SearchFixed(k uint64) (uint64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	atomic.AddInt64(&d.searches, 1)
+	v, ok := d.m[k]
+	if ok {
+		atomic.AddInt64(&d.found, 1)
+	}
+	return v, ok
+}

@@ -1,0 +1,14 @@
+// Package os is a hermetic stub for linttest testdata: a File with
+// the durability-relevant methods and the package-level Rename.
+package os
+
+type File struct{ name string }
+
+func Create(name string) (*File, error)     { return &File{name: name}, nil }
+func (f *File) Write(p []byte) (int, error) { return len(p), nil }
+func (f *File) Sync() error                 { return nil }
+func (f *File) Close() error                { return nil }
+func (f *File) Truncate(n int64) error      { _ = n; return nil }
+func (f *File) Name() string                { return f.name }
+
+func Rename(oldpath, newpath string) error { _, _ = oldpath, newpath; return nil }

@@ -1,0 +1,85 @@
+// Package scratchalias exercises the scratch-ownership analyzer:
+// pooled values and //repro:scratch fields must not escape the call
+// that produced them.
+package scratchalias
+
+import "sync"
+
+type cursor struct {
+	pos  int
+	keys []uint64
+}
+
+var cursorPool = sync.Pool{New: func() interface{} { return new(cursor) }}
+
+type merger struct {
+	// mergeScratch is the ping/pong buffer reused across merges.
+	//repro:scratch
+	mergeScratch []uint64
+	out          []uint64
+	results      chan []uint64
+}
+
+// useAndPut is the intended pool lifecycle: get, use, put. Clean.
+func useAndPut(n int) int {
+	c := cursorPool.Get().(*cursor)
+	c.pos = n
+	c.keys = c.keys[:0]
+	sum := c.pos
+	cursorPool.Put(c)
+	return sum
+}
+
+// leakPooled returns the pooled object itself.
+func leakPooled() *cursor {
+	c := cursorPool.Get().(*cursor)
+	return c // want `returns scratch-backed value c`
+}
+
+// leakDirect returns the Get result without even a local.
+func leakDirect() interface{} {
+	return cursorPool.Get() // want `returns scratch-backed value cursorPool\.Get\(\)`
+}
+
+// fillScratch grows the scratch buffer in place: storing INTO scratch
+// is the intended use. Clean.
+func (m *merger) fillScratch(keys []uint64) {
+	m.mergeScratch = m.mergeScratch[:0]
+	m.mergeScratch = append(m.mergeScratch, keys...)
+}
+
+// publishScratch stores a scratch alias into a durable field: the
+// buffer will be overwritten by the next merge while m.out still
+// points at it.
+func (m *merger) publishScratch() {
+	m.out = m.mergeScratch[:3] // want `stores scratch-backed value in m\.out`
+}
+
+// sendScratch ships the scratch buffer across a channel.
+func (m *merger) sendScratch() {
+	m.results <- m.mergeScratch // want `sends scratch-backed value m\.mergeScratch on a channel`
+}
+
+// returnScratchAlias leaks through a local alias.
+func (m *merger) returnScratchAlias() []uint64 {
+	tmp := m.mergeScratch[1:]
+	return tmp // want `returns scratch-backed value tmp`
+}
+
+// copyOut copies scratch contents into a fresh slice: the copy owns
+// its cells, nothing aliases. Clean.
+func (m *merger) copyOut() []uint64 {
+	out := make([]uint64, len(m.mergeScratch))
+	copy(out, m.mergeScratch)
+	return out
+}
+
+// mergeRuns mirrors the gcola internal that hands its scratch to the
+// caller, which installs it before the next merge reuses the buffer;
+// the waiver documents that ownership contract.
+//
+//repro:allow scratchalias caller installs the run before the next merge touches scratch
+func (m *merger) mergeRuns() []uint64 {
+	m.mergeScratch = append(m.mergeScratch[:0], 1, 2, 3)
+	return m.mergeScratch
+}

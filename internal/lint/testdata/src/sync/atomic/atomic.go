@@ -1,0 +1,9 @@
+// Package atomic is a hermetic stub for linttest testdata.
+package atomic
+
+func AddInt64(addr *int64, delta int64) int64 {
+	*addr += delta
+	return *addr
+}
+
+func LoadInt64(addr *int64) int64 { return *addr }

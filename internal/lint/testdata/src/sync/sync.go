@@ -1,0 +1,35 @@
+// Package sync is a hermetic stub of the standard library package for
+// linttest: just enough surface (RWMutex, Mutex, Pool) for the
+// analyzers' testdata to type-check without touching the real stdlib.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   { m.state = 1 }
+func (m *Mutex) Unlock() { m.state = 0 }
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    { m.state = 1 }
+func (m *RWMutex) Unlock()  { m.state = 0 }
+func (m *RWMutex) RLock()   { m.state++ }
+func (m *RWMutex) RUnlock() { m.state-- }
+
+type Pool struct {
+	New func() interface{}
+	x   []interface{}
+}
+
+func (p *Pool) Get() interface{} {
+	if n := len(p.x); n > 0 {
+		v := p.x[n-1]
+		p.x = p.x[:n-1]
+		return v
+	}
+	if p.New != nil {
+		return p.New()
+	}
+	return nil
+}
+
+func (p *Pool) Put(v interface{}) { p.x = append(p.x, v) }

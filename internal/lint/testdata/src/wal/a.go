@@ -1,0 +1,55 @@
+// Package wal exercises the durability error discipline: this package
+// basename is in durerr's scope, so discarded Write/Sync/Close/
+// Truncate/Rename errors are findings.
+package wal
+
+import "os"
+
+type log struct {
+	f *os.File
+}
+
+// appendChecked handles every error: clean.
+func (l *log) appendChecked(rec []byte) error {
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// appendSloppy drops the write error in an expression statement and
+// blanks the sync error.
+func (l *log) appendSloppy(rec []byte) {
+	l.f.Write(rec)        // want `error from l\.f\.Write discarded on a durability path`
+	_ = l.f.Sync()        // want `error from l\.f\.Sync assigned to blank on a durability path`
+	_, _ = l.f.Write(rec) // want `error from l\.f\.Write assigned to blank on a durability path`
+}
+
+// closeDeferred drops the close error in a defer: the classic hidden
+// failed flush.
+func (l *log) closeDeferred() error {
+	defer l.f.Close() // want `error from l\.f\.Close discarded \(deferred\) on a durability path`
+	_, err := l.f.Write(nil)
+	return err
+}
+
+// rotate drops os.Rename's error in a goroutine.
+func rotate(from, to string) {
+	go os.Rename(from, to) // want `error from os\.Rename discarded \(go statement\) on a durability path`
+}
+
+// countKept keeps the count but checks the error: clean.
+func (l *log) countKept(rec []byte) (int, error) {
+	n, err := l.f.Write(rec)
+	return n, err
+}
+
+// closeOnError is the legitimate discard: the original error is
+// already being returned and a Close error would mask the root cause.
+func (l *log) closeOnError(rec []byte) error {
+	if _, err := l.f.Write(rec); err != nil {
+		l.f.Close() //repro:allow durerr already failing; Close error would mask the write error
+		return err
+	}
+	return nil
+}

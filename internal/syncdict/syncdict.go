@@ -151,6 +151,8 @@ func (s *Dict) Range(lo, hi uint64, fn func(core.Element) bool) {
 
 // Len implements core.Dictionary on the read side of the lock; inner
 // Len accessors are mutation-free (see the package comment).
+//
+//repro:readonly
 func (s *Dict) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -173,6 +175,8 @@ func (s *Dict) Delete(key uint64) bool {
 // structures load their search counter atomically, so Stats may race
 // bracketed searches); it returns the zero Stats when the inner
 // structure keeps no counters.
+//
+//repro:readonly
 func (s *Dict) Stats() core.Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -186,6 +190,8 @@ func (s *Dict) Stats() core.Stats {
 // read side of the lock (only structures that own — and internally
 // synchronize — their stores implement it); it reports zero when the
 // inner structure does not own its stores.
+//
+//repro:readonly
 func (s *Dict) Transfers() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

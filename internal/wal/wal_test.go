@@ -77,7 +77,7 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer w2.Close()
+	defer mustClose(t, w2)
 	if replayed != 3 || h.batches != 3 {
 		t.Fatalf("replayed %d records over %d batches, want 3/3", replayed, h.batches)
 	}
@@ -103,7 +103,7 @@ func TestTornTailTruncated(t *testing.T) {
 	}
 	w.AppendInsert([]core.Element{{Key: 1, Value: 10}})
 	w.AppendInsert([]core.Element{{Key: 2, Value: 20}})
-	w.Close()
+	mustClose(t, w)
 
 	fi, _ := os.Stat(path)
 	intact := fi.Size()
@@ -140,7 +140,7 @@ func TestTornTailTruncated(t *testing.T) {
 			if err := w.AppendInsert([]core.Element{{Key: 3, Value: 30}}); err != nil {
 				t.Fatal(err)
 			}
-			w.Close()
+			mustClose(t, w)
 			h2 := newMapHandler()
 			if _, replayed, err = Open(damaged, h2); err != nil || replayed != 3 {
 				t.Fatalf("after repair+append: replayed %d (%v)", replayed, err)
@@ -160,7 +160,7 @@ func mkRecord(t *testing.T, key, val uint64, breakCRC bool) []byte {
 		t.Fatal(err)
 	}
 	w.AppendInsert([]core.Element{{Key: key, Value: val}})
-	w.Close()
+	mustClose(t, w)
 	b, err := os.ReadFile(p)
 	if err != nil {
 		t.Fatal(err)
@@ -198,7 +198,7 @@ func TestResetEmptiesLog(t *testing.T) {
 		t.Fatalf("Records after Reset = %d", w.Records())
 	}
 	w.AppendInsert([]core.Element{{Key: 2, Value: 2}})
-	w.Close()
+	mustClose(t, w)
 	h := newMapHandler()
 	_, replayed, err := Open(path, h)
 	if err != nil {
@@ -223,6 +223,7 @@ func TestFailedAppendPoisonsLog(t *testing.T) {
 	if err := w.AppendInsert([]core.Element{{Key: 1, Value: 2}}); err != nil {
 		t.Fatal(err)
 	}
+	//repro:allow durerr deliberate sabotage: killing the fd is the fault being injected
 	w.f.Close() // every later write AND the truncate repair now fail
 	if err := w.AppendInsert([]core.Element{{Key: 3, Value: 4}}); err == nil {
 		t.Fatal("append on a dead file reported success")
@@ -239,7 +240,7 @@ func TestFailedAppendPoisonsLog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer w2.Close()
+	defer mustClose(t, w2)
 	if replayed != 1 || h.m[1] != 2 {
 		t.Fatalf("after poisoned crash: replayed %d, map %v", replayed, h.m)
 	}
@@ -263,13 +264,13 @@ func TestResetClearsPoison(t *testing.T) {
 	if err := w.AppendInsert([]core.Element{{Key: 2, Value: 2}}); err != nil {
 		t.Fatalf("append after reset: %v", err)
 	}
-	w.Close()
+	mustClose(t, w)
 	h := newMapHandler()
 	w2, replayed, err := Open(path, h)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer w2.Close()
+	defer mustClose(t, w2)
 	if replayed != 1 || h.m[2] != 2 {
 		t.Fatalf("after reset: replayed %d, map %v", replayed, h.m)
 	}
@@ -281,7 +282,7 @@ func TestOversizedBatchPanics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer w.Close()
+	defer mustClose(t, w)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("want panic for a batch past maxBodyBytes")
