@@ -21,7 +21,7 @@ func BenchmarkAblationPointerDensity(b *testing.B) {
 	for _, p := range []float64{0, 0.05, 0.1, 0.25, 0.5} {
 		b.Run(fmt.Sprintf("p=%.2f", p), func(b *testing.B) {
 			store := NewStore(benchBlockBytes, 1<<17)
-			d := NewGCOLA(COLAOptions{Growth: 2, PointerDensity: p, Space: store.Space("cola")})
+			d := MustBuild("gcola", WithGrowthFactor(2), WithPointerDensity(p), WithSpace(store.Space("cola")))
 			seq := workload.NewRandomUnique(21)
 			for i := 0; i < benchPreload; i++ {
 				k := seq.Next()
@@ -47,7 +47,7 @@ func BenchmarkAblationGrowthFactor(b *testing.B) {
 	for _, g := range []int{2, 3, 4, 8, 16, 32} {
 		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
 			store := NewStore(benchBlockBytes, benchCacheBytes)
-			d := NewGCOLA(COLAOptions{Growth: g, PointerDensity: 0.1, Space: store.Space("cola")})
+			d := MustBuild("gcola", WithGrowthFactor(g), WithPointerDensity(0.1), WithSpace(store.Space("cola")))
 			seq := workload.NewRandomUnique(22)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -68,7 +68,7 @@ func BenchmarkAblationShuttleRelayout(b *testing.B) {
 	for _, every := range []int{-1, 256, 1024, 4096} {
 		b.Run(fmt.Sprintf("every=%d", every), func(b *testing.B) {
 			store := NewStore(benchBlockBytes, 1<<17)
-			d := NewShuttleTree(ShuttleOptions{Fanout: 8, Space: store.Space("shuttle"), RelayoutEvery: every})
+			d := MustBuild("shuttle", WithFanout(8), WithRelayoutEvery(every), WithSpace(store.Space("shuttle")))
 			seq := workload.NewRandomUnique(23)
 			for i := 0; i < benchPreload/2; i++ {
 				k := seq.Next()
@@ -92,7 +92,7 @@ func BenchmarkAblationShuttleFanout(b *testing.B) {
 	for _, c := range []int{4, 8, 16, 32} {
 		b.Run(fmt.Sprintf("c=%d", c), func(b *testing.B) {
 			store := NewStore(benchBlockBytes, benchCacheBytes)
-			d := NewShuttleTree(ShuttleOptions{Fanout: c, Space: store.Space("shuttle")})
+			d := MustBuild("shuttle", WithFanout(c), WithSpace(store.Space("shuttle")))
 			seq := workload.NewRandomUnique(24)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -111,7 +111,7 @@ func BenchmarkAblationBTreeBlock(b *testing.B) {
 	for _, bb := range []int64{512, 1024, 4096, 16384} {
 		b.Run(fmt.Sprintf("block=%d", bb), func(b *testing.B) {
 			store := NewStore(bb, benchCacheBytes)
-			d := NewBTree(BTreeOptions{BlockBytes: bb, Space: store.Space("btree")})
+			d := MustBuild("btree", WithBlockBytes(bb), WithSpace(store.Space("btree")))
 			seq := workload.NewRandomUnique(25)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -140,7 +140,7 @@ func BenchmarkBulkLoadVsIncremental(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			elems := mkElems()
-			d := NewCOLA(nil)
+			d := MustBuild("cola").(*COLA)
 			b.StartTimer()
 			d.BulkLoad(elems)
 		}
@@ -149,7 +149,7 @@ func BenchmarkBulkLoadVsIncremental(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			elems := mkElems()
-			d := NewCOLA(nil)
+			d := MustBuild("cola").(*COLA)
 			b.StartTimer()
 			for _, e := range elems {
 				d.Insert(e.Key, e.Value)
@@ -171,7 +171,7 @@ func BenchmarkDAMStore(b *testing.B) {
 // BenchmarkSynchronizedOverhead measures the mutex wrapper's cost.
 func BenchmarkSynchronizedOverhead(b *testing.B) {
 	b.Run("bare", func(b *testing.B) {
-		d := NewCOLA(nil)
+		d := MustBuild("cola").(*COLA)
 		seq := workload.NewRandomUnique(27)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -180,7 +180,7 @@ func BenchmarkSynchronizedOverhead(b *testing.B) {
 		}
 	})
 	b.Run("synchronized", func(b *testing.B) {
-		d := Synchronized(NewCOLA(nil))
+		d := Synchronized(MustBuild("cola"))
 		seq := workload.NewRandomUnique(27)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

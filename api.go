@@ -18,10 +18,11 @@
 //
 // Build (registry.go) is the v2 construction surface: one named-builder
 // registry over every structure, a unified option set (options.go), and
-// Kinds/Register for enumeration and external kinds. The typed
-// constructors below (NewCOLA, NewBTree, …) predate it and remain as
-// thin wrappers; new code should prefer Build so it can swap kinds
-// freely.
+// Kinds/Register for enumeration and external kinds. The typed v1
+// constructors below (NewCOLA, NewBTree, …) are deprecated veneers that
+// forward to Build and will be removed in v3; README's migration
+// appendix maps each one to its Build spelling and states the removal
+// schedule.
 //
 // Pass a nil space to any constructor to disable cost accounting and
 // benchmark pure wall-clock behaviour.
@@ -68,11 +69,19 @@ type Statser = core.Statser
 // and answer honestly through the probe.
 type SharedReader = core.SharedReader
 
-// SharedReads reports whether d genuinely supports shared reads — the
-// honest instance-level probe behind the registry's "shared-reads"
-// capability flag. For a wrapper it reflects the structure it actually
-// wraps (a sharded map around a non-shared-read kind answers false).
-func SharedReads(d Dictionary) bool { return core.SharedReads(d) }
+// CapsOf reports the capability sheet of a built dictionary — the one
+// public capability probe, replacing scattered type assertions and the
+// wrappers' former 5-value Supports methods. Wrappers answer for the
+// structure they actually wrap: a sharded map around a B-tree reports
+// no batch-native inner path beyond its own, a durable wrapper reports
+// WAL but never Snapshot, and SharedReads reflects the concrete inner.
+func CapsOf(d Dictionary) Caps { return core.CapsOf(d) }
+
+// SharedReads reports whether d genuinely supports shared reads.
+//
+// Deprecated: use CapsOf(d).SharedReads — one probe for all six
+// capabilities.
+func SharedReads(d Dictionary) bool { return core.CapsOf(d).SharedReads }
 
 // Store simulates a two-level DAM memory (block size B, cache size M)
 // and counts block transfers.
@@ -104,19 +113,25 @@ const DefaultPointerDensity = cola.DefaultPointerDensity
 // NewCOLA returns the 2-COLA with the paper's default pointer density.
 //
 // Deprecated: use Build("cola", WithSpace(space)).
-func NewCOLA(space *Space) *COLA { return cola.NewCOLA(space) }
+func NewCOLA(space *Space) *COLA { return MustBuild("cola", WithSpace(space)).(*COLA) }
 
 // NewBasicCOLA returns the pointerless basic COLA (O(log^2 N) search).
 //
 // Deprecated: use Build("basic-cola", WithSpace(space)).
-func NewBasicCOLA(space *Space) *COLA { return cola.NewBasic(space) }
+func NewBasicCOLA(space *Space) *COLA { return MustBuild("basic-cola", WithSpace(space)).(*COLA) }
 
 // NewGCOLA returns a lookahead array with explicit growth factor and
-// pointer density (the paper's g-COLA).
+// pointer density (the paper's g-COLA). It panics where Build would
+// return an error, matching the v1 contract.
 //
 // Deprecated: use Build("gcola", WithGrowthFactor(g),
 // WithPointerDensity(p), WithSpace(space)).
-func NewGCOLA(opt COLAOptions) *COLA { return cola.New(opt) }
+func NewGCOLA(opt COLAOptions) *COLA {
+	return MustBuild("gcola",
+		WithGrowthFactor(opt.Growth),
+		WithPointerDensity(opt.PointerDensity),
+		WithSpace(opt.Space)).(*COLA)
+}
 
 // DeamortizedCOLA is the basic deamortized COLA of Theorem 22: O(log N)
 // worst-case moves per insert.
@@ -126,7 +141,7 @@ type DeamortizedCOLA = cola.Deamortized
 //
 // Deprecated: use Build("deamortized", WithSpace(space)).
 func NewDeamortizedCOLA(space *Space) *DeamortizedCOLA {
-	return cola.NewDeamortized(space)
+	return MustBuild("deamortized", WithSpace(space)).(*DeamortizedCOLA)
 }
 
 // DeamortizedLookaheadCOLA is the fully deamortized COLA of Theorem 24
@@ -138,7 +153,7 @@ type DeamortizedLookaheadCOLA = cola.DeamortizedLookahead
 //
 // Deprecated: use Build("deamortized-la", WithSpace(space)).
 func NewDeamortizedLookaheadCOLA(space *Space) *DeamortizedLookaheadCOLA {
-	return cola.NewDeamortizedLookahead(space)
+	return MustBuild("deamortized-la", WithSpace(space)).(*DeamortizedLookaheadCOLA)
 }
 
 // ShuttleTree is the paper's main theoretical structure (Section 2).
@@ -147,10 +162,21 @@ type ShuttleTree = shuttle.Tree
 // ShuttleOptions configures NewShuttleTree.
 type ShuttleOptions = shuttle.Options
 
-// NewShuttleTree returns an empty shuttle tree.
+// NewShuttleTree returns an empty shuttle tree. It panics where Build
+// would return an error, matching the v1 contract.
 //
 // Deprecated: use Build("shuttle", WithFanout(c), WithSpace(space)).
-func NewShuttleTree(opt ShuttleOptions) *ShuttleTree { return shuttle.New(opt) }
+// A custom HFunc has no unified option; the two registered buffer
+// schedules are "shuttle" (ScaledH) and "cobtree" (no buffers).
+func NewShuttleTree(opt ShuttleOptions) *ShuttleTree {
+	if opt.HFunc != nil {
+		return shuttle.New(opt)
+	}
+	return MustBuild("shuttle",
+		WithFanout(opt.Fanout),
+		WithRelayoutEvery(opt.RelayoutEvery),
+		WithSpace(opt.Space)).(*ShuttleTree)
+}
 
 // BTree is the B+-tree baseline of the paper's Section 4 experiments.
 type BTree = btree.Tree
@@ -158,10 +184,23 @@ type BTree = btree.Tree
 // BTreeOptions configures NewBTree.
 type BTreeOptions = btree.Options
 
-// NewBTree returns an empty B+-tree (4 KiB blocks by default).
+// NewBTree returns an empty B+-tree (4 KiB blocks by default). Zero
+// fields keep their v1 defaults (Build derives the same ones).
 //
 // Deprecated: use Build("btree", WithBlockBytes(b), WithSpace(space)).
-func NewBTree(opt BTreeOptions) *BTree { return btree.New(opt) }
+func NewBTree(opt BTreeOptions) *BTree {
+	opts := []Option{WithSpace(opt.Space)}
+	if opt.BlockBytes != 0 {
+		opts = append(opts, WithBlockBytes(opt.BlockBytes))
+	}
+	if opt.LeafCapacity != 0 {
+		opts = append(opts, WithLeafCapacity(opt.LeafCapacity))
+	}
+	if opt.Fanout != 0 {
+		opts = append(opts, WithFanout(opt.Fanout))
+	}
+	return MustBuild("btree", opts...).(*BTree)
+}
 
 // BRT is the buffered repository tree, the cache-aware write-optimized
 // comparator referenced throughout the paper.
@@ -173,7 +212,13 @@ type BRTOptions = brt.Options
 // NewBRT returns an empty buffered repository tree.
 //
 // Deprecated: use Build("brt", WithBlockBytes(b), WithSpace(space)).
-func NewBRT(opt BRTOptions) *BRT { return brt.New(opt) }
+func NewBRT(opt BRTOptions) *BRT {
+	opts := []Option{WithSpace(opt.Space)}
+	if opt.BlockBytes != 0 {
+		opts = append(opts, WithBlockBytes(opt.BlockBytes))
+	}
+	return MustBuild("brt", opts...).(*BRT)
+}
 
 // LookaheadArray is the cache-aware lookahead array with growth factor
 // B^epsilon, matching the Be-tree tradeoff.
@@ -183,11 +228,17 @@ type LookaheadArray = la.Array
 type LookaheadArrayOptions = la.Options
 
 // NewLookaheadArray returns a cache-aware lookahead array positioned at
-// epsilon on the insert/search tradeoff curve.
+// epsilon on the insert/search tradeoff curve. It panics where Build
+// would return an error, matching the v1 contract.
 //
 // Deprecated: use Build("la", WithEpsilon(e), WithBlockBytes(b),
 // WithSpace(space)).
-func NewLookaheadArray(opt LookaheadArrayOptions) *LookaheadArray { return la.New(opt) }
+func NewLookaheadArray(opt LookaheadArrayOptions) *LookaheadArray {
+	return MustBuild("la",
+		WithBlockBytes(int64(opt.BlockElems)*ElementBytes),
+		WithEpsilon(opt.Epsilon),
+		WithSpace(opt.Space)).(*LookaheadArray)
+}
 
 // SWBST is the strongly weight-balanced search tree substrate (the
 // shuttle tree's skeleton), exposed for direct use.
@@ -199,7 +250,7 @@ type SWBSTOptions = swbst.Options
 // NewSWBST returns an empty strongly weight-balanced search tree.
 //
 // Deprecated: use Build("swbst", WithFanout(c)).
-func NewSWBST(opt SWBSTOptions) *SWBST { return swbst.New(opt) }
+func NewSWBST(opt SWBSTOptions) *SWBST { return MustBuild("swbst", WithFanout(opt.Fanout)).(*SWBST) }
 
 // NewCOBTree returns the cache-oblivious B-tree baseline (Bender,
 // Demaine, Farach-Colton): the shuttle machinery with buffering
@@ -211,7 +262,7 @@ func NewSWBST(opt SWBSTOptions) *SWBST { return swbst.New(opt) }
 // Deprecated: use Build("cobtree", WithFanout(fanout),
 // WithSpace(space)).
 func NewCOBTree(fanout int, space *Space) *ShuttleTree {
-	return shuttle.NewCOBTree(fanout, space)
+	return MustBuild("cobtree", WithFanout(fanout), WithSpace(space)).(*ShuttleTree)
 }
 
 // ShardedMap is the hash-partitioned concurrent dictionary: N

@@ -18,16 +18,16 @@ func allDictionaries(store *Store) map[string]Dictionary {
 		return store.Space(name)
 	}
 	return map[string]Dictionary{
-		"cola":           NewCOLA(sp("cola")),
-		"basic-cola":     NewBasicCOLA(sp("basic")),
-		"4-cola":         NewGCOLA(COLAOptions{Growth: 4, PointerDensity: 0.1, Space: sp("4cola")}),
-		"deam-cola":      NewDeamortizedCOLA(sp("deam")),
-		"deam-la-cola":   NewDeamortizedLookaheadCOLA(sp("deamla")),
-		"btree":          NewBTree(BTreeOptions{Space: sp("btree")}),
-		"brt":            NewBRT(BRTOptions{Space: sp("brt")}),
-		"shuttle":        NewShuttleTree(ShuttleOptions{Fanout: 8, Space: sp("shuttle")}),
-		"swbst":          NewSWBST(SWBSTOptions{Fanout: 8}),
-		"lookahead-eps5": NewLookaheadArray(LookaheadArrayOptions{BlockElems: 128, Epsilon: 0.5, Space: sp("la")}),
+		"cola":           MustBuild("cola", WithSpace(sp("cola"))),
+		"basic-cola":     MustBuild("basic-cola", WithSpace(sp("basic"))),
+		"4-cola":         MustBuild("gcola", WithGrowthFactor(4), WithPointerDensity(0.1), WithSpace(sp("4cola"))),
+		"deam-cola":      MustBuild("deamortized", WithSpace(sp("deam"))),
+		"deam-la-cola":   MustBuild("deamortized-la", WithSpace(sp("deamla"))),
+		"btree":          MustBuild("btree", WithSpace(sp("btree"))),
+		"brt":            MustBuild("brt", WithSpace(sp("brt"))),
+		"shuttle":        MustBuild("shuttle", WithFanout(8), WithSpace(sp("shuttle"))),
+		"swbst":          MustBuild("swbst", WithFanout(8)),
+		"lookahead-eps5": MustBuild("la", WithBlockBytes(128*ElementBytes), WithEpsilon(0.5), WithSpace(sp("la"))),
 	}
 }
 
@@ -107,9 +107,9 @@ func TestEveryStructureRangeAgrees(t *testing.T) {
 // that support it.
 func TestDeletersAgree(t *testing.T) {
 	dicts := map[string]Dictionary{
-		"cola":  NewCOLA(nil),
-		"btree": NewBTree(BTreeOptions{}),
-		"brt":   NewBRT(BRTOptions{}),
+		"cola":  MustBuild("cola"),
+		"btree": MustBuild("btree"),
+		"brt":   MustBuild("brt"),
 	}
 	const n = 2048
 	for name, d := range dicts {
@@ -157,10 +157,10 @@ func TestSharedStoreCharges(t *testing.T) {
 // TestStatsersExposeCounters spot-checks the Statser implementations.
 func TestStatsersExposeCounters(t *testing.T) {
 	for name, d := range map[string]Dictionary{
-		"cola":    NewCOLA(nil),
-		"btree":   NewBTree(BTreeOptions{}),
-		"brt":     NewBRT(BRTOptions{}),
-		"shuttle": NewShuttleTree(ShuttleOptions{Fanout: 8}),
+		"cola":    MustBuild("cola"),
+		"btree":   MustBuild("btree"),
+		"brt":     MustBuild("brt"),
+		"shuttle": MustBuild("shuttle", WithFanout(8)),
 	} {
 		s, ok := d.(Statser)
 		if !ok {

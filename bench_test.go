@@ -30,23 +30,23 @@ func damDict(name string) (Dictionary, *Store) {
 	store := NewStore(benchBlockBytes, benchCacheBytes)
 	switch name {
 	case "2-COLA":
-		return NewGCOLA(COLAOptions{Growth: 2, PointerDensity: DefaultPointerDensity, Space: store.Space(name)}), store
+		return MustBuild("gcola", WithGrowthFactor(2), WithSpace(store.Space(name))), store
 	case "4-COLA":
-		return NewGCOLA(COLAOptions{Growth: 4, PointerDensity: DefaultPointerDensity, Space: store.Space(name)}), store
+		return MustBuild("gcola", WithGrowthFactor(4), WithSpace(store.Space(name))), store
 	case "8-COLA":
-		return NewGCOLA(COLAOptions{Growth: 8, PointerDensity: DefaultPointerDensity, Space: store.Space(name)}), store
+		return MustBuild("gcola", WithGrowthFactor(8), WithSpace(store.Space(name))), store
 	case "basic-COLA":
-		return NewBasicCOLA(store.Space(name)), store
+		return MustBuild("basic-cola", WithSpace(store.Space(name))), store
 	case "deamortized-COLA":
-		return NewDeamortizedCOLA(store.Space(name)), store
+		return MustBuild("deamortized", WithSpace(store.Space(name))), store
 	case "deamortized-lookahead-COLA":
-		return NewDeamortizedLookaheadCOLA(store.Space(name)), store
+		return MustBuild("deamortized-la", WithSpace(store.Space(name))), store
 	case "B-tree":
-		return NewBTree(BTreeOptions{BlockBytes: benchBlockBytes, Space: store.Space(name)}), store
+		return MustBuild("btree", WithBlockBytes(benchBlockBytes), WithSpace(store.Space(name))), store
 	case "BRT":
-		return NewBRT(BRTOptions{BlockBytes: benchBlockBytes, Space: store.Space(name)}), store
+		return MustBuild("brt", WithBlockBytes(benchBlockBytes), WithSpace(store.Space(name))), store
 	case "shuttle":
-		return NewShuttleTree(ShuttleOptions{Fanout: 8, Space: store.Space(name)}), store
+		return MustBuild("shuttle", WithFanout(8), WithSpace(store.Space(name))), store
 	}
 	panic("unknown structure " + name)
 }
@@ -148,11 +148,10 @@ func BenchmarkTradeoffLA(b *testing.B) {
 		name := map[float64]string{0: "eps0.0", 0.5: "eps0.5", 1: "eps1.0"}[eps]
 		b.Run(name, func(b *testing.B) {
 			store := NewStore(benchBlockBytes, benchCacheBytes)
-			a := NewLookaheadArray(LookaheadArrayOptions{
-				BlockElems: benchBlockBytes / ElementBytes,
-				Epsilon:    eps,
-				Space:      store.Space("la"),
-			})
+			a := MustBuild("la",
+				WithBlockBytes(benchBlockBytes),
+				WithEpsilon(eps),
+				WithSpace(store.Space("la")))
 			seq := workload.NewRandomUnique(5)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -244,11 +243,11 @@ func BenchmarkRangeScans(b *testing.B) {
 // paper's in-core regime.
 func BenchmarkPureInsertNoAccounting(b *testing.B) {
 	mk := map[string]func() Dictionary{
-		"2-COLA":  func() Dictionary { return NewCOLA(nil) },
-		"4-COLA":  func() Dictionary { return NewGCOLA(COLAOptions{Growth: 4, PointerDensity: 0.1}) },
-		"B-tree":  func() Dictionary { return NewBTree(BTreeOptions{}) },
-		"BRT":     func() Dictionary { return NewBRT(BRTOptions{}) },
-		"shuttle": func() Dictionary { return NewShuttleTree(ShuttleOptions{Fanout: 8}) },
+		"2-COLA":  func() Dictionary { return MustBuild("cola") },
+		"4-COLA":  func() Dictionary { return MustBuild("gcola", WithGrowthFactor(4)) },
+		"B-tree":  func() Dictionary { return MustBuild("btree") },
+		"BRT":     func() Dictionary { return MustBuild("brt") },
+		"shuttle": func() Dictionary { return MustBuild("shuttle", WithFanout(8)) },
 	}
 	for name, f := range mk {
 		b.Run(name, func(b *testing.B) {

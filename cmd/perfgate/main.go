@@ -234,20 +234,30 @@ func readVerdicts(spec string) []hypothesis.Verdict {
 	return out
 }
 
-// reportVerdicts prints each verdict and returns whether any falsified.
+// reportVerdicts prints each verdict and returns whether any gateable
+// one falsified. An advisory verdict (a wall-clock bundle measured
+// below its CPU floor) is printed either way but never fails the gate.
 func reportVerdicts(w io.Writer, verdicts []hypothesis.Verdict) bool {
 	failed := false
 	for _, v := range verdicts {
 		status := "CONFIRMED"
 		if !v.Confirmed {
 			status = "FALSIFIED"
-			failed = true
+			if !v.Advisory {
+				failed = true
+			}
+		}
+		if v.Advisory {
+			status += "*"
 		}
 		fmt.Fprintf(w, "%-28s %-9s experiment %.3f (>= %.3f)  control %.3f (<= %.3f)\n",
 			v.Name, status, v.Experiment.Observed, v.Prediction.MinRatio*(1-v.Prediction.Tolerance),
 			v.Control.Observed, v.Prediction.ControlMax*(1+v.Prediction.Tolerance))
 		for _, r := range v.Reasons {
 			fmt.Fprintf(w, "    - %s\n", r)
+		}
+		if v.Advisory {
+			fmt.Fprintf(w, "    * advisory: %s\n", v.AdvisoryReason)
 		}
 	}
 	return failed

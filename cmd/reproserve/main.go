@@ -1,0 +1,95 @@
+// Command reproserve serves a registry-built dictionary over the wire
+// protocol in internal/server.
+//
+// The default composition is a shard map over durable gcola shards when
+// -wal names a directory, volatile otherwise. The listener address is
+// printed as "listening on <addr>" once the socket is bound (use
+// -addr 127.0.0.1:0 and parse that line to serve on an ephemeral port),
+// and SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
+// requests finish, write-ahead logs sync, and the process exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address (port 0 picks an ephemeral port)")
+		kind       = flag.String("kind", "gcola", "inner registry kind per shard")
+		shards     = flag.Int("shards", 0, "shard count, rounded to a power of two (0 = one per CPU)")
+		walDir     = flag.String("wal", "", "write-ahead-log directory; empty serves volatile")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "per-shard auto-checkpoint cadence in records (0 = off)")
+		drainAfter = flag.Duration("drain-timeout", 10*time.Second, "how long to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	h, err := server.Open(server.Spec{
+		Kind:            *kind,
+		Shards:          *shards,
+		WALDir:          *walDir,
+		CheckpointEvery: *ckptEvery,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reproserve:", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(h.Dict)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reproserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("listening on %s\n", ln.Addr())
+	fmt.Printf("serving %s x%d caps=%s durable=%v\n",
+		h.Spec.Kind, h.Spec.Shards, capsString(srv.Caps()), h.Spec.WALDir != "")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	var exit int
+	select {
+	case s := <-sig:
+		fmt.Printf("signal %v: draining\n", s)
+		if err := srv.Shutdown(*drainAfter); err != nil {
+			fmt.Fprintln(os.Stderr, "reproserve: drain:", err)
+			exit = 1
+		}
+		<-done
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproserve: serve:", err)
+			exit = 1
+		}
+	}
+
+	if err := h.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "reproserve: close:", err)
+		exit = 1
+	}
+	for class := 0; class < server.NumClasses; class++ {
+		lat := srv.Latency(class)
+		if lat.Count() == 0 {
+			continue
+		}
+		fmt.Printf("%-5s count=%d p50=%dns p99=%dns p999=%dns\n",
+			server.ClassName(class), lat.Count(),
+			lat.Quantile(0.5), lat.Quantile(0.99), lat.Quantile(0.999))
+	}
+	fmt.Println("drained clean")
+	os.Exit(exit)
+}
+
+func capsString(c core.Caps) string { return c.String() }

@@ -11,7 +11,9 @@ import (
 )
 
 // runHypothesis measures one experiment bundle and exits with the
-// verdict: 0 confirmed, 1 falsified, 2 usage error. When jsonPath is
+// verdict: 0 confirmed (or advisory — a wall-clock bundle measured
+// below its CPU floor reports rather than gates), 1 falsified, 2 usage
+// error. When jsonPath is
 // set the verdict document is written on BOTH outcomes (a falsification
 // is a result, not a failure to produce one) via a sibling temp file
 // renamed over the target, so a usage or build error never truncates an
@@ -61,7 +63,7 @@ func runHypothesis(name string, cfg harness.Config, jsonPath string) {
 		}
 		fmt.Fprintf(os.Stderr, "wrote verdict to %s\n", jsonPath)
 	}
-	if !v.Confirmed {
+	if !v.Confirmed && !v.Advisory {
 		os.Exit(1)
 	}
 }
@@ -80,12 +82,18 @@ func printVerdict(w *os.File, v hypothesis.Verdict) {
 		v.Prediction.MinRatio*(1-v.Prediction.Tolerance),
 		v.Prediction.ControlMax*(1+v.Prediction.Tolerance),
 		v.Prediction.Tolerance*100)
-	if v.Confirmed {
-		fmt.Fprintf(w, "  verdict: CONFIRMED\n")
-		return
+	verdict := "CONFIRMED"
+	if !v.Confirmed {
+		verdict = "FALSIFIED"
 	}
-	fmt.Fprintf(w, "  verdict: FALSIFIED\n")
+	if v.Advisory {
+		verdict += " (advisory)"
+	}
+	fmt.Fprintf(w, "  verdict: %s\n", verdict)
 	for _, r := range v.Reasons {
 		fmt.Fprintf(w, "    - %s\n", r)
+	}
+	if v.Advisory {
+		fmt.Fprintf(w, "    - %s\n", v.AdvisoryReason)
 	}
 }

@@ -69,7 +69,7 @@ const (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, ratios, transfers, deamortized, scans, shuttle, concurrent, readmostly, durability, scenarios, all")
+		fig        = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, ratios, transfers, deamortized, scans, shuttle, concurrent, readmostly, durability, scenarios, serve, all")
 		dict       = flag.String("dict", "", "comma-separated structure lineup for -fig 2/3/4/scenarios (registered kinds or figure names; see -list)")
 		scenario   = flag.String("scenario", "", "comma-separated scenario specs (skew+arrival+mix, e.g. zipf1.2+bursty+95r5w) for -fig scenarios; implies it when -fig is unset")
 		hyp        = flag.String("hypothesis", "", "run one experiment bundle by name and exit 0 confirmed / 1 falsified (see internal/hypothesis)")
@@ -212,7 +212,7 @@ func main() {
 		}
 	}
 	switch figName {
-	case "2", "3", "4", "5", "ratios", "transfers", "deamortized", "scans", "shuttle", "concurrent", "readmostly", "durability", "scenarios", "all":
+	case "2", "3", "4", "5", "ratios", "transfers", "deamortized", "scans", "shuttle", "concurrent", "readmostly", "durability", "scenarios", "serve", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
 		flag.Usage()
@@ -294,6 +294,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "-fig scenarios: %v\n", err)
 			os.Exit(2)
 		}
+	case "serve":
+		r, err := cfg.Serve()
+		if err != nil {
+			if jsonTmp != nil {
+				jsonTmp.Close()
+				os.Remove(jsonTmp.Name())
+			}
+			fmt.Fprintf(os.Stderr, "-fig serve: %v\n", err)
+			os.Exit(1)
+		}
+		results = []harness.Result{r}
 	case "all":
 		results = cfg.All()
 	default:

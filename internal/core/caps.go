@@ -1,0 +1,87 @@
+package core
+
+import "strings"
+
+// Caps is the unified capability sheet of a dictionary: one answer per
+// optional interface, probed once instead of scattering type assertions
+// and ad-hoc Supports() tuples across callers. The registry publishes a
+// Caps per kind (the static feature matrix listing tools print) and
+// CapsOf answers for a built instance; the two agree by construction —
+// for wrapper kinds a static flag means "forwarded when the inner kind
+// has it", and the built wrapper's CapsProber answers for the concrete
+// (possibly nested) inner.
+type Caps struct {
+	// Snapshot: implements Snapshotter, so Save/Load round-trip it
+	// through the snap container.
+	Snapshot bool
+	// WAL: mutations are write-ahead logged and recoverable after a
+	// crash.
+	WAL bool
+	// Delete: implements Deleter.
+	Delete bool
+	// Batch: implements BatchInserter with a native fast path
+	// (InsertBatch falls back to an insert loop for everyone else).
+	Batch bool
+	// Stats: implements Statser with real counters.
+	Stats bool
+	// SharedReads: Search/Range follow the SharedReader shared-read
+	// contract, so the concurrency wrappers serve them under an RWMutex
+	// read lock. Kinds whose safety is conditional (the shuttle family:
+	// safe only without DAM accounting) leave the static flag unset —
+	// the built instance's probe is authoritative there.
+	SharedReads bool
+}
+
+// String renders the set flags as "snapshot, wal, delete, batch, stats,
+// shared-reads" (or "none").
+func (c Caps) String() string {
+	var parts []string
+	if c.Snapshot {
+		parts = append(parts, "snapshot")
+	}
+	if c.WAL {
+		parts = append(parts, "wal")
+	}
+	if c.Delete {
+		parts = append(parts, "delete")
+	}
+	if c.Batch {
+		parts = append(parts, "batch")
+	}
+	if c.Stats {
+		parts = append(parts, "stats")
+	}
+	if c.SharedReads {
+		parts = append(parts, "shared-reads")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// CapsProber is the honest instance-level capability probe, implemented
+// by the wrappers (sharded, synchronized, durable): their methods exist
+// unconditionally, so type assertions on them always succeed, and Caps
+// reports what is genuinely forwarded to the structure they wrap.
+type CapsProber interface {
+	Caps() Caps
+}
+
+// CapsOf reports the capability sheet of a built instance. A CapsProber
+// answers for itself (wrappers forward the question to their inner
+// structure); for leaf structures the optional interfaces are the
+// declaration, with SharedReads folded through the honest SharedReads
+// probe (conditionally-safe structures implement SharedReadProber).
+func CapsOf(d Dictionary) Caps {
+	if p, ok := d.(CapsProber); ok {
+		return p.Caps()
+	}
+	var c Caps
+	_, c.Snapshot = d.(Snapshotter)
+	_, c.Delete = d.(Deleter)
+	_, c.Batch = d.(BatchInserter)
+	_, c.Stats = d.(Statser)
+	c.SharedReads = SharedReads(d)
+	return c
+}

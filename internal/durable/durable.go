@@ -102,6 +102,7 @@ var (
 	_ core.BatchInserter    = (*Dict)(nil)
 	_ core.SharedReader     = (*Dict)(nil)
 	_ core.SharedReadProber = (*Dict)(nil)
+	_ core.CapsProber       = (*Dict)(nil)
 )
 
 // New assembles the wrapper; see Options.
@@ -393,6 +394,21 @@ func (d *Dict) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.log.Close()
+}
+
+// Caps implements core.CapsProber: what the wrapper genuinely forwards
+// to (or provides on top of) the inner structure. WAL is the wrapper's
+// own capability; Snapshot is deliberately withheld (the persistence
+// story IS the log plus checkpoints — see the type comment); Batch is
+// native regardless of the inner (one log record per batch is the
+// wrapper's own fast path); Delete and Stats forward.
+func (d *Dict) Caps() core.Caps {
+	c := core.CapsOf(d.inner)
+	c.Snapshot = false
+	c.WAL = true
+	c.Batch = true
+	c.SharedReads = d.sr != nil
+	return c
 }
 
 // Unwrap returns the inner dictionary for read-only inspection.

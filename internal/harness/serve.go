@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dam"
+	"repro/internal/loadgen"
+	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// serveLineup pairs a shared-read-safe inner (searches bracket under
+// the shard's RLock and run concurrently) against an exclusive inner
+// (no shared-read support, so the same shard lock serializes every
+// search). One shard, so the lock — not shard spreading — is the only
+// mechanism in play.
+var serveLineup = []struct {
+	kind  string
+	label string
+}{
+	{"gcola", "shared (gcola)"},
+	{"deamortized", "exclusive (deamortized)"},
+}
+
+// serveConns is the connection sweep for E14.
+var serveConns = []int{1, 2, 4}
+
+// Serve is experiment E14: GET throughput over the wire as a function
+// of concurrent connections, shared-read inner vs exclusive inner. The
+// prediction is the served edition of E11/E12: a shared-read-safe inner
+// lets concurrent GETs overlap inside one shard's read lock, so
+// throughput grows with connections, while an exclusive inner pins the
+// ratio near one. Wall-clock (and scheduler-bound), so CI reports it
+// rather than gating on it.
+func (c Config) Serve() (Result, error) {
+	c = c.withDefaults()
+	res := Result{
+		Title:  "E14 — served GET throughput vs connections (1 shard)",
+		XLabel: "connections",
+		YLabel: "operations/second",
+	}
+	perConn := c.Searches
+	var first, last [2]float64
+	for li, entry := range serveLineup {
+		s := Series{Name: entry.label}
+		for _, conns := range serveConns {
+			ops, err := c.serveThroughput(entry.kind, conns, perConn)
+			if err != nil {
+				return res, fmt.Errorf("serve %s @%d conns: %w", entry.kind, conns, err)
+			}
+			s.X = append(s.X, float64(conns))
+			s.Y = append(s.Y, ops)
+		}
+		first[li], last[li] = s.Y[0], s.Y[len(s.Y)-1]
+		res.Series = append(res.Series, s)
+	}
+	for li, entry := range serveLineup {
+		res.Notes = append(res.Notes, seriesRatioNote(
+			fmt.Sprintf("%s: %d-conn over 1-conn throughput", entry.label, serveConns[len(serveConns)-1]),
+			last[li], first[li]))
+	}
+	return res, nil
+}
+
+// serveThroughput measures closed-loop GET ops/s against an in-process
+// loopback server over a single-shard map with the given inner kind.
+func (c Config) serveThroughput(kind string, conns, perConn int) (float64, error) {
+	inner, err := registry.Build(kind)
+	if err != nil {
+		return 0, err
+	}
+	m := shard.New(
+		shard.WithShards(1),
+		shard.WithDictionary(func(int, *dam.Space) core.Dictionary { return inner }),
+	)
+	srv := server.New(m)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }()
+	defer func() { srv.Shutdown(5 * time.Second); <-done }()
+
+	sc := workload.Scenario{
+		Skew:     workload.Skew{Kind: "uniform"},
+		Arrival:  workload.Arrival{Kind: "steady"},
+		Mix:      workload.Mix{SearchPct: 100},
+		KeySpace: uint64(1) << uint(c.LogN),
+		Seed:     c.Seed,
+	}
+	sum, err := loadgen.Run(loadgen.Config{
+		Addr:     ln.Addr().String(),
+		Scenario: sc,
+		Conns:    conns,
+		Ops:      conns * perConn,
+		Preload:  1 << uint(c.LogN),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return sum.OpsPerSec(), nil
+}

@@ -1,0 +1,143 @@
+// Package hist provides a fixed-size log-bucketed histogram for
+// latency recording on hot paths: HDR-style buckets (every power of two
+// split into 32 linear sub-buckets, so quantiles carry at most ~3%
+// relative error), atomic counters so any number of goroutines observe
+// concurrently without locks, and no allocation anywhere — Observe is
+// one atomic add into a fixed array, cheap enough for a server to call
+// per request.
+//
+// The server and the load generator share this type: the server records
+// per-op service time, the generator records client-observed latency,
+// and internal/perf turns the quantiles into schema-1 records.
+package hist
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// subBits sub-bucket bits: each power-of-two range splits into
+	// 1<<subBits linear sub-buckets, bounding quantile error at
+	// 1/(1<<subBits).
+	subBits  = 5
+	subCount = 1 << subBits
+
+	// numBuckets covers the full uint64 range: values below subCount*2
+	// index exactly (bucketOf(v) = v there), larger values take
+	// (msb-subBits+1)*subCount + top-5-bits-below-msb, so the largest
+	// index — msb 63, minor 31 — is (64-subBits)*subCount + 31.
+	numBuckets = (64-subBits)*subCount + subCount
+)
+
+// Hist is the histogram. The zero value is ready to use; all methods
+// are safe for concurrent use.
+type Hist struct {
+	counts [numBuckets]atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// bucketOf maps a value to its bucket index. Values below 64 map to
+// themselves (exact); above, the index is logarithmic in the value with
+// 32 linear sub-buckets per octave.
+func bucketOf(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	m := bits.Len64(v) - 1 // MSB position, >= subBits
+	minor := int((v >> (uint(m) - subBits)) & (subCount - 1))
+	return (m-subBits+1)*subCount + minor
+}
+
+// bucketRep returns the representative value (midpoint) of bucket i,
+// the value Quantile reports for ranks landing there.
+func bucketRep(i int) uint64 {
+	if i < subCount {
+		return uint64(i)
+	}
+	m := i/subCount + subBits - 1
+	minor := uint64(i % subCount)
+	lo := uint64(1)<<uint(m) | minor<<(uint(m)-subBits)
+	return lo + (uint64(1)<<(uint(m)-subBits))/2
+}
+
+// Observe records one value. It never allocates and never blocks.
+func (h *Hist) Observe(v uint64) {
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Count reports the number of observations.
+func (h *Hist) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum reports the exact sum of all observed values (so Sum/Count is the
+// exact mean, unaffected by bucketing).
+func (h *Hist) Sum() uint64 { return h.sum.Load() }
+
+// Mean reports the exact mean observation, 0 when empty.
+func (h *Hist) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile reports the value at quantile q in [0, 1] (0.5 = median,
+// 0.99 = P99), within the bucketing's ~3% relative error; 0 when empty.
+// Concurrent Observes may or may not be counted — the snapshot is
+// per-bucket atomic, not global, which is fine for monitoring and
+// end-of-run reporting.
+func (h *Hist) Quantile(q float64) uint64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Two passes: total first, then walk to the target rank. A racing
+	// Observe can skew the second pass by at most the racing counts.
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum > target {
+			return bucketRep(i)
+		}
+	}
+	// Reachable only if a concurrent Reset shrank the counts mid-walk.
+	return bucketRep(numBuckets - 1)
+}
+
+// Merge folds o's observations into h (o is read atomically, so a
+// still-observed histogram merges consistently enough for reporting).
+func (h *Hist) Merge(o *Hist) {
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.sum.Add(o.sum.Load())
+}
+
+// Reset zeroes the histogram. Not atomic with respect to concurrent
+// Observes; quiesce first if exactness matters.
+func (h *Hist) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+}

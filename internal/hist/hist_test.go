@@ -1,0 +1,134 @@
+package hist
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketMonotone: bucket indices are monotone in the value, in
+// range, and bucketRep(bucketOf(v)) stays within the bucketing's
+// relative-error bound of v.
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 31, 32, 33, 63, 64, 65, 100, 127, 128,
+		1000, 1 << 20, 1<<20 + 1, 1 << 40, 1<<63 - 1, 1 << 63, ^uint64(0)} {
+		i := bucketOf(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of [0, %d)", v, i, numBuckets)
+		}
+		if i < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", v, i, prev)
+		}
+		prev = i
+		rep := bucketRep(i)
+		if v < 64 {
+			if rep != v {
+				t.Fatalf("bucketRep(bucketOf(%d)) = %d, want exact", v, rep)
+			}
+			continue
+		}
+		// Relative error bound: the bucket's width is 2^(msb-5), so the
+		// midpoint is within width/2 <= v/32 of v.
+		width := uint64(1) << uint(bits.Len64(v)-1-subBits)
+		lo, hi := v-width, v+width
+		if hi < v { // overflow at the top of the range
+			hi = ^uint64(0)
+		}
+		if rep < lo || rep > hi {
+			t.Fatalf("bucketRep(bucketOf(%d)) = %d outside [%d, %d]", v, rep, lo, hi)
+		}
+	}
+}
+
+// TestQuantileAgainstSortedReference checks Quantile within the
+// documented ~3% relative error on a log-uniform sample.
+func TestQuantileAgainstSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	h := &Hist{}
+	samples := make([]uint64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := uint64(1) << uint(rng.Intn(30))
+		v += uint64(rng.Int63n(int64(v)))
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	if h.Count() != 20000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		rank := int(q * 20000)
+		if rank >= len(samples) {
+			rank = len(samples) - 1
+		}
+		want := samples[rank]
+		lo := want - want/16
+		hi := want + want/16
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%g) = %d, reference %d (outside ±1/16)", q, got, want)
+		}
+	}
+}
+
+func TestMeanExactAndMerge(t *testing.T) {
+	a, b := &Hist{}, &Hist{}
+	for i := uint64(1); i <= 100; i++ {
+		a.Observe(i * 1000)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		b.Observe(i)
+	}
+	if got, want := a.Mean(), 50500.0; got != want {
+		t.Fatalf("Mean = %g, want %g (sum is exact, not bucketed)", got, want)
+	}
+	a.Merge(b)
+	if a.Count() != 150 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if got, want := a.Sum(), uint64(5050000+1275); got != want {
+		t.Fatalf("merged Sum = %d, want %d", got, want)
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Sum() != 0 || a.Quantile(0.5) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+// TestConcurrentObserve: N goroutines observing concurrently lose
+// nothing (the counters are atomic).
+func TestConcurrentObserve(t *testing.T) {
+	h := &Hist{}
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(rng.Int63n(1 << 30)))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("Count = %d, want %d", got, goroutines*per)
+	}
+}
+
+// TestObserveZeroAlloc pins the hot path: Observe must not allocate
+// (the server calls it per request on the GET path).
+func TestObserveZeroAlloc(t *testing.T) {
+	h := &Hist{}
+	v := uint64(12345)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v += 977
+	}); allocs != 0 {
+		t.Fatalf("Observe allocates %g per call, want 0", allocs)
+	}
+}

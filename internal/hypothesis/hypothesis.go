@@ -18,15 +18,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro/internal/harness"
 	"repro/internal/registry"
 )
 
-// Metric names the measured quantity. Only transfers/op is currently
-// gateable (ns/op is host-dependent and would flake).
-const MetricTransfersPerOp = "transfers/op"
+// Metric names the measured quantity. Transfers/op is deterministic
+// and gateable everywhere; ops/s is wall-clock, so bundles measuring it
+// declare a MinCPU floor below which their verdict is advisory.
+const (
+	MetricTransfersPerOp = "transfers/op"
+	MetricOpsPerSec      = "ops/s"
+)
 
 // VerdictSchema versions the verdict JSON; readers reject other values.
 const VerdictSchema = 1
@@ -86,6 +91,17 @@ type Bundle struct {
 	// the prediction is a statement about one reproducible experiment.
 	LogN       int
 	CacheBytes int64
+
+	// Measure, when set, replaces the default transfers/op arm runner —
+	// bundles whose metric is not a harness scenario measurement (e.g.
+	// served throughput over a real socket) supply their own.
+	Measure func(cfg harness.Config, r Ratio) (RatioResult, error)
+
+	// MinCPU, when positive, marks the verdict advisory on hosts with
+	// fewer CPUs: a wall-clock concurrency claim cannot fail honestly
+	// on a machine that cannot run the arms concurrently. Advisory
+	// falsifications are reported, never gated.
+	MinCPU int
 }
 
 // ArmResult is one arm's measured value.
@@ -130,6 +146,11 @@ type Verdict struct {
 	// Reasons lists the failed predicates when falsified; empty when
 	// confirmed.
 	Reasons []string `json:"reasons,omitempty"`
+	// Advisory marks a verdict measured below the bundle's CPU floor:
+	// consumers report it but never gate on it.
+	Advisory bool `json:"advisory,omitempty"`
+	// AdvisoryReason says why the verdict is advisory.
+	AdvisoryReason string `json:"advisory_reason,omitempty"`
 }
 
 var bundles = map[string]Bundle{}
@@ -194,11 +215,15 @@ func Run(name string, cfg harness.Config) (Verdict, error) {
 	}
 	cfg.LogN = b.LogN
 	cfg.CacheBytes = b.CacheBytes
-	exp, err := measureRatio(cfg, b.Experiment)
+	measure := b.Measure
+	if measure == nil {
+		measure = measureRatio
+	}
+	exp, err := measure(cfg, b.Experiment)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("bundle %s: experiment %w", name, err)
 	}
-	ctl, err := measureRatio(cfg, b.Control)
+	ctl, err := measure(cfg, b.Control)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("bundle %s: control %w", name, err)
 	}
@@ -217,6 +242,12 @@ func Run(name string, cfg harness.Config) (Verdict, error) {
 		Control:    ctl,
 	}
 	v.Confirmed, v.Reasons = judge(b, exp.Observed, ctl.Observed)
+	if b.MinCPU > 0 && runtime.NumCPU() < b.MinCPU {
+		v.Advisory = true
+		v.AdvisoryReason = fmt.Sprintf(
+			"measured on %d CPU(s), bundle needs %d to run its arms concurrently; verdict reported, not gated",
+			runtime.NumCPU(), b.MinCPU)
+	}
 	return v, nil
 }
 
@@ -269,8 +300,13 @@ func WriteMarkdown(w io.Writer, verdicts []Verdict) error {
 	}
 	for _, v := range verdicts {
 		verdict := "✅ confirmed"
-		if !v.Confirmed {
+		switch {
+		case !v.Confirmed && v.Advisory:
+			verdict = "⚠️ falsified (advisory)"
+		case !v.Confirmed:
 			verdict = "❌ falsified"
+		case v.Advisory:
+			verdict = "✅ confirmed (advisory)"
 		}
 		if _, err := fmt.Fprintf(w, "|%s|%s|%.3f|%.3f|%.3f|%.3f|\n",
 			v.Name, verdict, v.Experiment.Observed, v.Prediction.MinRatio*(1-v.Prediction.Tolerance),
@@ -281,6 +317,11 @@ func WriteMarkdown(w io.Writer, verdicts []Verdict) error {
 	for _, v := range verdicts {
 		for _, r := range v.Reasons {
 			if _, err := fmt.Fprintf(w, "\n- **%s**: %s", v.Name, r); err != nil {
+				return err
+			}
+		}
+		if v.Advisory {
+			if _, err := fmt.Fprintf(w, "\n- **%s**: %s", v.Name, v.AdvisoryReason); err != nil {
 				return err
 			}
 		}

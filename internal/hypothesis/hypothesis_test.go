@@ -26,8 +26,14 @@ func TestBundlesWellFormed(t *testing.T) {
 		if b.Claim == "" || b.Mechanism == "" || b.Title == "" {
 			t.Errorf("%s: claim/mechanism/title must all be stated", name)
 		}
-		if b.Metric != MetricTransfersPerOp {
-			t.Errorf("%s: metric %q is not gateable", name, b.Metric)
+		if b.Measure == nil {
+			if b.Metric != MetricTransfersPerOp {
+				t.Errorf("%s: metric %q is not gateable by the default runner", name, b.Metric)
+			}
+		} else if b.Metric == MetricOpsPerSec && b.MinCPU <= 0 {
+			// Wall-clock bundles must declare the CPU floor that makes
+			// their verdict advisory on starved hosts.
+			t.Errorf("%s: ops/s bundle without a MinCPU floor", name)
 		}
 		if b.MinRatio <= 0 || b.ControlMax <= 0 || b.Tolerance < 0 || b.Tolerance >= 1 {
 			t.Errorf("%s: nonsensical thresholds min=%g max=%g tol=%g", name, b.MinRatio, b.ControlMax, b.Tolerance)
@@ -35,9 +41,13 @@ func TestBundlesWellFormed(t *testing.T) {
 		if b.LogN <= 0 || b.CacheBytes <= 0 {
 			t.Errorf("%s: geometry not pinned (logn=%d cache=%d)", name, b.LogN, b.CacheBytes)
 		}
-		for _, arm := range []Arm{b.Experiment.Num, b.Experiment.Den, b.Control.Num, b.Control.Den} {
-			if _, err := workload.Parse(arm.Scenario); err != nil {
-				t.Errorf("%s: arm %s scenario %q: %v", name, arm.label(), arm.Scenario, err)
+		if b.Measure == nil {
+			// Custom-Measure bundles own their arm encoding; only the
+			// default runner requires parseable workload specs.
+			for _, arm := range []Arm{b.Experiment.Num, b.Experiment.Den, b.Control.Num, b.Control.Den} {
+				if _, err := workload.Parse(arm.Scenario); err != nil {
+					t.Errorf("%s: arm %s scenario %q: %v", name, arm.label(), arm.Scenario, err)
+				}
 			}
 		}
 	}
@@ -153,11 +163,11 @@ func TestSeededBundlesConfirm(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if !v.Confirmed {
+		if !v.Confirmed && !v.Advisory {
 			t.Errorf("%s falsified: %v (experiment %.3f, control %.3f)", name, v.Reasons, v.Experiment.Observed, v.Control.Observed)
 		}
 		if v.Experiment.Num.Value <= 0 || v.Experiment.Den.Value <= 0 {
-			t.Errorf("%s: experiment arms measured nonpositive transfers", name)
+			t.Errorf("%s: experiment arms measured nonpositive values", name)
 		}
 	}
 }

@@ -1,0 +1,349 @@
+// Package loadgen drives a server (internal/server's wire protocol)
+// with internal/workload scenarios over real TCP connections and
+// reports client-observed latency.
+//
+// Each simulated connection runs its own goroutine with a sub-seeded
+// scenario stream, so the aggregate traffic has the scenario's skew and
+// mix while connections stay independent. Two arrival modes:
+//
+//   - closed loop (RatePerSec == 0): every connection keeps a fixed
+//     pipeline window full — send until Pipeline requests are in
+//     flight, then read one reply per send. Latency is measured from
+//     send to reply: pure service + network time.
+//   - open loop (RatePerSec > 0): requests are scheduled on a fixed
+//     interval split evenly across connections, and latency is measured
+//     from the *scheduled* send time, so queueing delay when the server
+//     falls behind shows up in the tail — the coordinated-omission-free
+//     number.
+//
+// ChurnEvery recycles connections mid-run (drain, close, re-dial),
+// exercising the server's accept path and per-connection state
+// teardown under load.
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hist"
+	"repro/internal/perf"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// subSeedMult decorrelates per-connection streams (golden-ratio
+// multiplier, same family the shard map uses).
+const subSeedMult = 0x9E3779B97F4A7C15
+
+// valueMixin makes stored values key-derived so any reader can verify
+// them.
+const valueMixin = 0xA5A5A5A5A5A5A5A5
+
+// Value is the value the generator stores for a key (exported so
+// checkers can verify reads).
+func Value(key uint64) uint64 { return key ^ valueMixin }
+
+// Config describes one load-generation run.
+type Config struct {
+	// Addr is the server's TCP address.
+	Addr string
+
+	// Scenario shapes the traffic (skew, arrival, mix). Its Seed
+	// decorrelates whole runs; each connection sub-seeds from it.
+	Scenario workload.Scenario
+
+	// Conns is the number of concurrent connections (default 1).
+	Conns int
+
+	// Ops is the total operation count across all connections.
+	Ops int
+
+	// Pipeline is the per-connection in-flight window (default 1 =
+	// strict request/reply).
+	Pipeline int
+
+	// RatePerSec > 0 switches to open-loop arrival at that aggregate
+	// rate; 0 runs closed-loop.
+	RatePerSec float64
+
+	// ChurnEvery > 0 drains and re-dials each connection after that
+	// many operations.
+	ChurnEvery int
+
+	// Preload inserts this many sequential keys through BATCH frames
+	// before the measured phase, so read-heavy scenarios hit a
+	// populated dictionary.
+	Preload int
+
+	// Timeout bounds dials and, when positive, the whole run.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Conns <= 0 {
+		c.Conns = 1
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Summary aggregates a run: per-class client-observed latency, op and
+// error counts, and wall-clock duration.
+type Summary struct {
+	Lat     [server.NumClasses]hist.Hist
+	Ops     uint64 // replies received and counted
+	Errors  uint64 // non-OK replies outside the expected set
+	Elapsed time.Duration
+	Conns   int
+}
+
+// OpsPerSec is the aggregate throughput.
+func (s *Summary) OpsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Ops) / s.Elapsed.Seconds()
+}
+
+// classOf maps a workload op kind to its latency class.
+func classOf(k workload.OpKind) int {
+	switch k {
+	case workload.OpInsert:
+		return server.ClassPut
+	case workload.OpDelete:
+		return server.ClassDel
+	case workload.OpScan:
+		return server.ClassRange
+	}
+	return server.ClassGet
+}
+
+// pending is one in-flight request awaiting its reply.
+type pending struct {
+	class int
+	sent  time.Time
+}
+
+// Run preloads (when configured) and then drives the configured
+// scenario, returning the aggregated summary.
+func Run(cfg Config) (*Summary, error) {
+	cfg = cfg.withDefaults()
+	sc := cfg.Scenario
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+
+	if cfg.Preload > 0 {
+		if err := preload(cfg); err != nil {
+			return nil, fmt.Errorf("loadgen: preload: %w", err)
+		}
+	}
+
+	perConn := cfg.Ops / cfg.Conns
+	if perConn == 0 {
+		perConn = 1
+	}
+	var interval time.Duration
+	if cfg.RatePerSec > 0 {
+		interval = time.Duration(float64(time.Second) * float64(cfg.Conns) / cfg.RatePerSec)
+	}
+
+	sum := &Summary{Conns: cfg.Conns}
+	errs := make([]error, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < cfg.Conns; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := sc
+			c.Seed = sc.Seed + uint64(id+1)*subSeedMult
+			errs[id] = drive(cfg, c, perConn, interval, sum)
+		}(id)
+	}
+	wg.Wait()
+	sum.Elapsed = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return sum, err
+		}
+	}
+	return sum, nil
+}
+
+// preload batches sequential keys in before measurement.
+func preload(cfg Config) error {
+	cl, err := server.DialTimeout(cfg.Addr, cfg.Timeout)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	const chunk = 4096
+	batch := make([]core.Element, 0, chunk)
+	for i := 0; i < cfg.Preload; i++ {
+		key := uint64(i)
+		batch = append(batch, core.Element{Key: key, Value: Value(key)})
+		if len(batch) == chunk || i == cfg.Preload-1 {
+			if err := cl.PutBatch(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	return nil
+}
+
+// drive runs one connection's share of the load.
+func drive(cfg Config, sc workload.Scenario, ops int, interval time.Duration, sum *Summary) error {
+	st, err := sc.Stream()
+	if err != nil {
+		return err
+	}
+	cl, err := server.DialTimeout(cfg.Addr, cfg.Timeout)
+	if err != nil {
+		return err
+	}
+	defer func() { cl.Close() }()
+
+	window := make([]pending, 0, cfg.Pipeline)
+	var next time.Time
+	if interval > 0 {
+		next = time.Now()
+	}
+	sinceChurn := 0
+
+	readOne := func() error {
+		p := window[0]
+		window = window[:copy(window, window[1:])]
+		r, err := cl.ReadReply()
+		if err != nil {
+			return err
+		}
+		sum.Lat[p.class].Observe(uint64(time.Since(p.sent)))
+		switch r.Status {
+		case server.StatusOK, server.StatusNotFound:
+			atomic.AddUint64(&sum.Ops, 1)
+		case server.StatusUnsupported:
+			// A scenario with deletes against a delete-less kind is
+			// legitimate traffic; the verdict is still a reply.
+			atomic.AddUint64(&sum.Ops, 1)
+		default:
+			atomic.AddUint64(&sum.Errors, 1)
+			return fmt.Errorf("loadgen: server answered %s", server.StatusText(r.Status))
+		}
+		return nil
+	}
+	drain := func() error {
+		for len(window) > 0 {
+			if err := readOne(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for i := 0; i < ops; i++ {
+		// Open loop: wait for the scheduled slot, then timestamp the
+		// request at its *schedule*, not the actual send.
+		sent := time.Now()
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			sent = next
+			next = next.Add(interval)
+		}
+
+		if len(window) == cfg.Pipeline {
+			if err := cl.Flush(); err != nil {
+				return err
+			}
+			if err := readOne(); err != nil {
+				return err
+			}
+		}
+
+		op := st.Next()
+		var serr error
+		switch op.Kind {
+		case workload.OpInsert:
+			serr = cl.SendPut(op.Key, Value(op.Key))
+		case workload.OpSearch:
+			serr = cl.SendGet(op.Key)
+		case workload.OpDelete:
+			serr = cl.SendDel(op.Key)
+		case workload.OpScan:
+			serr = cl.SendRange(op.Key, op.Key+workload.ScanSpan-1, workload.ScanSpan)
+		}
+		if serr != nil {
+			return serr
+		}
+		window = append(window, pending{class: classOf(op.Kind), sent: sent})
+
+		sinceChurn++
+		if cfg.ChurnEvery > 0 && sinceChurn >= cfg.ChurnEvery && i+1 < ops {
+			if err := drain(); err != nil {
+				return err
+			}
+			if err := cl.Close(); err != nil {
+				return err
+			}
+			cl, err = server.DialTimeout(cfg.Addr, cfg.Timeout)
+			if err != nil {
+				return err
+			}
+			sinceChurn = 0
+		}
+	}
+	return drain()
+}
+
+// PerfRecords renders a summary as schema-1 perf records: per-class
+// P50/P99/P999 latency plus aggregate throughput, keyed by scenario
+// name with the connection count as the X coordinate.
+func PerfRecords(cfg Config, sum *Summary, logN int) []perf.Result {
+	cfg = cfg.withDefaults()
+	op := "serve " + cfg.Scenario.Name()
+	var out []perf.Result
+	for class := 0; class < server.NumClasses; class++ {
+		h := &sum.Lat[class]
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		name := server.ClassName(class)
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"p50", 0.50}, {"p99", 0.99}, {"p999", 0.999}} {
+			out = append(out, perf.Result{
+				Op:      op,
+				Kind:    name + " " + q.label,
+				LogN:    logN,
+				X:       float64(sum.Conns),
+				Samples: int(n),
+				NsPerOp: float64(h.Quantile(q.q)),
+			})
+		}
+	}
+	if sum.Ops > 0 && sum.Elapsed > 0 {
+		out = append(out, perf.Result{
+			Op:      op,
+			Kind:    "throughput",
+			LogN:    logN,
+			X:       float64(sum.Conns),
+			Samples: int(sum.Ops),
+			// ns/op across the whole run; ops/s is 1e9 over this.
+			NsPerOp: float64(sum.Elapsed.Nanoseconds()) / float64(sum.Ops),
+		})
+	}
+	return out
+}

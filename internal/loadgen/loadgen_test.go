@@ -1,0 +1,202 @@
+package loadgen
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// startServer serves a sharded gcola on an ephemeral loopback listener;
+// cleanup drains on test exit.
+func startServer(t *testing.T) string {
+	t.Helper()
+	d, err := registry.Build("sharded", registry.WithShards(2), registry.WithInner("gcola"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(d)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		if err := srv.Shutdown(5 * time.Second); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+func scenario(t *testing.T, spec string) workload.Scenario {
+	t.Helper()
+	sc, err := workload.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.KeySpace = 1 << 10
+	sc.Seed = 7
+	return sc
+}
+
+// TestClosedLoopPipelinedChurn drives the closed-loop path with a
+// pipeline window and connection churn and checks the summary accounts
+// for every operation.
+func TestClosedLoopPipelinedChurn(t *testing.T) {
+	addr := startServer(t)
+	const ops = 4000
+	sum, err := Run(Config{
+		Addr:       addr,
+		Scenario:   scenario(t, "uniform+steady+95r5w"),
+		Conns:      2,
+		Ops:        ops,
+		Pipeline:   4,
+		ChurnEvery: 500,
+		Preload:    256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Ops != ops {
+		t.Fatalf("Ops = %d, want %d", sum.Ops, ops)
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("Errors = %d", sum.Errors)
+	}
+	var observed uint64
+	for class := range sum.Lat {
+		observed += sum.Lat[class].Count()
+	}
+	if observed != ops {
+		t.Fatalf("latency histograms hold %d observations, want %d", observed, ops)
+	}
+	if sum.Lat[server.ClassGet].Count() == 0 || sum.Lat[server.ClassPut].Count() == 0 {
+		t.Fatal("95r5w run left a latency class empty")
+	}
+	if sum.OpsPerSec() <= 0 {
+		t.Fatalf("OpsPerSec = %g", sum.OpsPerSec())
+	}
+}
+
+// TestOpenLoopSchedulesArrivals exercises the open-loop path: the run
+// must complete every op and take at least the scheduled duration
+// (ops/rate), since latency is measured from the schedule.
+func TestOpenLoopSchedulesArrivals(t *testing.T) {
+	addr := startServer(t)
+	const ops, rate = 600, 20000.0
+	start := time.Now()
+	sum, err := Run(Config{
+		Addr:       addr,
+		Scenario:   scenario(t, "uniform+steady+100r"),
+		Conns:      2,
+		Ops:        ops,
+		RatePerSec: rate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Ops != ops {
+		t.Fatalf("Ops = %d, want %d", sum.Ops, ops)
+	}
+	// Each connection paces ops/2 arrivals at 2/rate spacing.
+	if min := time.Duration(float64(time.Second) * (ops / 2) / (rate / 2)); time.Since(start) < min/2 {
+		t.Fatalf("open loop finished in %s, faster than half the schedule %s", time.Since(start), min)
+	}
+}
+
+// TestMixedOpsAgainstOracle runs a write-heavy mix with deletes and
+// scans, then verifies stored values via direct reads: everything the
+// generator wrote must read back as Value(key) or be absent.
+func TestMixedOpsAgainstOracle(t *testing.T) {
+	addr := startServer(t)
+	sum, err := Run(Config{
+		Addr:     addr,
+		Scenario: scenario(t, "uniform+steady+25r50w15d10s"),
+		Conns:    1,
+		Ops:      2000,
+		Pipeline: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("Errors = %d", sum.Errors)
+	}
+	if sum.Lat[server.ClassDel].Count() == 0 || sum.Lat[server.ClassRange].Count() == 0 {
+		t.Fatal("mixed run exercised no deletes or scans")
+	}
+	cl, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for key := uint64(0); key < 1<<10; key++ {
+		v, ok, err := cl.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && v != Value(key) {
+			t.Fatalf("Get(%d) = %d, want the generator's Value %d", key, v, Value(key))
+		}
+	}
+}
+
+func TestPerfRecordsShape(t *testing.T) {
+	cfg := Config{Scenario: scenario(t, "uniform+steady+95r5w"), Conns: 3}
+	sum := &Summary{Conns: 3, Ops: 100, Elapsed: time.Second}
+	for i := 0; i < 10; i++ {
+		sum.Lat[server.ClassGet].Observe(uint64(1000 * (i + 1)))
+	}
+	recs := PerfRecords(cfg, sum, 12)
+	// One populated class × three quantiles, plus throughput.
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	kinds := map[string]bool{}
+	for _, r := range recs {
+		kinds[r.Kind] = true
+		if r.Op != "serve uniform+steady+95r5w" {
+			t.Fatalf("Op = %q", r.Op)
+		}
+		if r.X != 3 || r.LogN != 12 {
+			t.Fatalf("record coordinates: X=%g LogN=%d", r.X, r.LogN)
+		}
+		if r.NsPerOp <= 0 {
+			t.Fatalf("NsPerOp = %g for %q", r.NsPerOp, r.Kind)
+		}
+	}
+	for _, want := range []string{"get p50", "get p99", "get p999", "throughput"} {
+		if !kinds[want] {
+			t.Fatalf("missing record kind %q in %v", want, kinds)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Scenario: workload.Scenario{}}); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+	sc := scenario(t, "uniform+steady+100r")
+	if _, err := Run(Config{Addr: "127.0.0.1:1", Scenario: sc, Ops: 10, Timeout: 200 * time.Millisecond}); err == nil {
+		t.Fatal("dial to a closed port succeeded")
+	}
+}
+
+func TestValueIsKeyDerived(t *testing.T) {
+	for _, k := range []uint64{0, 1, 42, 1 << 40} {
+		if Value(k) == k {
+			t.Fatalf("Value(%d) not mixed", k)
+		}
+		if Value(k) != k^valueMixin {
+			t.Fatalf("Value(%d) = %d", k, Value(k))
+		}
+	}
+}

@@ -32,7 +32,7 @@ func init() {
 	mustRegister("cola", KindInfo{
 		Doc:     "cache-oblivious lookahead array (g = 2, paper's pointer density): the headline write-optimized structure",
 		Options: []string{OptSpace},
-		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, SharedReads: true},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			return cola.NewCOLA(c.Space()), nil
 		},
@@ -40,7 +40,7 @@ func init() {
 	mustRegister("basic-cola", KindInfo{
 		Doc:     "pointerless basic COLA: O(log^2 N) searches, the paper's simplest variant",
 		Options: []string{OptSpace},
-		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, SharedReads: true},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			return cola.NewBasic(c.Space()), nil
 		},
@@ -48,7 +48,7 @@ func init() {
 	mustRegister("gcola", KindInfo{
 		Doc:     "growth-factor-g lookahead array with tunable pointer density (the paper's g-COLA)",
 		Options: []string{OptSpace, OptGrowth, OptPointerDensity},
-		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, SharedReads: true},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			return cola.New(cola.Options{
 				Growth:         c.GrowthFactor(2),
@@ -60,7 +60,7 @@ func init() {
 	mustRegister("deamortized", KindInfo{
 		Doc:     "deamortized basic COLA (Theorem 22): O(log N) worst-case moves per insert",
 		Options: []string{OptSpace},
-		Caps:    Caps{Snapshot: true},
+		Caps:    Caps{Snapshot: true, Stats: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			return cola.NewDeamortized(c.Space()), nil
 		},
@@ -68,7 +68,7 @@ func init() {
 	mustRegister("deamortized-la", KindInfo{
 		Doc:     "fully deamortized COLA with lookahead pointers (Theorem 24)",
 		Options: []string{OptSpace},
-		Caps:    Caps{Snapshot: true},
+		Caps:    Caps{Snapshot: true, Stats: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			return cola.NewDeamortizedLookahead(c.Space()), nil
 		},
@@ -76,7 +76,7 @@ func init() {
 	mustRegister("la", KindInfo{
 		Doc:     "cache-aware lookahead array with growth B^epsilon: the Be-tree insert/search tradeoff curve",
 		Options: []string{OptSpace, OptEpsilon, OptBlockBytes},
-		Caps:    Caps{Snapshot: true, SharedReads: true}, // read path is the embedded GCOLA's
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true}, // the embedded GCOLA's capabilities, promoted
 		New: func(c *Config) (core.Dictionary, error) {
 			blockElems := int(c.BlockBytes(dam.DefaultBlockBytes) / core.ElementBytes)
 			if blockElems < 2 {
@@ -92,7 +92,7 @@ func init() {
 	mustRegister("shuttle", KindInfo{
 		Doc:     "shuttle tree (Section 2): SWBST skeleton with geometric buffers in a van Emde Boas layout",
 		Options: []string{OptSpace, OptFanout, OptRelayoutEvery},
-		Caps:    Caps{Snapshot: true},
+		Caps:    Caps{Snapshot: true, Stats: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			fanout := c.Fanout(8)
 			if fanout < 4 {
@@ -108,7 +108,7 @@ func init() {
 	mustRegister("cobtree", KindInfo{
 		Doc:     "cache-oblivious B-tree baseline: the shuttle machinery with buffering disabled",
 		Options: []string{OptSpace, OptFanout},
-		Caps:    Caps{Snapshot: true},
+		Caps:    Caps{Snapshot: true, Stats: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			fanout := c.Fanout(8)
 			if fanout < 4 {
@@ -120,7 +120,7 @@ func init() {
 	mustRegister("btree", KindInfo{
 		Doc:     "B+-tree baseline of the paper's Section 4 experiments (one block per node)",
 		Options: []string{OptSpace, OptBlockBytes, OptLeafCapacity, OptFanout},
-		Caps:    Caps{Snapshot: true, Delete: true, SharedReads: true},
+		Caps:    Caps{Snapshot: true, Delete: true, Stats: true, SharedReads: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			opt := btree.Options{
 				BlockBytes:   c.BlockBytes(0),
@@ -137,7 +137,7 @@ func init() {
 	mustRegister("brt", KindInfo{
 		Doc:     "buffered repository tree: the cache-aware write-optimized comparator",
 		Options: []string{OptSpace, OptBlockBytes},
-		Caps:    Caps{Snapshot: true, Delete: true, SharedReads: true},
+		Caps:    Caps{Snapshot: true, Delete: true, Stats: true, SharedReads: true},
 		New: func(c *Config) (core.Dictionary, error) {
 			blockBytes := c.BlockBytes(dam.DefaultBlockBytes)
 			if blockBytes/core.ElementBytes < 4 {
@@ -161,19 +161,19 @@ func init() {
 	mustRegister("sharded", KindInfo{
 		Doc:     "hash-partitioned concurrent map: per-shard locks around any inner kind (WithInner) or factory",
 		Options: []string{OptShards, OptBatchSize, OptShardDAM, OptInner, OptFactory},
-		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, SharedReads: true},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true},
 		New:     buildSharded,
 	})
 	mustRegister("synchronized", KindInfo{
 		Doc:     "coarse-grained RWMutex wrapper around any inner kind, forwarding its capabilities",
 		Options: []string{OptSpace, OptInner},
-		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, SharedReads: true},
+		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true},
 		New:     buildSynchronized,
 	})
 	mustRegister("durable", KindInfo{
 		Doc:     "WAL-backed durability wrapper: logs every mutation before applying it to a snapshot-capable inner kind, checkpoints to a snapshot, recovers on reopen",
 		Options: []string{OptInner, OptWALPath, OptCheckpointEvery},
-		Caps:    Caps{WAL: true, Delete: true, Batch: true, SharedReads: true},
+		Caps:    Caps{WAL: true, Delete: true, Batch: true, Stats: true, SharedReads: true},
 		New:     buildDurable,
 	})
 }

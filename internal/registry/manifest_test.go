@@ -105,16 +105,17 @@ func TestWALPathAndCheckpointOptions(t *testing.T) {
 // honest: every kind claiming it must build a core.Snapshotter.
 func TestKindCaps(t *testing.T) {
 	want := map[string]Caps{
-		"cola":         {Snapshot: true, Delete: true, Batch: true, SharedReads: true},
-		"gcola":        {Snapshot: true, Delete: true, Batch: true, SharedReads: true},
-		"deamortized":  {Snapshot: true},
-		"shuttle":      {Snapshot: true}, // shared reads conditional (no DAM only): flag stays off
-		"btree":        {Snapshot: true, Delete: true, SharedReads: true},
-		"brt":          {Snapshot: true, Delete: true, SharedReads: true},
+		"cola":         {Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true},
+		"gcola":        {Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true},
+		"deamortized":  {Snapshot: true, Stats: true},
+		"shuttle":      {Snapshot: true, Stats: true}, // shared reads conditional (no DAM only): flag stays off
+		"la":           {Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true},
+		"btree":        {Snapshot: true, Delete: true, Stats: true, SharedReads: true},
+		"brt":          {Snapshot: true, Delete: true, Stats: true, SharedReads: true},
 		"swbst":        {Snapshot: true, Delete: true, SharedReads: true},
-		"sharded":      {Snapshot: true, Delete: true, Batch: true, SharedReads: true},
-		"synchronized": {Snapshot: true, Delete: true, Batch: true, SharedReads: true},
-		"durable":      {WAL: true, Delete: true, Batch: true, SharedReads: true},
+		"sharded":      {Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true},
+		"synchronized": {Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true},
+		"durable":      {WAL: true, Delete: true, Batch: true, Stats: true, SharedReads: true},
 	}
 	for kind, caps := range want {
 		info, ok := Info(kind)
@@ -141,13 +142,15 @@ func TestKindCaps(t *testing.T) {
 	}
 }
 
-// TestSharedReadsCapsHonest keeps the kind-level shared-reads flag and
-// the instance-level probe from disagreeing (the capability-probe
-// asymmetry fix): a kind claiming SharedReads must build instances
-// whose core.SharedReads probe answers true by default; a kind not
-// claiming it may probe true only when its safety is conditional
-// (shuttle family: safe only without a space); and the wrapper kinds'
-// probes must follow the concrete inner, not their static flag.
+// TestSharedReadsCapsHonest keeps the kind-level capability flags and
+// the instance-level core.CapsOf probe from disagreeing, for every
+// capability (the capability-probe asymmetry fix, extended from
+// shared-reads alone to the full sheet): a default build of every kind
+// must probe exactly its registered flags, except that a kind whose
+// shared-read safety is conditional (shuttle family: safe only without
+// a space) leaves the flag unset while its default — unaccounted —
+// build probes true; and the wrapper kinds' probes must follow the
+// concrete nested inner, not their static flags.
 func TestSharedReadsCapsHonest(t *testing.T) {
 	conditional := map[string]bool{"shuttle": true, "cobtree": true}
 	for _, kind := range Kinds() {
@@ -160,38 +163,55 @@ func TestSharedReadsCapsHonest(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Build(%q): %v", kind, err)
 		}
-		got := core.SharedReads(d)
-		if info.Caps.SharedReads && !got {
-			t.Errorf("kind %q claims shared-reads but its default build probes false", kind)
+		want := info.Caps
+		if conditional[kind] {
+			want.SharedReads = true
 		}
-		if !info.Caps.SharedReads && got && !conditional[kind] {
-			t.Errorf("kind %q probes shared-read capable but does not claim the capability", kind)
+		if got := core.CapsOf(d); got != want {
+			t.Errorf("kind %q: default build probes [%v], registered flags say [%v]", kind, got, want)
 		}
 	}
 
 	// Wrapper probes follow the nested inner, in both directions and
-	// through both concurrency wrappers plus the durable one.
+	// through both concurrency wrappers plus the durable one. Batch is
+	// always native on a wrapper (per-shard grouping, one-lock batches,
+	// one-WAL-record batches); everything else is honest forwarding.
 	for _, tc := range []struct {
 		kind string
 		opts []Option
-		want bool
+		want Caps
 	}{
-		{"sharded", []Option{WithInner("deamortized")}, false},
-		{"sharded", []Option{WithInner("btree")}, true},
-		{"synchronized", []Option{WithInner("deamortized-la")}, false},
-		{"synchronized", []Option{WithInner("swbst")}, true},
-		{"synchronized", []Option{WithInner("sharded", WithInner("btree"))}, true},
-		{"synchronized", []Option{WithInner("la")}, true},
-		{"sharded", []Option{WithInner("synchronized", WithInner("deamortized"))}, false},
-		{"durable", []Option{WithWALPath(filepath.Join(t.TempDir(), "h1.wal")), WithInner("deamortized")}, false},
-		{"durable", []Option{WithWALPath(filepath.Join(t.TempDir(), "h2.wal")), WithInner("gcola")}, true},
+		{"sharded", []Option{WithInner("deamortized")},
+			Caps{Snapshot: true, Batch: true, Stats: true}},
+		{"sharded", []Option{WithInner("btree")},
+			Caps{Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true}},
+		{"synchronized", []Option{WithInner("deamortized-la")},
+			Caps{Snapshot: true, Batch: true, Stats: true}},
+		{"synchronized", []Option{WithInner("swbst")},
+			Caps{Snapshot: true, Delete: true, Batch: true, SharedReads: true}},
+		{"synchronized", []Option{WithInner("sharded", WithInner("btree"))},
+			Caps{Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true}},
+		{"synchronized", []Option{WithInner("la")},
+			Caps{Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true}},
+		{"sharded", []Option{WithInner("synchronized", WithInner("deamortized"))},
+			Caps{Snapshot: true, Batch: true, Stats: true}},
+		{"durable", []Option{WithWALPath(filepath.Join(t.TempDir(), "h1.wal")), WithInner("deamortized")},
+			Caps{WAL: true, Batch: true, Stats: true}},
+		{"durable", []Option{WithWALPath(filepath.Join(t.TempDir(), "h2.wal")), WithInner("gcola")},
+			Caps{WAL: true, Delete: true, Batch: true, Stats: true, SharedReads: true}},
+		{"synchronized", []Option{WithInner("durable",
+			WithWALPath(filepath.Join(t.TempDir(), "h3.wal")), WithInner("gcola"))},
+			Caps{WAL: true, Delete: true, Batch: true, Stats: true, SharedReads: true}},
 	} {
 		d, err := Build(tc.kind, tc.opts...)
 		if err != nil {
 			t.Fatalf("Build(%q nested): %v", tc.kind, err)
 		}
-		if got := core.SharedReads(d); got != tc.want {
-			t.Errorf("%s nested probe = %v, want %v (case %+v)", tc.kind, got, tc.want, tc.opts)
+		if got := core.CapsOf(d); got != tc.want {
+			t.Errorf("%s nested probe = [%v], want [%v] (case %+v)", tc.kind, got, tc.want, tc.opts)
+		}
+		if got, want := core.SharedReads(d), tc.want.SharedReads; got != want {
+			t.Errorf("%s nested SharedReads probe = %v, want %v", tc.kind, got, want)
 		}
 	}
 }
@@ -200,8 +220,8 @@ func TestCapsString(t *testing.T) {
 	if s := (Caps{}).String(); s != "none" {
 		t.Fatalf("empty caps = %q", s)
 	}
-	full := Caps{Snapshot: true, WAL: true, Delete: true, Batch: true, SharedReads: true}
-	if s := full.String(); s != "snapshot, wal, delete, batch, shared-reads" {
+	full := Caps{Snapshot: true, WAL: true, Delete: true, Batch: true, Stats: true, SharedReads: true}
+	if s := full.String(); s != "snapshot, wal, delete, batch, stats, shared-reads" {
 		t.Fatalf("full caps = %q", s)
 	}
 }

@@ -376,57 +376,12 @@ func WithFactory(f shard.Factory) Option {
 }
 
 // Caps are a kind's capability flags, the feature matrix listing tools
-// print and the capability-aware build/save paths consult. For wrapper
-// kinds ("sharded", "synchronized", "durable") a flag means the
-// capability is forwarded when the inner kind has it.
-type Caps struct {
-	// Snapshot: implements core.Snapshotter, so Save/Load round-trip it
-	// through the snap container.
-	Snapshot bool
-	// WAL: mutations are write-ahead logged and recoverable after a
-	// crash.
-	WAL bool
-	// Delete: implements core.Deleter.
-	Delete bool
-	// Batch: implements core.BatchInserter with a native fast path
-	// (core.InsertBatch falls back to an insert loop for everyone else).
-	Batch bool
-	// SharedReads: every instance's Search/Range follows the
-	// core.SharedReader shared-read contract, so the concurrency
-	// wrappers serve them under an RWMutex read lock. Kinds whose
-	// safety is conditional (the shuttle family: safe only without DAM
-	// accounting) leave the flag unset — the built instance's
-	// core.SharedReads probe is authoritative there. For wrapper kinds
-	// the flag, like the others, means "forwarded when the inner kind
-	// has it"; the wrappers' own SharedReads() probes answer for a
-	// concrete nested inner.
-	SharedReads bool
-}
-
-// String renders the set flags as "snapshot, wal, delete, batch,
-// shared-reads" (or "none").
-func (c Caps) String() string {
-	var parts []string
-	if c.Snapshot {
-		parts = append(parts, "snapshot")
-	}
-	if c.WAL {
-		parts = append(parts, "wal")
-	}
-	if c.Delete {
-		parts = append(parts, "delete")
-	}
-	if c.Batch {
-		parts = append(parts, "batch")
-	}
-	if c.SharedReads {
-		parts = append(parts, "shared-reads")
-	}
-	if len(parts) == 0 {
-		return "none"
-	}
-	return strings.Join(parts, ", ")
-}
+// print and the capability-aware build/save paths consult. The type is
+// core.Caps (so instance probes via core.CapsOf compare directly); for
+// wrapper kinds ("sharded", "synchronized", "durable") a flag means the
+// capability is forwarded when the inner kind has it, and the built
+// wrapper's own core.CapsProber answers for a concrete nested inner.
+type Caps = core.Caps
 
 // KindInfo describes one registered dictionary kind.
 type KindInfo struct {

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {0xAA}, bytes.Repeat([]byte{7}, 1000)}
+	for i, p := range payloads {
+		buf.Write(appendFrame(nil, byte(i+1), p...))
+	}
+	var scratch []byte
+	for i, want := range payloads {
+		kind, payload, newBuf, err := readFrame(&buf, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		scratch = newBuf
+		if kind != byte(i+1) {
+			t.Fatalf("frame %d: kind %d, want %d", i, kind, i+1)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("frame %d: payload %v, want %v", i, payload, want)
+		}
+	}
+	if _, _, _, err := readFrame(&buf, scratch); err != io.EOF {
+		t.Fatalf("after last frame: %v, want EOF", err)
+	}
+}
+
+func TestFrameRejectsEmptyAndOversized(t *testing.T) {
+	var empty bytes.Buffer
+	binary.Write(&empty, binary.BigEndian, uint32(0))
+	if _, _, _, err := readFrame(&empty, nil); err != errEmptyFrame {
+		t.Fatalf("zero-length frame: %v, want errEmptyFrame", err)
+	}
+	var huge bytes.Buffer
+	binary.Write(&huge, binary.BigEndian, uint32(MaxFrameBytes+1))
+	if _, _, _, err := readFrame(&huge, nil); err != errFrameTooLarge {
+		t.Fatalf("oversized frame: %v, want errFrameTooLarge", err)
+	}
+}
+
+// TestCapsMaskRoundTrip: every combination of the six capability bits
+// survives the wire encoding.
+func TestCapsMaskRoundTrip(t *testing.T) {
+	for m := uint32(0); m < 1<<6; m++ {
+		c := core.Caps{
+			Snapshot:    m&capSnapshot != 0,
+			WAL:         m&capWAL != 0,
+			Delete:      m&capDelete != 0,
+			Batch:       m&capBatch != 0,
+			Stats:       m&capStats != 0,
+			SharedReads: m&capSharedReads != 0,
+		}
+		if got := capsMask(c); got != m {
+			t.Fatalf("capsMask(%+v) = %b, want %b", c, got, m)
+		}
+		if got := capsOfMask(m); got != c {
+			t.Fatalf("capsOfMask(%b) = %+v, want %+v", m, got, c)
+		}
+	}
+}
+
+func TestStatusAndOpNames(t *testing.T) {
+	if got := statusName(99); got != "status(99)" {
+		t.Fatalf("statusName(99) = %q", got)
+	}
+	if got := opName(99); got != "op(99)" {
+		t.Fatalf("opName(99) = %q", got)
+	}
+	if got := opName(OpBatch); got != "BATCH" {
+		t.Fatalf("opName(OpBatch) = %q", got)
+	}
+}

@@ -146,6 +146,7 @@ var (
 	_ core.BatchInserter    = (*Map)(nil)
 	_ core.SharedReader     = (*Map)(nil)
 	_ core.SharedReadProber = (*Map)(nil)
+	_ core.CapsProber       = (*Map)(nil)
 )
 
 // New builds a sharded map from the given options.
@@ -244,25 +245,20 @@ func (m *Map) EndSharedReads() {
 	}
 }
 
-// Supports reports which capabilities the map genuinely forwards to
-// its per-shard structures (deleter, statser, transfers, batch, shared
-// reads) — the same honest Supports probe the synchronized wrapper
-// exposes, so the registry's capability reporting can never disagree
-// with what either wrapper actually forwards for a nested inner. The
-// per-shard structures are built by one factory, so shard 0 answers
-// for the interface probes; shared reads require every shard (see
-// SharedReads). Transfers is a property of the map itself (per-shard
-// stores via WithDAM) or of self-accounting inners.
-func (m *Map) Supports() (deleter, statser, transfers, batch, sharedReads bool) {
-	d0 := m.shards[0].d
-	_, deleter = d0.(core.Deleter)
-	_, statser = d0.(core.Statser)
-	_, batch = d0.(core.BatchInserter)
-	transfers = m.shards[0].store != nil
-	if !transfers {
-		_, transfers = d0.(core.TransferCounter)
-	}
-	return deleter, statser, transfers, batch, m.shared
+// Caps implements core.CapsProber: what the map genuinely forwards to
+// its per-shard structures — the same honest probe the synchronized and
+// durable wrappers expose, so the registry's capability reporting can
+// never disagree with what a wrapper actually forwards for a nested
+// inner. The per-shard structures are built by one factory, so shard 0
+// answers for the interface probes; shared reads require every shard
+// (see SharedReads). Snapshot follows the inner (WriteTo errors on a
+// non-snapshot inner), and batch is native regardless of the inner:
+// ApplyBatch's per-shard grouping is the map's own fast path.
+func (m *Map) Caps() core.Caps {
+	c := core.CapsOf(m.shards[0].d)
+	c.Batch = true
+	c.SharedReads = m.shared
+	return c
 }
 
 // Insert implements core.Dictionary.
@@ -531,16 +527,18 @@ func (m *Map) ApplyBatch(elems []core.Element) {
 		offs[i]++
 	}
 	// After the scatter offs[i] is the end of bucket i; buckets are
-	// contiguous, so bucket i starts where bucket i-1 ends.
+	// contiguous, so bucket i starts where bucket i-1 ends. Each group
+	// applies through the shard structure's own batch path when it has
+	// one — for a durable inner that is what turns a shard's group into
+	// ONE write-ahead-log record (one append syscall) instead of one per
+	// element, the batch-pipelined acknowledgement path the server rides.
 	start := 0
 	for i := 0; i < nShards; i++ {
 		end := offs[i]
 		if end > start {
 			s := m.shards[i]
 			s.mu.Lock()
-			for _, e := range buf[start:end] {
-				s.d.Insert(e.Key, e.Value)
-			}
+			core.InsertBatch(s.d, buf[start:end])
 			s.mu.Unlock()
 		}
 		start = end

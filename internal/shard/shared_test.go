@@ -21,8 +21,8 @@ func TestSharedReadsProbe(t *testing.T) {
 	if !shared.SharedReads() || !core.SharedReads(shared) {
 		t.Fatal("default COLA shards must report shared reads")
 	}
-	if _, _, _, _, sr := shared.Supports(); !sr {
-		t.Fatal("Supports: sharedReads = false for COLA shards")
+	if !shared.Caps().SharedReads {
+		t.Fatal("Caps: SharedReads = false for COLA shards")
 	}
 
 	excl := New(WithShards(4), WithDictionary(func(_ int, sp *dam.Space) core.Dictionary {

@@ -57,7 +57,7 @@ import (
 // core.BatchInserter — each under the appropriate lock side, so a
 // capability call is as safe as the core operations. Where the inner
 // structure lacks the capability the method degrades gracefully (false,
-// zero Stats, zero transfers, an Insert loop); Supports reports what is
+// zero Stats, zero transfers, an Insert loop); Caps reports what is
 // genuinely forwarded.
 type Dict struct {
 	mu sync.RWMutex
@@ -88,6 +88,7 @@ var (
 	_ core.Snapshotter      = (*Dict)(nil)
 	_ core.SharedReader     = (*Dict)(nil)
 	_ core.SharedReadProber = (*Dict)(nil)
+	_ core.CapsProber       = (*Dict)(nil)
 )
 
 // Insert implements core.Dictionary.
@@ -248,18 +249,18 @@ func (s *Dict) EndSharedReads() {
 	}
 }
 
-// Supports reports which capabilities the wrapper genuinely forwards to
-// the inner structure (deleter, statser, transfers, batch, shared
-// reads): the wrapper implements every interface unconditionally, so
-// type assertions on it always succeed and this is the honest
-// capability probe. The sharded map exposes the same probe, so the two
-// concurrency wrappers report symmetrically.
-func (s *Dict) Supports() (deleter, statser, transfers, batch, sharedReads bool) {
-	_, deleter = s.d.(core.Deleter)
-	_, statser = s.d.(core.Statser)
-	_, transfers = s.d.(core.TransferCounter)
-	_, batch = s.d.(core.BatchInserter)
-	return deleter, statser, transfers, batch, s.sr != nil
+// Caps implements core.CapsProber: the wrapper implements every
+// interface unconditionally, so type assertions on it always succeed
+// and this is the honest capability probe, reporting what is genuinely
+// forwarded to the inner structure. The sharded map and the durable
+// wrapper expose the same probe, so the wrappers report symmetrically.
+// Batch is native regardless of the inner: the whole batch applies
+// under one lock acquisition, the wrapper's own fast path.
+func (s *Dict) Caps() core.Caps {
+	c := core.CapsOf(s.d)
+	c.Batch = true
+	c.SharedReads = s.sr != nil
+	return c
 }
 
 // Unwrap returns the underlying dictionary (for single-threaded phases).

@@ -39,11 +39,11 @@ func TestSharedReadsProbe(t *testing.T) {
 		t.Fatal("deamortized inner: SharedReads = true, want false (stays exclusive)")
 	}
 
-	if _, _, _, _, sr := shared.Supports(); !sr {
-		t.Fatal("Supports: sharedReads = false for COLA inner")
+	if !shared.Caps().SharedReads {
+		t.Fatal("Caps: SharedReads = false for COLA inner")
 	}
-	if _, _, _, _, sr := deam.Supports(); sr {
-		t.Fatal("Supports: sharedReads = true for deamortized inner")
+	if deam.Caps().SharedReads {
+		t.Fatal("Caps: SharedReads = true for deamortized inner")
 	}
 }
 
@@ -180,8 +180,11 @@ func TestCapabilityDegradation(t *testing.T) {
 	if s.Len() != 2 {
 		t.Fatalf("fallback InsertBatch: Len = %d, want 2", s.Len())
 	}
-	if del, statser, transfers, batch, shared := s.Supports(); del || statser || transfers || batch || shared {
-		t.Fatalf("Supports = (%v,%v,%v,%v,%v), want all false", del, statser, transfers, batch, shared)
+	if c := s.Caps(); c.Delete || c.Stats || c.Snapshot || c.SharedReads {
+		t.Fatalf("Caps = %v, want nothing forwarded (batch alone is the wrapper's native one-lock path)", c)
+	}
+	if !s.Caps().Batch {
+		t.Fatal("Caps: the wrapper's one-lock batch path is native and must always report Batch")
 	}
 }
 

@@ -98,9 +98,11 @@ func KindOptions(kind string) []string {
 	return append([]string(nil), info.Options...)
 }
 
-// Caps are a kind's capability flags (snapshot / wal / delete / batch);
-// for wrapper kinds a flag means the capability is forwarded when the
-// inner kind has it.
+// Caps is the unified capability sheet of a dictionary: snapshot, wal,
+// delete, batch, stats, shared-reads. KindCaps reports a kind's static
+// flags (for wrapper kinds a flag means the capability is forwarded
+// when the inner kind has it); CapsOf answers for a built instance, and
+// the two agree for every kind including nested wrappers.
 type Caps = registry.Caps
 
 // KindCaps returns a registered kind's capability flags (the zero Caps

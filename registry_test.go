@@ -88,7 +88,7 @@ func TestBuildErrors(t *testing.T) {
 		{"bad shards", "sharded", []Option{WithShards(0)}, "shard count must be positive"},
 		{"bad batch", "sharded", []Option{WithBatchSize(0)}, "batch size must be positive"},
 		{"inner and factory", "sharded",
-			[]Option{WithInner("cola"), WithDictionary(func(int, *Space) Dictionary { return NewCOLA(nil) })},
+			[]Option{WithInner("cola"), WithDictionary(func(int, *Space) Dictionary { return MustBuild("cola") })},
 			"mutually exclusive"},
 		{"unknown inner", "sharded", []Option{WithInner("nope")}, `unknown dictionary kind "nope"`},
 		{"unknown sync inner", "synchronized", []Option{WithInner("nope")}, `unknown inner kind "nope"`},

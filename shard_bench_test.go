@@ -80,11 +80,11 @@ func benchParallelSearches(b *testing.B, d concurrentDict, g int) {
 func BenchmarkShardedInsert(b *testing.B) {
 	for _, g := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", g), func(b *testing.B) {
-			benchParallelInserts(b, NewShardedMap(WithShards(g)), g)
+			benchParallelInserts(b, MustBuild("sharded", WithShards(g)), g)
 		})
 	}
 	b.Run("global-mutex", func(b *testing.B) {
-		benchParallelInserts(b, Synchronized(NewCOLA(nil)), 8)
+		benchParallelInserts(b, Synchronized(MustBuild("cola")), 8)
 	})
 }
 
@@ -93,11 +93,11 @@ func BenchmarkShardedInsert(b *testing.B) {
 func BenchmarkShardedSearch(b *testing.B) {
 	for _, g := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", g), func(b *testing.B) {
-			benchParallelSearches(b, NewShardedMap(WithShards(g)), g)
+			benchParallelSearches(b, MustBuild("sharded", WithShards(g)), g)
 		})
 	}
 	b.Run("global-mutex", func(b *testing.B) {
-		benchParallelSearches(b, Synchronized(NewCOLA(nil)), 8)
+		benchParallelSearches(b, Synchronized(MustBuild("cola")), 8)
 	})
 }
 
@@ -141,12 +141,12 @@ func benchReadMostly(b *testing.B, d concurrentDict, g int) {
 func BenchmarkShardedReadMostly(b *testing.B) {
 	for _, g := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shared/shards=%d", g), func(b *testing.B) {
-			benchReadMostly(b, NewShardedMap(WithShards(g)), g)
+			benchReadMostly(b, MustBuild("sharded", WithShards(g)), g)
 		})
 	}
 	b.Run("exclusive/shards=8", func(b *testing.B) {
-		m := NewShardedMap(WithShards(8), WithDictionary(func(_ int, sp *Space) Dictionary {
-			return exclusiveDict{NewCOLA(sp)}
+		m := MustBuild("sharded", WithShards(8), WithDictionary(func(_ int, sp *Space) Dictionary {
+			return exclusiveDict{MustBuild("cola", WithSpace(sp))}
 		}))
 		benchReadMostly(b, m, 8)
 	})
@@ -157,10 +157,10 @@ func BenchmarkShardedReadMostly(b *testing.B) {
 // the exclusive-lock baseline.
 func BenchmarkSyncReadMostly(b *testing.B) {
 	b.Run("shared", func(b *testing.B) {
-		benchReadMostly(b, Synchronized(NewCOLA(nil)), 8)
+		benchReadMostly(b, Synchronized(MustBuild("cola")), 8)
 	})
 	b.Run("exclusive", func(b *testing.B) {
-		benchReadMostly(b, Synchronized(exclusiveDict{NewCOLA(nil)}), 8)
+		benchReadMostly(b, Synchronized(exclusiveDict{MustBuild("cola")}), 8)
 	})
 }
 
@@ -168,7 +168,7 @@ func BenchmarkSyncReadMostly(b *testing.B) {
 // through the synchronized wrapper (RLock + bracket + COLA search) —
 // the benchmark CI pins to zero allocations alongside ShardedSearch.
 func BenchmarkSyncSharedSearch(b *testing.B) {
-	benchParallelSearches(b, Synchronized(NewCOLA(nil)), 8)
+	benchParallelSearches(b, Synchronized(MustBuild("cola")), 8)
 }
 
 // BenchmarkShardedBatchIngest compares the three write paths at 8
@@ -177,7 +177,7 @@ func BenchmarkSyncSharedSearch(b *testing.B) {
 func BenchmarkShardedBatchIngest(b *testing.B) {
 	const batch = 512
 	b.Run("insert", func(b *testing.B) {
-		m := NewShardedMap(WithShards(8))
+		m := MustBuild("sharded", WithShards(8)).(*ShardedMap)
 		seq := workload.NewRandomUnique(3)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -186,7 +186,7 @@ func BenchmarkShardedBatchIngest(b *testing.B) {
 		}
 	})
 	b.Run("applybatch", func(b *testing.B) {
-		m := NewShardedMap(WithShards(8))
+		m := MustBuild("sharded", WithShards(8)).(*ShardedMap)
 		seq := workload.NewRandomUnique(3)
 		buf := make([]Element, 0, batch)
 		b.ResetTimer()
@@ -201,7 +201,7 @@ func BenchmarkShardedBatchIngest(b *testing.B) {
 		m.ApplyBatch(buf)
 	})
 	b.Run("loader", func(b *testing.B) {
-		m := NewShardedMap(WithShards(8), WithBatchSize(batch))
+		m := MustBuild("sharded", WithShards(8), WithBatchSize(batch)).(*ShardedMap)
 		seq := workload.NewRandomUnique(3)
 		b.ResetTimer()
 		l := m.NewLoader()

@@ -8,7 +8,7 @@ import (
 )
 
 func TestSynchronizedBasics(t *testing.T) {
-	s := Synchronized(NewCOLA(nil))
+	s := Synchronized(MustBuild("cola"))
 	s.Insert(1, 10)
 	if v, ok := s.Search(1); !ok || v != 10 {
 		t.Fatalf("Search = (%d,%v)", v, ok)
@@ -33,12 +33,12 @@ func TestSynchronizedBasics(t *testing.T) {
 }
 
 func TestSynchronizedDeleteOnNonDeleter(t *testing.T) {
-	s := Synchronized(NewSWBST(SWBSTOptions{Fanout: 8}))
+	s := Synchronized(MustBuild("swbst", WithFanout(8)))
 	s.Insert(1, 1)
 	// SWBST's Delete is not exposed through core.Deleter... it has
 	// Delete(uint64) bool, so it does satisfy Deleter; use the shuttle
 	// tree, which genuinely does not support deletes.
-	sh := Synchronized(NewShuttleTree(ShuttleOptions{Fanout: 8}))
+	sh := Synchronized(MustBuild("shuttle", WithFanout(8)))
 	sh.Insert(2, 2)
 	if sh.Delete(2) {
 		t.Fatal("Delete on a non-Deleter returned true")
@@ -56,7 +56,7 @@ func TestSynchronizedDeleteOnNonDeleter(t *testing.T) {
 func TestSynchronizedForwardsCapabilities(t *testing.T) {
 	// Inner with everything: a sharded map with per-shard DAM stores
 	// (Statser, TransferCounter, BatchInserter, Deleter).
-	inner := NewShardedMap(WithShards(2), WithShardDAM(DefaultBlockBytes, 1<<14))
+	inner := MustBuild("sharded", WithShards(2), WithShardDAM(DefaultBlockBytes, 1<<14))
 	s := Synchronized(inner)
 
 	batch := make([]Element, 0, 50_000)
@@ -73,8 +73,8 @@ func TestSynchronizedForwardsCapabilities(t *testing.T) {
 	if s.Transfers() == 0 {
 		t.Error("Transfers not forwarded: zero despite per-shard DAM stores")
 	}
-	if del, statser, transfers, bat, shared := s.Supports(); !del || !statser || !transfers || !bat || !shared {
-		t.Errorf("Supports = (%v,%v,%v,%v,%v), want all true", del, statser, transfers, bat, shared)
+	if c := CapsOf(s); !c.Delete || !c.Stats || !c.Batch || !c.SharedReads {
+		t.Errorf("CapsOf = %v, want delete, batch, stats, shared-reads", c)
 	}
 
 	// Via the interfaces, as generic callers see it.
@@ -87,7 +87,7 @@ func TestSynchronizedForwardsCapabilities(t *testing.T) {
 	}
 
 	// Inner with none of it: swbst keeps no counters and owns no store.
-	bare := Synchronized(NewSWBST(SWBSTOptions{Fanout: 8}))
+	bare := Synchronized(MustBuild("swbst", WithFanout(8)))
 	bare.Insert(1, 1)
 	if st := bare.Stats(); st != (Stats{}) {
 		t.Errorf("Stats over swbst = %+v, want zero", st)
@@ -95,8 +95,8 @@ func TestSynchronizedForwardsCapabilities(t *testing.T) {
 	if bare.Transfers() != 0 {
 		t.Error("Transfers over swbst nonzero")
 	}
-	if _, statser, transfers, _, shared := bare.Supports(); statser || transfers || !shared {
-		t.Error("Supports over swbst claims forwarded Stats/Transfers or denies shared reads")
+	if c := CapsOf(bare); c.Stats || !c.SharedReads {
+		t.Errorf("CapsOf over swbst = %v: claims forwarded Stats or denies shared reads", c)
 	}
 	bare.InsertBatch([]Element{{Key: 2, Value: 20}, {Key: 3, Value: 30}})
 	if bare.Len() != 3 {
@@ -104,38 +104,43 @@ func TestSynchronizedForwardsCapabilities(t *testing.T) {
 	}
 }
 
-// TestSharedReadsFacadeProbe pins the re-exported instance-level
-// capability probe across leaf structures and wrappers.
+// TestSharedReadsFacadeProbe pins the instance-level capability probe
+// (CapsOf, the one public probe) across leaf structures and wrappers.
 func TestSharedReadsFacadeProbe(t *testing.T) {
-	if !SharedReads(NewCOLA(nil)) {
+	if !CapsOf(MustBuild("cola")).SharedReads {
 		t.Fatal("COLA must probe shared-read capable")
 	}
-	if SharedReads(NewDeamortizedCOLA(nil)) {
+	if CapsOf(MustBuild("deamortized")).SharedReads {
 		t.Fatal("deamortized COLA must probe exclusive")
 	}
-	if !SharedReads(NewShardedMap(WithShards(2))) {
+	if !CapsOf(MustBuild("sharded", WithShards(2))).SharedReads {
 		t.Fatal("sharded map over COLA must probe shared-read capable")
 	}
-	if !SharedReads(Synchronized(NewBTree(BTreeOptions{}))) {
+	if !CapsOf(Synchronized(MustBuild("btree"))).SharedReads {
 		t.Fatal("synchronized B-tree must probe shared-read capable")
 	}
-	if SharedReads(Synchronized(NewDeamortizedCOLA(nil))) {
+	if CapsOf(Synchronized(MustBuild("deamortized"))).SharedReads {
 		t.Fatal("synchronized deamortized COLA must probe exclusive")
 	}
 	// The shuttle tree is conditional: safe without a space only.
-	if !SharedReads(NewShuttleTree(ShuttleOptions{Fanout: 8})) {
+	if !CapsOf(MustBuild("shuttle", WithFanout(8))).SharedReads {
 		t.Fatal("unaccounted shuttle tree must probe shared-read capable")
 	}
 	store := NewStore(DefaultBlockBytes, 1<<16)
-	if SharedReads(NewShuttleTree(ShuttleOptions{Fanout: 8, Space: store.Space("s")})) {
+	accounted := MustBuild("shuttle", WithFanout(8), WithSpace(store.Space("s")))
+	if CapsOf(accounted).SharedReads {
 		t.Fatal("DAM-charged shuttle tree must probe exclusive (lazy layout placement on the probe path)")
+	}
+	// The deprecated boolean veneer must agree with CapsOf.
+	if SharedReads(accounted) != CapsOf(accounted).SharedReads {
+		t.Fatal("deprecated SharedReads disagrees with CapsOf")
 	}
 }
 
 // TestSynchronizedConcurrentMixed hammers the wrapper from many
 // goroutines; run with -race to verify mutual exclusion.
 func TestSynchronizedConcurrentMixed(t *testing.T) {
-	s := Synchronized(NewCOLA(nil))
+	s := Synchronized(MustBuild("cola"))
 	workers, perG := 8, 2000
 	if testing.Short() {
 		perG = 400
@@ -178,7 +183,7 @@ func TestSynchronizedConcurrentMixed(t *testing.T) {
 // map through the facade re-exports, so -race exercises the per-shard
 // locking discipline alongside the global-mutex wrapper's.
 func TestShardedConcurrentMixed(t *testing.T) {
-	m := NewShardedMap(WithShards(8), WithBatchSize(64))
+	m := MustBuild("sharded", WithShards(8), WithBatchSize(64)).(*ShardedMap)
 	workers, perG := 8, 2000
 	if testing.Short() {
 		perG = 400
@@ -223,13 +228,13 @@ func TestShardedConcurrentMixed(t *testing.T) {
 // TestShardedFacade checks the re-exported constructor and options
 // compose: a B-tree-backed sharded map with per-shard DAM accounting.
 func TestShardedFacade(t *testing.T) {
-	m := NewShardedMap(
+	m := MustBuild("sharded",
 		WithShards(4),
 		WithDictionary(func(_ int, sp *Space) Dictionary {
-			return NewBTree(BTreeOptions{Space: sp})
+			return MustBuild("btree", WithSpace(sp))
 		}),
 		WithShardDAM(DefaultBlockBytes, 1<<16),
-	)
+	).(*ShardedMap)
 	for i := uint64(0); i < 4096; i++ {
 		m.Insert(i, i)
 	}
