@@ -8,6 +8,7 @@
 //	streambench -fig 2 -logn 20           # Figure 2 at N = 2^20
 //	streambench -fig transfers -csv       # E6 as CSV
 //	streambench -fig readmostly           # E12: shared-read vs exclusive-lock searches
+//	streambench -fig outofcore            # E15: spilled gcola, predicted vs actual transfers
 //	streambench -fig durability           # E11: snapshot save/load bandwidth
 //	streambench -fig scenarios            # E13: the default skew × arrival × mix grid
 //	streambench -scenario zipf1.2+bursty+95r5w,uniform+steady+60w40d
@@ -69,7 +70,7 @@ const (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, ratios, transfers, deamortized, scans, shuttle, concurrent, readmostly, durability, scenarios, serve, all")
+		fig        = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, ratios, transfers, deamortized, scans, shuttle, concurrent, readmostly, durability, scenarios, serve, outofcore, all")
 		dict       = flag.String("dict", "", "comma-separated structure lineup for -fig 2/3/4/scenarios (registered kinds or figure names; see -list)")
 		scenario   = flag.String("scenario", "", "comma-separated scenario specs (skew+arrival+mix, e.g. zipf1.2+bursty+95r5w) for -fig scenarios; implies it when -fig is unset")
 		hyp        = flag.String("hypothesis", "", "run one experiment bundle by name and exit 0 confirmed / 1 falsified (see internal/hypothesis)")
@@ -212,7 +213,7 @@ func main() {
 		}
 	}
 	switch figName {
-	case "2", "3", "4", "5", "ratios", "transfers", "deamortized", "scans", "shuttle", "concurrent", "readmostly", "durability", "scenarios", "serve", "all":
+	case "2", "3", "4", "5", "ratios", "transfers", "deamortized", "scans", "shuttle", "concurrent", "readmostly", "durability", "scenarios", "serve", "outofcore", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
 		flag.Usage()
@@ -293,6 +294,17 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "-fig scenarios: %v\n", err)
 			os.Exit(2)
+		}
+	case "outofcore":
+		var err error
+		results, err = cfg.OutOfCore()
+		if err != nil {
+			if jsonTmp != nil {
+				jsonTmp.Close()
+				os.Remove(jsonTmp.Name())
+			}
+			fmt.Fprintf(os.Stderr, "-fig outofcore: %v\n", err)
+			os.Exit(1)
 		}
 	case "serve":
 		r, err := cfg.Serve()

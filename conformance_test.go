@@ -57,6 +57,8 @@ func conformanceCases(t *testing.T) []conformanceCase {
 			opts: []Option{WithInner("swbst", WithFanout(4))}},
 		conformanceCase{name: "gcola/g4", kind: "gcola",
 			opts: []Option{WithGrowthFactor(4), WithPointerDensity(0.2)}},
+		conformanceCase{name: "gcola/spill", kind: "gcola",
+			opts: []Option{WithSpillDir(t.TempDir()), WithSpillDepth(2), WithSpillCacheBytes(1 << 14)}},
 		conformanceCase{name: "la/eps1", kind: "la",
 			opts: []Option{WithEpsilon(1)}},
 		conformanceCase{name: "durable/btree+ckpt", kind: "durable",
@@ -82,6 +84,10 @@ func TestConformanceAllKinds(t *testing.T) {
 				t.Fatalf("Build(%q): %v", tc.kind, err)
 			}
 			runConformance(t, tc, d, ops)
+			// Release held resources (WALs, spill directories).
+			if cl, ok := d.(interface{ Close() error }); ok {
+				mustClose(t, cl)
+			}
 		})
 	}
 }
@@ -301,6 +307,11 @@ func TestConformanceSnapshotRoundTrip(t *testing.T) {
 			reopened.Insert(1<<60, 7)
 			if v, ok := reopened.Search(1 << 60); !ok || v != 7 {
 				t.Fatal("restored structure rejects inserts")
+			}
+			for _, dict := range []Dictionary{d, loaded, reopened} {
+				if cl, ok := dict.(interface{ Close() error }); ok {
+					mustClose(t, cl)
+				}
 			}
 		})
 	}

@@ -90,6 +90,82 @@ func TestRangeAllocsSteadyState(t *testing.T) {
 	_ = sum
 }
 
+// prefillDict drives n distinct random keys into any dictionary and
+// returns the keys, mirroring prefillGCOLA for the deamortized kinds.
+func prefillDict(t *testing.T, d core.Dictionary, n int) []uint64 {
+	t.Helper()
+	seq := workload.NewRandomUnique(7)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = seq.Next()
+		d.Insert(keys[i], keys[i])
+	}
+	return keys
+}
+
+// TestDeamortizedSearchAllocs pins the deamortized COLA's search path at
+// zero allocations: its level walk touches only the two fixed arrays per
+// level.
+func TestDeamortizedSearchAllocs(t *testing.T) {
+	d := NewDeamortized(nil)
+	keys := prefillDict(t, d, 1<<13)
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		d.Search(keys[i%len(keys)])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("Deamortized.Search allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestDeamortizedLASearchAllocs pins the deamortized-lookahead search
+// path at zero allocations: the per-level visible-slot ordering lives in
+// a stack buffer (visibleNewestFirst), not a fresh slice per level.
+func TestDeamortizedLASearchAllocs(t *testing.T) {
+	d := NewDeamortizedLookahead(nil)
+	keys := prefillDict(t, d, 1<<13)
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		d.Search(keys[i%len(keys)])
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("DeamortizedLookahead.Search allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestDeamortizedRangeAllocs pins both deamortized kinds' Range at zero
+// allocations in steady state: cursors come from their sync.Pools.
+func TestDeamortizedRangeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector")
+	}
+	for _, tc := range []struct {
+		name string
+		d    core.Dictionary
+	}{
+		{"deamortized", NewDeamortized(nil)},
+		{"deamortized-la", NewDeamortizedLookahead(nil)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			keys := prefillDict(t, tc.d, 1<<12)
+			var sum uint64
+			fn := func(e core.Element) bool { sum += e.Value; return true }
+			i := 0
+			avg := testing.AllocsPerRun(500, func() {
+				lo := keys[i%len(keys)]
+				tc.d.Range(lo, lo+1<<20, fn)
+				i++
+			})
+			if avg != 0 {
+				t.Fatalf("%s Range allocates %.2f allocs/op in steady state, want 0", tc.name, avg)
+			}
+			_ = sum
+		})
+	}
+}
+
 // TestMergeScratchDoesNotAliasLevels guards the scratch ownership rule:
 // after any operation, no level's backing array may alias the merge
 // scratch buffers (installLevel must copy).

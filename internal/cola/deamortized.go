@@ -2,6 +2,7 @@ package cola
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dam"
@@ -292,6 +293,22 @@ func (d *Deamortized) searchArray(k, s int, key uint64) (uint64, bool) {
 	return 0, false
 }
 
+// damCursor is one occupied array's position in a Range merge; the
+// per-call cursor slices are pooled (see damCursorPool) like
+// GCOLA.Range's.
+type damCursor struct {
+	data  []core.Element
+	pos   int
+	level int
+	epoch uint64
+}
+
+type damCursorBuf struct {
+	c []damCursor
+}
+
+var damCursorPool = sync.Pool{New: func() any { return new(damCursorBuf) }}
+
 // Range implements core.Dictionary by k-way merging all visible arrays.
 // Duplicate keys resolve exactly as Search does: the shallower level
 // wins (a fresh insert sits in level 0 and shadows every merged copy
@@ -299,13 +316,12 @@ func (d *Deamortized) searchArray(k, s int, key uint64) (uint64, bool) {
 // NOT comparable across levels — a deep array's epoch exceeds level 0's
 // even though level 0 holds the newer entry.
 func (d *Deamortized) Range(lo, hi uint64, fn func(core.Element) bool) {
-	type cursor struct {
-		data  []core.Element
-		pos   int
-		level int
-		epoch uint64
-	}
-	var cursors []cursor
+	cb := damCursorPool.Get().(*damCursorBuf)
+	defer func() {
+		cb.c = cb.c[:0]
+		damCursorPool.Put(cb)
+	}()
+	cursors := cb.c[:0]
 	for k := range d.levels {
 		for s := 0; s < 2; s++ {
 			a := &d.levels[k].arr[s]
@@ -317,11 +333,12 @@ func (d *Deamortized) Range(lo, hi uint64, fn func(core.Element) bool) {
 				return a.data[i].Key >= lo
 			})
 			if p < len(a.data) {
-				cursors = append(cursors, cursor{data: a.data, pos: p, level: k, epoch: a.epoch})
+				cursors = append(cursors, damCursor{data: a.data, pos: p, level: k, epoch: a.epoch})
 			}
 		}
 	}
-	newer := func(a, b *cursor) bool {
+	cb.c = cursors
+	newer := func(a, b *damCursor) bool {
 		if a.level != b.level {
 			return a.level < b.level
 		}

@@ -2,6 +2,7 @@ package cola
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dam"
@@ -517,11 +518,10 @@ func (d *DeamortizedLookahead) Search(key uint64) (uint64, bool) {
 	d.stats.Searches++
 	// window bounds apply to (level wk, slot wslot).
 	wlo, whi, wslot := -1, -1, -1
+	var ord [3]int
 	for k := 0; k < len(d.levels); k++ {
-		lv := &d.levels[k]
-		order := d.visibleNewestFirst(k)
 		nextLo, nextHi, nextSlot := -1, -1, -1
-		for _, s := range order {
+		for _, s := range ord[:d.visibleNewestFirst(k, &ord)] {
 			lo, hi := -1, -1
 			if s == wslot {
 				lo, hi = wlo, whi
@@ -537,26 +537,32 @@ func (d *DeamortizedLookahead) Search(key uint64) (uint64, bool) {
 				nextLo, nextHi, nextSlot = nlo, nhi, nslot
 			}
 		}
-		_ = lv
 		wlo, whi, wslot = nextLo, nextHi, nextSlot
 	}
 	return 0, false
 }
 
-// visibleNewestFirst lists the visible, occupied slots of level k in
-// decreasing epoch order.
-func (d *DeamortizedLookahead) visibleNewestFirst(k int) []int {
+// visibleNewestFirst writes the visible, occupied slots of level k into
+// ord in decreasing epoch order and returns their count. A level has at
+// most three slots, so the buffer fits on the caller's stack and the
+// ordering is a stable insertion sort — the read path allocates
+// nothing. Equal epochs keep slot-index order, matching the stable
+// small-slice sort this replaced, so the charge stream is unchanged.
+func (d *DeamortizedLookahead) visibleNewestFirst(k int, ord *[3]int) int {
 	lv := &d.levels[k]
-	var out []int
+	cnt := 0
 	for s := range lv.slots {
 		if lv.slots[s].visible && lv.slots[s].occupied() {
-			out = append(out, s)
+			ord[cnt] = s
+			cnt++
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return lv.slots[out[i]].epoch > lv.slots[out[j]].epoch
-	})
-	return out
+	for i := 1; i < cnt; i++ {
+		for j := i; j > 0 && lv.slots[ord[j]].epoch > lv.slots[ord[j-1]].epoch; j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	return cnt
 }
 
 // searchArray searches slot s of level k within [lo, hi) (-1 = unknown)
@@ -616,26 +622,43 @@ func (d *DeamortizedLookahead) searchArray(k, s int, key uint64, lo, hi int) (ui
 	return 0, notFound, nlo, nhi, sl.link
 }
 
+// dlaCursor is one visible array's position in a Range merge; the
+// per-call cursor slices are pooled (see dlaCursorPool) like
+// GCOLA.Range's.
+type dlaCursor struct {
+	data  []entry
+	pos   int
+	epoch uint64
+}
+
+type dlaCursorBuf struct {
+	c []dlaCursor
+}
+
+var dlaCursorPool = sync.Pool{New: func() any { return new(dlaCursorBuf) }}
+
 // Range implements core.Dictionary by k-way merging all visible arrays.
 func (d *DeamortizedLookahead) Range(lo, hi uint64, fn func(core.Element) bool) {
-	type cursor struct {
-		data  []entry
-		pos   int
-		epoch uint64
-	}
-	var cursors []cursor
+	cb := dlaCursorPool.Get().(*dlaCursorBuf)
+	defer func() {
+		cb.c = cb.c[:0]
+		dlaCursorPool.Put(cb)
+	}()
+	cursors := cb.c[:0]
+	var ord [3]int
 	for k := range d.levels {
-		for _, s := range d.visibleNewestFirst(k) {
+		for _, s := range ord[:d.visibleNewestFirst(k, &ord)] {
 			sl := &d.levels[k].slots[s]
 			p := sort.Search(len(sl.data), func(i int) bool {
 				d.chargeRead(k, s, i, 1)
 				return sl.data[i].key >= lo
 			})
 			if p < len(sl.data) {
-				cursors = append(cursors, cursor{data: sl.data, pos: p, epoch: sl.epoch})
+				cursors = append(cursors, dlaCursor{data: sl.data, pos: p, epoch: sl.epoch})
 			}
 		}
 	}
+	cb.c = cursors
 	for {
 		best := -1
 		var bestKey uint64

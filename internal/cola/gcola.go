@@ -17,10 +17,13 @@
 package cola
 
 import (
+	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dam"
+	"repro/internal/extmem"
 )
 
 // Entry kinds. A level's array interleaves real elements and redundant
@@ -48,19 +51,31 @@ type entry struct {
 // level is one array of the lookahead structure. Occupied cells live
 // right-justified in data[start:], matching the paper ("we maintain the
 // elements right justified in their array").
+//
+// A level lives in exactly one of two homes. In RAM, data holds the
+// full cell array (len(data) == cells). Spilled — when the owning GCOLA
+// has a spill store and the level index is at or past the spill depth —
+// data is nil and the occupied window lives left-justified in an extmem
+// level image: logical cell i (start <= i < cells) is file cell
+// i - start, so the right-justified geometry, the DAM offsets, and
+// every charge stay identical while only the occupied cells hit disk.
+// ext is nil while a spilled level is empty (no file). All reads funnel
+// through GCOLA.cellAt, which hides the distinction.
 type level struct {
 	// data is the level's cell array in the DAM model: every index,
 	// range, copy, or append on it must happen inside a //repro:charges
 	// accessor (machine-checked by reprolint's damcharge analyzer).
 	//repro:accounted
 	data  []entry
-	start int // first occupied cell; len(data) when empty
-	real  int // occupied real+tombstone cells (excludes lookahead entries)
-	la    int // occupied lookahead cells
+	ext   *extmem.Level // spilled image of data[start:]; nil in RAM or when empty
+	cells int           // total capacity in cells (== len(data) for RAM levels)
+	start int           // first occupied cell; cells when empty
+	real  int           // occupied real+tombstone cells (excludes lookahead entries)
+	la    int           // occupied lookahead cells
 }
 
-func (lv *level) used() int   { return len(lv.data) - lv.start }
-func (lv *level) empty() bool { return lv.start == len(lv.data) }
+func (lv *level) used() int   { return lv.cells - lv.start }
+func (lv *level) empty() bool { return lv.start == lv.cells }
 
 // Options configures a GCOLA.
 type Options struct {
@@ -74,7 +89,33 @@ type Options struct {
 	PointerDensity float64
 	// Space receives DAM-model charge records; nil disables accounting.
 	Space *dam.Space
+
+	// SpillDir, when non-empty, turns on the out-of-core mode: levels at
+	// index SpillDepth and deeper live in chunk-aligned files under a
+	// private subdirectory of SpillDir (see internal/extmem) instead of
+	// RAM slices. The merge ladder streams spilled levels sequentially;
+	// Search and Range read through extmem's page cache. The DAM charge
+	// stream is bit-identical to the in-RAM structure's, so the spill
+	// store's actual-I/O counters can be compared against the DAM
+	// prediction directly. Like Space, the spill configuration is runtime
+	// wiring: it is not recorded in snapshots.
+	SpillDir string
+	// SpillDepth is the first level index backed by files; 0 means
+	// DefaultSpillDepth. Must be >= 1 — level 0 receives single-cell
+	// writes and always stays in RAM. Ignored unless SpillDir is set.
+	SpillDepth int
+	// SpillCacheBytes is the extmem page-cache budget (floored at
+	// extmem.MinCacheChunks chunks); 0 means DefaultSpillCacheBytes.
+	// Ignored unless SpillDir is set.
+	SpillCacheBytes int64
 }
+
+// DefaultSpillDepth keeps the first 8 levels (a few KiB at g = 2) in
+// RAM when spilling is enabled without an explicit depth.
+const DefaultSpillDepth = 8
+
+// DefaultSpillCacheBytes is the default extmem page-cache budget.
+const DefaultSpillCacheBytes = 256 << 10
 
 // DefaultPointerDensity is the pointer density used throughout the
 // paper's experiments.
@@ -100,6 +141,10 @@ type GCOLA struct {
 	opt    Options
 	levels []level
 	n      int // live-key count, reconciled during merges
+
+	// ext is the spill store backing levels at or past opt.SpillDepth;
+	// nil for a fully in-RAM structure. Close releases it.
+	ext *extmem.Store
 
 	// stats carries every counter except Searches, which lives in its
 	// own atomic so concurrent bracketed searches never race Stats()
@@ -157,16 +202,121 @@ var (
 	_ core.SharedReader = (*GCOLA)(nil)
 )
 
-// New returns an empty g-COLA. It panics if opt.Growth < 2 or the pointer
-// density is outside [0, 0.5].
+// New returns an empty g-COLA. It panics if opt.Growth < 2, the pointer
+// density is outside [0, 0.5], or the spill configuration is invalid —
+// use Open for an error instead of a panic (spilling touches the
+// filesystem, so its failures are ordinary errors, not programmer
+// bugs).
 func New(opt Options) *GCOLA {
+	c, err := Open(opt)
+	if err != nil {
+		panic(err.Error())
+	}
+	return c
+}
+
+// Open returns an empty g-COLA, creating the spill store when
+// opt.SpillDir is set. The caller owns the result; a spilling structure
+// holds an open directory of level files until Close.
+func Open(opt Options) (*GCOLA, error) {
 	if opt.Growth < 2 {
-		panic("cola: growth factor must be at least 2")
+		return nil, errors.New("cola: growth factor must be at least 2")
 	}
 	if opt.PointerDensity < 0 || opt.PointerDensity > 0.5 {
-		panic("cola: pointer density must be in [0, 0.5]")
+		return nil, errors.New("cola: pointer density must be in [0, 0.5]")
 	}
-	return &GCOLA{opt: opt}
+	c := &GCOLA{opt: opt}
+	if opt.SpillDir == "" {
+		if opt.SpillDepth != 0 || opt.SpillCacheBytes != 0 {
+			return nil, errors.New("cola: spill depth/cache options require a spill directory")
+		}
+		return c, nil
+	}
+	if c.opt.SpillDepth == 0 {
+		c.opt.SpillDepth = DefaultSpillDepth
+	}
+	if c.opt.SpillDepth < 1 {
+		return nil, fmt.Errorf("cola: spill depth %d must be at least 1 (level 0 stays in RAM)", c.opt.SpillDepth)
+	}
+	if c.opt.SpillCacheBytes == 0 {
+		c.opt.SpillCacheBytes = DefaultSpillCacheBytes
+	}
+	s, err := extmem.Open(extmem.Config{
+		Dir:        c.opt.SpillDir,
+		ChunkBytes: extmem.DefaultChunkBytes,
+		CacheBytes: c.opt.SpillCacheBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cola: opening spill store: %w", err)
+	}
+	c.ext = s
+	return c, nil
+}
+
+// Close releases the spill store, removing its on-disk level files; a
+// fully in-RAM structure has nothing to release and Close is a no-op.
+// A spilling structure must not be used after Close.
+func (c *GCOLA) Close() error {
+	if c.ext == nil {
+		return nil
+	}
+	s := c.ext
+	c.ext = nil
+	return s.Close()
+}
+
+// spilledLevel reports whether level l is backed by the spill store.
+func (c *GCOLA) spilledLevel(l int) bool {
+	return c.ext != nil && l >= c.opt.SpillDepth
+}
+
+// Spilled reports whether the structure runs in out-of-core mode.
+func (c *GCOLA) Spilled() bool { return c.ext != nil }
+
+// ActualTransfers implements core.ActualTransferCounter: real aligned
+// chunk reads and writes performed by the spill store — the measured
+// counterpart of the DAM-charged prediction in the owning dam.Space.
+// Both counts are zero for a fully in-RAM structure.
+func (c *GCOLA) ActualTransfers() (reads, writes uint64) {
+	if c.ext == nil {
+		return 0, 0
+	}
+	return c.ext.ChunkReads(), c.ext.ChunkWrites()
+}
+
+// SpillFileStats reports the spill files on disk and their total bytes;
+// zeros for an in-RAM structure.
+func (c *GCOLA) SpillFileStats() (files int, bytes int64, err error) {
+	if c.ext == nil {
+		return 0, 0, nil
+	}
+	return c.ext.FileStats()
+}
+
+// ResetSpillCounters zeroes the spill store's I/O counters (cache
+// contents and files untouched), so a measurement phase can start from
+// zero the way dam.Space.ResetCounters allows for the predicted stream.
+func (c *GCOLA) ResetSpillCounters() {
+	if c.ext != nil {
+		c.ext.ResetCounters()
+	}
+}
+
+// DropSpillCache empties the spill page cache so a measurement starts
+// cold, mirroring dam.Store.DropCache.
+func (c *GCOLA) DropSpillCache() {
+	if c.ext != nil {
+		c.ext.DropCache()
+	}
+}
+
+// SpillCacheChunks reports the spill page-cache budget in chunks (0 for
+// an in-RAM structure) and the chunk size in bytes.
+func (c *GCOLA) SpillCacheChunks() (chunks, chunkBytes int) {
+	if c.ext == nil {
+		return 0, 0
+	}
+	return c.ext.CacheChunks(), c.ext.ChunkBytes()
 }
 
 // NewCOLA returns the cache-oblivious lookahead array: growth factor 2
@@ -197,12 +347,19 @@ func (c *GCOLA) Stats() core.Stats {
 }
 
 // BeginSharedReads implements core.SharedReader by opening a shared
-// epoch on the owning DAM store (a no-op without accounting). See the
-// GCOLA type comment for the bracket contract.
-func (c *GCOLA) BeginSharedReads() { c.opt.Space.BeginSharedReads() }
+// epoch on the owning DAM store (a no-op without accounting) and, in
+// out-of-core mode, on the spill store — freezing its page cache under
+// the same rules. See the GCOLA type comment for the bracket contract.
+func (c *GCOLA) BeginSharedReads() {
+	c.opt.Space.BeginSharedReads()
+	c.ext.BeginSharedReads()
+}
 
 // EndSharedReads closes the bracket opened by BeginSharedReads.
-func (c *GCOLA) EndSharedReads() { c.opt.Space.EndSharedReads() }
+func (c *GCOLA) EndSharedReads() {
+	c.opt.Space.EndSharedReads()
+	c.ext.EndSharedReads()
+}
 
 // realCapacity returns the number of real elements level l can hold:
 // 1 for level 0, 2(g-1)g^(l-1) for l >= 1 (the paper's level sizes).
@@ -230,7 +387,9 @@ func (c *GCOLA) totalCapacity(l int) int {
 	return c.realCapacity(l) + c.lookaheadCapacity(l)
 }
 
-// ensureLevel allocates levels up through index l.
+// ensureLevel allocates levels up through index l. Spilled levels get
+// no RAM cell array — their occupied window materializes as an extmem
+// image on first install.
 func (c *GCOLA) ensureLevel(l int) {
 	for len(c.levels) <= l {
 		idx := len(c.levels)
@@ -239,10 +398,11 @@ func (c *GCOLA) ensureLevel(l int) {
 		if idx > 0 {
 			off = c.offsets[idx-1] + int64(c.totalCapacity(idx-1))*core.ElementBytes
 		}
-		c.levels = append(c.levels, level{
-			data:  make([]entry, capTotal),
-			start: capTotal,
-		})
+		lv := level{cells: capTotal, start: capTotal}
+		if !c.spilledLevel(idx) {
+			lv.data = make([]entry, capTotal)
+		}
+		c.levels = append(c.levels, lv)
 		c.offsets = append(c.offsets, off)
 	}
 }
@@ -335,6 +495,13 @@ func (c *GCOLA) mergeTarget() int {
 //repro:charges opt.Space (run reads + target write)
 func (c *GCOLA) mergeDown(newEntry entry) {
 	t := c.mergeTarget()
+	if c.spilledLevel(t) {
+		// Out-of-core target: stream the merge instead of materializing
+		// it. Levels below the spill depth are all in RAM (depth >= 1),
+		// so this path and the RAM path below never mix homes.
+		c.mergeDownSpilled(newEntry, t)
+		return
+	}
 	target := &c.levels[t]
 
 	// Gather source runs, newest first: the incoming entry, then levels
@@ -389,10 +556,7 @@ func (c *GCOLA) mergeDown(newEntry entry) {
 
 	// Empty the consumed levels.
 	for l := 0; l < t; l++ {
-		lv := &c.levels[l]
-		lv.start = len(lv.data)
-		lv.real = 0
-		lv.la = 0
+		c.clearLevel(l)
 	}
 
 	c.distributePointers(t)
@@ -417,7 +581,8 @@ func stripLookaheadInPlace(run []entry) []entry {
 
 // installLevel writes out right-justified into level l, recomputes the
 // real-entry count and the left copies (each cell's copy of the closest
-// lookahead pointer at or to its left).
+// lookahead pointer at or to its left). RAM levels only; spilled levels
+// install through installLevelSpilled / streamMergeInto.
 //
 //repro:charges caller:mergeDown and Compact charge the target write
 func (c *GCOLA) installLevel(l int, out []entry) {
@@ -555,6 +720,13 @@ func (c *GCOLA) Compact() {
 		t++
 	}
 	c.ensureLevel(t)
+	if c.spilledLevel(t) {
+		// Any spilled source implies a spilled target (sources are at or
+		// above bottom <= t), so this branch covers every out-of-core
+		// compaction.
+		c.compactSpilled(t, bottom)
+		return
+	}
 
 	runs := c.scratch.runs[:0]
 	for l := 0; l <= bottom; l++ {
@@ -567,10 +739,7 @@ func (c *GCOLA) Compact() {
 	c.scratch.runs = runs
 	out := c.mergeRuns(runs, true)
 	for l := 0; l <= bottom; l++ {
-		lv := &c.levels[l]
-		lv.start = len(lv.data)
-		lv.real = 0
-		lv.la = 0
+		c.clearLevel(l)
 	}
 	c.installLevel(t, out)
 	c.chargeWrite(t, c.levels[t].start, len(out))

@@ -43,8 +43,8 @@ func (c *GCOLA) distributePointers(t int) {
 		if cap(out) < budget {
 			out = make([]entry, 0, budget)
 		}
-		for i := src.start + stride - 1; i < len(src.data); i += stride {
-			e := src.data[i]
+		for i := src.start + stride - 1; i < src.cells; i += stride {
+			e := c.cellAt(l+1, i)
 			out = append(out, entry{
 				key:  e.key,
 				ptr:  int32(i),
@@ -55,7 +55,11 @@ func (c *GCOLA) distributePointers(t int) {
 				break
 			}
 		}
-		c.installLevel(l, out)
+		if c.spilledLevel(l) {
+			c.installLevelSpilled(l, out)
+		} else {
+			c.installLevel(l, out)
+		}
 		c.chargeWrite(l, dst.start, len(out))
 		c.stats.Moves += uint64(len(out))
 		c.scratch.la = out[:0]
@@ -71,18 +75,36 @@ func (c *GCOLA) checkInvariants() {
 	liveSeen := 0
 	for l := range c.levels {
 		lv := &c.levels[l]
-		if lv.start < 0 || lv.start > len(lv.data) {
+		if lv.start < 0 || lv.start > lv.cells {
 			panic("cola: level start out of range")
 		}
-		if len(lv.data) != c.totalCapacity(l) {
+		if lv.cells != c.totalCapacity(l) {
 			panic("cola: level allocated with wrong capacity")
+		}
+		if c.spilledLevel(l) {
+			if lv.data != nil {
+				panic("cola: spilled level holds a RAM image")
+			}
+			if lv.empty() != (lv.ext == nil) {
+				panic("cola: spilled level image/occupancy mismatch")
+			}
+			if lv.ext != nil && lv.ext.Cells() != lv.used() {
+				panic("cola: spilled image size does not match occupancy")
+			}
+		} else {
+			if lv.ext != nil {
+				panic("cola: RAM level holds a spill image")
+			}
+			if len(lv.data) != lv.cells {
+				panic("cola: RAM level storage does not match capacity")
+			}
 		}
 		real := 0
 		lastLA := int32(-1)
 		var prevKey uint64
 		first := true
-		for i := lv.start; i < len(lv.data); i++ {
-			e := lv.data[i]
+		for i := lv.start; i < lv.cells; i++ {
+			e := c.cellAt(l, i)
 			if !first && e.key < prevKey {
 				panic("cola: level not sorted")
 			}
@@ -94,10 +116,10 @@ func (c *GCOLA) checkInvariants() {
 					panic("cola: lookahead entry with no next level")
 				}
 				next := &c.levels[l+1]
-				if int(e.ptr) < next.start || int(e.ptr) >= len(next.data) {
+				if int(e.ptr) < next.start || int(e.ptr) >= next.cells {
 					panic("cola: lookahead pointer out of next level's occupied range")
 				}
-				if next.data[e.ptr].key != e.key {
+				if c.cellAt(l+1, int(e.ptr)).key != e.key {
 					panic("cola: lookahead key does not match target cell")
 				}
 				if e.ptr < lastLA {

@@ -21,12 +21,28 @@ import (
 //
 //repro:charges opt.Space (one cell per probe)
 func (c *GCOLA) lowerBound(l, lo, hi int, target uint64) int {
-	data := c.levels[l].data
+	// The RAM fast path keeps the hot loop free of the cellAt call;
+	// spilled levels probe through the page cache with the identical
+	// charge sequence (the probe positions depend only on the window and
+	// the keys, not on where the level lives).
+	if data := c.levels[l].data; data != nil {
+		i, j := lo, hi
+		for i < j {
+			mid := int(uint(i+j) >> 1)
+			c.chargeRead(l, mid, 1)
+			if data[mid].key >= target {
+				j = mid
+			} else {
+				i = mid + 1
+			}
+		}
+		return i
+	}
 	i, j := lo, hi
 	for i < j {
 		mid := int(uint(i+j) >> 1)
 		c.chargeRead(l, mid, 1)
-		if data[mid].key >= target {
+		if c.cellAt(l, mid).key >= target {
 			j = mid
 		} else {
 			i = mid + 1
@@ -91,8 +107,8 @@ func (c *GCOLA) searchLevel(l int, key uint64, lo, hi int) (uint64, searchState,
 	if lo < 0 || lo < lv.start {
 		lo = lv.start
 	}
-	if hi < 0 || hi > len(lv.data) {
-		hi = len(lv.data)
+	if hi < 0 || hi > lv.cells {
+		hi = lv.cells
 	}
 	if lo > hi {
 		lo = hi
@@ -112,15 +128,19 @@ func (c *GCOLA) searchLevel(l int, key uint64, lo, hi int) (uint64, searchState,
 	state := notFound
 	var val uint64
 	scanEnd := pos
-	for i := pos; i < len(lv.data) && lv.data[i].key == key; i++ {
+	for i := pos; i < lv.cells; i++ {
+		e := c.cellAt(l, i)
+		if e.key != key {
+			break
+		}
 		scanEnd = i + 1
-		switch lv.data[i].kind {
-		case kindReal:
-			val, state = lv.data[i].val, foundReal
-		case kindTombstone:
-			state = foundTombstone
-		case kindLookahead:
+		if e.kind == kindLookahead {
 			continue
+		}
+		if e.kind == kindReal {
+			val, state = e.val, foundReal
+		} else {
+			state = foundTombstone
 		}
 		break
 	}
@@ -140,7 +160,7 @@ func (c *GCOLA) searchLevel(l int, key uint64, lo, hi int) (uint64, searchState,
 	// by the predecessor cell (all its anchors have keys < target).
 	nlo := -1
 	if pos > lv.start {
-		nlo = int(lv.data[pos-1].left)
+		nlo = int(c.cellAt(l, pos-1).left)
 	}
 	// Right bound: scan forward for the first lookahead entry at or after
 	// pos; everything at or after its target in level l+1 has keys >=
@@ -149,10 +169,10 @@ func (c *GCOLA) searchLevel(l int, key uint64, lo, hi int) (uint64, searchState,
 	// the fly by scanning subsequent levels".
 	nhi := -1
 	scanned := 0
-	for i := pos; i < len(lv.data); i++ {
+	for i := pos; i < lv.cells; i++ {
 		scanned++
-		if lv.data[i].kind == kindLookahead {
-			nhi = int(lv.data[i].ptr) + 1
+		if e := c.cellAt(l, i); e.kind == kindLookahead {
+			nhi = int(e.ptr) + 1
 			break
 		}
 	}
@@ -192,8 +212,8 @@ func (c *GCOLA) Range(lo, hi uint64, fn func(core.Element) bool) {
 			continue
 		}
 		// Position each cursor at the first cell with key >= lo.
-		p := c.lowerBound(l, lv.start, len(lv.data), lo)
-		if p < len(lv.data) {
+		p := c.lowerBound(l, lv.start, lv.cells, lo)
+		if p < lv.cells {
 			cursors = append(cursors, rangeCursor{level: l, pos: p})
 		}
 	}
@@ -208,14 +228,14 @@ func (c *GCOLA) Range(lo, hi uint64, fn func(core.Element) bool) {
 			cur := &cursors[i]
 			lv := &c.levels[cur.level]
 			// Skip lookahead cells.
-			for cur.pos < len(lv.data) && lv.data[cur.pos].kind == kindLookahead {
+			for cur.pos < lv.cells && c.cellAt(cur.level, cur.pos).kind == kindLookahead {
 				cur.pos++
 				c.chargeRead(cur.level, cur.pos-1, 1)
 			}
-			if cur.pos >= len(lv.data) {
+			if cur.pos >= lv.cells {
 				continue
 			}
-			k := lv.data[cur.pos].key
+			k := c.cellAt(cur.level, cur.pos).key
 			if k > hi {
 				continue
 			}
@@ -229,12 +249,12 @@ func (c *GCOLA) Range(lo, hi uint64, fn func(core.Element) bool) {
 		}
 		// Emit the newest entry for bestKey and advance every cursor
 		// past that key.
-		e := c.levels[cursors[best].level].data[cursors[best].pos]
+		e := c.cellAt(cursors[best].level, cursors[best].pos)
 		c.chargeRead(cursors[best].level, cursors[best].pos, 1)
 		for i := range cursors {
 			cur := &cursors[i]
 			lv := &c.levels[cur.level]
-			for cur.pos < len(lv.data) && lv.data[cur.pos].key == bestKey {
+			for cur.pos < lv.cells && c.cellAt(cur.level, cur.pos).key == bestKey {
 				cur.pos++
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/extmem"
 )
 
 // Snapshot format (the GCOLA payload, a little-endian binary stream):
@@ -69,9 +70,9 @@ func (c *GCOLA) WriteTo(w io.Writer) (int64, error) {
 		return 0, fmt.Errorf("cola: %d levels exceed the snapshot format's %d-level limit", len(c.levels), maxSnapshotLevels)
 	}
 	for l := range c.levels {
-		if len(c.levels[l].data) > maxSnapshotLevelCells {
+		if c.levels[l].cells > maxSnapshotLevelCells {
 			return 0, fmt.Errorf("cola: level %d holds %d cells, beyond the snapshot format's %d-cell limit",
-				l, len(c.levels[l].data), maxSnapshotLevelCells)
+				l, c.levels[l].cells, maxSnapshotLevelCells)
 		}
 	}
 	bw := bufio.NewWriter(w)
@@ -102,6 +103,21 @@ func (c *GCOLA) WriteTo(w io.Writer) (int64, error) {
 	if err := write(uint32(len(c.levels))); err != nil {
 		return n, err
 	}
+	writeEntry := func(e entry) error {
+		if err := write(e.key); err != nil {
+			return err
+		}
+		if err := write(e.val); err != nil {
+			return err
+		}
+		if err := write(e.ptr); err != nil {
+			return err
+		}
+		if err := write(e.left); err != nil {
+			return err
+		}
+		return write(e.kind)
+	}
 	for l := range c.levels {
 		lv := &c.levels[l]
 		if err := write(uint32(lv.start)); err != nil {
@@ -110,21 +126,24 @@ func (c *GCOLA) WriteTo(w io.Writer) (int64, error) {
 		if err := write(uint32(lv.used())); err != nil {
 			return n, err
 		}
+		if lv.ext != nil {
+			// A spilled level serializes straight from its chunk image,
+			// one sequential pass, never materialized in RAM; the emitted
+			// bytes are identical to the RAM path's.
+			rd := lv.ext.NewReader(0)
+			var raw [extmem.CellBytes]byte
+			for rd.Remaining() > 0 {
+				if err := rd.Next(raw[:]); err != nil {
+					return n, fmt.Errorf("cola: level %d spilled snapshot read: %w", l, err)
+				}
+				if err := writeEntry(decodeCell(&raw)); err != nil {
+					return n, err
+				}
+			}
+			continue
+		}
 		for i := lv.start; i < len(lv.data); i++ {
-			e := lv.data[i]
-			if err := write(e.key); err != nil {
-				return n, err
-			}
-			if err := write(e.val); err != nil {
-				return n, err
-			}
-			if err := write(e.ptr); err != nil {
-				return n, err
-			}
-			if err := write(e.left); err != nil {
-				return n, err
-			}
-			if err := write(e.kind); err != nil {
+			if err := writeEntry(lv.data[i]); err != nil {
 				return n, err
 			}
 		}
@@ -215,6 +234,26 @@ func (c *GCOLA) ReadFrom(r io.Reader) (int64, error) {
 	}
 
 	// Decode into fresh storage; the receiver is untouched until commit.
+	// Spilled levels decode straight into chunk images without ever
+	// materializing in RAM; on any failure the deferred cleanup aborts
+	// the in-flight writer and removes every image committed so far, so
+	// a failed ReadFrom leaves no spill files behind either.
+	var (
+		pendingWriter *extmem.LevelWriter
+		committedIDs  []int
+		committedOK   bool
+	)
+	defer func() {
+		if committedOK {
+			return
+		}
+		if pendingWriter != nil {
+			pendingWriter.Abort()
+		}
+		for _, id := range committedIDs {
+			_ = c.ext.RemoveLevel(id)
+		}
+	}()
 	levels := make([]level, 0, levelCount)
 	offsets := make([]int64, 0, levelCount)
 	totalReal := 0
@@ -239,7 +278,17 @@ func (c *GCOLA) ReadFrom(r io.Reader) (int64, error) {
 			return n, fmt.Errorf("cola: level %d occupancy %d+%d does not fit capacity %d: %w",
 				l, start, used, capTotal, ErrCorrupt)
 		}
-		lv := level{data: make([]entry, capTotal), start: int(start)}
+		lv := level{start: int(start), cells: capTotal}
+		spilled := c.spilledLevel(l)
+		if !spilled {
+			lv.data = make([]entry, capTotal)
+		} else if used > 0 {
+			w, werr := c.ext.NewLevelWriter(l)
+			if werr != nil {
+				return n, fmt.Errorf("cola: level %d spill writer during load: %w", l, werr)
+			}
+			pendingWriter = w
+		}
 		// Lookahead entries point into level l+1, whose geometry is
 		// deterministic even though it is not decoded yet. The deepest
 		// level can carry none (pointers are only distributed into
@@ -250,11 +299,12 @@ func (c *GCOLA) ReadFrom(r io.Reader) (int64, error) {
 			nextCap = int32(min(c.totalCapacity(l+1), math.MaxInt32))
 		}
 		prevKey := uint64(0)
-		for i := lv.start; i < len(lv.data); i++ {
+		var raw [extmem.CellBytes]byte
+		for i := lv.start; i < lv.cells; i++ {
 			if err := readFull(cell[:]); err != nil {
 				return n, err
 			}
-			e := &lv.data[i]
+			var e entry
 			e.key = binary.LittleEndian.Uint64(cell[0:8])
 			e.val = binary.LittleEndian.Uint64(cell[8:16])
 			e.ptr = int32(binary.LittleEndian.Uint32(cell[16:20]))
@@ -280,6 +330,23 @@ func (c *GCOLA) ReadFrom(r io.Reader) (int64, error) {
 				return n, fmt.Errorf("cola: level %d left pointer %d outside next level capacity %d: %w",
 					l, e.left, nextCap, ErrCorrupt)
 			}
+			if spilled {
+				encodeCell(&raw, e)
+				if err := pendingWriter.Append(raw[:]); err != nil {
+					return n, fmt.Errorf("cola: level %d spill write during load: %w", l, err)
+				}
+			} else {
+				lv.data[i] = e
+			}
+		}
+		if pendingWriter != nil {
+			img, cerr := pendingWriter.Commit()
+			pendingWriter = nil
+			if cerr != nil {
+				return n, fmt.Errorf("cola: level %d spill commit during load: %w", l, cerr)
+			}
+			committedIDs = append(committedIDs, l)
+			lv.ext = img
 		}
 		totalReal += lv.real
 		var off int64
@@ -298,6 +365,7 @@ func (c *GCOLA) ReadFrom(r io.Reader) (int64, error) {
 	c.levels = levels
 	c.offsets = offsets
 	c.n = int(live)
+	committedOK = true
 	return n, nil
 }
 

@@ -1,0 +1,337 @@
+package cola
+
+import (
+	"bytes"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dam"
+	"repro/internal/workload"
+)
+
+// openSpilled returns a spilled GCOLA over a test temp dir, closed on
+// cleanup, with a deliberately tiny page cache so reads actually hit
+// the files.
+func openSpilled(t *testing.T, opt Options) *GCOLA {
+	t.Helper()
+	opt.SpillDir = t.TempDir()
+	if opt.SpillDepth == 0 {
+		opt.SpillDepth = 3
+	}
+	if opt.SpillCacheBytes == 0 {
+		opt.SpillCacheBytes = 1 // floored to extmem.MinCacheChunks chunks
+	}
+	c, err := Open(opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := c.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return c
+}
+
+// TestSpillParityWithRAM drives an identical mixed workload through an
+// in-RAM and a spilled GCOLA, each charging its own DAM store with the
+// same geometry, and requires identical observable behaviour AND a
+// bit-identical predicted transfer count: the spill mode must change
+// where bytes live, never what the DAM model charges.
+func TestSpillParityWithRAM(t *testing.T) {
+	ramStore := dam.NewStore(4096, 1<<15)
+	spillStore := dam.NewStore(4096, 1<<15)
+	ram := New(Options{Growth: 2, PointerDensity: DefaultPointerDensity, Space: ramStore.Space("cola")})
+	sp := openSpilled(t, Options{Growth: 2, PointerDensity: DefaultPointerDensity, Space: spillStore.Space("cola")})
+
+	const n = 5000
+	seq := workload.NewRandomUnique(7)
+	keys := make([]uint64, 0, n)
+	run := func(f func(c *GCOLA)) {
+		f(ram)
+		f(sp)
+	}
+	for i := 0; i < n; i++ {
+		k := seq.Next()
+		keys = append(keys, k)
+		run(func(c *GCOLA) { c.Insert(k, k+1) })
+		// Sprinkle in duplicate updates, deletes, and point reads.
+		switch i % 97 {
+		case 13:
+			run(func(c *GCOLA) { c.Insert(keys[i/2], 42) })
+		case 31:
+			run(func(c *GCOLA) { c.Delete(keys[i/3]) })
+		case 59:
+			run(func(c *GCOLA) { c.Search(keys[i/4]) })
+		}
+	}
+	sp.checkInvariants()
+	ram.checkInvariants()
+
+	if ram.Len() != sp.Len() {
+		t.Fatalf("Len: ram %d, spilled %d", ram.Len(), sp.Len())
+	}
+	for _, k := range keys {
+		rv, rok := ram.Search(k)
+		sv, sok := sp.Search(k)
+		if rv != sv || rok != sok {
+			t.Fatalf("Search(%d): ram (%d,%v), spilled (%d,%v)", k, rv, rok, sv, sok)
+		}
+	}
+	// Full range scans must agree element for element.
+	var got, want []core.Element
+	ram.Range(0, ^uint64(0), func(e core.Element) bool { want = append(want, e); return true })
+	sp.Range(0, ^uint64(0), func(e core.Element) bool { got = append(got, e); return true })
+	if len(got) != len(want) {
+		t.Fatalf("Range: ram %d elements, spilled %d", len(want), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range[%d]: ram %+v, spilled %+v", i, want[i], got[i])
+		}
+	}
+	// The DAM prediction must not depend on where levels live.
+	if ramStore.Transfers() != spillStore.Transfers() {
+		t.Fatalf("predicted transfers diverge: ram %d, spilled %d",
+			ramStore.Transfers(), spillStore.Transfers())
+	}
+	// The spilled structure really is out of core: files on disk, actual
+	// chunk I/O performed.
+	files, bytes, err := sp.SpillFileStats()
+	if err != nil {
+		t.Fatalf("SpillFileStats: %v", err)
+	}
+	if files == 0 || bytes == 0 {
+		t.Fatalf("spilled structure has no spill files (files=%d bytes=%d)", files, bytes)
+	}
+	reads, writes := sp.ActualTransfers()
+	if reads == 0 || writes == 0 {
+		t.Fatalf("spilled structure performed no actual I/O (reads=%d writes=%d)", reads, writes)
+	}
+	if r, w := ram.ActualTransfers(); r != 0 || w != 0 {
+		t.Fatalf("in-RAM structure reports actual I/O (reads=%d writes=%d)", r, w)
+	}
+
+	// Compact must agree too (it exercises the spilled bottom-merge path).
+	run(func(c *GCOLA) { c.Compact() })
+	sp.checkInvariants()
+	if ram.Len() != sp.Len() {
+		t.Fatalf("Len after Compact: ram %d, spilled %d", ram.Len(), sp.Len())
+	}
+	if ramStore.Transfers() != spillStore.Transfers() {
+		t.Fatalf("predicted transfers diverge after Compact: ram %d, spilled %d",
+			ramStore.Transfers(), spillStore.Transfers())
+	}
+}
+
+// TestSpillAnnihilationEmptiesLevels deletes every key and compacts: the
+// all-tombstone bottom merge must leave the spilled structure empty with
+// no leftover level images.
+func TestSpillAnnihilationEmptiesLevels(t *testing.T) {
+	c := openSpilled(t, Options{Growth: 2, PointerDensity: DefaultPointerDensity})
+	const n = 300
+	for i := uint64(0); i < n; i++ {
+		c.Insert(i, i)
+	}
+	files, _, _ := c.SpillFileStats()
+	if files == 0 {
+		t.Fatal("workload too small to spill; raise n")
+	}
+	for i := uint64(0); i < n; i++ {
+		if !c.Delete(i) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	c.Compact()
+	c.checkInvariants()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", c.Len())
+	}
+	files, bytes, err := c.SpillFileStats()
+	if err != nil {
+		t.Fatalf("SpillFileStats: %v", err)
+	}
+	if files != 0 || bytes != 0 {
+		t.Fatalf("annihilating compaction left %d spill files (%d bytes)", files, bytes)
+	}
+	// The structure remains usable.
+	c.Insert(1, 2)
+	if v, ok := c.Search(1); !ok || v != 2 {
+		t.Fatalf("Search after re-insert = (%d,%v)", v, ok)
+	}
+}
+
+// TestSpillBulkLoad bulk-loads enough elements to land the install in a
+// spilled level directly.
+func TestSpillBulkLoad(t *testing.T) {
+	c := openSpilled(t, Options{Growth: 2, PointerDensity: DefaultPointerDensity})
+	elems := make([]core.Element, 0, 2000)
+	for i := uint64(0); i < 2000; i++ {
+		elems = append(elems, core.Element{Key: i * 3, Value: i})
+	}
+	c.InsertBatch(elems)
+	c.checkInvariants()
+	if c.Len() != len(elems) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(elems))
+	}
+	if files, _, _ := c.SpillFileStats(); files == 0 {
+		t.Fatal("bulk load of 2000 elements did not spill")
+	}
+	for _, e := range elems {
+		if v, ok := c.Search(e.Key); !ok || v != e.Value {
+			t.Fatalf("Search(%d) = (%d,%v), want (%d,true)", e.Key, v, ok, e.Value)
+		}
+	}
+}
+
+// TestSpillSnapshotRoundTrip checks that snapshot bytes do not depend on
+// where levels live and that a snapshot loads correctly into either
+// home: RAM->spilled, spilled->RAM, spilled->spilled.
+func TestSpillSnapshotRoundTrip(t *testing.T) {
+	ram := New(Options{Growth: 2, PointerDensity: DefaultPointerDensity})
+	sp := openSpilled(t, Options{Growth: 2, PointerDensity: DefaultPointerDensity})
+	seq := workload.NewRandomUnique(11)
+	keys := make([]uint64, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		k := seq.Next()
+		keys = append(keys, k)
+		ram.Insert(k, k^7)
+		sp.Insert(k, k^7)
+	}
+	var ramBuf, spBuf bytes.Buffer
+	if _, err := ram.WriteTo(&ramBuf); err != nil {
+		t.Fatalf("ram WriteTo: %v", err)
+	}
+	if _, err := sp.WriteTo(&spBuf); err != nil {
+		t.Fatalf("spilled WriteTo: %v", err)
+	}
+	if !bytes.Equal(ramBuf.Bytes(), spBuf.Bytes()) {
+		t.Fatal("snapshot bytes differ between RAM and spilled structures")
+	}
+
+	check := func(name string, c *GCOLA) {
+		t.Helper()
+		c.checkInvariants()
+		if c.Len() != ram.Len() {
+			t.Fatalf("%s: Len = %d, want %d", name, c.Len(), ram.Len())
+		}
+		for _, k := range keys[:200] {
+			if v, ok := c.Search(k); !ok || v != k^7 {
+				t.Fatalf("%s: Search(%d) = (%d,%v)", name, k, v, ok)
+			}
+		}
+	}
+	intoRAM := New(Options{Growth: 2, PointerDensity: DefaultPointerDensity})
+	if _, err := intoRAM.ReadFrom(bytes.NewReader(spBuf.Bytes())); err != nil {
+		t.Fatalf("spilled->RAM ReadFrom: %v", err)
+	}
+	check("spilled->RAM", intoRAM)
+
+	intoSpill := openSpilled(t, Options{Growth: 2, PointerDensity: DefaultPointerDensity})
+	if _, err := intoSpill.ReadFrom(bytes.NewReader(ramBuf.Bytes())); err != nil {
+		t.Fatalf("RAM->spilled ReadFrom: %v", err)
+	}
+	check("RAM->spilled", intoSpill)
+	if files, _, _ := intoSpill.SpillFileStats(); files == 0 {
+		t.Fatal("loading a deep snapshot into a spilled structure created no spill files")
+	}
+
+	// A failed load must leave no spill files behind.
+	trunc := spBuf.Bytes()[:spBuf.Len()-13]
+	broken := openSpilled(t, Options{Growth: 2, PointerDensity: DefaultPointerDensity})
+	if _, err := broken.ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated snapshot loaded without error")
+	}
+	if files, _, _ := broken.SpillFileStats(); files != 0 {
+		t.Fatalf("failed ReadFrom left %d spill files behind", files)
+	}
+}
+
+// TestSpillSharedReadStress runs bracketed concurrent searches and range
+// scans over a spilled structure under the race detector: the frozen
+// page cache and the atomic I/O counters must hold up.
+func TestSpillSharedReadStress(t *testing.T) {
+	c := openSpilled(t, Options{Growth: 2, PointerDensity: DefaultPointerDensity})
+	const n = 4000
+	seq := workload.NewRandomUnique(13)
+	keys := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		k := seq.Next()
+		keys = append(keys, k)
+		c.Insert(k, k+1)
+	}
+	c.BeginSharedReads()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			x := uint64(seed)*2654435761 + 1
+			for i := 0; i < 500; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				k := keys[int(x>>33)%len(keys)]
+				if v, ok := c.Search(k); !ok || v != k+1 {
+					t.Errorf("Search(%d) = (%d,%v) during epoch", k, v, ok)
+					return
+				}
+				if i%50 == 0 {
+					c.Range(k, k+1000, func(core.Element) bool { return true })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.EndSharedReads()
+	c.checkInvariants()
+}
+
+// TestSpillOpenValidation covers the spill configuration errors.
+func TestSpillOpenValidation(t *testing.T) {
+	if _, err := Open(Options{Growth: 2, SpillDepth: 3}); err == nil {
+		t.Fatal("accepted a spill depth without a spill directory")
+	}
+	if _, err := Open(Options{Growth: 2, SpillCacheBytes: 1 << 20}); err == nil {
+		t.Fatal("accepted a spill cache budget without a spill directory")
+	}
+	if _, err := Open(Options{Growth: 2, SpillDir: t.TempDir(), SpillDepth: -1}); err == nil {
+		t.Fatal("accepted a negative spill depth")
+	}
+	c, err := Open(Options{Growth: 2, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("Open with defaults: %v", err)
+	}
+	if c.opt.SpillDepth != DefaultSpillDepth || c.opt.SpillCacheBytes != DefaultSpillCacheBytes {
+		t.Fatalf("defaults not applied: depth=%d cache=%d", c.opt.SpillDepth, c.opt.SpillCacheBytes)
+	}
+	if !c.Spilled() {
+		t.Fatal("Spilled() = false for a spill-configured structure")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestSpillCloseRemovesDir verifies Close tears down the private spill
+// directory.
+func TestSpillCloseRemovesDir(t *testing.T) {
+	parent := t.TempDir()
+	c, err := Open(Options{Growth: 2, SpillDir: parent, SpillDepth: 2})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		c.Insert(i, i)
+	}
+	dir := c.ext.Dir()
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("spill dir %s survives Close (stat err %v)", dir, err)
+	}
+}

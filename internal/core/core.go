@@ -84,3 +84,13 @@ type Statser interface {
 type TransferCounter interface {
 	Transfers() uint64
 }
+
+// ActualTransferCounter is implemented by dictionaries backed by a real
+// block store (disk-resident levels, not just a DAM cost model) that can
+// report the chunk reads and writes that actually hit the backing files
+// — the measured side of the predicted-vs-actual comparison the DAM
+// model makes testable. Counts are cumulative; pair with a reset or a
+// before/after delta for per-phase measurements.
+type ActualTransferCounter interface {
+	ActualTransfers() (reads, writes uint64)
+}

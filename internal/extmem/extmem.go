@@ -1,0 +1,624 @@
+// Package extmem is the out-of-core backing store for the COLA spill
+// layer: a block-granular, file-backed level store with a small page
+// cache whose LRU mirrors internal/dam's resident-table semantics —
+// except that here a "transfer" is a real pread/pwrite of an aligned
+// chunk, not a simulated charge. The pair of counters (ChunkReads /
+// ChunkWrites, symmetric to core.TransferCounter's predicted stream)
+// is what lets the harness put the DAM model's prediction and the
+// measured I/O side by side (DESIGN.md E15).
+//
+// Layout: a Level is the occupied window of one COLA level, stored as
+// fixed 32-byte cells (core.ElementBytes — the paper's padded element)
+// packed into ChunkBytes-aligned chunks; the final chunk is padded to
+// full size on commit so every read is a whole aligned chunk and any
+// short read is a structural error, never silently-zero cells.
+//
+// Access pattern contract (the one the paper's analysis exploits):
+//   - Random reads (Search/Range probes) go through the page cache:
+//     a miss reads one aligned chunk and caches it, a hit costs
+//     nothing; the LRU is frozen during shared-read epochs exactly
+//     like dam.Store's (hits leave recency untouched, misses read
+//     around the cache and are counted atomically, writes panic).
+//   - Sequential passes (the merge ladder, snapshot serialization) use
+//     Reader/LevelWriter, which stream whole chunks through private
+//     buffers — counted, but deliberately NOT cached, so a single big
+//     merge cannot evict the read path's working set (scan resistance;
+//     levels are written once and never updated in place, so there is
+//     no dirty/writeback state at all).
+//
+// Like dam.Store, a Store is single-threaded for everything except
+// concurrent reads inside a Begin/EndSharedReads bracket.
+package extmem
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// CellBytes is the on-disk size of one cell: the paper's 32-byte padded
+// element (key, value, two 32-bit pointers, kind, padding). It matches
+// core.ElementBytes so chunk geometry lines up with DAM block geometry.
+const CellBytes = 32
+
+// DefaultChunkBytes matches dam.DefaultBlockBytes so predicted and
+// actual transfer counts are in the same unit by default.
+const DefaultChunkBytes = 4096
+
+// MinCacheChunks is the smallest page-cache budget Open accepts; below
+// this even a single binary search thrashes pathologically and the
+// "small pinned cache" stops being a cache at all.
+const MinCacheChunks = 4
+
+// ErrShortRead is the sentinel wrapped by every torn- or short-read
+// failure: a chunk read that returned fewer bytes than the aligned
+// chunk size. errors.Is(err, ErrShortRead) matches; the concrete
+// *ReadError carries the file, chunk, and byte counts.
+var ErrShortRead = errors.New("extmem: short chunk read")
+
+// ReadError is the typed failure for a chunk read that did not return a
+// whole aligned chunk (torn file, truncation, or an underlying I/O
+// error). Got < Want with a nil Err is a short read and matches
+// ErrShortRead; otherwise Err is the underlying pread failure.
+type ReadError struct {
+	Path  string
+	Chunk int
+	Got   int
+	Want  int
+	Err   error
+}
+
+func (e *ReadError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("extmem: read chunk %d of %s: %v", e.Chunk, e.Path, e.Err)
+	}
+	return fmt.Sprintf("extmem: short read of chunk %d of %s: %d of %d bytes (torn or truncated spill file)",
+		e.Chunk, e.Path, e.Got, e.Want)
+}
+
+// Unwrap lets errors.Is see through to the underlying failure, or to
+// the ErrShortRead sentinel for torn reads.
+func (e *ReadError) Unwrap() error {
+	if e.Err != nil {
+		return e.Err
+	}
+	return ErrShortRead
+}
+
+// Config parameterizes Open.
+type Config struct {
+	// Dir is the parent directory; the store creates (and on Close
+	// removes) a private subdirectory under it, so concurrent stores
+	// can share a spill directory without filename coordination.
+	Dir string
+	// ChunkBytes is the aligned I/O unit; 0 means DefaultChunkBytes.
+	// Must be a positive multiple of CellBytes.
+	ChunkBytes int
+	// CacheBytes is the page-cache budget; the chunk count is
+	// CacheBytes/ChunkBytes, floored at MinCacheChunks.
+	CacheBytes int64
+}
+
+type pageKey struct {
+	level int
+	gen   uint64
+	chunk int
+}
+
+type page struct {
+	key        pageKey
+	buf        []byte
+	prev, next *page
+}
+
+// Store is one spill store: a directory of level files plus the shared
+// page cache and I/O counters.
+type Store struct {
+	dir        string
+	chunkBytes int
+	capacity   int // page-cache budget in chunks
+
+	table      map[pageKey]*page
+	head, tail *page // LRU order; head is most recently used
+
+	levels  map[int]*Level
+	nextGen uint64
+
+	// Exclusive-mode counters; plain because mutation is single-
+	// threaded (the dam.Store convention).
+	reads, writes, hits uint64
+
+	// Shared-read epoch state, mirroring dam.Store: depth-counted
+	// brackets, atomic read/hit counters for the frozen cache.
+	sharedDepth atomic.Int64
+	sharedReads atomic.Uint64
+	sharedHits  atomic.Uint64
+
+	// chunkPool recycles the transient buffers shared-epoch misses read
+	// into, so the bracketed search path does not allocate per miss.
+	chunkPool sync.Pool
+}
+
+// Level is the file-backed occupied window of one COLA level: Cells()
+// fixed-size cells, chunk-aligned and padded, written once by a
+// LevelWriter and immutable thereafter.
+type Level struct {
+	s      *Store
+	id     int
+	gen    uint64
+	f      *os.File
+	path   string
+	cells  int
+	chunks int
+}
+
+// Open creates a store rooted in a fresh private subdirectory of
+// cfg.Dir.
+func Open(cfg Config) (*Store, error) {
+	chunk := cfg.ChunkBytes
+	if chunk == 0 {
+		chunk = DefaultChunkBytes
+	}
+	if chunk < CellBytes || chunk%CellBytes != 0 {
+		return nil, fmt.Errorf("extmem: chunk size %d is not a positive multiple of the %d-byte cell", chunk, CellBytes)
+	}
+	capacity := int(cfg.CacheBytes / int64(chunk))
+	if capacity < MinCacheChunks {
+		capacity = MinCacheChunks
+	}
+	dir, err := os.MkdirTemp(cfg.Dir, "extmem-*")
+	if err != nil {
+		return nil, fmt.Errorf("extmem: create spill directory: %w", err)
+	}
+	s := &Store{
+		dir:        dir,
+		chunkBytes: chunk,
+		capacity:   capacity,
+		table:      make(map[pageKey]*page),
+		levels:     make(map[int]*Level),
+	}
+	s.chunkPool.New = func() any {
+		b := make([]byte, chunk)
+		return &b
+	}
+	return s, nil
+}
+
+// Dir returns the store's private spill directory.
+func (s *Store) Dir() string { return s.dir }
+
+// ChunkBytes returns the aligned I/O unit.
+func (s *Store) ChunkBytes() int { return s.chunkBytes }
+
+// CacheChunks returns the page-cache budget in chunks.
+func (s *Store) CacheChunks() int { return s.capacity }
+
+// Close closes every level file and removes the spill directory. The
+// store is unusable afterwards.
+func (s *Store) Close() error {
+	var first error
+	for _, l := range s.levels {
+		if err := l.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.levels = map[int]*Level{}
+	s.dropCacheLocked()
+	if err := os.RemoveAll(s.dir); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// ChunkReads reports aligned chunk reads performed so far (cache misses
+// plus sequential reader traffic; shared-epoch misses included).
+func (s *Store) ChunkReads() uint64 { return s.reads + s.sharedReads.Load() }
+
+// ChunkWrites reports aligned chunk writes performed so far (all from
+// LevelWriter streams; levels are never updated in place).
+func (s *Store) ChunkWrites() uint64 { return s.writes }
+
+// CacheHits reports page-cache hits (shared-epoch hits included).
+func (s *Store) CacheHits() uint64 { return s.hits + s.sharedHits.Load() }
+
+// ResetCounters zeroes the I/O counters; resident pages and files are
+// untouched (the dam.Store convention).
+func (s *Store) ResetCounters() {
+	s.reads, s.writes, s.hits = 0, 0, 0
+	s.sharedReads.Store(0)
+	s.sharedHits.Store(0)
+}
+
+// DropCache empties the page cache without touching counters or files,
+// so a measurement can start cold.
+func (s *Store) DropCache() {
+	if s.sharedDepth.Load() != 0 {
+		panic("extmem: DropCache during a shared-read epoch")
+	}
+	s.dropCacheLocked()
+}
+
+func (s *Store) dropCacheLocked() {
+	s.table = make(map[pageKey]*page)
+	s.head, s.tail = nil, nil
+}
+
+// BeginSharedReads freezes the page cache for a concurrent-read epoch,
+// mirroring dam.Store.BeginSharedReads: until the matching End, any
+// number of goroutines may call ReadCell / Reader.Next concurrently.
+// Resident chunks are served without recency updates; misses read
+// around the cache (the file handle is safe for concurrent pread) and
+// are counted atomically; writes panic. Brackets nest.
+func (s *Store) BeginSharedReads() {
+	if s == nil {
+		return
+	}
+	s.sharedDepth.Add(1)
+}
+
+// EndSharedReads closes the bracket opened by BeginSharedReads.
+func (s *Store) EndSharedReads() {
+	if s == nil {
+		return
+	}
+	if s.sharedDepth.Add(-1) < 0 {
+		panic("extmem: EndSharedReads without BeginSharedReads")
+	}
+}
+
+// FileStats reports the number of spill files currently on disk and
+// their total size in bytes — the harness's "did it actually spill"
+// evidence.
+func (s *Store) FileStats() (files int, bytes int64, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			return 0, 0, err
+		}
+		files++
+		bytes += info.Size()
+	}
+	return files, bytes, nil
+}
+
+// Cells reports the number of cells stored in the level.
+func (l *Level) Cells() int { return l.cells }
+
+// ReadCell copies cell i into dst (len CellBytes) through the page
+// cache: the actual-I/O analogue of one DAM-charged probe. Outside an
+// epoch a miss loads and caches the cell's aligned chunk, evicting the
+// LRU chunk at capacity; inside an epoch the frozen-cache rules above
+// apply. Out-of-range indices panic (a structural bug, like slice
+// bounds); I/O failures return the typed *ReadError.
+func (l *Level) ReadCell(i int, dst []byte) error {
+	if i < 0 || i >= l.cells {
+		panic(fmt.Sprintf("extmem: cell %d out of range [0, %d)", i, l.cells))
+	}
+	if len(dst) != CellBytes {
+		panic("extmem: ReadCell destination must be exactly one cell")
+	}
+	s := l.s
+	cellsPerChunk := s.chunkBytes / CellBytes
+	chunk := i / cellsPerChunk
+	off := (i % cellsPerChunk) * CellBytes
+	key := pageKey{level: l.id, gen: l.gen, chunk: chunk}
+
+	if s.sharedDepth.Load() > 0 {
+		if p, ok := s.table[key]; ok {
+			copy(dst, p.buf[off:off+CellBytes])
+			s.sharedHits.Add(1)
+			return nil
+		}
+		bufp := s.chunkPool.Get().(*[]byte)
+		err := l.readChunk(chunk, *bufp)
+		if err == nil {
+			copy(dst, (*bufp)[off:off+CellBytes])
+		}
+		s.chunkPool.Put(bufp)
+		if err != nil {
+			// The error wraps path/offset metadata, never the pooled buffer.
+			return err //repro:allow scratchalias *ReadError carries no reference to the pooled chunk buffer
+		}
+		s.sharedReads.Add(1)
+		return nil
+	}
+
+	if p, ok := s.table[key]; ok {
+		s.moveToFront(p)
+		s.hits++
+		copy(dst, p.buf[off:off+CellBytes])
+		return nil
+	}
+	p := s.takePage(key)
+	if err := l.readChunk(chunk, p.buf); err != nil {
+		// The page was never filled; do not cache it.
+		return err
+	}
+	s.table[key] = p
+	s.pushFront(p)
+	s.reads++
+	copy(dst, p.buf[off:off+CellBytes])
+	return nil
+}
+
+// readChunk preads one whole aligned chunk into buf; anything less is a
+// typed failure.
+func (l *Level) readChunk(chunk int, buf []byte) error {
+	want := l.s.chunkBytes
+	got, err := l.f.ReadAt(buf[:want], int64(chunk)*int64(want))
+	if got == want {
+		return nil
+	}
+	if err != nil && err != io.EOF {
+		return &ReadError{Path: l.path, Chunk: chunk, Got: got, Want: want, Err: err}
+	}
+	return &ReadError{Path: l.path, Chunk: chunk, Got: got, Want: want}
+}
+
+// takePage returns a page to fill: the evicted LRU tail when the cache
+// is at capacity (pages are never dirty — levels are written once by
+// LevelWriter streams — so eviction never writes back), a fresh page
+// otherwise.
+func (s *Store) takePage(key pageKey) *page {
+	if len(s.table) >= s.capacity && s.tail != nil {
+		p := s.tail
+		s.unlink(p)
+		delete(s.table, p.key)
+		p.key = key
+		return p
+	}
+	return &page{key: key, buf: make([]byte, s.chunkBytes)}
+}
+
+func (s *Store) pushFront(p *page) {
+	p.prev = nil
+	p.next = s.head
+	if s.head != nil {
+		s.head.prev = p
+	}
+	s.head = p
+	if s.tail == nil {
+		s.tail = p
+	}
+}
+
+func (s *Store) unlink(p *page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		s.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		s.tail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}
+
+func (s *Store) moveToFront(p *page) {
+	if s.head == p {
+		return
+	}
+	s.unlink(p)
+	s.pushFront(p)
+}
+
+// invalidateLevel drops every cached page of one level generation
+// (called when a merge or removal replaces the level's file).
+func (s *Store) invalidateLevel(id int, gen uint64) {
+	for key, p := range s.table {
+		if key.level == id && key.gen == gen {
+			s.unlink(p)
+			delete(s.table, key)
+		}
+	}
+}
+
+// RemoveLevel deletes the named level's file and cached pages; a level
+// id with no file is a no-op. Panics during a shared-read epoch.
+func (s *Store) RemoveLevel(id int) error {
+	if s.sharedDepth.Load() != 0 {
+		panic("extmem: RemoveLevel during a shared-read epoch")
+	}
+	l, ok := s.levels[id]
+	if !ok {
+		return nil
+	}
+	delete(s.levels, id)
+	s.invalidateLevel(id, l.gen)
+	err := l.f.Close()
+	if rerr := os.Remove(l.path); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// Reader streams a level's cells sequentially through a private chunk
+// buffer: one counted aligned read per chunk, nothing cached (the merge
+// ladder and the snapshot codec must not evict the search path's
+// working set — see the package comment).
+type Reader struct {
+	l        *Level
+	next     int // next cell index
+	buf      []byte
+	bufChunk int // chunk index currently in buf; -1 when empty
+}
+
+// NewReader returns a sequential reader positioned at cell start.
+func (l *Level) NewReader(start int) *Reader {
+	if start < 0 || start > l.cells {
+		panic(fmt.Sprintf("extmem: reader start %d out of range [0, %d]", start, l.cells))
+	}
+	return &Reader{l: l, next: start, buf: make([]byte, l.s.chunkBytes), bufChunk: -1}
+}
+
+// Remaining reports how many cells are left to read.
+func (r *Reader) Remaining() int { return r.l.cells - r.next }
+
+// Next copies the next cell into dst (len CellBytes) and advances.
+// Calling past the end panics; the caller tracks Remaining.
+func (r *Reader) Next(dst []byte) error {
+	if r.next >= r.l.cells {
+		panic("extmem: Reader.Next past the end of the level")
+	}
+	if len(dst) != CellBytes {
+		panic("extmem: Reader.Next destination must be exactly one cell")
+	}
+	cellsPerChunk := r.l.s.chunkBytes / CellBytes
+	chunk := r.next / cellsPerChunk
+	if chunk != r.bufChunk {
+		if err := r.l.readChunk(chunk, r.buf); err != nil {
+			return err
+		}
+		r.bufChunk = chunk
+		if r.l.s.sharedDepth.Load() > 0 {
+			r.l.s.sharedReads.Add(1)
+		} else {
+			r.l.s.reads++
+		}
+	}
+	off := (r.next % cellsPerChunk) * CellBytes
+	copy(dst, r.buf[off:off+CellBytes])
+	r.next++
+	return nil
+}
+
+// LevelWriter streams a new image of one level: cells are appended in
+// order, buffered into whole chunks, and written with aligned pwrites
+// to a temp file that Commit atomically renames into place (replacing
+// and invalidating any previous image of the level). Levels are only
+// ever produced this way — a complete sequential rewrite — which is
+// exactly the COLA merge discipline the paper's analysis charges for.
+type LevelWriter struct {
+	s     *Store
+	id    int
+	gen   uint64
+	f     *os.File
+	tmp   string
+	buf   []byte
+	fill  int // bytes buffered in buf
+	cells int
+	chunk int // next chunk index to write
+	done  bool
+}
+
+// NewLevelWriter starts a replacement image for level id. Panics during
+// a shared-read epoch (writes are excluded by the bracket contract).
+func (s *Store) NewLevelWriter(id int) (*LevelWriter, error) {
+	if s.sharedDepth.Load() != 0 {
+		panic("extmem: NewLevelWriter during a shared-read epoch")
+	}
+	s.nextGen++
+	gen := s.nextGen
+	tmp := filepath.Join(s.dir, fmt.Sprintf("lvl%03d.g%06d.tmp", id, gen))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("extmem: create level %d image: %w", id, err)
+	}
+	return &LevelWriter{s: s, id: id, gen: gen, f: f, tmp: tmp, buf: make([]byte, s.chunkBytes)}, nil
+}
+
+// Append adds one cell (len CellBytes) to the image.
+func (w *LevelWriter) Append(cell []byte) error {
+	if w.done {
+		panic("extmem: Append after Commit/Abort")
+	}
+	if len(cell) != CellBytes {
+		panic("extmem: Append cell must be exactly CellBytes")
+	}
+	copy(w.buf[w.fill:], cell)
+	w.fill += CellBytes
+	w.cells++
+	if w.fill == len(w.buf) {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+func (w *LevelWriter) flushChunk() error {
+	if w.fill == 0 {
+		return nil
+	}
+	// Pad the final partial chunk so every chunk on disk is whole and
+	// aligned; a shorter-than-chunk read is then always a torn file.
+	for i := w.fill; i < len(w.buf); i++ {
+		w.buf[i] = 0
+	}
+	if _, err := w.f.WriteAt(w.buf, int64(w.chunk)*int64(len(w.buf))); err != nil {
+		return fmt.Errorf("extmem: write chunk %d of level %d: %w", w.chunk, w.id, err)
+	}
+	w.s.writes++
+	w.chunk++
+	w.fill = 0
+	return nil
+}
+
+// Commit pads and flushes the final chunk, renames the image into
+// place, and installs it as the level's current file (closing and
+// deleting the previous image and invalidating its cached pages). The
+// returned Level is immutable.
+func (w *LevelWriter) Commit() (*Level, error) {
+	if w.done {
+		panic("extmem: Commit after Commit/Abort")
+	}
+	w.done = true
+	if err := w.flushChunk(); err != nil {
+		w.discard()
+		return nil, err
+	}
+	// Reopen read-only under the final name. Spill files are ephemeral
+	// per-instance scratch (durability is the snapshot/WAL subsystem's
+	// job), so no fsync: a crash loses only a structure that was
+	// already gone.
+	if err := w.f.Close(); err != nil {
+		w.discard()
+		return nil, fmt.Errorf("extmem: close level %d image: %w", w.id, err)
+	}
+	final := w.tmp[:len(w.tmp)-len(".tmp")] + ".ext"
+	if err := os.Rename(w.tmp, final); err != nil {
+		//repro:allow durerr remove of the temp image after a failed rename; the rename error is being returned
+		os.Remove(w.tmp)
+		return nil, fmt.Errorf("extmem: install level %d image: %w", w.id, err)
+	}
+	f, err := os.Open(final)
+	if err != nil {
+		//repro:allow durerr remove of the just-renamed image after a failed reopen; the open error is being returned
+		os.Remove(final)
+		return nil, fmt.Errorf("extmem: reopen level %d image: %w", w.id, err)
+	}
+	if old, ok := w.s.levels[w.id]; ok {
+		w.s.invalidateLevel(w.id, old.gen)
+		//repro:allow durerr old read-only image teardown; its data was fully superseded by the committed rename
+		old.f.Close()
+		//repro:allow durerr best-effort unlink of the superseded image; Close() removes the whole directory regardless
+		os.Remove(old.path)
+	}
+	l := &Level{s: w.s, id: w.id, gen: w.gen, f: f, path: final, cells: w.cells, chunks: w.chunk}
+	w.s.levels[w.id] = l
+	return l, nil
+}
+
+// Abort discards the image without installing it.
+func (w *LevelWriter) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.discard()
+}
+
+func (w *LevelWriter) discard() {
+	//repro:allow durerr teardown of an image that is being thrown away; nothing durable depends on it
+	w.f.Close()
+	//repro:allow durerr best-effort unlink of a discarded temp image; Close() removes the whole directory regardless
+	os.Remove(w.tmp)
+}

@@ -1,0 +1,338 @@
+package extmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// openTest returns a store in a test temp dir with a tiny cache.
+func openTest(t *testing.T, cacheChunks int) *Store {
+	t.Helper()
+	s, err := Open(Config{Dir: t.TempDir(), ChunkBytes: 128, CacheBytes: int64(cacheChunks) * 128})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s
+}
+
+// writeLevel streams n cells into level id; cell i holds i in its first
+// word.
+func writeLevel(t *testing.T, s *Store, id, n int) *Level {
+	t.Helper()
+	w, err := s.NewLevelWriter(id)
+	if err != nil {
+		t.Fatalf("NewLevelWriter: %v", err)
+	}
+	var cell [CellBytes]byte
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(cell[:8], uint64(i))
+		if err := w.Append(cell[:]); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	l, err := w.Commit()
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	return l
+}
+
+func cellValue(t *testing.T, l *Level, i int) uint64 {
+	t.Helper()
+	var cell [CellBytes]byte
+	if err := l.ReadCell(i, cell[:]); err != nil {
+		t.Fatalf("ReadCell(%d): %v", i, err)
+	}
+	return binary.LittleEndian.Uint64(cell[:8])
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := openTest(t, 4)
+	// 37 cells of 32 bytes in 128-byte chunks: 4 cells per chunk, a
+	// padded final chunk.
+	l := writeLevel(t, s, 1, 37)
+	if l.Cells() != 37 {
+		t.Fatalf("Cells = %d, want 37", l.Cells())
+	}
+	for i := 0; i < 37; i++ {
+		if got := cellValue(t, l, i); got != uint64(i) {
+			t.Fatalf("cell %d = %d", i, got)
+		}
+	}
+	if s.ChunkWrites() != 10 { // ceil(37/4)
+		t.Fatalf("ChunkWrites = %d, want 10", s.ChunkWrites())
+	}
+	// A sequential reader sees the same cells, one read per chunk.
+	r := l.NewReader(0)
+	reads0 := s.ChunkReads()
+	var cell [CellBytes]byte
+	for i := 0; i < 37; i++ {
+		if err := r.Next(cell[:]); err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+		if got := binary.LittleEndian.Uint64(cell[:8]); got != uint64(i) {
+			t.Fatalf("reader cell %d = %d", i, got)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	if got := s.ChunkReads() - reads0; got != 10 {
+		t.Fatalf("sequential pass read %d chunks, want 10", got)
+	}
+}
+
+func TestPageCacheLRU(t *testing.T) {
+	s := openTest(t, 4)
+	l := writeLevel(t, s, 0, 64) // 16 chunks of 4 cells
+	s.ResetCounters()
+
+	// Touch chunks 0..3: four misses fill the cache.
+	for c := 0; c < 4; c++ {
+		cellValue(t, l, c*4)
+	}
+	if s.ChunkReads() != 4 || s.CacheHits() != 0 {
+		t.Fatalf("after fill: reads=%d hits=%d", s.ChunkReads(), s.CacheHits())
+	}
+	// Re-touching them is free.
+	for c := 0; c < 4; c++ {
+		cellValue(t, l, c*4+1)
+	}
+	if s.ChunkReads() != 4 || s.CacheHits() != 4 {
+		t.Fatalf("after re-touch: reads=%d hits=%d", s.ChunkReads(), s.CacheHits())
+	}
+	// Chunk 4 evicts the LRU chunk (0); chunk 1 is still resident,
+	// chunk 0 misses again.
+	cellValue(t, l, 16)
+	cellValue(t, l, 4) // hit
+	cellValue(t, l, 0) // miss
+	if s.ChunkReads() != 6 || s.CacheHits() != 5 {
+		t.Fatalf("after eviction: reads=%d hits=%d", s.ChunkReads(), s.CacheHits())
+	}
+}
+
+func TestShortReadSurfacesTypedError(t *testing.T) {
+	s := openTest(t, 4)
+	l := writeLevel(t, s, 2, 16)
+	// Tear the file: truncate to half a chunk.
+	if err := os.Truncate(l.path, int64(s.ChunkBytes())/2); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	var cell [CellBytes]byte
+	err := l.ReadCell(8, cell[:]) // chunk 2, past the torn end
+	if err == nil {
+		t.Fatal("torn read returned nil error (silent zero block)")
+	}
+	if !errors.Is(err, ErrShortRead) {
+		t.Fatalf("torn read error %v does not match ErrShortRead", err)
+	}
+	var re *ReadError
+	if !errors.As(err, &re) {
+		t.Fatalf("torn read error %T is not *ReadError", err)
+	}
+	if re.Chunk != 2 || re.Got != 0 || re.Want != s.ChunkBytes() {
+		t.Fatalf("ReadError = %+v", re)
+	}
+	// The torn FIRST chunk reads short, not zero-filled.
+	err = l.ReadCell(0, cell[:])
+	if !errors.Is(err, ErrShortRead) {
+		t.Fatalf("partial chunk read error %v does not match ErrShortRead", err)
+	}
+	var re2 *ReadError
+	if !errors.As(err, &re2) || re2.Got != s.ChunkBytes()/2 {
+		t.Fatalf("partial chunk ReadError = %v", err)
+	}
+	// Sequential readers surface the same typed failure.
+	r := l.NewReader(0)
+	if err := r.Next(cell[:]); !errors.Is(err, ErrShortRead) {
+		t.Fatalf("reader over torn file: %v", err)
+	}
+}
+
+func TestCommitReplacesAndInvalidates(t *testing.T) {
+	s := openTest(t, 8)
+	l1 := writeLevel(t, s, 5, 8)
+	if got := cellValue(t, l1, 3); got != 3 {
+		t.Fatalf("cell 3 = %d", got)
+	}
+	// Replace the level with a new image holding different values.
+	w, err := s.NewLevelWriter(5)
+	if err != nil {
+		t.Fatalf("NewLevelWriter: %v", err)
+	}
+	var cell [CellBytes]byte
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(cell[:8], uint64(100+i))
+		if err := w.Append(cell[:]); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l2, err := w.Commit()
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	// Stale pages of the old image must not serve the new level.
+	if got := cellValue(t, l2, 3); got != 103 {
+		t.Fatalf("replaced cell 3 = %d, want 103", got)
+	}
+	// Exactly one file remains for the level.
+	files, bytes, err := s.FileStats()
+	if err != nil {
+		t.Fatalf("FileStats: %v", err)
+	}
+	if files != 1 || bytes != int64(2*s.ChunkBytes()) {
+		t.Fatalf("FileStats = %d files, %d bytes", files, bytes)
+	}
+}
+
+func TestRemoveLevel(t *testing.T) {
+	s := openTest(t, 8)
+	writeLevel(t, s, 1, 8)
+	writeLevel(t, s, 2, 8)
+	if err := s.RemoveLevel(1); err != nil {
+		t.Fatalf("RemoveLevel: %v", err)
+	}
+	if err := s.RemoveLevel(9); err != nil { // absent id is a no-op
+		t.Fatalf("RemoveLevel(absent): %v", err)
+	}
+	files, _, err := s.FileStats()
+	if err != nil {
+		t.Fatalf("FileStats: %v", err)
+	}
+	if files != 1 {
+		t.Fatalf("%d files after RemoveLevel, want 1", files)
+	}
+}
+
+func TestAbortLeavesNoFile(t *testing.T) {
+	s := openTest(t, 4)
+	w, err := s.NewLevelWriter(0)
+	if err != nil {
+		t.Fatalf("NewLevelWriter: %v", err)
+	}
+	var cell [CellBytes]byte
+	if err := w.Append(cell[:]); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	w.Abort()
+	files, _, err := s.FileStats()
+	if err != nil {
+		t.Fatalf("FileStats: %v", err)
+	}
+	if files != 0 {
+		t.Fatalf("%d files after Abort, want 0", files)
+	}
+}
+
+func TestWriteDuringSharedEpochPanics(t *testing.T) {
+	s := openTest(t, 4)
+	s.BeginSharedReads()
+	defer s.EndSharedReads()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLevelWriter inside a shared-read epoch did not panic")
+		}
+	}()
+	s.NewLevelWriter(0) //nolint:errcheck // must panic first
+}
+
+func TestUnmatchedEndSharedReadsPanics(t *testing.T) {
+	s := openTest(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmatched EndSharedReads did not panic")
+		}
+	}()
+	s.EndSharedReads()
+}
+
+// TestSharedReadStress hammers the frozen cache from many goroutines
+// under -race: resident chunks are served concurrently without LRU
+// mutation, misses read around the cache, and the atomic counters add
+// up. The cache is warmed with a known subset first so both paths run.
+func TestSharedReadStress(t *testing.T) {
+	s := openTest(t, 4)
+	const cells = 256
+	l := writeLevel(t, s, 0, cells)
+	// Warm chunks 0..3.
+	for c := 0; c < 4; c++ {
+		cellValue(t, l, c*4)
+	}
+	s.ResetCounters()
+
+	s.BeginSharedReads()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			var cell [CellBytes]byte
+			r := l.NewReader(0)
+			x := uint64(seed)*2654435761 + 1
+			for i := 0; i < 2000; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				idx := int(x>>33) % cells
+				if err := l.ReadCell(idx, cell[:]); err != nil {
+					t.Errorf("ReadCell(%d): %v", idx, err)
+					return
+				}
+				if got := binary.LittleEndian.Uint64(cell[:8]); got != uint64(idx) {
+					t.Errorf("cell %d = %d during epoch", idx, got)
+					return
+				}
+				// Interleave some sequential traffic too.
+				if r.Remaining() > 0 && i%17 == 0 {
+					if err := r.Next(cell[:]); err != nil {
+						t.Errorf("reader: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.EndSharedReads()
+
+	if s.ChunkReads() == 0 || s.CacheHits() == 0 {
+		t.Fatalf("stress saw reads=%d hits=%d; both paths must run", s.ChunkReads(), s.CacheHits())
+	}
+	// The frozen cache still holds exactly the warmed chunks.
+	if len(s.table) != 4 {
+		t.Fatalf("epoch mutated the resident set: %d pages", len(s.table))
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{Dir: t.TempDir(), ChunkBytes: 100}); err == nil {
+		t.Fatal("accepted a chunk size that is not a multiple of the cell size")
+	}
+	if _, err := Open(Config{Dir: filepath.Join(t.TempDir(), "missing", "deep")}); err == nil {
+		t.Fatal("accepted a nonexistent parent directory")
+	}
+	// A tiny cache budget is floored, not rejected.
+	s, err := Open(Config{Dir: t.TempDir(), CacheBytes: 1})
+	if err != nil {
+		t.Fatalf("Open with tiny cache: %v", err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	if s.CacheChunks() < MinCacheChunks {
+		t.Fatalf("CacheChunks = %d, floor is %d", s.CacheChunks(), MinCacheChunks)
+	}
+	if !strings.HasPrefix(filepath.Base(s.Dir()), "extmem-") {
+		t.Fatalf("spill dir %q not namespaced", s.Dir())
+	}
+}

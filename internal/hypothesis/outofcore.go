@@ -1,0 +1,116 @@
+package hypothesis
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// The out-of-core edition of the repo's foundational assumption (PR 9 /
+// E15): every figure substitutes DAM-charged transfers for real disk
+// I/O, and this bundle checks the substitution against a structure that
+// actually performs it. A gcola built with WithSpillDir keeps its cold
+// levels in chunk-aligned files behind a page cache sized like the DAM
+// cache M; at that starved geometry the chunk reads a random search
+// really performs must land within 2x of the reads the model charges.
+// The control removes the starvation — a page cache big enough to hold
+// every spill file — and the actual reads must collapse toward zero
+// while the charges, computed against the unchanged DAM geometry, do
+// not: the agreement is produced by the shared geometry, not by the
+// counters measuring the same thing twice.
+func init() {
+	mustRegister(Bundle{
+		Name:  "dam-model-fidelity",
+		Title: "DAM charges predict real out-of-core block reads",
+		Claim: "At a cache-starved geometry the chunk reads per random search a spilled " +
+			"gcola actually performs are within 2x of the DAM-charged block reads " +
+			"(agreement min(charged,actual)/max(charged,actual) >= 0.5).",
+		Mechanism: "The spill store and the DAM model share the geometry — 4 KiB blocks, " +
+			"matching cache budgets — and the spilled search path issues its charges at " +
+			"the same logical offsets it reads through the page cache, so a cold random " +
+			"search pays roughly one real chunk read per charged block of every spilled " +
+			"level; only the RAM-resident top levels and residual cache hits separate " +
+			"the two counts.",
+		Metric:     MetricTransfersPerOp,
+		Experiment: fidelityRatio("charged vs actual reads/search, starved page cache", fidelityAgreement, fidelityStarvedCache),
+		MinRatio:   0.5,
+		Control:    fidelityRatio("actual/charged reads/search, page cache holds everything", fidelityQuotient, fidelityFullCache),
+		ControlMax: 0.1,
+		Tolerance:  0.2,
+		LogN:       14,
+		CacheBytes: 64 << 10,
+		Measure:    measureFidelity,
+	})
+}
+
+// The two page-cache operating points: starved matches the DAM cache M
+// (16 chunks), full exceeds the total spill-file footprint at N = 2^14
+// (~600 KiB) by two orders of magnitude.
+const (
+	fidelityStarvedCache = 64 << 10
+	fidelityFullCache    = 64 << 20
+)
+
+// The two observation modes measureFidelity decodes from Arm.Scenario.
+const (
+	fidelityAgreement = "agreement"
+	fidelityQuotient  = "actual/charged"
+)
+
+// fidelityRatio builds one ratio over a single spilled-gcola run: both
+// arms come from the same search phase (numerator the actual chunk
+// reads, denominator the DAM charges), and the scenario string encodes
+// the observation mode plus the page-cache budget for measureFidelity
+// to decode.
+func fidelityRatio(label, mode string, spillCache int64) Ratio {
+	scen := fmt.Sprintf("%s spill-cache=%d", mode, spillCache)
+	return Ratio{
+		Label: label,
+		Num:   Arm{Structure: "gcola (spilled)", Scenario: scen, Label: "actual chunk reads/search"},
+		Den:   Arm{Structure: "gcola (spilled)", Scenario: scen, Label: "DAM-charged reads/search"},
+	}
+}
+
+// measureFidelity is the custom arm runner: one out-of-core search run
+// per ratio, charged and actual reads measured side by side.
+func measureFidelity(cfg harness.Config, r Ratio) (RatioResult, error) {
+	mode, cacheField, ok := strings.Cut(r.Num.Scenario, " spill-cache=")
+	if !ok {
+		return RatioResult{}, fmt.Errorf("arm scenario %q: want \"<mode> spill-cache=<bytes>\"", r.Num.Scenario)
+	}
+	spillCache, err := strconv.ParseInt(cacheField, 10, 64)
+	if err != nil || spillCache <= 0 {
+		return RatioResult{}, fmt.Errorf("arm scenario %q: bad spill-cache budget", r.Num.Scenario)
+	}
+	const searches = 1 << 13
+	charged, actual, err := cfg.OutOfCoreSearchTransfers(spillCache, searches)
+	if err != nil {
+		return RatioResult{}, err
+	}
+	out := RatioResult{
+		Label: r.Label,
+		Num:   ArmResult{Structure: r.Num.Label, Scenario: r.Num.Scenario, Value: actual},
+		Den:   ArmResult{Structure: r.Den.Label, Scenario: r.Den.Scenario, Value: charged},
+	}
+	if charged <= 0 {
+		return out, fmt.Errorf("ratio %q: charged %g transfers/search", r.Label, charged)
+	}
+	switch mode {
+	case fidelityQuotient:
+		out.Observed = actual / charged
+	case fidelityAgreement:
+		if actual <= 0 {
+			return out, fmt.Errorf("ratio %q: a starved cache performed no reads at all", r.Label)
+		}
+		q := actual / charged
+		if q > 1 {
+			q = 1 / q
+		}
+		out.Observed = q
+	default:
+		return out, fmt.Errorf("arm scenario %q: unknown mode %q", r.Num.Scenario, mode)
+	}
+	return out, nil
+}

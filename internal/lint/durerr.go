@@ -13,8 +13,8 @@ import (
 )
 
 // DurerrAnalyzer enforces the durability error discipline: in the
-// durability-critical code — the wal, snap, and durable packages and
-// the facade's durability*.go files — an error from Write, Sync,
+// durability-critical code — the wal, snap, durable, and extmem
+// packages and the facade's durability*.go files — an error from Write, Sync,
 // Close, Truncate, or Rename must not be discarded, neither by calling
 // in an expression statement nor by assigning the error to blank. A
 // dropped Sync error is a silently-lost durability guarantee; a
@@ -38,8 +38,10 @@ var durErrMethods = map[string]bool{
 }
 
 // durerrPackages are the import-path base names in scope; files named
-// durability*.go are in scope regardless of package.
-var durerrPackages = map[string]bool{"wal": true, "snap": true, "durable": true}
+// durability*.go are in scope regardless of package. extmem is in scope
+// because a dropped Close there can hide a failed chunk flush exactly
+// like a dropped WAL Sync.
+var durerrPackages = map[string]bool{"wal": true, "snap": true, "durable": true, "extmem": true}
 
 func runDurerr(pass *analysis.Pass) (interface{}, error) {
 	pkgInScope := durerrPackages[path.Base(strings.TrimSuffix(pass.Pkg.Path(), "_test"))] ||

@@ -46,15 +46,27 @@ func init() {
 		},
 	})
 	mustRegister("gcola", KindInfo{
-		Doc:     "growth-factor-g lookahead array with tunable pointer density (the paper's g-COLA)",
-		Options: []string{OptSpace, OptGrowth, OptPointerDensity},
+		Doc:     "growth-factor-g lookahead array with tunable pointer density (the paper's g-COLA); WithSpillDir runs its cold levels out of core",
+		Options: []string{OptSpace, OptGrowth, OptPointerDensity, OptSpillDir, OptSpillDepth, OptSpillCacheBytes},
 		Caps:    Caps{Snapshot: true, Delete: true, Batch: true, Stats: true, SharedReads: true},
 		New: func(c *Config) (core.Dictionary, error) {
-			return cola.New(cola.Options{
+			opt := cola.Options{
 				Growth:         c.GrowthFactor(2),
 				PointerDensity: c.PointerDensity(cola.DefaultPointerDensity),
 				Space:          c.Space(),
-			}), nil
+			}
+			if dir, ok := c.SpillDir(); ok {
+				opt.SpillDir = dir
+				opt.SpillDepth = c.SpillDepth(0)
+				opt.SpillCacheBytes = c.SpillCacheBytes(0)
+			} else if c.IsSet(OptSpillDepth) || c.IsSet(OptSpillCacheBytes) {
+				return nil, fmt.Errorf("WithSpillDepth/WithSpillCacheBytes require WithSpillDir")
+			}
+			d, err := cola.Open(opt)
+			if err != nil {
+				return nil, err
+			}
+			return d, nil
 		},
 	})
 	mustRegister("deamortized", KindInfo{
@@ -297,15 +309,16 @@ func buildDurable(c *Config) (core.Dictionary, error) {
 	if !ie.info.Caps.Snapshot {
 		return nil, fmt.Errorf("inner kind %q cannot snapshot itself (capabilities: %s); durable needs a snapshot-capable inner for checkpoints", innerKind, ie.info.Caps)
 	}
-	// The space check walks the whole inner option tree: a WithSpace one
-	// wrapper deeper (e.g. WithInner("synchronized", WithInner("cola",
-	// WithSpace(sp)))) is just as unpersistable — specFromConfig drops
-	// OptSpace from the recorded header, so a reopen would silently
-	// rebuild without the space instead of failing loudly here.
-	if set, serr := innerTreeSetsSpace(icfg); serr != nil {
+	// The runtime-wiring check walks the whole inner option tree: a
+	// WithSpace (or spill option) one wrapper deeper (e.g.
+	// WithInner("synchronized", WithInner("cola", WithSpace(sp)))) is
+	// just as unpersistable — specFromConfig drops those options from the
+	// recorded header, so a reopen would silently rebuild without them
+	// instead of failing loudly here.
+	if name, serr := innerTreeSetsRuntime(icfg); serr != nil {
 		return nil, serr
-	} else if set {
-		return nil, fmt.Errorf("inner kind %q: a DAM space cannot be persisted across reopens; durable inners run without one (WithSpace found in the inner option tree)", innerKind)
+	} else if name != "" {
+		return nil, fmt.Errorf("inner kind %q: %s configures process-local runtime wiring that cannot be persisted across reopens; durable inners run without it", innerKind, name)
 	}
 
 	ckptPath := path + ".ckpt"
@@ -381,20 +394,27 @@ func buildDurable(c *Config) (core.Dictionary, error) {
 	}), nil
 }
 
-// innerTreeSetsSpace reports whether an option tree sets WithSpace at
-// any wrapper nesting depth.
-func innerTreeSetsSpace(c *Config) (bool, error) {
-	if c.IsSet(OptSpace) {
-		return true, nil
+// runtimeWiringOpts configure process-local runtime wiring (DAM
+// accounting spaces, out-of-core spill stores). They are dropped from
+// recorded snapshot specs, so a durable inner must not carry them.
+var runtimeWiringOpts = []string{OptSpace, OptSpillDir, OptSpillDepth, OptSpillCacheBytes}
+
+// innerTreeSetsRuntime returns the name of the first runtime-wiring
+// option set anywhere in an inner option tree, or "" if none is.
+func innerTreeSetsRuntime(c *Config) (string, error) {
+	for _, name := range runtimeWiringOpts {
+		if c.IsSet(name) {
+			return name, nil
+		}
 	}
 	if _, iopts, ok := c.Inner(); ok {
 		icfg, err := innerConfig(iopts)
 		if err != nil {
-			return false, err
+			return "", err
 		}
-		return innerTreeSetsSpace(icfg)
+		return innerTreeSetsRuntime(icfg)
 	}
-	return false, nil
+	return "", nil
 }
 
 // checkpointHeaderConflict reads only the container header from f,

@@ -262,6 +262,12 @@ func Save(w io.Writer, kind string, d core.Dictionary, opts ...Option) error {
 		}
 		p, l = pi, li
 	}
+	// The probe exists only for the type comparison; release anything it
+	// opened (a spill-configured gcola probe holds an open spill
+	// directory). The error is irrelevant — the probe holds no state.
+	if cl, ok := probe.(io.Closer); ok {
+		_ = cl.Close()
+	}
 	spec, err := specFromConfig(kind, cfg)
 	if err != nil {
 		return buildErr(kind, err)

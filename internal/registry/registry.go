@@ -41,6 +41,9 @@ const (
 	OptFactory         = "WithDictionary"
 	OptWALPath         = "WithWALPath"
 	OptCheckpointEvery = "WithCheckpointEvery"
+	OptSpillDir        = "WithSpillDir"
+	OptSpillDepth      = "WithSpillDepth"
+	OptSpillCacheBytes = "WithSpillCacheBytes"
 )
 
 // Config is the unified option sheet every kind builds from. Options
@@ -67,6 +70,9 @@ type Config struct {
 	factory        shard.Factory
 	walPath        string
 	ckptEvery      int
+	spillDir       string
+	spillDepth     int
+	spillCache     int64
 }
 
 func newConfig() *Config { return &Config{set: make(map[string]bool)} }
@@ -174,6 +180,27 @@ func (c *Config) WALPath() (string, bool) { return c.walPath, c.set[OptWALPath] 
 func (c *Config) CheckpointEvery(def int) int {
 	if c.set[OptCheckpointEvery] {
 		return c.ckptEvery
+	}
+	return def
+}
+
+// SpillDir returns the out-of-core spill directory; ok is false when
+// unset (fully in-RAM operation).
+func (c *Config) SpillDir() (string, bool) { return c.spillDir, c.set[OptSpillDir] }
+
+// SpillDepth returns the first spilled level index, or def when unset.
+func (c *Config) SpillDepth(def int) int {
+	if c.set[OptSpillDepth] {
+		return c.spillDepth
+	}
+	return def
+}
+
+// SpillCacheBytes returns the spill page-cache budget, or def when
+// unset.
+func (c *Config) SpillCacheBytes(def int64) int64 {
+	if c.set[OptSpillCacheBytes] {
+		return c.spillCache
 	}
 	return def
 }
@@ -357,6 +384,48 @@ func WithCheckpointEvery(n int) Option {
 		}
 		c.ckptEvery = n
 		c.mark(OptCheckpointEvery)
+		return nil
+	}
+}
+
+// WithSpillDir turns on a gcola's out-of-core mode: levels at or past
+// the spill depth live in chunk-aligned files under a private
+// subdirectory of dir (see internal/extmem) instead of RAM. Like
+// WithSpace, the spill configuration is runtime wiring — it is not
+// recorded in snapshots and must be passed again at Load.
+func WithSpillDir(dir string) Option {
+	return func(c *Config) error {
+		if dir == "" {
+			return fmt.Errorf("WithSpillDir(%q): directory must be non-empty", dir)
+		}
+		c.spillDir = dir
+		c.mark(OptSpillDir)
+		return nil
+	}
+}
+
+// WithSpillDepth sets the first level index backed by spill files
+// (>= 1; level 0 always stays in RAM). Requires WithSpillDir.
+func WithSpillDepth(n int) Option {
+	return func(c *Config) error {
+		if n < 1 {
+			return fmt.Errorf("WithSpillDepth(%d): spill depth must be at least 1", n)
+		}
+		c.spillDepth = n
+		c.mark(OptSpillDepth)
+		return nil
+	}
+}
+
+// WithSpillCacheBytes sets the spill store's page-cache budget in bytes
+// (floored at a few chunks by the store). Requires WithSpillDir.
+func WithSpillCacheBytes(b int64) Option {
+	return func(c *Config) error {
+		if b <= 0 {
+			return fmt.Errorf("WithSpillCacheBytes(%d): cache budget must be positive", b)
+		}
+		c.spillCache = b
+		c.mark(OptSpillCacheBytes)
 		return nil
 	}
 }

@@ -87,3 +87,22 @@ func WithWALPath(path string) Option { return registry.WithWALPath(path) }
 // elements); 0 — the default — disables automatic checkpoints and the
 // log grows until Checkpoint is called.
 func WithCheckpointEvery(n int) Option { return registry.WithCheckpointEvery(n) }
+
+// WithSpillDir runs a "gcola" out of core: levels at or past the spill
+// depth live in chunk-aligned files under a private subdirectory of dir
+// instead of RAM, merged by sequential streaming and searched through a
+// small page cache. Like WithSpace, the spill configuration is runtime
+// wiring: it is not recorded in snapshots (pass it again at Load) and
+// is rejected inside a "durable" inner. Close the built dictionary (it
+// implements io.Closer) to release the spill files.
+func WithSpillDir(dir string) Option { return registry.WithSpillDir(dir) }
+
+// WithSpillDepth sets the first level index backed by spill files
+// ("gcola", >= 1; level 0 always stays in RAM). Default 8. Requires
+// WithSpillDir.
+func WithSpillDepth(n int) Option { return registry.WithSpillDepth(n) }
+
+// WithSpillCacheBytes sets the spill store's page-cache budget in bytes
+// ("gcola"; floored at a few chunks). Default 256 KiB. Requires
+// WithSpillDir.
+func WithSpillCacheBytes(b int64) Option { return registry.WithSpillCacheBytes(b) }

@@ -45,6 +45,9 @@ const (
 	OptDictionary      = registry.OptFactory
 	OptWALPath         = registry.OptWALPath
 	OptCheckpointEvery = registry.OptCheckpointEvery
+	OptSpillDir        = registry.OptSpillDir
+	OptSpillDepth      = registry.OptSpillDepth
+	OptSpillCacheBytes = registry.OptSpillCacheBytes
 )
 
 // Build constructs the named dictionary kind from the unified option
@@ -148,3 +151,9 @@ type BatchInserter = core.BatchInserter
 // ShardedMap built with WithShardDAM, or a SynchronizedDictionary
 // wrapping one).
 type TransferCounter = core.TransferCounter
+
+// ActualTransferCounter is implemented by dictionaries backed by a real
+// block store — a "gcola" built with WithSpillDir — and reports the
+// chunk reads and writes that actually hit the spill files, the
+// measured side of the DAM model's predicted-vs-actual comparison.
+type ActualTransferCounter = core.ActualTransferCounter

@@ -100,6 +100,17 @@ func TestBuildErrors(t *testing.T) {
 			[]Option{WithInner("swbst"), WithSpace(nil)}, `inner kind "swbst" does not accept WithSpace`},
 		{"bad inner option", "sharded",
 			[]Option{WithInner("gcola", WithGrowthFactor(1))}, "growth factor must be at least 2"},
+		{"spill depth without dir", "gcola",
+			[]Option{WithSpillDepth(3)}, "require WithSpillDir"},
+		{"bad spill depth", "gcola",
+			[]Option{WithSpillDir("."), WithSpillDepth(0)}, "spill depth must be at least 1"},
+		{"bad spill cache", "gcola",
+			[]Option{WithSpillDir("."), WithSpillCacheBytes(0)}, "cache budget must be positive"},
+		{"spill on cola", "cola",
+			[]Option{WithSpillDir(".")}, "does not accept WithSpillDir"},
+		{"spill inner on durable", "durable",
+			[]Option{WithWALPath(filepath.Join(t.TempDir(), "spill-inner.wal")),
+				WithInner("gcola", WithSpillDir("."))}, "runtime wiring"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -164,6 +175,26 @@ func TestBuildOptionWiring(t *testing.T) {
 	}
 	if tc, ok := dm.(TransferCounter); !ok || tc.Transfers() == 0 {
 		t.Errorf("sharded WithShardDAM: TransferCounter = %v", ok)
+	}
+
+	// Spill options reach the out-of-core gcola: real chunk I/O is
+	// performed and reported through ActualTransferCounter.
+	sp, err := Build("gcola", WithSpillDir(t.TempDir()), WithSpillDepth(2), WithSpillCacheBytes(1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3000; i++ {
+		sp.Insert(i, i)
+	}
+	atc, ok := sp.(ActualTransferCounter)
+	if !ok {
+		t.Fatalf("spilled gcola %T does not implement ActualTransferCounter", sp)
+	}
+	if reads, writes := atc.ActualTransfers(); reads == 0 || writes == 0 {
+		t.Errorf("spilled gcola performed no actual I/O (reads=%d writes=%d)", reads, writes)
+	}
+	if err := sp.(interface{ Close() error }).Close(); err != nil {
+		t.Errorf("Close: %v", err)
 	}
 }
 
