@@ -1,8 +1,8 @@
 // Command reprolint runs the repo's invariant analyzers (package
-// repro/internal/lint: damcharge, rlockpure, bracketbalance,
-// scratchalias, durerr, reprodirective) together with the full
-// standard vet battery — a superset of the abbreviated subset `go
-// test` runs by default.
+// repro/internal/lint: damcharge, chargeamount, rlockpure,
+// bracketbalance, bracketflow, scratchescape, durerr, reprodirective)
+// together with the full standard vet battery — a superset of the
+// abbreviated subset `go test` runs by default.
 //
 // It speaks the `go vet -vettool` unitchecker protocol, so the usual
 // invocation is simply
@@ -15,6 +15,14 @@
 //
 //	bin/reprolint ./...
 //
+// With -summary and/or -json, the re-exec mode additionally runs the
+// driver with JSON diagnostics, scans the tree's //repro: directives,
+// and emits a findings/waivers report: -json writes a machine-readable
+// summary, -summary appends a markdown table (CI passes
+// $GITHUB_STEP_SUMMARY, mirroring perfgate -summary):
+//
+//	bin/reprolint -summary "$GITHUB_STEP_SUMMARY" -json lint-summary.json ./...
+//
 // The nilness and unusedwrite passes are intentionally absent: they
 // need golang.org/x/tools/go/ssa, which the vendored (GOROOT-sourced)
 // x/tools subset does not carry. See DESIGN.md "Machine-checked
@@ -22,6 +30,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"os/exec"
@@ -105,15 +114,21 @@ func vetPasses() []*analysis.Analyzer {
 
 func main() {
 	// The go vet driver probes with -V=full and -flags, then hands the
-	// tool one JSON .cfg per package; anything else is a human typing
-	// package patterns.
+	// tool one JSON .cfg per package (possibly preceded by analyzer
+	// flags such as -json); anything else is a human typing package
+	// patterns.
 	if len(os.Args) >= 2 {
-		arg := os.Args[1]
-		if strings.HasPrefix(arg, "-V") || arg == "-flags" || strings.HasSuffix(arg, ".cfg") {
+		first, last := os.Args[1], os.Args[len(os.Args)-1]
+		if strings.HasPrefix(first, "-V") || first == "-flags" || strings.HasSuffix(last, ".cfg") {
 			unitchecker.Main(append(lint.Suite(), vetPasses()...)...) // does not return
 		}
 	}
-	patterns := os.Args[1:]
+
+	fs := flag.NewFlagSet("reprolint", flag.ExitOnError)
+	summary := fs.String("summary", "", "append a markdown findings/waivers table to this file (CI passes $GITHUB_STEP_SUMMARY)")
+	jsonOut := fs.String("json", "", "write a machine-readable findings/waivers summary to this file")
+	fs.Parse(os.Args[1:])
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -122,6 +137,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "reprolint:", err)
 		os.Exit(2)
 	}
+
+	if *summary != "" || *jsonOut != "" {
+		os.Exit(runWithSummary(exe, patterns, *summary, *jsonOut))
+	}
+
 	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file implements reprolint's -summary / -json reporting mode:
+// run the go vet driver with JSON diagnostics, fold the per-package
+// output into one findings list, scan the tree's //repro: directives
+// so the report shows which invariants are waived where, and write a
+// machine-readable summary plus a markdown table for
+// $GITHUB_STEP_SUMMARY.
+//
+// Reason-less and stale waivers need no special casing here: both are
+// reprodirective findings, so they appear in the findings list and
+// fail the run like any other diagnostic.
+
+// finding is one diagnostic from any analyzer in the suite.
+type finding struct {
+	Pos      string `json:"pos"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// waiver is one //repro:allow directive found in the tree.
+type waiver struct {
+	Pos      string `json:"pos"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+}
+
+// lintSummary is the machine-readable report -json writes.
+type lintSummary struct {
+	Pass       bool           `json:"pass"`
+	Findings   []finding      `json:"findings"`
+	Waivers    []waiver       `json:"waivers"`
+	Directives map[string]int `json:"directives"` // //repro: verb -> count
+}
+
+// runWithSummary runs go vet -json under the hood, writes the
+// requested reports, and returns the process exit code.
+func runWithSummary(exe string, patterns []string, summaryPath, jsonPath string) int {
+	findings, vetErr := runVetJSON(exe, patterns)
+	waivers, directives, scanErr := scanDirectives(".")
+	if scanErr != nil {
+		fmt.Fprintln(os.Stderr, "reprolint: directive scan:", scanErr)
+	}
+
+	sum := lintSummary{
+		Pass:       len(findings) == 0 && vetErr == nil,
+		Findings:   findings,
+		Waivers:    waivers,
+		Directives: directives,
+	}
+
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if vetErr != nil && len(findings) == 0 {
+		// Driver failure with no diagnostics: a build error, not lint
+		// findings.
+		fmt.Fprintln(os.Stderr, "reprolint:", vetErr)
+	}
+
+	if jsonPath != "" {
+		if err := writeJSONSummary(jsonPath, sum); err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint: -json:", err)
+			return 2
+		}
+	}
+	if summaryPath != "" {
+		if err := appendMarkdownSummary(summaryPath, sum); err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint: -summary:", err)
+			return 2
+		}
+	}
+	if !sum.Pass {
+		return 1
+	}
+	return 0
+}
+
+// runVetJSON invokes go vet -json and parses the diagnostic objects it
+// streams (one per package, on stderr, between "# pkg" comment lines).
+func runVetJSON(exe string, patterns []string) ([]finding, error) {
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe, "-json"}, patterns...)...)
+	var errBuf bytes.Buffer
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = &errBuf
+	vetErr := cmd.Run()
+	findings, perr := parseVetJSON(&errBuf)
+	if perr != nil && vetErr == nil {
+		vetErr = perr
+	}
+	return findings, vetErr
+}
+
+// parseVetJSON decodes the concatenated JSON objects in the vet
+// driver's output, skipping the "# package" comment lines. Each object
+// maps package ID -> analyzer -> diagnostics.
+func parseVetJSON(r io.Reader) ([]finding, error) {
+	var jsonText bytes.Buffer
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		jsonText.WriteString(line)
+		jsonText.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	type diag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	var findings []finding
+	dec := json.NewDecoder(&jsonText)
+	for {
+		var obj map[string]map[string][]diag
+		if err := dec.Decode(&obj); err == io.EOF {
+			break
+		} else if err != nil {
+			// Non-JSON driver output (a build error, a panic): surface it
+			// verbatim rather than losing it.
+			rest, _ := io.ReadAll(io.MultiReader(dec.Buffered(), &jsonText))
+			return findings, fmt.Errorf("unparseable vet output: %s", strings.TrimSpace(string(rest)))
+		}
+		for _, byAnalyzer := range obj {
+			for analyzer, diags := range byAnalyzer {
+				for _, d := range diags {
+					findings = append(findings, finding{Pos: d.Posn, Analyzer: analyzer, Message: d.Message})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Pos != findings[j].Pos {
+			return findings[i].Pos < findings[j].Pos
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// scanDirectives walks the tree collecting //repro: directives: waiver
+// details plus a count per verb. Files are parsed, and a directive is
+// a comment whose text starts exactly with //repro: — the same rule
+// the analyzers apply — so prose that merely mentions the syntax, and
+// string literals inside the lint package itself, do not count.
+// vendor (third-party), testdata (the linttest fixtures deliberately
+// contain findings), and dot-dirs are skipped.
+func scanDirectives(root string) ([]waiver, map[string]int, error) {
+	waivers := []waiver{}
+	directives := map[string]int{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "vendor" || name == "testdata" || name == "bin" || strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, found := strings.CutPrefix(c.Text, "//repro:")
+				if !found {
+					continue
+				}
+				verb, args, _ := strings.Cut(rest, " ")
+				directives[verb]++
+				if verb == "allow" {
+					name, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+					pos := fset.Position(c.Pos())
+					waivers = append(waivers, waiver{
+						Pos:      fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+						Analyzer: name,
+						Reason:   strings.TrimSpace(reason),
+					})
+				}
+			}
+		}
+		return nil
+	})
+	return waivers, directives, err
+}
+
+func writeJSONSummary(path string, sum lintSummary) error {
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// appendMarkdownSummary appends the human-readable report (perfgate
+// -summary's file conventions: append, create if absent).
+func appendMarkdownSummary(path string, sum lintSummary) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var b strings.Builder
+	b.WriteString("### reprolint — invariant analyzers\n\n")
+	if sum.Pass {
+		fmt.Fprintf(&b, "**PASS** — no findings; %d waiver(s), all reasoned and live.\n\n", len(sum.Waivers))
+	} else {
+		fmt.Fprintf(&b, "**FAIL** — %d finding(s).\n\n", len(sum.Findings))
+		b.WriteString("| position | analyzer | message |\n|---|---|---|\n")
+		for _, fd := range sum.Findings {
+			fmt.Fprintf(&b, "| `%s` | %s | %s |\n", fd.Pos, fd.Analyzer, mdEscape(fd.Message))
+		}
+		b.WriteString("\n")
+	}
+
+	if len(sum.Waivers) > 0 {
+		b.WriteString("<details><summary>Waivers in force</summary>\n\n")
+		b.WriteString("| position | analyzer | reason |\n|---|---|---|\n")
+		for _, w := range sum.Waivers {
+			fmt.Fprintf(&b, "| `%s` | %s | %s |\n", w.Pos, w.Analyzer, mdEscape(w.Reason))
+		}
+		b.WriteString("\n</details>\n\n")
+	}
+
+	if len(sum.Directives) > 0 {
+		verbs := make([]string, 0, len(sum.Directives))
+		for v := range sum.Directives {
+			verbs = append(verbs, v)
+		}
+		sort.Strings(verbs)
+		parts := make([]string, 0, len(verbs))
+		for _, v := range verbs {
+			parts = append(parts, fmt.Sprintf("%s %d", v, sum.Directives[v]))
+		}
+		fmt.Fprintf(&b, "Directive coverage: %s.\n", strings.Join(parts, " · "))
+	}
+
+	_, err = io.WriteString(f, b.String())
+	return err
+}
+
+// mdEscape keeps analyzer messages from breaking the table layout.
+func mdEscape(s string) string {
+	s = strings.ReplaceAll(s, "|", "\\|")
+	return strings.ReplaceAll(s, "\n", " ")
+}

@@ -618,7 +618,7 @@ func (c *GCOLA) installLevel(l int, out []entry) {
 // returned slice aliases scratch (or runs[0] when there is nothing to
 // merge) and must be copied out before the next merge.
 //
-//repro:allow scratchalias caller installs the returned run via installLevel before the next merge reuses scratch
+//repro:allow scratchescape caller installs the returned run via installLevel before the next merge reuses scratch
 func (c *GCOLA) mergeRuns(runs [][]entry, atBottom bool) []entry {
 	if len(runs) == 0 {
 		return nil

@@ -68,9 +68,8 @@ func (c *GCOLA) distributePointers(t int) {
 
 // checkInvariants validates the structural invariants of every level and
 // panics with a description on violation. Tests call this; production
-// paths do not.
-//
-//repro:allow damcharge test-only invariant validator, deliberately outside the DAM cost model
+// paths do not. (It reads cells only through cellAt, so it needs no
+// damcharge waiver since the out-of-core refactor.)
 func (c *GCOLA) checkInvariants() {
 	liveSeen := 0
 	for l := range c.levels {

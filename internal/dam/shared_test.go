@@ -53,6 +53,7 @@ func TestSharedEpochNests(t *testing.T) {
 	s := NewStore(64, 64)
 	sp := s.Space("t")
 	s.BeginSharedReads()
+	//repro:allow bracketflow deliberate nested acquire: this test pins the depth-counting contract
 	s.BeginSharedReads()
 	s.EndSharedReads()
 	sp.Read(0, 1) // depth still 1: frozen miss

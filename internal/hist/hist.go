@@ -68,6 +68,8 @@ func (h *Hist) Observe(v uint64) {
 }
 
 // Count reports the number of observations.
+//
+//repro:readonly
 func (h *Hist) Count() uint64 {
 	var n uint64
 	for i := range h.counts {
@@ -78,9 +80,13 @@ func (h *Hist) Count() uint64 {
 
 // Sum reports the exact sum of all observed values (so Sum/Count is the
 // exact mean, unaffected by bucketing).
+//
+//repro:readonly
 func (h *Hist) Sum() uint64 { return h.sum.Load() }
 
 // Mean reports the exact mean observation, 0 when empty.
+//
+//repro:readonly
 func (h *Hist) Mean() float64 {
 	n := h.Count()
 	if n == 0 {
@@ -94,6 +100,8 @@ func (h *Hist) Mean() float64 {
 // Concurrent Observes may or may not be counted — the snapshot is
 // per-bucket atomic, not global, which is fine for monitoring and
 // end-of-run reporting.
+//
+//repro:readonly
 func (h *Hist) Quantile(q float64) uint64 {
 	if q < 0 {
 		q = 0

@@ -23,10 +23,11 @@ import (
 // Begin*, Lock, or RLock, such as a wrapper's forwarding
 // BeginSharedReads — are deliberately unbalanced and are skipped.
 var BracketAnalyzer = &analysis.Analyzer{
-	Name:     "bracketbalance",
-	Doc:      "every RLock/Lock/Begin* acquire must release on all control-flow paths",
-	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
-	Run:      runBracket,
+	Name:       "bracketbalance",
+	Doc:        "every RLock/Lock/Begin* acquire must release on all control-flow paths",
+	Requires:   []*analysis.Analyzer{ctrlflow.Analyzer},
+	ResultType: waiverUsageType,
+	Run:        runBracket,
 }
 
 // releaseFor maps an acquire call name to its release; Begin* pairs
@@ -63,7 +64,7 @@ func runBracket(pass *analysis.Pass) (interface{}, error) {
 			checkBrackets(pass, fd, g, dirs)
 		}
 	}
-	return nil, nil
+	return dirs.usage, nil
 }
 
 // bracketCall matches x.<name>() calls; it returns the receiver

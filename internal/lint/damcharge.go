@@ -22,10 +22,11 @@ import (
 // chain — an "optimization" that probed accounted cells while charging
 // a key-independent synthetic position stream.
 var DamchargeAnalyzer = &analysis.Analyzer{
-	Name:     "damcharge",
-	Doc:      "accounted arrays may only be accessed inside //repro:charges accessors",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
-	Run:      runDamcharge,
+	Name:       "damcharge",
+	Doc:        "accounted arrays may only be accessed inside //repro:charges accessors",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: waiverUsageType,
+	Run:        runDamcharge,
 }
 
 // chargeCallNames are method/function names that constitute a charge:
@@ -38,11 +39,11 @@ var chargeCallNames = map[string]bool{
 }
 
 func runDamcharge(pass *analysis.Pass) (interface{}, error) {
+	dirs := collectDirectives(pass)
 	accounted := markedFields(pass, verbAccounted)
 	if len(accounted) == 0 {
-		return nil, nil
+		return dirs.usage, nil
 	}
-	dirs := collectDirectives(pass)
 	// chargers: names of package functions/methods declared as charged
 	// accessors, so "contains a call to another charged accessor"
 	// satisfies the charge-call requirement.
@@ -66,7 +67,7 @@ func runDamcharge(pass *analysis.Pass) (interface{}, error) {
 		}
 		checkUncharged(pass, fd, accounted, dirs)
 	})
-	return nil, nil
+	return dirs.usage, nil
 }
 
 // checkAccessorCharges verifies a declared accessor actually charges:

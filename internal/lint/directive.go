@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -21,11 +22,16 @@ const (
 )
 
 // knownAnalyzers is the set of analyzer names //repro:allow may waive.
+// scratchalias retired in favor of scratchescape (its flow-sensitive,
+// cross-function successor); old waivers must be renamed, which the
+// directive checker enforces by rejecting the stale name.
 var knownAnalyzers = map[string]bool{
 	"damcharge":      true,
+	"chargeamount":   true,
 	"rlockpure":      true,
 	"bracketbalance": true,
-	"scratchalias":   true,
+	"bracketflow":    true,
+	"scratchescape":  true,
 	"durerr":         true,
 }
 
@@ -47,23 +53,42 @@ func parseDirective(c *ast.Comment) (directive, bool) {
 	return directive{verb: verb, args: strings.TrimSpace(args), pos: c.Pos()}, true
 }
 
+// WaiverUsage is the result type every invariant analyzer returns: the
+// source positions of the //repro:allow directives that actually
+// suppressed one of its findings in this pass. reprodirective unions
+// the usage of every analyzer it Requires and reports reasoned waivers
+// nothing used — a stale waiver is a suppression whose finding has
+// been fixed (or was never real), and leaving it in place would mask
+// the next genuine finding at that line.
+type WaiverUsage struct {
+	Used map[token.Pos]bool
+}
+
+// waiverUsageType is the ResultType declared by the invariant
+// analyzers.
+var waiverUsageType = reflect.TypeOf((*WaiverUsage)(nil))
+
 // dirIndex holds every directive of one package, indexed for the two
 // lookups analyzers need: waivers by file line, and decl directives by
 // comment group.
 type dirIndex struct {
 	fset *token.FileSet
-	// allowByLine maps file -> line -> waived analyzer names (only
-	// waivers with a non-empty reason count; reprodirective reports the
-	// reason-less ones).
-	allowByLine map[*token.File]map[int]map[string]bool
+	// allowByLine maps file -> line -> waived analyzer name -> position
+	// of the //repro:allow comment (only waivers with a non-empty
+	// reason count; reprodirective reports the reason-less ones).
+	allowByLine map[*token.File]map[int]map[string]token.Pos
 	all         []directive
+	// usage records which waiver directives suppressed a finding of the
+	// analyzer that built this index.
+	usage *WaiverUsage
 }
 
 // collectDirectives scans all comments of the pass's files.
 func collectDirectives(pass *analysis.Pass) *dirIndex {
 	idx := &dirIndex{
 		fset:        pass.Fset,
-		allowByLine: make(map[*token.File]map[int]map[string]bool),
+		allowByLine: make(map[*token.File]map[int]map[string]token.Pos),
+		usage:       &WaiverUsage{Used: make(map[token.Pos]bool)},
 	}
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
@@ -86,16 +111,16 @@ func collectDirectives(pass *analysis.Pass) *dirIndex {
 				}
 				lines := idx.allowByLine[tf]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int]map[string]token.Pos)
 					idx.allowByLine[tf] = lines
 				}
 				line := tf.Line(d.pos)
 				set := lines[line]
 				if set == nil {
-					set = make(map[string]bool)
+					set = make(map[string]token.Pos)
 					lines[line] = set
 				}
-				set[name] = true
+				set[name] = d.pos
 			}
 		}
 	}
@@ -105,7 +130,9 @@ func collectDirectives(pass *analysis.Pass) *dirIndex {
 // allowed reports whether a finding by the named analyzer at pos is
 // waived: a //repro:allow <name> <reason> on the same line or the line
 // immediately above, or in the given doc comment group (the enclosing
-// function's, so one waiver can cover a whole accessor).
+// function's, so one waiver can cover a whole accessor). A waiver that
+// suppresses a finding is recorded as used, which is what keeps it off
+// reprodirective's stale-waiver report.
 func (idx *dirIndex) allowed(name string, pos token.Pos, doc *ast.CommentGroup) bool {
 	tf := idx.fset.File(pos)
 	if tf == nil {
@@ -113,7 +140,12 @@ func (idx *dirIndex) allowed(name string, pos token.Pos, doc *ast.CommentGroup) 
 	}
 	if lines := idx.allowByLine[tf]; lines != nil {
 		line := tf.Line(pos)
-		if lines[line][name] || lines[line-1][name] {
+		if p, ok := lines[line][name]; ok {
+			idx.usage.Used[p] = true
+			return true
+		}
+		if p, ok := lines[line-1][name]; ok {
+			idx.usage.Used[p] = true
 			return true
 		}
 	}
@@ -122,6 +154,7 @@ func (idx *dirIndex) allowed(name string, pos token.Pos, doc *ast.CommentGroup) 
 			if d, ok := parseDirective(c); ok && d.verb == verbAllow {
 				waived, reason, _ := strings.Cut(d.args, " ")
 				if waived == name && strings.TrimSpace(reason) != "" {
+					idx.usage.Used[d.pos] = true
 					return true
 				}
 			}

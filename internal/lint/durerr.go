@@ -26,10 +26,11 @@ import (
 // close-on-error paths where the original error is already being
 // returned).
 var DurerrAnalyzer = &analysis.Analyzer{
-	Name:     "durerr",
-	Doc:      "durability paths must not discard Write/Sync/Close/Truncate/Rename errors",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
-	Run:      runDurerr,
+	Name:       "durerr",
+	Doc:        "durability paths must not discard Write/Sync/Close/Truncate/Rename errors",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: waiverUsageType,
+	Run:        runDurerr,
 }
 
 // durErrMethods are the error-returning calls the discipline covers.
@@ -98,7 +99,7 @@ func runDurerr(pass *analysis.Pass) (interface{}, error) {
 		}
 		return true
 	})
-	return nil, nil
+	return dirs.usage, nil
 }
 
 // isDurErrCall reports whether call is one of the covered methods (or

@@ -1,0 +1,186 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Graph is the static, package-local call graph: one node per declared
+// function or method with a body, one edge per direct call to another
+// declared function of the same package. Calls through interfaces or
+// function values, and calls into other packages, are not edges — a
+// summary client must treat those callees as unknown.
+type Graph struct {
+	// Decls maps each declared function to its syntax.
+	Decls map[*types.Func]*ast.FuncDecl
+	// callees maps caller → deduped static same-package callees.
+	// Calls made inside function literals count as calls of the
+	// enclosing declaration (the closure runs, at the latest, when the
+	// caller's frame is still conceptually responsible for it).
+	callees map[*types.Func][]*types.Func
+	// order is every declared function in source order, for
+	// deterministic iteration.
+	order []*types.Func
+}
+
+// PackageGraph builds the call graph for the pass's package.
+func PackageGraph(pass *analysis.Pass) *Graph {
+	g := &Graph{
+		Decls:   make(map[*types.Func]*ast.FuncDecl),
+		callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Decls[fn] = fd
+			g.order = append(g.order, fn)
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool {
+		return g.Decls[g.order[i]].Pos() < g.Decls[g.order[j]].Pos()
+	})
+	for fn, fd := range g.Decls {
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := StaticCallee(pass.TypesInfo, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, declared := g.Decls[callee]; declared {
+				seen[callee] = true
+				g.callees[fn] = append(g.callees[fn], callee)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// StaticCallee resolves a call expression to the *types.Func it
+// invokes when that is statically known (plain function calls and
+// method calls on a concrete receiver); nil for builtins, function
+// values, and interface dispatch.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Funcs returns every declared function in source order.
+func (g *Graph) Funcs() []*types.Func { return g.order }
+
+// CalleesOf returns the deduped static same-package callees of fn.
+func (g *Graph) CalleesOf(fn *types.Func) []*types.Func { return g.callees[fn] }
+
+// SCCs returns the strongly connected components of the graph in
+// bottom-up order: every component appears after all components it
+// calls into, so summaries computed in slice order see their callees'
+// results (mutually recursive functions share a component and are
+// iterated to fixpoint by Summaries).
+func (g *Graph) SCCs() [][]*types.Func {
+	// Tarjan. Package call graphs are shallow; recursion is fine.
+	index := make(map[*types.Func]int)
+	lowlink := make(map[*types.Func]int)
+	onstack := make(map[*types.Func]bool)
+	var stack []*types.Func
+	var sccs [][]*types.Func
+	next := 0
+	var strongconnect func(v *types.Func)
+	strongconnect = func(v *types.Func) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onstack[v] = true
+		for _, w := range g.callees[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onstack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var scc []*types.Func
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onstack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, fn := range g.order {
+		if _, seen := index[fn]; !seen {
+			strongconnect(fn)
+		}
+	}
+	return sccs
+}
+
+// Summaries computes a bottom-up summary for every declared function.
+// compute derives fn's summary, reading callee summaries through get
+// (which reports false for unknown or not-yet-computed callees — the
+// first iteration of a cycle). Within a strongly connected component,
+// compute is re-run until the summaries stop changing, so compute must
+// be monotone over a finite summary space or this will not terminate.
+func Summaries[T any](g *Graph, equal func(a, b T) bool, compute func(fn *types.Func, fd *ast.FuncDecl, get func(*types.Func) (T, bool)) T) map[*types.Func]T {
+	sum := make(map[*types.Func]T)
+	get := func(callee *types.Func) (T, bool) {
+		t, ok := sum[callee]
+		return t, ok
+	}
+	for _, scc := range g.SCCs() {
+		for {
+			changed := false
+			for _, fn := range scc {
+				nt := compute(fn, g.Decls[fn], get)
+				if old, ok := sum[fn]; !ok || !equal(old, nt) {
+					sum[fn] = nt
+					changed = true
+				}
+			}
+			if !changed || len(scc) == 1 && !g.selfEdge(scc[0]) {
+				break
+			}
+		}
+	}
+	return sum
+}
+
+func (g *Graph) selfEdge(fn *types.Func) bool {
+	for _, c := range g.callees[fn] {
+		if c == fn {
+			return true
+		}
+	}
+	return false
+}

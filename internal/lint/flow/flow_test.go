@@ -1,0 +1,190 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/cfg"
+
+	"repro/internal/lint/flow"
+)
+
+// loadPkg type-checks one synthetic dependency-free package.
+func loadPkg(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, info, pkg
+}
+
+func funcNamed(f *ast.File, name string) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	return nil
+}
+
+// assignedLattice tracks the set of variable names assigned so far — a
+// may-analysis whose loop behavior (facts carried around back edges)
+// and join (set union) exercise the worklist.
+type assignedLattice struct{}
+
+type nameSet map[string]bool
+
+func (assignedLattice) Entry() nameSet { return nameSet{} }
+func (assignedLattice) Clone(s nameSet) nameSet {
+	c := make(nameSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+func (l assignedLattice) Join(a, b nameSet) nameSet {
+	j := l.Clone(a)
+	for k := range b {
+		j[k] = true
+	}
+	return j
+}
+func (assignedLattice) Equal(a, b nameSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+func (assignedLattice) Transfer(s nameSet, n ast.Node) nameSet {
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				s[id.Name] = true
+			}
+		}
+	}
+	return s
+}
+
+func TestForwardLoopFixpoint(t *testing.T) {
+	_, f, _, _ := loadPkg(t, `package p
+func g() bool
+func target(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if g() {
+			continue
+		}
+		inner := i * 2
+		total += inner
+	}
+	return total
+}`)
+	fd := funcNamed(f, "target")
+	g := cfg.New(fd.Body, func(*ast.CallExpr) bool { return true })
+	r := flow.Forward[nameSet](g, assignedLattice{})
+
+	// At the loop condition, "inner" must be visible via the back edge
+	// (may-assigned), alongside total and i. At function entry it must
+	// not be.
+	var condState, entryState nameSet
+	r.Walk(func(_ *cfg.Block, n ast.Node, before nameSet) {
+		if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.LSS {
+			condState = assignedLattice{}.Clone(before)
+		}
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "total" && as.Tok == token.DEFINE {
+				entryState = assignedLattice{}.Clone(before)
+			}
+		}
+	})
+	if condState == nil {
+		t.Fatal("loop condition node not visited")
+	}
+	for _, want := range []string{"total", "i", "inner"} {
+		if !condState[want] {
+			t.Errorf("loop condition state missing %q (back edge not propagated): %v", want, condState)
+		}
+	}
+	if len(entryState) != 0 {
+		t.Errorf("entry state should be empty, got %v", entryState)
+	}
+
+	// Every exit state carries all assignments.
+	exits := r.ExitStates()
+	if len(exits) == 0 {
+		t.Fatal("no exit states")
+	}
+	for b, s := range exits {
+		if !s["total"] || !s["inner"] {
+			t.Errorf("exit block %d state incomplete: %v", b.Index, s)
+		}
+	}
+}
+
+// fakePass builds just enough of an analysis.Pass for PackageGraph.
+func fakePass(fset *token.FileSet, f *ast.File, info *types.Info, pkg *types.Package) *analysis.Pass {
+	return &analysis.Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+}
+
+func TestSummariesBottomUp(t *testing.T) {
+	fset, f, info, pkg := loadPkg(t, `package p
+type s struct{ n int }
+func (x *s) leaf() int   { return x.n }
+func (x *s) mid() int    { return x.leaf() }
+func (x *s) a(d int) int { if d == 0 { return x.mid() }; return x.b(d - 1) }
+func (x *s) b(d int) int { return x.a(d) }
+func (x *s) other() int  { return 7 }`)
+	pass := fakePass(fset, f, info, pkg)
+	g := flow.PackageGraph(pass)
+	if got := len(g.Funcs()); got != 5 {
+		t.Fatalf("Funcs: got %d, want 5", got)
+	}
+
+	// Summary: does fn transitively call leaf? Exercises both the SCC
+	// fixpoint (a <-> b) and bottom-up ordering (mid before a/b).
+	callsLeaf := flow.Summaries(g, func(a, b bool) bool { return a == b },
+		func(fn *types.Func, fd *ast.FuncDecl, get func(*types.Func) (bool, bool)) bool {
+			if fn.Name() == "leaf" {
+				return true
+			}
+			for _, c := range g.CalleesOf(fn) {
+				if hit, ok := get(c); ok && hit {
+					return true
+				}
+			}
+			return false
+		})
+	want := map[string]bool{"leaf": true, "mid": true, "a": true, "b": true, "other": false}
+	for fn, hit := range callsLeaf {
+		if want[fn.Name()] != hit {
+			t.Errorf("summary for %s: got %v, want %v", fn.Name(), hit, want[fn.Name()])
+		}
+	}
+	if len(callsLeaf) != len(want) {
+		t.Errorf("got %d summaries, want %d", len(callsLeaf), len(want))
+	}
+}

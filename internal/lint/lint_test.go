@@ -37,8 +37,24 @@ func TestBracketbalance(t *testing.T) {
 	linttest.Run(t, "testdata", lint.BracketAnalyzer, "bracketbalance")
 }
 
-func TestScratchalias(t *testing.T) {
-	linttest.Run(t, "testdata", lint.ScratchAnalyzer, "scratchalias")
+func TestScratchescape(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ScratchescapeAnalyzer, "scratchescape")
+}
+
+func TestChargeamount(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ChargeamountAnalyzer, "chargeamount")
+}
+
+// TestChargeamountMidpointChain replays PR 6's E13 repro from the
+// charge-amount side: the synthetic midpoint stream derives from no
+// probed position, so chargeamount re-catches the bug even where the
+// call-site rule (histdam) is satisfied by restructuring.
+func TestChargeamountMidpointChain(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ChargeamountAnalyzer, "histamount")
+}
+
+func TestBracketflow(t *testing.T) {
+	linttest.Run(t, "testdata", lint.BracketflowAnalyzer, "bracketflow")
 }
 
 func TestDurerr(t *testing.T) {

@@ -21,10 +21,11 @@ import (
 // This is the analyzer that would have caught PR 5's pre-fix syncdict,
 // which bumped a plain counter under RLock.
 var RlockpureAnalyzer = &analysis.Analyzer{
-	Name:     "rlockpure",
-	Doc:      "no receiver mutation under RLock, inside shared-read epochs, or in //repro:readonly methods",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
-	Run:      runRlockpure,
+	Name:       "rlockpure",
+	Doc:        "no receiver mutation under RLock, inside shared-read epochs, or in //repro:readonly methods",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: waiverUsageType,
+	Run:        runRlockpure,
 }
 
 // readRegionPairs maps a region-opening call name to its closer.
@@ -49,7 +50,7 @@ func runRlockpure(pass *analysis.Pass) (interface{}, error) {
 		}
 		findReadRegions(pass, fd, recv, mutators, dirs)
 	})
-	return nil, nil
+	return dirs.usage, nil
 }
 
 // collectMutators maps "Type.Method" to true for every method of the

@@ -1,7 +1,9 @@
-// Package scratchalias exercises the scratch-ownership analyzer:
-// pooled values and //repro:scratch fields must not escape the call
-// that produced them.
-package scratchalias
+// Package scratchescape exercises the flow-sensitive scratch-ownership
+// analyzer: pooled values and //repro:scratch fields must not escape
+// the call that produced them — not returned, not stored, not sent,
+// not captured by a goroutine, and not passed to a callee whose
+// summary says it leaks its argument.
+package scratchescape
 
 import "sync"
 
@@ -74,11 +76,47 @@ func (m *merger) copyOut() []uint64 {
 	return out
 }
 
+// install stores its argument into a durable field. On its own that is
+// fine — the escape only matters when the argument is scratch, which
+// the caller-side summary check below catches.
+func (m *merger) install(run []uint64) {
+	m.out = run
+}
+
+// installScratch hands the live scratch buffer to install, whose
+// summary says it stores its argument beyond the call.
+func (m *merger) installScratch() {
+	m.install(m.mergeScratch) // want `passes scratch-backed value to install, which stores it beyond the call`
+}
+
+// spawnScratch captures scratch in a goroutine that may outlive the
+// merge that owns the buffer.
+func (m *merger) spawnScratch() {
+	buf := m.mergeScratch[:2]
+	go func() { // want `goroutine may outlive scratch-backed value it captures`
+		_ = buf[0] + buf[1]
+	}()
+}
+
+// sumScratch passes scratch to a callee that only reads it: the
+// summary is empty, so nothing fires. Clean.
+func (m *merger) sumScratch() uint64 {
+	return sum(m.mergeScratch)
+}
+
+func sum(xs []uint64) uint64 {
+	var s uint64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
 // mergeRuns mirrors the gcola internal that hands its scratch to the
 // caller, which installs it before the next merge reuses the buffer;
 // the waiver documents that ownership contract.
 //
-//repro:allow scratchalias caller installs the run before the next merge touches scratch
+//repro:allow scratchescape caller installs the run before the next merge touches scratch
 func (m *merger) mergeRuns() []uint64 {
 	m.mergeScratch = append(m.mergeScratch[:0], 1, 2, 3)
 	return m.mergeScratch

@@ -106,6 +106,8 @@ type Summary struct {
 }
 
 // OpsPerSec is the aggregate throughput.
+//
+//repro:readonly
 func (s *Summary) OpsPerSec() float64 {
 	if s.Elapsed <= 0 {
 		return 0

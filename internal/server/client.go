@@ -23,7 +23,7 @@ type Client struct {
 	br *bufio.Reader
 	bw *bufio.Writer
 
-	frame []byte // reply frame buffer, reused per read
+	frame []byte //repro:scratch reply frame buffer, reused per read
 }
 
 // Dial connects to a server.

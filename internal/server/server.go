@@ -88,10 +88,14 @@ func New(d core.Dictionary) *Server {
 
 // Caps reports the serving dictionary's capability sheet (the same
 // bits STATS carries on the wire).
+//
+//repro:readonly
 func (s *Server) Caps() core.Caps { return s.caps }
 
 // Latency returns the server-side service-time histogram of one class,
 // for tests and in-process harnesses.
+//
+//repro:readonly
 func (s *Server) Latency(class int) *hist.Hist { return &s.lat[class] }
 
 // Serve accepts connections on ln until Shutdown (which returns nil
@@ -173,11 +177,11 @@ type conn struct {
 	s   *Server
 	nc  net.Conn
 	br  *bufio.Reader
-	out []byte // response build buffer, reused per request
-	req []byte // request frame buffer, reused per request
+	out []byte //repro:scratch response build buffer, reused per request
+	req []byte //repro:scratch request frame buffer, reused per request
 
-	batch []core.Element // coalesced consecutive PUTs
-	elems []core.Element // BATCH decode scratch
+	batch []core.Element //repro:scratch coalesced consecutive PUTs
+	elems []core.Element //repro:scratch BATCH decode scratch
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
